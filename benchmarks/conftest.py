@@ -1,0 +1,56 @@
+"""Benchmark fixtures.
+
+Each paper artifact gets one benchmark that *regenerates* it end to end
+(data generation, training, evaluation, analysis) at benchmark scale —
+a microscopic configuration so the suite completes in a few minutes.
+Heavy benches run a single round via ``benchmark.pedantic``; the
+measured time is the cost of regenerating that table/figure from
+scratch at this scale.
+
+Each bench builds its own workbench with a fresh temp cache so timings
+are self-contained and deterministic in shape (first bench does not
+subsidize later ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import Workbench
+from repro.experiments.config import make_config
+
+
+def bench_config(tmp_path, **overrides):
+    """The benchmark-scale experiment configuration."""
+    base = make_config(profile="quick", seed=123)
+    defaults = dict(
+        num_classes=4,
+        image_size=8,
+        train_per_class=24,
+        val_per_class=10,
+        pretrain_epochs=3,
+        retrain_epochs=2,
+        batch_size=32,
+        patience=2,
+        eval_passes=2,
+        enob_sweep=(4.0, 6.0),
+        table2_enob=4.0,
+        fig6_enobs=(4.0, 6.0),
+        cache_dir=str(tmp_path / "cache"),
+        results_dir=str(tmp_path / "results"),
+    )
+    defaults.update(overrides)
+    return replace(base, **defaults)
+
+
+@pytest.fixture
+def fresh_bench(tmp_path):
+    """A workbench with an empty cache in a temp dir."""
+    return Workbench(bench_config(tmp_path))
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the Section-4 extension studies (tiled error
+model, delta-sigma recycling, operand partitioning, reference scaling)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_regenerate_ablations(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: ablations.run(fresh_bench))
+    assert result.extras["recycling"]["reduction_factor"] > 1.0
+    assert 0 < result.extras["vref_best_alpha"] <= 1.0
+    assert result.extras["tiled_rms_ratio"] > 0

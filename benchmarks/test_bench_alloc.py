@@ -1,0 +1,11 @@
+"""Benchmark: regenerate the per-layer ENOB allocation study."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import alloc
+
+
+def test_regenerate_alloc(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: alloc.run(fresh_bench))
+    assert len(result.rows) == 10  # 9 convs + classifier
+    assert "empirical_accuracy" in result.extras
+    assert len(result.extras["sensitivities"]) == 10

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate paper Fig. 4 (loss vs ENOB, eval-only vs
+retrained, relative to the 8b quantized network)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4
+
+
+def test_regenerate_fig4(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: fig4.run(fresh_bench))
+    assert len(result.rows) == len(fresh_bench.config.enob_sweep)
+    assert set(result.extras["eval_losses"]) == set(
+        result.extras["retrain_losses"]
+    )
+    # Both series present per row: enob, eval loss, std, retrain loss, std.
+    assert all(len(row) == 6 for row in result.rows)

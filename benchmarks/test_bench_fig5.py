@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Fig. 5 (loss vs ENOB relative to the 6b
+quantized network, error at evaluation time only)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5
+
+
+def test_regenerate_fig5(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: fig5.run(fresh_bench))
+    assert len(result.rows) == len(fresh_bench.config.enob_sweep)
+    assert "cutoff_1pct" in result.extras
+    assert "cutoff_within_std" in result.extras

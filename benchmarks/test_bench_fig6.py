@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Fig. 6 (activation means at conv outputs
+across FP32 / quantized / AMS-retrained variants)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_regenerate_fig6(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: fig6.run(fresh_bench))
+    assert result.extras["total_conv_layers"] == 9
+    # FP32 + quantized + one column per AMS noise level.
+    expected_columns = 1 + 2 + len(fresh_bench.config.fig6_enobs)
+    assert all(len(row) == expected_columns for row in result.rows)

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Fig. 7 (ADC survey scatter + Eq. 3 bound).
+
+No training involved — measures survey generation + bound validation,
+so this one uses normal benchmark rounds.
+"""
+
+from repro.experiments import fig7
+
+
+def test_regenerate_fig7(benchmark, fresh_bench):
+    result = benchmark(lambda: fig7.run(fresh_bench))
+    assert result.extras["num_violations"] == 0
+    assert abs(result.extras["energy_ratio_per_bit"] - 4.0) < 0.05

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate paper Fig. 8 (the (ENOB, Nmult) accuracy/energy
+lookup grid with overlaid level curves)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_regenerate_fig8(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: fig8.run(fresh_bench))
+    assert len(result.rows) == len(fig8.NMULTS)
+    for entry in result.extras["targets"]:
+        assert entry["emac_pj"] > 0
+        assert entry["parallel_spread"] < 0.05

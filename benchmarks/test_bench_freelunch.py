@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the free-lunch study (training-free recovery:
+BN recalibration and multi-sample averaging vs retraining)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import freelunch
+
+
+def test_regenerate_freelunch(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: freelunch.run(fresh_bench))
+    labels = [row[0] for row in result.rows]
+    assert "BN recalibration" in labels
+    assert "retrained (paper's method)" in labels

@@ -1,0 +1,88 @@
+"""Benchmark: forward-pass overhead of quantization + AMS injection.
+
+The paper reports "DoReFa-based quantization and AMS error injection
+together incur a roughly 50% overhead in forward pass computation time
+compared to the out-of-the-box FP32 network."  These benches measure
+our substrate's equivalent ratio (grouped as `overhead` so the three
+variants appear side by side in the report).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ams import VMACConfig
+from repro.models import AMSFactory, DoReFaFactory, FP32Factory, resnet_small
+from repro.quant import QuantConfig
+from repro.tensor.tensor import Tensor, no_grad
+
+BATCH = (16, 3, 16, 16)
+
+
+def _input():
+    return Tensor(
+        np.random.default_rng(0).standard_normal(BATCH).astype(np.float32)
+    )
+
+
+def _forward(model, x):
+    model.eval()
+    with no_grad():
+        return model(x)
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_forward_fp32(benchmark):
+    model = resnet_small(FP32Factory(seed=0), num_classes=10)
+    x = _input()
+    benchmark(lambda: _forward(model, x))
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_forward_dorefa(benchmark):
+    model = resnet_small(DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=10)
+    x = _input()
+    benchmark(lambda: _forward(model, x))
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_forward_ams(benchmark):
+    model = resnet_small(
+        AMSFactory(QuantConfig(8, 8), VMACConfig(enob=8, nmult=8), seed=0),
+        num_classes=10,
+    )
+    x = _input()
+    benchmark(lambda: _forward(model, x))
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_conv2d_forward_backward(benchmark):
+    """The dominant kernel: one conv layer's forward+backward."""
+    from repro.nn import Conv2d
+
+    conv = Conv2d(16, 32, 3, padding=1, rng=np.random.default_rng(0))
+    x = Tensor(
+        np.random.default_rng(1).standard_normal((8, 16, 16, 16)).astype(
+            np.float32
+        ),
+        requires_grad=True,
+    )
+
+    def step():
+        conv.zero_grad()
+        x.zero_grad()
+        conv(x).sum().backward()
+
+    benchmark(step)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_injection_kernel(benchmark):
+    """Noise sampling + forward-only add for a conv-sized tensor."""
+    from repro.ams.injection import AMSErrorInjector
+
+    injector = AMSErrorInjector(
+        VMACConfig(enob=8, nmult=8), ntot=144,
+        rng=np.random.default_rng(0),
+    )
+    x = Tensor(np.zeros((16, 32, 16, 16), np.float32))
+    benchmark(lambda: injector(x))

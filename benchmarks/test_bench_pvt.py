@@ -1,0 +1,12 @@
+"""Benchmark: regenerate the static-mismatch (PVT) population study."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import pvt
+
+
+def test_regenerate_pvt(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: pvt.run(fresh_bench))
+    assert len(result.rows) == len(pvt.VARIATIONS)
+    for label, pop in result.extras["populations"].items():
+        assert len(pop["raw"]) == pvt.DEVICES
+        assert len(pop["recalibrated"]) == pvt.DEVICES

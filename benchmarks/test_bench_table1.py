@@ -1,0 +1,18 @@
+"""Benchmark: regenerate paper Table 1 (quantization baselines).
+
+Measures the full pipeline — pretrain FP32, retrain each DoReFa
+configuration, run the repeated-evaluation protocol — at benchmark
+scale, and sanity-checks the regenerated rows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_regenerate_table1(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: table1.run(fresh_bench))
+    labels = [row[0] for row in result.rows]
+    assert labels[0] == "FP32"
+    assert len(result.rows) == len(table1.CONFIGS)
+    accuracies = result.extras["accuracies"]
+    assert all(0.0 <= a <= 1.0 for a in accuracies.values())

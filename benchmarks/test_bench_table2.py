@@ -1,0 +1,12 @@
+"""Benchmark: regenerate paper Table 2 (selective freezing during AMS
+retraining — the batch-norm mechanism study)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2
+
+
+def test_regenerate_table2(benchmark, fresh_bench):
+    result = run_once(benchmark, lambda: table2.run(fresh_bench))
+    labels = [row[0] for row in result.rows]
+    assert labels == ["None", "Conv", "BN", "FC", "BN and FC"]
+    assert result.extras["enob"] == fresh_bench.config.table2_enob

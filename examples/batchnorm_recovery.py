@@ -1,0 +1,135 @@
+"""Why retraining recovers accuracy: watch batch norm push the means.
+
+Reproduces the paper's Section 3 mechanism study at example scale:
+
+- retrain a quantized network with AMS error in the loop, once normally
+  and once with the batch-norm layers frozen;
+- instrument every convolution output (the injection point) and compare
+  activation means before/after noisy retraining.
+
+The paper's findings, visible in the printout: freezing BN forfeits most
+of the recovery, and noisy retraining pushes conv-output activation
+means away from zero ("the larger the noise, the greater the push").
+
+Run::
+
+    python examples/batchnorm_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ams import VMACConfig
+from repro.data import SynthImageNet, SynthImageNetConfig
+from repro.models import AMSFactory, DoReFaFactory, FP32Factory, resnet_small
+from repro.quant import QuantConfig
+from repro.train import (
+    TrainConfig,
+    Trainer,
+    collect_probes,
+    evaluate_accuracy,
+    freeze_layers,
+    repeated_evaluate,
+    set_probes_enabled,
+)
+from repro.utils import format_table
+
+ENOB = 4.5  # low resolution -> big injected error -> visible recovery
+NMULT = 8
+
+
+def make_ams(data, with_probes=False):
+    model = resnet_small(
+        AMSFactory(
+            QuantConfig(8, 8),
+            VMACConfig(enob=ENOB, nmult=NMULT),
+            seed=1,
+            with_probes=with_probes,
+        ),
+        num_classes=10,
+    )
+    model.input_adapter.calibrate(data.train.images)
+    return model
+
+
+def mean_abs_activation(model, data) -> float:
+    """Average |mean| of conv-output activations over the val set."""
+    set_probes_enabled(model, True)
+    evaluate_accuracy(model, data.val)
+    probes = [p for p in collect_probes(model) if p.label.startswith("conv")]
+    value = float(np.mean([abs(p.mean) for p in probes]))
+    set_probes_enabled(model, False)
+    return value
+
+
+def main() -> None:
+    data = SynthImageNet(
+        SynthImageNetConfig(
+            num_classes=10, image_size=16, train_per_class=80,
+            val_per_class=30, seed=11,
+        )
+    )
+
+    # FP32 pretrain + 8b quantized baseline.
+    fp32 = resnet_small(FP32Factory(seed=1), num_classes=10)
+    Trainer(TrainConfig(epochs=8, batch_size=64, lr=0.05, patience=3)).fit(
+        fp32, data.train, data.val
+    )
+    quant = resnet_small(DoReFaFactory(QuantConfig(8, 8), seed=1), num_classes=10)
+    quant.input_adapter.calibrate(data.train.images)
+    quant.load_state_dict(fp32.state_dict())
+    retrain_cfg = TrainConfig(epochs=6, batch_size=64, lr=0.02, patience=3)
+    Trainer(retrain_cfg).fit(quant, data.train, data.val)
+    baseline = repeated_evaluate(quant, data.val, passes=5)
+    print(f"8b quantized baseline: {baseline}")
+
+    rows = []
+
+    # AMS error at eval time only (no adaptation).
+    eval_only = make_ams(data, with_probes=True)
+    eval_only.load_state_dict(quant.state_dict())
+    stats = repeated_evaluate(eval_only, data.val, passes=5)
+    rows.append(
+        ["eval only (no retrain)", baseline.mean - stats.mean,
+         mean_abs_activation(eval_only, data)]
+    )
+
+    # Retrain with error in the loop (BN free to adapt).
+    recovered = make_ams(data, with_probes=True)
+    recovered.load_state_dict(quant.state_dict())
+    Trainer(retrain_cfg).fit(recovered, data.train, data.val)
+    stats = repeated_evaluate(recovered, data.val, passes=5)
+    rows.append(
+        ["retrained", baseline.mean - stats.mean,
+         mean_abs_activation(recovered, data)]
+    )
+
+    # Retrain with BN frozen: the paper's Table 2 'BN' row.
+    frozen = make_ams(data, with_probes=True)
+    frozen.load_state_dict(quant.state_dict())
+    freeze_layers(frozen, ["bn"])
+    Trainer(retrain_cfg).fit(frozen, data.train, data.val)
+    stats = repeated_evaluate(frozen, data.val, passes=5)
+    rows.append(
+        ["retrained, BN frozen", baseline.mean - stats.mean,
+         mean_abs_activation(frozen, data)]
+    )
+
+    print()
+    print(
+        format_table(
+            ["configuration", "top-1 loss re: 8b", "avg |conv-output mean|"],
+            rows,
+            title=f"AMS error at ENOB={ENOB}, Nmult={NMULT}",
+        )
+    )
+    print(
+        "\nExpected (paper Table 2 + Fig. 6): retraining recovers much of "
+        "the loss, freezing BN forfeits the recovery, and the recovered "
+        "network shows activation means pushed away from zero."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Circuit-designer scenario: use Fig. 8 as a lookup table.
+
+"This plot can be used as a lookup table by circuit designers to
+evaluate the network-level impact of circuit-level design choices, or by
+system designers to choose hardware based on accuracy or energy
+specifications."  (Paper, Section 4.)
+
+This example needs no training: it loads the paper-shaped accuracy
+curve (ResNet-50-scale numbers from the paper's Fig. 4) and answers the
+two questions a designer actually asks:
+
+1. *I can afford X fJ/MAC — how accurate can my accelerator be?*
+2. *I need < Y% accuracy loss — what (ENOB, Nmult) should I build,
+   and what is the energy floor?*
+
+Run::
+
+    python examples/design_space_lookup.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.energy import AccuracyCurve, EnergyModel, TradeoffGrid
+from repro.energy.adc import THERMAL_KNEE_ENOB
+from repro.utils import format_table
+
+
+def paper_resnet50_curve() -> AccuracyCurve:
+    """Loss-vs-ENOB at Nmult=8, digitized from the paper's Fig. 4
+    (retrained-with-error series)."""
+    return AccuracyCurve(
+        enobs=np.array([9.0, 9.5, 10.0, 10.5, 11.0, 11.5, 12.0, 12.5, 13.0]),
+        losses=np.array(
+            [0.060, 0.035, 0.020, 0.013, 0.009, 0.006, 0.004, 0.002, 0.001]
+        ),
+        reference_nmult=8,
+    )
+
+
+def main() -> None:
+    grid = TradeoffGrid(paper_resnet50_curve(), EnergyModel())
+
+    # Question 1: accuracy at a given energy budget.
+    print("Q1: what does a given energy budget buy (Nmult = 8)?")
+    rows = []
+    for enob in (9.0, 10.0, 11.0, 12.0, 12.5, 13.0):
+        cell = grid.cell(enob, 8)
+        rows.append([enob, f"{cell.emac_pj*1000:.0f} fJ", f"{cell.loss*100:.2f}%"])
+    print(format_table(["ENOB", "E_MAC", "top-1 loss"], rows))
+
+    # Question 2: minimum energy for an accuracy target.
+    print("\nQ2: minimum energy for a top-1 loss target")
+    rows = []
+    for target in (0.01, 0.004, 0.002):
+        emac_pj, cell = grid.min_emac_for_loss(target)
+        rows.append(
+            [
+                f"<{target*100:.1f}%",
+                f"{emac_pj*1000:.0f} fJ/MAC",
+                f"{cell.enob:.2f}",
+                cell.nmult,
+            ]
+        )
+    print(format_table(["target", "E_MAC,min", "ENOB", "Nmult"], rows))
+    print(
+        "\nPaper headline: <0.4% loss needs ~313 fJ/MAC; <1% needs ~78 fJ/MAC."
+    )
+
+    # The one-to-one tradeoff: iso-loss contours have constant energy.
+    print("\nIso-loss contour at 0.4% (thermal-noise-limited region):")
+    cells = [
+        c
+        for c in grid.iso_loss_contour(0.004, [8, 16, 32, 64, 128])
+        if c.enob > THERMAL_KNEE_ENOB
+    ]
+    rows = [
+        [c.nmult, f"{c.enob:.2f}", f"{c.emac_pj*1000:.1f} fJ"] for c in cells
+    ]
+    print(format_table(["Nmult", "ENOB", "E_MAC"], rows))
+    spread = grid.level_curve_parallelism(0.004, [8, 16, 32, 64, 128])
+    print(
+        f"\nE_MAC spread along the contour: {spread*100:.2f}% — the level "
+        "curves of accuracy and energy are parallel, so no (ENOB, Nmult) "
+        "choice improves one without harming the other."
+    )
+
+    # Finally: price a whole ResNet-50 inference at the chosen point.
+    from repro.ams import VMACConfig
+    from repro.energy import inference_energy, profile_network
+    from repro.models import resnet50
+
+    print("\nPricing one ResNet-50 inference (224x224) at the <0.4% point:")
+    profiles = profile_network(resnet50(), (1, 3, 224, 224))
+    report = inference_energy(profiles, VMACConfig(enob=12.0, nmult=8))
+    print(f"  {report}")
+    top = sorted(report.per_layer, key=lambda t: -t[2])[:3]
+    for name, macs, energy_uj in top:
+        print(f"  hottest layer: {name}  {macs/1e6:.0f} MMACs  {energy_uj:.0f} uJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of Rekhi et al., "Analog/Mixed-Signal Hardware Error
+Modeling for Deep Learning Inference" (DAC 2019).
+
+The package is organized as a stack:
+
+- :mod:`repro.tensor` — reverse-mode autograd engine on numpy.
+- :mod:`repro.nn`, :mod:`repro.optim` — neural-network modules and
+  optimizers (the "training framework" substrate).
+- :mod:`repro.data` — synthetic class-structured image datasets standing
+  in for ImageNet.
+- :mod:`repro.quant` — DoReFa weight/activation quantization with a
+  straight-through estimator.
+- :mod:`repro.ams` — the paper's contribution: the AMS VMAC error model
+  (Eqs. 1-2), lumped and per-VMAC injection, and the Section-4
+  extensions (error recycling, partitioning, reference scaling).
+- :mod:`repro.energy` — the ADC-dominated energy model (Eqs. 3-4) and
+  the energy-accuracy tradeoff analysis (Figs. 7-8).
+- :mod:`repro.models`, :mod:`repro.train` — ResNets and the
+  retraining/evaluation workflow.
+- :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,89 @@
+"""The paper's primary contribution: the AMS VMAC error model.
+
+An analog/mixed-signal vector multiply-accumulate (VMAC) cell computes
+the dot product of ``Nmult`` weight/activation pairs in the analog
+domain and digitizes the result with an effective resolution of
+``ENOB_VMAC`` bits.  The model abstracts all AMS non-idealities
+(multiplier + ADC thermal noise, nonlinearity, quantization) into a
+single additive, data-independent error at the ADC input.
+
+Modules:
+
+- :mod:`repro.ams.vmac` — the error math of Eqs. 1-2 and the precision
+  bookkeeping of Fig. 2.
+- :mod:`repro.ams.injection` — the lumped network-level injector used
+  by the paper's main experiments (Gaussian error at the accumulated
+  convolution output, forward pass only).
+- :mod:`repro.ams.tiled` — Section-4 refinement: split the convolution
+  into VMAC-sized units and quantize each partial sum separately.
+- :mod:`repro.ams.recycling` — Section-4 extension: first-order
+  delta-sigma error recycling across successive conversions.
+- :mod:`repro.ams.partitioning` — Section-4 extension: long-
+  multiplication operand partitioning.
+- :mod:`repro.ams.reference_scaling` — Section-4 extension: trading
+  ADC dynamic range for resolution by scaling the reference voltage.
+"""
+
+from repro.ams.vmac import (
+    VMACConfig,
+    vmac_lsb,
+    vmac_error_std,
+    total_error_std,
+    equivalent_enob,
+    PrecisionBreakdown,
+)
+from repro.ams.injection import AMSErrorInjector, InjectionPolicy
+from repro.ams.tiled import tiled_vmac_dot, TiledVMACConv2d, tile_quantized_convs
+from repro.ams.recycling import recycle_quantize, plain_quantize, recycling_error_reduction
+from repro.ams.partitioning import PartitionScheme, partitioned_error_std, partitioned_energy
+from repro.ams.reference_scaling import clipped_quantize, reference_scaling_sweep
+from repro.ams.allocation import (
+    LayerBudget,
+    analytic_allocation,
+    greedy_allocation,
+    allocation_energy,
+    allocation_variance,
+    uniform_energy,
+    uniform_variance,
+    set_layer_enobs,
+)
+from repro.ams.static_errors import (
+    DeviceVariation,
+    StaticChannelError,
+    apply_device_variation,
+    population_accuracy,
+)
+
+__all__ = [
+    "VMACConfig",
+    "vmac_lsb",
+    "vmac_error_std",
+    "total_error_std",
+    "equivalent_enob",
+    "PrecisionBreakdown",
+    "AMSErrorInjector",
+    "InjectionPolicy",
+    "tiled_vmac_dot",
+    "TiledVMACConv2d",
+    "tile_quantized_convs",
+    "recycle_quantize",
+    "plain_quantize",
+    "recycling_error_reduction",
+    "PartitionScheme",
+    "partitioned_error_std",
+    "partitioned_energy",
+    "clipped_quantize",
+    "reference_scaling_sweep",
+    "LayerBudget",
+    "analytic_allocation",
+    "greedy_allocation",
+    "allocation_energy",
+    "allocation_variance",
+    "uniform_energy",
+    "uniform_variance",
+    "set_layer_enobs",
+    "DeviceVariation",
+    "StaticChannelError",
+    "apply_device_variation",
+    "population_accuracy",
+]

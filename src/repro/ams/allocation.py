@@ -1,0 +1,241 @@
+"""Heterogeneous per-layer ENOB allocation.
+
+The paper evaluates a single (ENOB, Nmult) for every layer, and offers
+Fig. 8 "as a lookup table by circuit designers to evaluate the
+network-level impact of circuit-level design choices."  A natural
+design choice it enables is *heterogeneous* resolution: layers differ
+in how many MACs they execute (energy weight) and in their ``Ntot``
+(error weight, Eq. 2), so spending bits where they are cheap and
+effective beats a uniform assignment.
+
+Formulation
+-----------
+Minimize total conversion energy
+
+    E = sum_l  macs_l * E_ADC(e_l) / Nmult
+
+subject to a total injected-error-variance budget
+
+    sum_l  outputs_l * Ntot_l * Nmult * 4^-(e_l - 1) / 12  <=  V
+
+In the thermal-limited regime (``E_ADC ∝ 4^e``) the Lagrangian yields a
+closed form: the optimal ENOB of layer ``l`` is a common base plus
+``0.25 * log2(error_weight_l / energy_weight_l)``.  Below the ADC knee
+energy is flat, so extra bits are free until the knee —
+:func:`greedy_allocation` handles the full piecewise model by water-
+filling half-bit steps onto whichever layer buys the most error
+reduction per pJ.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.ams.injection import AMSErrorInjector
+from repro.ams.vmac import VMACConfig, total_error_std
+from repro.energy.adc import adc_energy
+from repro.errors import ConfigError
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class LayerBudget:
+    """Per-layer quantities the allocator needs.
+
+    Attributes
+    ----------
+    name:
+        Label for reporting.
+    ntot:
+        MACs per output activation (error weight via Eq. 2).
+    outputs:
+        Output activations per inference (scales both the layer's MAC
+        count and how many noisy values it contributes downstream).
+    sensitivity:
+        Relative harm of one unit of this layer's error variance.  The
+        default (1.0) treats all variance equally — which the ``alloc``
+        experiment shows is a *bad* proxy: small late layers (the
+        classifier especially) are far more damaging per unit variance
+        than wide early convolutions.  Pass e.g. ``total_outputs /
+        outputs`` for per-activation weighting.
+    """
+
+    name: str
+    ntot: int
+    outputs: int
+    sensitivity: float = 1.0
+
+    @property
+    def macs(self) -> int:
+        return self.ntot * self.outputs
+
+    def error_variance(self, enob: float, nmult: int) -> float:
+        """Sensitivity-weighted injected variance this layer contributes
+        (Eq. 2 summed over its outputs)."""
+        return (
+            self.sensitivity
+            * self.outputs
+            * total_error_std(enob, nmult, self.ntot) ** 2
+        )
+
+    def energy_pj(self, enob: float, nmult: int) -> float:
+        return self.macs * adc_energy(enob) / nmult
+
+
+def uniform_variance(
+    layers: Sequence[LayerBudget], enob: float, nmult: int
+) -> float:
+    """Total injected variance of a homogeneous assignment."""
+    return sum(layer.error_variance(enob, nmult) for layer in layers)
+
+
+def uniform_energy(
+    layers: Sequence[LayerBudget], enob: float, nmult: int
+) -> float:
+    """Total conversion energy (pJ/inference) of a homogeneous assignment."""
+    return sum(layer.energy_pj(enob, nmult) for layer in layers)
+
+
+def analytic_allocation(
+    layers: Sequence[LayerBudget],
+    nmult: int,
+    variance_budget: float,
+) -> Dict[str, float]:
+    """Closed-form thermal-regime allocation.
+
+    With ``E_ADC ∝ 4^e`` the Lagrangian optimum is
+
+        e_l = base + 0.25 * log2(A_l / C_l)
+
+    where ``A_l`` is the layer's error weight (variance per ``4^-e``)
+    and ``C_l`` its energy weight (MACs); ``base`` is then fixed by the
+    variance budget.  Valid when every resulting ENOB is above the ADC
+    knee; use :func:`greedy_allocation` otherwise.
+    """
+    if variance_budget <= 0:
+        raise ConfigError("variance budget must be positive")
+    if not layers:
+        raise ConfigError("no layers to allocate")
+    # A_l: variance = A_l * 4^-e  =>  A_l = outputs * ntot * nmult * 4 / 12
+    weights = []
+    for layer in layers:
+        a = (
+            layer.sensitivity
+            * layer.outputs
+            * layer.ntot
+            * nmult
+            * 4.0
+            / 12.0
+        )
+        c = float(layer.macs)
+        weights.append((layer, a, c))
+    # e_l = base + 0.25*log2(a/c); variance = sum a * 4^-(base + delta_l)
+    deltas = [0.25 * math.log2(a / c) for _, a, c in weights]
+    coeff = sum(
+        a * 4.0 ** (-delta) for (_, a, _), delta in zip(weights, deltas)
+    )
+    # coeff * 4^-base = budget  =>  base = 0.5*log2(coeff/budget)
+    base = 0.5 * math.log2(coeff / variance_budget)
+    return {
+        layer.name: base + delta
+        for (layer, _, _), delta in zip(weights, deltas)
+    }
+
+
+def greedy_allocation(
+    layers: Sequence[LayerBudget],
+    nmult: int,
+    variance_budget: float,
+    enob_min: float = 2.0,
+    enob_max: float = 16.0,
+    step: float = 0.5,
+) -> Dict[str, float]:
+    """Piecewise-aware allocation by greedy half-bit water-filling.
+
+    Starts every layer at ``enob_min`` and repeatedly grants ``step``
+    bits to the layer with the best variance-reduction-per-pJ ratio
+    until the total variance meets the budget.  Uses the *actual*
+    two-branch :func:`~repro.energy.adc.adc_energy`, so bits below the
+    knee (which cost nothing) are granted first.
+    """
+    if variance_budget <= 0:
+        raise ConfigError("variance budget must be positive")
+    enobs = {layer.name: enob_min for layer in layers}
+    by_name = {layer.name: layer for layer in layers}
+
+    def total_variance() -> float:
+        return sum(
+            by_name[name].error_variance(e, nmult)
+            for name, e in enobs.items()
+        )
+
+    max_steps = int((enob_max - enob_min) / step) * len(layers) + 1
+    for _ in range(max_steps):
+        if total_variance() <= variance_budget:
+            break
+        best_name = None
+        best_ratio = -1.0
+        for name, enob in enobs.items():
+            if enob + step > enob_max:
+                continue
+            layer = by_name[name]
+            gain = layer.error_variance(enob, nmult) - layer.error_variance(
+                enob + step, nmult
+            )
+            cost = layer.energy_pj(enob + step, nmult) - layer.energy_pj(
+                enob, nmult
+            )
+            ratio = gain / max(cost, 1e-12)
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_name = name
+        if best_name is None:
+            raise ConfigError(
+                "variance budget unreachable within enob_max"
+            )
+        enobs[best_name] += step
+    else:
+        raise ConfigError("allocation did not converge")
+    return enobs
+
+
+def allocation_energy(
+    layers: Sequence[LayerBudget], enobs: Dict[str, float], nmult: int
+) -> float:
+    """Total conversion energy (pJ/inference) of an allocation."""
+    return sum(layer.energy_pj(enobs[layer.name], nmult) for layer in layers)
+
+
+def allocation_variance(
+    layers: Sequence[LayerBudget], enobs: Dict[str, float], nmult: int
+) -> float:
+    """Total injected variance of an allocation."""
+    return sum(
+        layer.error_variance(enobs[layer.name], nmult) for layer in layers
+    )
+
+
+def set_layer_enobs(model: Module, enobs: Sequence[float]) -> int:
+    """Assign per-layer ENOBs to a model's AMS injectors, in order.
+
+    ``enobs`` must have one entry per :class:`AMSErrorInjector` in
+    module-definition order.  Returns the number of injectors updated.
+    """
+    injectors: List[AMSErrorInjector] = [
+        m for m in model.modules() if isinstance(m, AMSErrorInjector)
+    ]
+    if len(enobs) != len(injectors):
+        raise ConfigError(
+            f"got {len(enobs)} enobs for {len(injectors)} injectors"
+        )
+    for injector, enob in zip(injectors, enobs):
+        old = injector.config
+        injector.config = VMACConfig(
+            enob=float(enob), nmult=old.nmult, bw=old.bw, bx=old.bx
+        )
+        injector.error_std = total_error_std(
+            float(enob), old.nmult, injector.ntot
+        )
+    return len(injectors)

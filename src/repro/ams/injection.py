@@ -1,0 +1,118 @@
+"""Network-level lumped AMS error injection (paper Section 2, Fig. 3).
+
+The paper lumps the error of all VMACs contributing to one output
+activation "to the output of the digital summation of multiple VMAC cell
+outputs" and injects a Gaussian sample there, during the forward pass
+only.  :class:`AMSErrorInjector` is a module placed immediately after a
+(quantized) convolution or linear layer, before batch norm.
+
+Two behaviours from the paper are encoded in :class:`InjectionPolicy`:
+
+- error is always injected at evaluation time (to model the hardware);
+- injecting error into the *last* layer during training destroys
+  learning, so the paper leaves the last layer error-free while
+  training ("all other layers still have injected error during
+  training").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ams.vmac import VMACConfig, total_error_std
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.tensor.functional import add_forward_noise
+from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class InjectionPolicy:
+    """When the injector adds error.
+
+    Attributes
+    ----------
+    in_training:
+        Inject during training forward passes.  Retraining with AMS
+        error in the loop sets this True everywhere except the last
+        layer (the paper's workaround).
+    in_eval:
+        Inject during evaluation.  Always True when modeling hardware;
+        set False to measure the error-free quantized baseline.
+    """
+
+    in_training: bool = True
+    in_eval: bool = True
+
+    @staticmethod
+    def eval_only() -> "InjectionPolicy":
+        """Error at evaluation time only (paper Figs. 4-5, dashed series)."""
+        return InjectionPolicy(in_training=False, in_eval=True)
+
+    @staticmethod
+    def disabled() -> "InjectionPolicy":
+        return InjectionPolicy(in_training=False, in_eval=False)
+
+
+class AMSErrorInjector(Module):
+    """Additive Gaussian AMS error at an accumulated dot-product output.
+
+    Parameters
+    ----------
+    config:
+        VMAC parameters (ENOB, Nmult).
+    ntot:
+        Multiplications per output activation of the preceding layer
+        (``C_in * kh * kw`` for conv, ``in_features`` for linear).
+    policy:
+        When to inject (training / eval).
+    rng:
+        Noise generator; pass a spawned child generator per layer so
+        runs are reproducible.
+
+    Notes
+    -----
+    The error is sampled i.i.d. per output element per forward pass and
+    added via a forward-only primitive, so the backward pass is exactly
+    that of the noiseless graph (paper: "We inject this error during
+    only the forward pass, leaving the backward pass untouched").
+    """
+
+    def __init__(
+        self,
+        config: VMACConfig,
+        ntot: int,
+        policy: InjectionPolicy = InjectionPolicy(),
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if ntot < 1:
+            raise ConfigError(f"ntot must be >= 1, got {ntot}")
+        self.config = config
+        self.ntot = ntot
+        self.policy = policy
+        self.rng = rng or np.random.default_rng()
+        self.error_std = total_error_std(config.enob, config.nmult, ntot)
+
+    @property
+    def active(self) -> bool:
+        """Whether the current mode (train/eval) injects error."""
+        return self.policy.in_training if self.training else self.policy.in_eval
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.active or self.error_std == 0.0:
+            return x
+        noise = self.rng.normal(0.0, self.error_std, size=x.shape).astype(
+            x.dtype
+        )
+        return add_forward_noise(x, noise)
+
+    def __repr__(self) -> str:
+        return (
+            f"AMSErrorInjector(enob={self.config.enob}, "
+            f"nmult={self.config.nmult}, ntot={self.ntot}, "
+            f"std={self.error_std:.3e}, policy={self.policy})"
+        )

@@ -1,0 +1,179 @@
+"""Multiplication partitioning (paper Section 4, first hardware method).
+
+"One method, based on long multiplication, is to partition each multiply
+into several multiplies with smaller operands, then add the
+appropriately shifted results in the digital domain. ... splitting the
+weight into NW parts and the activation into NX parts would require
+NW*NX multiplications of BW/NW-bit and BX/NX-bit numbers."
+
+Model
+-----
+Following the paper's framing ("BW/NW-bit ... numbers"), the BW weight
+bits are split into ``NW`` contiguous groups (MSB group first, carrying
+the sign) and likewise for the activation.  Partial product (i, j)
+carries a significance shift of
+``offset_w[i] + offset_x[j]`` bits relative to the full product, so when
+its conversion error (an ENOB-derived LSB at the *partial's* full scale)
+is referred back to full-product units it is scaled by
+``2^-(offset_i + offset_j)``.  Errors of distinct partials are
+independent, so variances add.
+
+Energy: each of the ``Ntot/Nmult`` VMACs now performs ``NW * NX``
+conversions, each at the (lower) partial resolution; optionally the
+least-significant partials use an even lower resolution
+(``low_significance_enob``), the paper's "further saving energy" knob.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.ams.vmac import VMACConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PartitionScheme:
+    """A long-multiplication partitioning of the VMAC operands.
+
+    Attributes
+    ----------
+    config:
+        Base VMAC configuration (``bw``/``bx`` are the operand widths
+        being partitioned; ``config.enob`` is the per-partial ADC
+        resolution).
+    nw, nx:
+        Number of weight / activation partitions.  ``bw`` and ``bx``
+        must divide evenly (the paper's BW/NW-bit operands).
+    low_significance_enob:
+        Optional reduced resolution used for every partial except the
+        most significant one (i == j == 0).
+    """
+
+    config: VMACConfig
+    nw: int = 2
+    nx: int = 2
+    low_significance_enob: Optional[float] = None
+
+    def __post_init__(self):
+        if self.nw < 1 or self.nx < 1:
+            raise ConfigError("nw and nx must be >= 1")
+        if self.config.bw % self.nw != 0:
+            raise ConfigError(
+                f"bw={self.config.bw} not divisible by nw={self.nw}"
+            )
+        if self.config.bx % self.nx != 0:
+            raise ConfigError(
+                f"bx={self.config.bx} not divisible by nx={self.nx}"
+            )
+
+    @property
+    def weight_chunk_bits(self) -> int:
+        return self.config.bw // self.nw
+
+    @property
+    def activation_chunk_bits(self) -> int:
+        return self.config.bx // self.nx
+
+    def partial_offsets(self) -> List[Tuple[int, int, int]]:
+        """Yield ``(i, j, shift_bits)`` for every partial product.
+
+        ``shift_bits`` is the right-shift of partial (i, j) relative to
+        the full product: MSB chunks have shift 0.
+        """
+        wc, xc = self.weight_chunk_bits, self.activation_chunk_bits
+        return [
+            (i, j, i * wc + j * xc)
+            for i in range(self.nw)
+            for j in range(self.nx)
+        ]
+
+    def partial_enob(self, i: int, j: int) -> float:
+        """ADC resolution used for partial (i, j)."""
+        if self.low_significance_enob is not None and (i, j) != (0, 0):
+            return self.low_significance_enob
+        return self.config.enob
+
+    @property
+    def conversions_per_vmac(self) -> int:
+        return self.nw * self.nx
+
+    def partial_lossless_bits(self) -> float:
+        """Resolution at which a partial's conversion becomes exact.
+
+        This is the paper's reason partitioning helps: "the full
+        precision of any partial product is smaller than that of the
+        whole product, [so] a lower-resolution ADC could be used ...
+        while still incurring less injected error overall."  A chunk
+        product has ``wc + xc - 2`` magnitude bits plus sign, and the
+        analog sum over Nmult adds ``log2(Nmult)`` (the Fig. 2
+        bookkeeping applied to the chunk widths).
+        """
+        return (
+            self.weight_chunk_bits
+            + self.activation_chunk_bits
+            - 2
+            + 1
+            + math.log2(self.config.nmult)
+        )
+
+
+def partitioned_error_std(scheme: PartitionScheme, ntot: int) -> float:
+    """Total injected error std at a conv output under partitioning.
+
+    Referred to full-product units (same scale as
+    :func:`repro.ams.vmac.total_error_std`), so the two are directly
+    comparable.  A partial converted at or above its lossless
+    resolution (:meth:`PartitionScheme.partial_lossless_bits`)
+    contributes zero error.
+    """
+    if ntot < 1:
+        raise ConfigError(f"ntot must be >= 1, got {ntot}")
+    nmult = scheme.config.nmult
+    lossless = scheme.partial_lossless_bits()
+    var_per_vmac = 0.0
+    for i, j, shift in scheme.partial_offsets():
+        enob = scheme.partial_enob(i, j)
+        if enob >= lossless:
+            continue
+        # Per-partial conversion error at the partial's scale, referred
+        # back to full-product units by the significance shift.
+        lsb = nmult * 2.0 ** (-(enob - 1.0)) * 2.0 ** (-shift)
+        var_per_vmac += lsb * lsb / 12.0
+    return math.sqrt((ntot / nmult) * var_per_vmac)
+
+
+def partitioned_energy(
+    scheme: PartitionScheme, adc_energy_fn: Callable[[float], float]
+) -> float:
+    """Energy per MAC under partitioning (pJ).
+
+    ``adc_energy_fn`` maps ENOB to energy per conversion (e.g.
+    :func:`repro.energy.adc.adc_energy`).  Each MAC's share is
+    ``sum(E_ADC(partial ENOBs)) / Nmult``.
+    """
+    total = sum(
+        adc_energy_fn(scheme.partial_enob(i, j))
+        for i, j, _ in scheme.partial_offsets()
+    )
+    return total / scheme.config.nmult
+
+
+def equivalent_unpartitioned_enob(scheme: PartitionScheme, ntot: int) -> float:
+    """ENOB of a single-conversion VMAC with the same injected error.
+
+    Inverts Eq. 2: lets Fig. 8-style lookups reuse accuracy measurements
+    taken with the lumped model.
+    """
+    std = partitioned_error_std(scheme, ntot)
+    nmult = scheme.config.nmult
+    if std == 0.0:
+        # Lossless partitioned conversion: equivalent to an ADC that
+        # captures the full ideal precision (Fig. 2 bookkeeping).
+        cfg = scheme.config
+        return cfg.bw + cfg.bx - 2 + 1 + math.log2(nmult)
+    # std = sqrt(ntot/nmult) * nmult * 2^-(enob-1) / sqrt(12)
+    inner = std * math.sqrt(12.0) / (math.sqrt(ntot / nmult) * nmult)
+    return 1.0 - math.log2(inner)

@@ -1,0 +1,92 @@
+"""ADC reference-voltage scaling (paper Section 4, third hardware method).
+
+"A third method of error reduction ... is to scale the ADC reference
+voltage with respect to the multiplier supply in order to play with the
+dynamic range-resolution tradeoff.  By making the ADC reference voltage
+smaller than the multiplier supply ... at least one of the most
+significant magnitude bits of the partial dot product is cut off (set to
+0); the resolution of the ADC can then be increased."
+
+With reference scale ``alpha <= 1`` the ADC full scale becomes
+``alpha * Nmult``: values beyond it clip (distortion), but the LSB —
+and hence quantization noise — shrinks by the same factor.  Because
+partial dot products of real networks concentrate near zero, a
+well-chosen ``alpha`` reduces total error.  The paper stresses the
+effectiveness is "network- and data-dependent", so the sweep here
+operates on *measured* partial-sum samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ams.vmac import vmac_lsb
+from repro.errors import ConfigError
+
+
+def clipped_quantize(
+    values: np.ndarray, enob: float, nmult: int, alpha: float = 1.0
+) -> np.ndarray:
+    """Quantize with full scale ``alpha * Nmult`` and matching LSB."""
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+    full_scale = alpha * nmult
+    lsb = alpha * vmac_lsb(enob, nmult)
+    quantized = np.round(values / lsb) * lsb
+    return np.clip(quantized, -full_scale, full_scale)
+
+
+@dataclass(frozen=True)
+class ReferenceScalingPoint:
+    """One row of a reference-scaling sweep."""
+
+    alpha: float
+    rms_error: float
+    clip_fraction: float
+
+
+def reference_scaling_sweep(
+    samples: np.ndarray,
+    enob: float,
+    nmult: int,
+    alphas: Sequence[float] = (1.0, 0.5, 0.25, 0.125, 0.0625),
+) -> List[ReferenceScalingPoint]:
+    """Measure conversion error vs reference scale on real partial sums.
+
+    Parameters
+    ----------
+    samples:
+        Observed analog partial-sum values (any shape); gather these
+        from a network forward pass for the data-dependence the paper
+        calls for.
+    enob, nmult:
+        ADC parameters (resolution is held fixed; alpha trades range
+        for effective precision).
+
+    Returns
+    -------
+    One :class:`ReferenceScalingPoint` per alpha, with the RMS
+    conversion error and the fraction of samples that clipped.
+    """
+    flat = np.asarray(samples, dtype=np.float64).reshape(-1)
+    points = []
+    for alpha in alphas:
+        converted = clipped_quantize(flat, enob, nmult, alpha)
+        rms = float(np.sqrt(np.mean((converted - flat) ** 2)))
+        clip_frac = float(np.mean(np.abs(flat) > alpha * nmult))
+        points.append(
+            ReferenceScalingPoint(
+                alpha=float(alpha), rms_error=rms, clip_fraction=clip_frac
+            )
+        )
+    return points
+
+
+def best_alpha(points: Sequence[ReferenceScalingPoint]) -> ReferenceScalingPoint:
+    """The sweep point with the smallest RMS conversion error."""
+    if not points:
+        raise ConfigError("empty sweep")
+    return min(points, key=lambda p: p.rms_error)

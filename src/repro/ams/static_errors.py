@@ -1,0 +1,149 @@
+"""Static (per-device) AMS errors: mismatch, gain and offset.
+
+The paper's model covers additive, data-independent noise re-sampled on
+every conversion.  It explicitly defers "non-additive and data-dependent
+errors (due to, for example, capacitor or resistor mismatch)" and "the
+impact of variations in process, voltage, and temperature" to future
+work.  This module supplies the simplest useful model of that class:
+
+- every output channel of every VMAC array gets a *fixed* gain error
+  ``g ~ N(1, gain_std)`` and offset error ``o ~ N(0, offset_std)``
+  (in product units), drawn once per *device* from a chip seed;
+- the same device keeps its errors across all evaluations, so accuracy
+  can be measured per-chip and summarized across a population — the
+  yield-style analysis a hardware team actually runs.
+
+Unlike the dynamic noise, static errors are visible to batch norm (they
+are stable statistics), so retraining/recalibration can cancel much of
+them; the ``pvt`` ablation measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.container import Sequential
+from repro.nn.module import Module
+from repro.quant.qmodules import QuantConv2d, QuantLinear
+from repro.tensor.functional import add_forward_noise
+from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class DeviceVariation:
+    """A device-level static error distribution.
+
+    Attributes
+    ----------
+    gain_std:
+        Std of the multiplicative per-channel gain error around 1
+        (e.g. 0.02 for 2% channel-to-channel mismatch).
+    offset_std:
+        Std of the additive per-channel offset, in product units (the
+        scale of a single weight-activation product).
+    seed:
+        Chip identity; two transforms with the same seed produce the
+        same device.
+    """
+
+    gain_std: float = 0.0
+    offset_std: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.gain_std < 0 or self.offset_std < 0:
+            raise ConfigError("error stds cannot be negative")
+
+
+class StaticChannelError(Module):
+    """Fixed per-output-channel gain/offset applied after a compute layer.
+
+    The forward value becomes ``gain * x + offset`` (broadcast over the
+    channel axis); the backward pass is that of the error-free layer
+    (straight-through at the layer level), matching how the dynamic
+    injector treats the hardware abstraction.
+    """
+
+    def __init__(self, gain: np.ndarray, offset: np.ndarray):
+        super().__init__()
+        self.gain = gain.astype(np.float32)
+        self.offset = offset.astype(np.float32)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 4:
+            gain = self.gain.reshape(1, -1, 1, 1)
+            offset = self.offset.reshape(1, -1, 1, 1)
+        else:
+            gain = self.gain.reshape(1, -1)
+            offset = self.offset.reshape(1, -1)
+        distorted = x.data * gain + offset
+        return add_forward_noise(x, distorted - x.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"StaticChannelError(channels={self.gain.size}, "
+            f"gain_range=[{self.gain.min():.3f}, {self.gain.max():.3f}])"
+        )
+
+
+def apply_device_variation(model: Module, variation: DeviceVariation) -> int:
+    """Attach static channel errors after every quantized compute layer.
+
+    Walks the model and inserts a :class:`StaticChannelError` directly
+    after each :class:`QuantConv2d` / :class:`QuantLinear` by wrapping
+    the pair in a Sequential.  Wrapping changes parameter paths, so
+    **load weights before applying**; apply to a fresh model per device
+    (re-applying would wrap twice).  Returns the number of layers
+    affected.
+    """
+    rng = np.random.default_rng(variation.seed)
+    affected = 0
+    for module in list(model.modules()):
+        for name, child in list(module._modules.items()):
+            if isinstance(child, (QuantConv2d, QuantLinear)):
+                channels = (
+                    child.out_channels
+                    if isinstance(child, QuantConv2d)
+                    else child.out_features
+                )
+                gain = rng.normal(1.0, variation.gain_std, channels)
+                offset = rng.normal(0.0, variation.offset_std, channels)
+                setattr(
+                    module,
+                    name,
+                    Sequential(child, StaticChannelError(gain, offset)),
+                )
+                affected += 1
+    if affected == 0:
+        raise ConfigError("model has no quantized compute layers")
+    return affected
+
+
+def population_accuracy(
+    build_and_evaluate,
+    variation: DeviceVariation,
+    devices: int = 5,
+) -> List[float]:
+    """Accuracy of ``devices`` simulated chips.
+
+    ``build_and_evaluate(device_variation)`` must construct a fresh
+    model, apply the given per-device variation, and return its
+    accuracy; this helper just fans the chip seeds out.
+    """
+    if devices < 1:
+        raise ConfigError("need at least one device")
+    seq = np.random.SeedSequence(variation.seed)
+    results = []
+    for child in seq.spawn(devices):
+        chip_seed = int(child.generate_state(1)[0])
+        chip = DeviceVariation(
+            gain_std=variation.gain_std,
+            offset_std=variation.offset_std,
+            seed=chip_seed,
+        )
+        results.append(float(build_and_evaluate(chip)))
+    return results

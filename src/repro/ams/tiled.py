@@ -1,0 +1,197 @@
+"""Per-VMAC tiled error modeling (paper Section 4, "improve our error
+models").
+
+The lumped injector assumes the per-VMAC errors are i.i.d. and sums them
+analytically.  The paper proposes a refinement "closer to a hardware
+implementation": split the convolution into VMAC-sized units and apply
+the conversion to each partial sum separately.  Here each VMAC output is
+actually *quantized* (uniform mid-tread quantizer with the ENOB-derived
+LSB, clipped at the ADC full scale), so the modeled error is
+data-dependent and exactly reproduces the deterministic quantization
+behaviour instead of assuming uncorrelated Gaussian noise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ams.vmac import VMACConfig, vmac_lsb
+from repro.nn.module import Module
+from repro.quant.qmodules import QuantConv2d
+from repro.tensor.im2col import conv_output_size, im2col
+from repro.tensor.functional import add_forward_noise
+from repro.tensor.tensor import Tensor
+
+
+def quantize_to_adc(
+    values: np.ndarray,
+    enob: float,
+    nmult: int,
+    thermal_fraction: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Convert analog partial sums through the modeled ADC.
+
+    Mid-tread uniform quantization with ``LSB = 2 * Nmult / 2^ENOB``,
+    clipped at the full scale ``[-Nmult, Nmult]``.  Optionally a fraction
+    of the total error budget is spent as pre-quantization thermal noise
+    (``thermal_fraction`` of the error variance), which models
+    thermal-noise-limited converters.
+    """
+    lsb = vmac_lsb(enob, nmult)
+    x = values
+    if thermal_fraction > 0.0:
+        if rng is None:
+            rng = np.random.default_rng()
+        thermal_std = np.sqrt(thermal_fraction) * lsb / np.sqrt(12.0)
+        x = x + rng.normal(0.0, thermal_std, size=x.shape)
+    quantized = np.round(x / lsb) * lsb
+    return np.clip(quantized, -nmult, nmult).astype(values.dtype)
+
+
+def tiled_vmac_dot(
+    cols: np.ndarray,
+    w_mat: np.ndarray,
+    config: VMACConfig,
+    thermal_fraction: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    recycle: bool = False,
+    recycle_final_extra_bits: float = 2.0,
+) -> np.ndarray:
+    """Dot products computed VMAC-by-VMAC with per-VMAC conversion.
+
+    Parameters
+    ----------
+    cols:
+        Unfolded activations, shape ``(M, Ntot)`` (rows are receptive
+        fields in [0, 1] after DoReFa).
+    w_mat:
+        Weight matrix, shape ``(out, Ntot)``, values in [-1, 1].
+    config:
+        VMAC parameters; ``config.nmult`` elements are summed in the
+        analog domain per conversion.
+    recycle:
+        Apply first-order delta-sigma error feedback across the
+        successive conversions of each output (paper Section 4's
+        "error recycling"; requires the output stationarity this
+        chunk-sequential loop provides).  The final conversion runs at
+        ``config.enob + recycle_final_extra_bits``.
+
+    Returns
+    -------
+    ``(M, out)`` array: the digital sum of converted partial sums.
+    """
+    m, ntot = cols.shape
+    out = w_mat.shape[0]
+    nmult = config.nmult
+    total = np.zeros((m, out), dtype=cols.dtype)
+    feedback = np.zeros((m, out), dtype=np.float64) if recycle else None
+    starts = list(range(0, ntot, nmult))
+    for index, start in enumerate(starts):
+        stop = min(start + nmult, ntot)
+        partial = cols[:, start:stop] @ w_mat[:, start:stop].T
+        enob = config.enob
+        if recycle:
+            partial = partial + feedback
+            if index == len(starts) - 1:
+                enob = config.enob + recycle_final_extra_bits
+        converted = quantize_to_adc(
+            partial, enob, nmult, thermal_fraction, rng
+        )
+        if recycle:
+            feedback = partial - converted
+        total += converted.astype(total.dtype, copy=False)
+    return total
+
+
+class TiledVMACConv2d(Module):
+    """Convolution evaluated through per-VMAC conversions.
+
+    Wraps a :class:`~repro.quant.qmodules.QuantConv2d`: the forward value
+    is the tiled AMS computation; the backward pass is that of the ideal
+    quantized convolution (a layer-level straight-through estimator), so
+    the module can be dropped into either evaluation or retraining.
+    """
+
+    def __init__(
+        self,
+        conv: QuantConv2d,
+        config: VMACConfig,
+        thermal_fraction: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        recycle: bool = False,
+    ):
+        super().__init__()
+        self.conv = conv
+        self.config = config
+        self.thermal_fraction = thermal_fraction
+        self.rng = rng or np.random.default_rng()
+        self.recycle = recycle
+
+    def forward(self, x: Tensor) -> Tensor:
+        ideal = self.conv(x)
+        # Recompute the forward value with per-VMAC conversions.
+        kh, kw = self.conv.kernel_size
+        stride = self.conv.stride
+        padding = self.conv.padding
+        stride_pair = (stride, stride) if isinstance(stride, int) else stride
+        pad_pair = (padding, padding) if isinstance(padding, int) else padding
+        cols = im2col(x.data, (kh, kw), stride_pair, pad_pair)
+        w_mat = self.conv.quantized_weight().data.reshape(
+            self.conv.out_channels, -1
+        )
+        tiled = tiled_vmac_dot(
+            cols,
+            w_mat,
+            self.config,
+            self.thermal_fraction,
+            self.rng,
+            recycle=self.recycle,
+        )
+        n = x.shape[0]
+        out_h = conv_output_size(x.shape[2], kh, stride_pair[0], pad_pair[0])
+        out_w = conv_output_size(x.shape[3], kw, stride_pair[1], pad_pair[1])
+        tiled_nchw = tiled.reshape(n, out_h, out_w, -1).transpose(0, 3, 1, 2)
+        if self.conv.bias is not None:
+            tiled_nchw = tiled_nchw + self.conv.bias.data.reshape(1, -1, 1, 1)
+        # Forward value = tiled computation; backward = ideal conv grads.
+        return add_forward_noise(ideal, tiled_nchw - ideal.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"TiledVMACConv2d(enob={self.config.enob}, "
+            f"nmult={self.config.nmult}, conv={self.conv!r})"
+        )
+
+
+def tile_quantized_convs(
+    model: Module,
+    config: VMACConfig,
+    thermal_fraction: float = 0.0,
+    seed: int = 0,
+    recycle: bool = False,
+) -> int:
+    """Replace every :class:`QuantConv2d` in ``model`` with a tiled wrapper.
+
+    Walks the module tree and swaps each quantized convolution for a
+    :class:`TiledVMACConv2d` in place (the wrapped conv keeps its
+    weights).  Returns the number of convolutions tiled.  Apply to a
+    trained DoReFa model to evaluate it under the per-VMAC error model.
+    """
+    seq = np.random.SeedSequence(seed)
+    tiled = 0
+    for module in list(model.modules()):
+        for name, child in list(module._modules.items()):
+            if isinstance(child, QuantConv2d):
+                rng = np.random.default_rng(seq.spawn(1)[0])
+                setattr(
+                    module,
+                    name,
+                    TiledVMACConv2d(
+                        child, config, thermal_fraction, rng, recycle=recycle
+                    ),
+                )
+                tiled += 1
+    return tiled

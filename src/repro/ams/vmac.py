@@ -1,0 +1,151 @@
+"""VMAC error math: Eqs. 1-2 and the Fig. 2 precision bookkeeping.
+
+Conventions
+-----------
+DoReFa bounds weights and activations to [-1, 1], so each pairwise
+product lies in [-1, 1] and the analog dot product of ``Nmult`` pairs
+lies in [-Nmult, Nmult] (full scale ``2 * Nmult``).  An ADC with
+``ENOB_VMAC`` effective bits therefore has
+
+    LSB = 2 * Nmult / 2^ENOB = Nmult * 2^-(ENOB - 1)          (Eq. 1 inner)
+
+and, by definition of ENOB, an input-referred error with variance
+``LSB^2 / 12`` regardless of the error's distribution [29].
+
+A convolution output activation requires ``Ntot`` multiplications
+(``C_in * kh * kw``), i.e. ``Ntot / Nmult`` VMAC invocations whose
+digital outputs are summed losslessly.  Assuming i.i.d. per-VMAC errors,
+the total error at the accumulated output is approximately Gaussian with
+
+    Var(E_tot) = (Ntot / Nmult) * Var(E_VMAC)
+               = Ntot * (sqrt(Nmult) * 2^-(ENOB-1))^2 / 12     (Eq. 2)
+
+All values are expressed in "product units" (the scale where a single
+weight-activation product spans [-1, 1]), which is exactly the scale of
+the raw convolution output in a DoReFa-quantized network — so the noise
+can be added directly to the convolution output tensor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class VMACConfig:
+    """Parameters of the AMS VMAC unit (paper Fig. 1).
+
+    Attributes
+    ----------
+    enob:
+        Effective number of bits of the VMAC output conversion,
+        representing *all* AMS error referred to the ADC input.  May be
+        fractional (the paper sweeps half-bit steps).
+    nmult:
+        Number of D-to-A multipliers summed in the analog domain.
+    bw, bx:
+        Weight/activation bit widths of the digital inputs (used by the
+        precision bookkeeping and the partitioning extension).
+    """
+
+    enob: float
+    nmult: int
+    bw: int = 8
+    bx: int = 8
+
+    def __post_init__(self):
+        if self.enob <= 0:
+            raise ConfigError(f"ENOB must be positive, got {self.enob}")
+        if self.nmult < 1:
+            raise ConfigError(f"Nmult must be >= 1, got {self.nmult}")
+        if self.bw < 2 or self.bx < 2:
+            raise ConfigError("bw and bx must be >= 2 (sign + magnitude)")
+
+
+def vmac_lsb(enob: float, nmult: int) -> float:
+    """ADC LSB in product units: ``2^(1 + log2(Nmult) - ENOB)``."""
+    return nmult * 2.0 ** (-(enob - 1.0))
+
+
+def vmac_error_std(enob: float, nmult: int) -> float:
+    """Std of the per-VMAC error E_VMAC (Eq. 1): ``LSB / sqrt(12)``."""
+    return vmac_lsb(enob, nmult) / math.sqrt(12.0)
+
+
+def total_error_std(enob: float, nmult: int, ntot: int) -> float:
+    """Std of the accumulated error E_tot at a conv output (Eq. 2).
+
+    Parameters
+    ----------
+    enob, nmult:
+        VMAC parameters.
+    ntot:
+        Total multiplications per output activation
+        (``C_in * kh * kw`` for a convolution, ``in_features`` for a
+        fully-connected layer).
+
+    Notes
+    -----
+    ``Ntot / Nmult`` VMACs are required; if ``Ntot`` is not a multiple
+    of ``Nmult`` the ratio is used as-is (fractional), which matches the
+    paper's formula and is exact when the last VMAC is partially filled
+    with zero products.
+    """
+    if ntot < 1:
+        raise ConfigError(f"ntot must be >= 1, got {ntot}")
+    return math.sqrt(ntot / nmult) * vmac_error_std(enob, nmult)
+
+
+def equivalent_enob(enob: float, nmult: int, reference_nmult: int = 8) -> float:
+    """Map (ENOB, Nmult) to the ENOB giving equal error at ``reference_nmult``.
+
+    From Eq. 2, ``Var(E_tot) ∝ Nmult * 4^-ENOB`` for fixed ``Ntot``, so
+    two configurations inject identical error iff
+
+        ENOB_ref = ENOB + 0.5 * log2(reference_nmult / Nmult)
+
+    The paper uses this to populate Fig. 8 from measurements taken at
+    ``Nmult = 8`` ("Accuracy results for Nmult != 8 are obtained by
+    mapping results from Nmult = 8 using the equation for AMS error
+    magnitude presented in Section 2").
+    """
+    return enob + 0.5 * math.log2(reference_nmult / nmult)
+
+
+@dataclass(frozen=True)
+class PrecisionBreakdown:
+    """The Fig. 2 bit bookkeeping for an ideal vs. AMS dot product.
+
+    The ideal product of a BW-bit and a BX-bit signed (sign-magnitude)
+    number has ``BW + BX - 2`` magnitude bits plus a sign; summing
+    ``Nmult`` of them adds ``log2(Nmult)`` bits.  The ADC keeps the top
+    ``ENOB_VMAC`` of these; the rest are lost.
+    """
+
+    ideal_magnitude_bits: int
+    sum_extension_bits: float
+    total_ideal_bits: float
+    recovered_bits: float
+    lost_bits: float
+
+    @staticmethod
+    def from_config(config: VMACConfig) -> "PrecisionBreakdown":
+        ideal = config.bw + config.bx - 2
+        extension = 1.0 + math.log2(config.nmult)
+        total = ideal + extension
+        recovered = min(config.enob, total)
+        return PrecisionBreakdown(
+            ideal_magnitude_bits=ideal,
+            sum_extension_bits=extension,
+            total_ideal_bits=total,
+            recovered_bits=recovered,
+            lost_bits=max(total - recovered, 0.0),
+        )
+
+    @property
+    def is_lossless(self) -> bool:
+        """True when the ADC resolution covers the full ideal precision."""
+        return self.lost_bits == 0.0

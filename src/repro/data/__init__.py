@@ -1,0 +1,30 @@
+"""Datasets and loading.
+
+:class:`~repro.data.synthetic.SynthImageNet` is the stand-in for
+ImageNet: a procedurally generated, class-structured RGB image dataset
+(see DESIGN.md for the substitution rationale).
+"""
+
+from repro.data.dataset import Dataset, ArrayDataset
+from repro.data.dataloader import DataLoader
+from repro.data.synthetic import SynthImageNet, SynthImageNetConfig
+from repro.data.transforms import (
+    Compose,
+    RandomHorizontalFlip,
+    RandomShift,
+    GaussianNoise,
+    AugmentingDataLoader,
+)
+
+__all__ = [
+    "Dataset",
+    "ArrayDataset",
+    "DataLoader",
+    "SynthImageNet",
+    "SynthImageNetConfig",
+    "Compose",
+    "RandomHorizontalFlip",
+    "RandomShift",
+    "GaussianNoise",
+    "AugmentingDataLoader",
+]

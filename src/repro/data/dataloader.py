@@ -1,0 +1,52 @@
+"""Batched iteration over array datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigError
+
+
+class DataLoader:
+    """Yield ``(images, labels)`` minibatches from an :class:`ArrayDataset`.
+
+    Shuffling uses the provided generator, so epochs are reproducible;
+    pass ``drop_last=True`` during training to keep batch statistics
+    stable for batch norm.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if batch_size <= 0:
+            raise ConfigError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        images, labels = self.dataset.arrays()
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            yield images[idx], labels[idx]

@@ -1,0 +1,44 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Dataset:
+    """Minimal dataset protocol: ``len`` and integer indexing."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays ``(images, labels)``.
+
+    Images are NCHW float32; labels are 1-D integers.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray):
+        if len(images) != len(labels):
+            raise ShapeError(
+                f"images ({len(images)}) and labels ({len(labels)}) disagree"
+            )
+        self.images = np.ascontiguousarray(images, dtype=np.float32)
+        self.labels = np.ascontiguousarray(labels, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the full (images, labels) pair without copying."""
+        return self.images, self.labels

@@ -1,0 +1,114 @@
+"""Batch-level image transforms (training augmentation).
+
+The paper's recipe keeps Distiller's default ImageNet augmentation
+(random crop + horizontal flip).  These are the equivalents for the
+synthetic dataset, operating on whole NCHW batches so the numpy
+training loop stays vectorized.  All transforms take an explicit
+generator for reproducibility and compose with :class:`Compose`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigError
+
+BatchTransform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in order."""
+
+    def __init__(self, transforms: Sequence[BatchTransform]):
+        self.transforms = list(transforms)
+
+    def __call__(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        for transform in self.transforms:
+            images = transform(images, rng)
+        return images
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigError(f"p must be in [0, 1], got {p}")
+        self.p = p
+
+    def __call__(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        flip = rng.random(len(images)) < self.p
+        out = images.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomShift:
+    """Translate each image by up to ``max_shift`` pixels (torus roll).
+
+    Matches the framing jitter the synthetic generator uses, so the
+    augmentation stays on the data manifold.
+    """
+
+    def __init__(self, max_shift: int = 2):
+        if max_shift < 0:
+            raise ConfigError("max_shift cannot be negative")
+        self.max_shift = max_shift
+
+    def __call__(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.max_shift == 0:
+            return images
+        out = np.empty_like(images)
+        shifts = rng.integers(
+            -self.max_shift, self.max_shift + 1, size=(len(images), 2)
+        )
+        for i, (dy, dx) in enumerate(shifts):
+            out[i] = np.roll(images[i], (int(dy), int(dx)), axis=(1, 2))
+        return out
+
+
+class GaussianNoise:
+    """Additive pixel noise (a software-level robustness aug)."""
+
+    def __init__(self, std: float = 0.05):
+        if std < 0:
+            raise ConfigError("std cannot be negative")
+        self.std = std
+
+    def __call__(
+        self, images: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        if self.std == 0.0:
+            return images
+        noise = rng.normal(0.0, self.std, size=images.shape)
+        return (images + noise).astype(images.dtype)
+
+
+class AugmentingDataLoader(DataLoader):
+    """DataLoader that applies a batch transform to training images."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        transform: BatchTransform,
+        shuffle: bool = True,
+        drop_last: bool = True,
+        rng=None,
+    ):
+        super().__init__(dataset, batch_size, shuffle, drop_last, rng)
+        self.transform = transform
+
+    def __iter__(self):
+        for images, labels in super().__iter__():
+            yield self.transform(images, self.rng), labels

@@ -1,0 +1,49 @@
+"""ADC-dominated energy model and the energy-accuracy tradeoff.
+
+Implements Eq. 3 (lower bound on ADC energy per conversion vs ENOB,
+derived from Murmann's ADC survey) and Eq. 4 (energy per MAC with the
+ADC amortized over ``Nmult`` multipliers), a synthetic survey dataset
+standing in for the literature scatter of Fig. 7, and the Fig. 8
+machinery that overlays accuracy-loss and energy level curves over the
+``(ENOB, Nmult)`` design space.
+"""
+
+from repro.energy.adc import (
+    adc_energy,
+    adc_energy_array,
+    schreier_fom,
+    sndr_from_enob,
+    enob_from_sndr,
+    THERMAL_KNEE_ENOB,
+    FLAT_ENERGY_PJ,
+)
+from repro.energy.emac import emac, emac_array, EnergyModel
+from repro.energy.survey import SyntheticADCSurvey, SurveyPoint
+from repro.energy.tradeoff import TradeoffGrid, AccuracyCurve
+from repro.energy.network import (
+    LayerProfile,
+    InferenceEnergyReport,
+    profile_network,
+    inference_energy,
+)
+
+__all__ = [
+    "adc_energy",
+    "adc_energy_array",
+    "schreier_fom",
+    "sndr_from_enob",
+    "enob_from_sndr",
+    "THERMAL_KNEE_ENOB",
+    "FLAT_ENERGY_PJ",
+    "emac",
+    "emac_array",
+    "EnergyModel",
+    "SyntheticADCSurvey",
+    "SurveyPoint",
+    "TradeoffGrid",
+    "AccuracyCurve",
+    "LayerProfile",
+    "InferenceEnergyReport",
+    "profile_network",
+    "inference_energy",
+]

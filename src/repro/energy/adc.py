@@ -1,0 +1,72 @@
+"""ADC energy model (paper Eq. 3, from Murmann's survey [30]).
+
+The paper bounds state-of-the-art ADC energy per conversion as
+
+    E_ADC(ENOB) >= 0.3 pJ                                 ENOB <= 10.5
+    E_ADC(ENOB) >= 10^(0.1 * (6.02 * ENOB - 68.25)) pJ    ENOB >  10.5
+
+The low-resolution regime is roughly energy-flat (architecture/overhead
+limited); above ~10.5 effective bits designs are thermal-noise limited
+and energy quadruples per extra bit (the Schreier-FOM slope).  The two
+branches meet approximately at ENOB = 10.5 (0.300 vs 0.313 pJ — the
+paper's constants leave a ~4% seam at the knee).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: ENOB where the survey bound transitions from flat to thermal-limited.
+THERMAL_KNEE_ENOB = 10.5
+
+#: Energy floor of the flat region, in pJ per conversion.
+FLAT_ENERGY_PJ = 0.3
+
+#: Slope/intercept of the thermal-limited branch (dB form of Eq. 3).
+_SLOPE_DB_PER_BIT = 6.02
+_INTERCEPT_DB = 68.25
+
+
+def adc_energy(enob: float) -> float:
+    """Lower bound on ADC energy per conversion, in pJ (Eq. 3)."""
+    if enob <= 0:
+        raise ConfigError(f"ENOB must be positive, got {enob}")
+    if enob <= THERMAL_KNEE_ENOB:
+        return FLAT_ENERGY_PJ
+    return 10.0 ** (0.1 * (_SLOPE_DB_PER_BIT * enob - _INTERCEPT_DB))
+
+
+def adc_energy_array(enob: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`adc_energy`."""
+    enob = np.asarray(enob, dtype=np.float64)
+    if np.any(enob <= 0):
+        raise ConfigError("ENOB values must be positive")
+    thermal = 10.0 ** (0.1 * (_SLOPE_DB_PER_BIT * enob - _INTERCEPT_DB))
+    return np.where(enob <= THERMAL_KNEE_ENOB, FLAT_ENERGY_PJ, thermal)
+
+
+def sndr_from_enob(enob: float) -> float:
+    """SNDR in dB for a given effective number of bits."""
+    return 6.02 * enob + 1.76
+
+
+def enob_from_sndr(sndr_db: float) -> float:
+    """Effective number of bits for a given SNDR in dB."""
+    return (sndr_db - 1.76) / 6.02
+
+
+def schreier_fom(energy_pj: float, enob: float) -> float:
+    """Schreier figure of merit (dB) for energy-per-conversion ``P/f_snyq``.
+
+    ``FOM_S = SNDR + 10 log10( (f_s/2) / P ) = SNDR - 10 log10(2 E)``
+    with E in joules.  Higher is better; the survey's best designs sit
+    near ~185 dB (the paper draws a "slightly shifted" 187 dB line).
+    """
+    if energy_pj <= 0:
+        raise ConfigError("energy must be positive")
+    energy_joules = energy_pj * 1e-12
+    return sndr_from_enob(enob) - 10.0 * math.log10(2.0 * energy_joules)

@@ -1,0 +1,66 @@
+"""Energy per MAC (paper Eq. 4) and extensions.
+
+The paper's simple model assumes the VMAC energy is dominated by the
+ADC, with the conversion cost amortized over the ``Nmult`` multipliers:
+
+    E_MAC(ENOB, Nmult) = E_ADC(ENOB) / Nmult
+
+Because this neglects multiplier and digital-accumulation energy it is a
+*lower bound* on energy (and the accuracy model an upper bound on
+accuracy).  :class:`EnergyModel` optionally adds a per-MAC multiplier
+term so the ADC-dominated assumption itself can be ablated (DESIGN.md,
+"Design choices called out for ablation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.adc import adc_energy, adc_energy_array
+from repro.errors import ConfigError
+
+
+def emac(enob: float, nmult: int) -> float:
+    """Energy per MAC in pJ (Eq. 4): ``E_ADC(ENOB) / Nmult``."""
+    if nmult < 1:
+        raise ConfigError(f"Nmult must be >= 1, got {nmult}")
+    return adc_energy(enob) / nmult
+
+
+def emac_array(enob: np.ndarray, nmult: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`emac` with broadcasting."""
+    nmult = np.asarray(nmult, dtype=np.float64)
+    if np.any(nmult < 1):
+        raise ConfigError("Nmult values must be >= 1")
+    return adc_energy_array(enob) / nmult
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """E_MAC model with an optional non-ADC (multiplier) energy term.
+
+    Attributes
+    ----------
+    multiplier_energy_pj:
+        Fixed energy per D-to-A multiplication, in pJ.  Zero reproduces
+        the paper's ADC-dominated bound exactly.
+    """
+
+    multiplier_energy_pj: float = 0.0
+
+    def __post_init__(self):
+        if self.multiplier_energy_pj < 0:
+            raise ConfigError("multiplier energy cannot be negative")
+
+    def emac(self, enob: float, nmult: int) -> float:
+        """Energy per MAC in pJ under this model."""
+        return emac(enob, nmult) + self.multiplier_energy_pj
+
+    def emac_array(self, enob: np.ndarray, nmult: np.ndarray) -> np.ndarray:
+        return emac_array(enob, nmult) + self.multiplier_energy_pj
+
+    @property
+    def is_adc_dominated(self) -> bool:
+        return self.multiplier_energy_pj == 0.0

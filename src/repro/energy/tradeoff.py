@@ -1,0 +1,208 @@
+"""Energy-accuracy tradeoff analysis (paper Fig. 8 and Section 4).
+
+The paper measures accuracy loss vs ``ENOB_VMAC`` at ``Nmult = 8``
+(Fig. 4), then populates the whole ``(ENOB, Nmult)`` design space by the
+Eq. 2 equivalence (equal injected error <=> equal accuracy).  Overlaying
+the Eq. 3-4 energy model shows that accuracy-loss and minimum-E_MAC
+level curves are parallel in the thermal-noise-limited region: there is
+no (ENOB, Nmult) pair that improves one without harming the other.
+
+:class:`AccuracyCurve` wraps the measured loss-vs-ENOB data;
+:class:`TradeoffGrid` produces the Fig. 8 grid, the level-curve
+parallelism check, and the headline "minimum energy for a given
+accuracy loss" numbers (~313 fJ/MAC for <0.4% on the paper's setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ams.vmac import equivalent_enob
+from repro.energy.emac import EnergyModel
+from repro.errors import ConfigError
+
+
+@dataclass
+class AccuracyCurve:
+    """Measured top-1 accuracy loss vs ENOB at a reference Nmult.
+
+    Parameters
+    ----------
+    enobs:
+        ENOB values (need not be sorted).
+    losses:
+        Accuracy loss (fraction, e.g. 0.004 for 0.4%) at each ENOB.
+    reference_nmult:
+        The Nmult the measurements were taken at (paper: 8).
+
+    Loss is made non-increasing in ENOB (running minimum from high ENOB
+    down) before interpolation, since measurement noise can produce tiny
+    inversions that would break inversion queries.
+    """
+
+    enobs: np.ndarray
+    losses: np.ndarray
+    reference_nmult: int = 8
+
+    def __post_init__(self):
+        enobs = np.asarray(self.enobs, dtype=np.float64)
+        losses = np.asarray(self.losses, dtype=np.float64)
+        if enobs.shape != losses.shape or enobs.ndim != 1 or enobs.size < 2:
+            raise ConfigError("need matching 1-D enob/loss arrays (>= 2 points)")
+        order = np.argsort(enobs)
+        enobs = enobs[order]
+        losses = losses[order]
+        # Enforce monotone non-increasing loss in ENOB: sweep from the
+        # high-ENOB end taking a running max, so each lower-ENOB point
+        # is at least as lossy as everything to its right.
+        losses = np.maximum.accumulate(losses[::-1])[::-1]
+        self.enobs = enobs
+        self.losses = losses
+
+    def loss_at(self, enob: float, nmult: int = None) -> float:
+        """Interpolated accuracy loss at (enob, nmult).
+
+        If ``nmult`` differs from the reference, the query is mapped
+        through the Eq. 2 equivalence first.  Queries outside the
+        measured range clamp to the boundary losses.
+        """
+        if nmult is not None and nmult != self.reference_nmult:
+            enob = equivalent_enob(enob, nmult, self.reference_nmult)
+        return float(np.interp(enob, self.enobs, self.losses))
+
+    def required_enob(self, max_loss: float) -> float:
+        """Smallest reference-Nmult ENOB achieving loss <= ``max_loss``.
+
+        Raises :class:`~repro.errors.ConfigError` when the curve never
+        reaches the target (hardware cannot hit that accuracy in the
+        measured range).
+        """
+        if self.losses[-1] > max_loss:
+            raise ConfigError(
+                f"target loss {max_loss} unreachable; best measured is "
+                f"{self.losses[-1]:.4f} at ENOB {self.enobs[-1]}"
+            )
+        # loss is non-increasing in enob: binary search on a fine grid.
+        grid = np.linspace(self.enobs[0], self.enobs[-1], 2001)
+        losses = np.interp(grid, self.enobs, self.losses)
+        ok = losses <= max_loss
+        return float(grid[np.argmax(ok)])
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One (ENOB, Nmult) cell of the Fig. 8 lookup table."""
+
+    enob: float
+    nmult: int
+    loss: float
+    emac_pj: float
+
+
+class TradeoffGrid:
+    """The Fig. 8 lookup table and its derived analyses.
+
+    "This plot can be used as a lookup table by circuit designers to
+    evaluate the network-level impact of circuit-level design choices,
+    or by system designers to choose hardware based on accuracy or
+    energy specifications."
+    """
+
+    def __init__(
+        self,
+        curve: AccuracyCurve,
+        energy_model: EnergyModel = EnergyModel(),
+    ):
+        self.curve = curve
+        self.energy_model = energy_model
+
+    # ------------------------------------------------------------------
+    def cell(self, enob: float, nmult: int) -> GridCell:
+        """Loss and energy for one design point."""
+        return GridCell(
+            enob=enob,
+            nmult=nmult,
+            loss=self.curve.loss_at(enob, nmult),
+            emac_pj=self.energy_model.emac(enob, nmult),
+        )
+
+    def grid(
+        self, enobs: Sequence[float], nmults: Sequence[int]
+    ) -> List[List[GridCell]]:
+        """Full 2-D table: rows indexed by nmult, columns by enob."""
+        return [[self.cell(e, n) for e in enobs] for n in nmults]
+
+    # ------------------------------------------------------------------
+    def min_emac_for_loss(
+        self, max_loss: float, nmult_candidates: Sequence[int] = None
+    ) -> Tuple[float, GridCell]:
+        """Minimum energy per MAC achieving ``loss <= max_loss``.
+
+        For each candidate Nmult, find the minimum ENOB meeting the
+        accuracy target (via the Eq. 2 equivalence) and its energy; the
+        overall minimum is the paper's ``E_MAC,min``.  Returns
+        ``(emac_pj, best_cell)``.
+        """
+        if nmult_candidates is None:
+            nmult_candidates = [2**k for k in range(0, 11)]
+        ref_enob = self.curve.required_enob(max_loss)
+        best: Tuple[float, GridCell] = None
+        for nmult in nmult_candidates:
+            # Equal-error ENOB at this nmult (inverse of equivalent_enob).
+            enob = ref_enob - 0.5 * np.log2(self.curve.reference_nmult / nmult)
+            if enob <= 0:
+                continue
+            energy = self.energy_model.emac(float(enob), int(nmult))
+            cell = GridCell(float(enob), int(nmult), max_loss, energy)
+            if best is None or energy < best[0]:
+                best = (energy, cell)
+        if best is None:
+            raise ConfigError("no feasible design point")
+        return best
+
+    # ------------------------------------------------------------------
+    def iso_loss_contour(
+        self, max_loss: float, nmults: Sequence[int]
+    ) -> List[GridCell]:
+        """The (ENOB, Nmult) points holding accuracy loss at ``max_loss``.
+
+        In the thermal-noise-limited region all cells on this contour
+        share (nearly) the same E_MAC — the paper's "level curves are
+        parallel" observation.
+        """
+        ref_enob = self.curve.required_enob(max_loss)
+        cells = []
+        for nmult in nmults:
+            enob = ref_enob - 0.5 * np.log2(self.curve.reference_nmult / nmult)
+            cells.append(
+                GridCell(
+                    float(enob),
+                    int(nmult),
+                    max_loss,
+                    self.energy_model.emac(float(enob), int(nmult)),
+                )
+            )
+        return cells
+
+    def level_curve_parallelism(
+        self, max_loss: float, nmults: Sequence[int]
+    ) -> float:
+        """Max relative E_MAC spread along an iso-loss contour.
+
+        Restricted to thermal-limited cells (ENOB above the knee), the
+        paper predicts this is ~0 (one-to-one energy-accuracy relation).
+        """
+        from repro.energy.adc import THERMAL_KNEE_ENOB
+
+        cells = [
+            c
+            for c in self.iso_loss_contour(max_loss, nmults)
+            if c.enob > THERMAL_KNEE_ENOB
+        ]
+        if len(cells) < 2:
+            return 0.0
+        energies = np.array([c.emac_pj for c in cells])
+        return float((energies.max() - energies.min()) / energies.min())

@@ -1,0 +1,28 @@
+"""Experiment harness: one module per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table1
+    python -m repro.experiments run fig4 --profile quick
+    python -m repro.experiments all --profile quick
+
+Each experiment prints the same rows/series the paper reports and writes
+a JSON record under ``results/``.  Shared artifacts (the pretrained FP32
+baseline, retrained quantized baselines, retrained AMS models) are
+cached under ``.cache/`` keyed by profile and seed, so experiments reuse
+each other's training runs exactly as the paper's runs share baselines.
+"""
+
+from repro.experiments.config import ExperimentConfig, PROFILES
+from repro.experiments.common import Workbench
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "PROFILES",
+    "Workbench",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,203 @@
+"""Section-4 extensions and error-model ablations.
+
+Four studies the paper proposes but does not fully evaluate:
+
+- ``abl-tiled``: lumped Gaussian injection vs per-VMAC quantization —
+  both the layer-level error statistics (does the Eq. 2 Gaussian match
+  the real tiled error?) and network accuracy under each model.
+- ``abl-recycle``: delta-sigma error recycling across VMAC cycles
+  ("reduces the total incurred quantization error").
+- ``abl-partition``: long-multiplication operand partitioning — error
+  and energy vs the unpartitioned VMAC.
+- ``abl-vref``: ADC reference scaling on *measured* partial-sum
+  distributions ("network- and data-dependent").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ams.partitioning import (
+    PartitionScheme,
+    equivalent_unpartitioned_enob,
+    partitioned_energy,
+    partitioned_error_std,
+)
+from repro.ams.recycling import recycling_error_reduction
+from repro.ams.reference_scaling import best_alpha, reference_scaling_sweep
+from repro.ams.tiled import tile_quantized_convs, tiled_vmac_dot
+from repro.ams.vmac import VMACConfig, total_error_std
+from repro.energy.adc import adc_energy
+from repro.energy.emac import emac
+from repro.experiments.common import ExperimentResult, Workbench
+from repro.tensor.im2col import im2col
+
+EXPERIMENT_ID = "ablations"
+TITLE = "Section-4 extensions: tiled model, recycling, partitioning, Vref"
+
+
+def _sample_layer(bench: Workbench):
+    """Real (cols, weights) from the first hidden conv of the 8b net.
+
+    Gives the data-dependent inputs the Vref / tiled studies need:
+    activation patches in [0, 1] and DoReFa weights in [-1, 1].
+    """
+    model, _ = bench.quantized_model(8, 8)
+    model.eval()
+    images = bench.data.val.images[:64]
+    from repro.tensor.tensor import Tensor, no_grad
+
+    # Forward through input adapter + stem to get realistic activations.
+    with no_grad():
+        x = model.input_adapter(Tensor(images))
+        stem = model.stem_act(model.stem_bn(model.stem_conv(x)))
+    block = model.blocks[0]
+    conv = block.conv1[0]  # QuantConv2d
+    acts = stem.data
+    cols = im2col(acts, conv.kernel_size, (1, 1), (1, 1))
+    w_mat = conv.quantized_weight().data.reshape(conv.out_channels, -1)
+    return cols, w_mat
+
+
+def run(bench: Workbench) -> ExperimentResult:
+    cfg = bench.config
+    nmult = cfg.nmult
+    enob = cfg.table2_enob
+    rows = []
+    extras = {}
+
+    # ------------------------------------------------------------- tiled
+    cols, w_mat = _sample_layer(bench)
+    ideal = cols @ w_mat.T
+    tiled = tiled_vmac_dot(cols, w_mat, VMACConfig(enob=enob, nmult=nmult))
+    actual_rms = float(np.sqrt(np.mean((tiled - ideal) ** 2)))
+    predicted = total_error_std(enob, nmult, cols.shape[1])
+    rows.append(
+        ["tiled: layer error RMS (measured vs Eq.2)", actual_rms, predicted]
+    )
+    extras["tiled_rms_ratio"] = actual_rms / predicted
+
+    model, _ = bench.quantized_model(8, 8)
+    base_acc = bench.stats(model).mean
+    lumped = bench.ams_eval_only(enob)
+    lumped_acc = bench.stats(lumped).mean
+    tiled_model, _ = bench.quantized_model(8, 8)
+    tile_quantized_convs(
+        tiled_model, VMACConfig(enob=enob, nmult=nmult), seed=cfg.seed
+    )
+    tiled_acc = bench.stats(tiled_model).mean
+    rows.append(
+        ["tiled: net accuracy loss (lumped vs tiled)",
+         base_acc - lumped_acc, base_acc - tiled_acc]
+    )
+    extras["lumped_loss"] = base_acc - lumped_acc
+    extras["tiled_loss"] = base_acc - tiled_acc
+
+    # ---------------------------------------------------------- recycling
+    rng = np.random.default_rng(cfg.seed + 77)
+    ntot = cols.shape[1]
+    cycles = max(ntot // nmult, 2)
+    sample_rows = rng.choice(len(cols), size=min(512, len(cols)), replace=False)
+    partials = np.stack(
+        [
+            cols[sample_rows, k * nmult : (k + 1) * nmult]
+            @ w_mat[0, k * nmult : (k + 1) * nmult]
+            for k in range(cycles)
+        ],
+        axis=-1,
+    )
+    recycle = recycling_error_reduction(partials, enob, nmult)
+    rows.append(
+        ["recycling: RMS error (plain vs recycled)",
+         recycle["rms_plain"], recycle["rms_recycled"]]
+    )
+    extras["recycling"] = recycle
+
+    # -------------------------------------------------------- partitioning
+    base_cfg = VMACConfig(enob=enob, nmult=nmult, bw=8, bx=8)
+    unpart_std = total_error_std(enob, nmult, ntot)
+    unpart_energy = emac(enob, nmult)
+    part_rows = []
+    for nw, nx, penob in ((1, 1, enob), (2, 2, enob - 2), (2, 2, enob - 3)):
+        scheme = PartitionScheme(
+            VMACConfig(enob=penob, nmult=nmult, bw=8, bx=8), nw=nw, nx=nx
+        )
+        std = partitioned_error_std(scheme, ntot)
+        energy = partitioned_energy(scheme, adc_energy)
+        eq = equivalent_unpartitioned_enob(scheme, ntot)
+        part_rows.append(
+            {
+                "nw": nw,
+                "nx": nx,
+                "partial_enob": penob,
+                "error_std": std,
+                "emac_pj": energy,
+                "equivalent_enob": eq,
+            }
+        )
+        rows.append(
+            [f"partition {nw}x{nx} @ {penob}b: std / E_MAC[pJ]", std, energy]
+        )
+    rows.append(
+        ["unpartitioned baseline: std / E_MAC[pJ]", unpart_std, unpart_energy]
+    )
+    extras["partitioning"] = part_rows
+
+    # ------------------------------------------------- last-layer workaround
+    # Paper: "injecting AMS error into the last layer while training led
+    # to a loss of the network's ability to learn, and this workaround
+    # provides a working solution."
+    normal, meta_normal = bench.ams_retrained(enob)
+    injected, meta_injected = bench.ams_retrained(
+        enob, inject_last_in_training=True
+    )
+    rows.append(
+        [
+            "last-layer train injection: best acc (workaround vs injected)",
+            meta_normal["best_accuracy"],
+            meta_injected["best_accuracy"],
+        ]
+    )
+    extras["lastlayer_workaround_acc"] = meta_normal["best_accuracy"]
+    extras["lastlayer_injected_acc"] = meta_injected["best_accuracy"]
+
+    # ---------------------------------------------------------------- vref
+    partial_samples = np.stack(
+        [
+            cols[:, k * nmult : (k + 1) * nmult]
+            @ w_mat[:, k * nmult : (k + 1) * nmult].T
+            for k in range(cycles)
+        ]
+    )
+    sweep = reference_scaling_sweep(partial_samples, enob, nmult)
+    best = best_alpha(sweep)
+    for point in sweep:
+        rows.append(
+            [f"vref alpha={point.alpha}: RMS / clip frac",
+             point.rms_error, point.clip_fraction]
+        )
+    extras["vref_best_alpha"] = best.alpha
+    extras["vref_best_rms"] = best.rms_error
+
+    notes = [
+        f"all studies at ENOB={enob}, Nmult={nmult}, layer Ntot={ntot}",
+        f"tiled/lumped RMS ratio {extras['tiled_rms_ratio']:.3f} "
+        "(~1 validates the Eq. 2 Gaussian abstraction)",
+        f"recycling reduces RMS by {recycle['reduction_factor']:.2f}x "
+        f"over {cycles} cycles",
+        "last-layer injection during training costs "
+        f"{meta_normal['best_accuracy'] - meta_injected['best_accuracy']:+.4f} "
+        "here — the paper's 'destroys learning' failure is "
+        "ImageNet-scale-specific (1000-way logits drown in noise; our "
+        "20-way logits survive), documented in EXPERIMENTS.md",
+        f"best Vref alpha = {best.alpha} "
+        "(alpha < 1 wins when partial sums concentrate near zero)",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Study / quantity", "Value A", "Value B"],
+        rows=rows,
+        notes=notes,
+        extras=extras,
+    )

@@ -1,0 +1,135 @@
+"""Command-line entry point for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table1
+    python -m repro.experiments run fig8 --profile quick --seed 7
+    python -m repro.experiments all --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import Workbench
+from repro.experiments.config import make_config
+from repro.experiments.registry import (
+    DEFAULT_ORDER,
+    EXPERIMENTS,
+    run_experiment,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of Rekhi et al., "
+            "'Analog/Mixed-Signal Hardware Error Modeling for Deep "
+            "Learning Inference' (DAC 2019)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_common(run)
+
+    everything = sub.add_parser("all", help="run every experiment in order")
+    _add_common(everything)
+
+    cache = sub.add_parser("cache", help="inspect or clear trained-model caches")
+    cache.add_argument("action", choices=("list", "clear"))
+    cache.add_argument("--cache-dir", default=".cache/experiments")
+
+    export = sub.add_parser(
+        "export", help="flatten results/<id>.json records into CSV files"
+    )
+    export.add_argument("--results-dir", default="results")
+    export.add_argument("--out-dir", default="results/csv")
+    return parser
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        default="full",
+        choices=("full", "quick"),
+        help="full = EXPERIMENTS.md numbers; quick = smoke-test scale",
+    )
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="where to write <experiment>.json records",
+    )
+
+
+def _run_one(name: str, bench: Workbench, results_dir: str) -> None:
+    start = time.time()
+    result = run_experiment(name, bench)
+    elapsed = time.time() - start
+    print(result.table())
+    path = result.save(results_dir)
+    print(f"[{name}] done in {elapsed:.1f}s -> {path}\n")
+
+
+def _handle_cache(action: str, cache_dir: str) -> int:
+    import os
+
+    if not os.path.isdir(cache_dir):
+        print(f"no cache at {cache_dir}")
+        return 0
+    entries = sorted(
+        name for name in os.listdir(cache_dir) if name.endswith(".npz")
+    )
+    if action == "list":
+        if not entries:
+            print(f"cache at {cache_dir} is empty")
+        for name in entries:
+            size_kb = os.path.getsize(os.path.join(cache_dir, name)) // 1024
+            print(f"{size_kb:6d} KB  {name}")
+        return 0
+    removed = 0
+    for name in os.listdir(cache_dir):
+        if name.endswith((".npz", ".json")):
+            os.remove(os.path.join(cache_dir, name))
+            removed += 1
+    print(f"removed {removed} cache files from {cache_dir}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in DEFAULT_ORDER:
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:12s} {doc}")
+        return 0
+    if args.command == "cache":
+        return _handle_cache(args.action, args.cache_dir)
+    if args.command == "export":
+        from repro.experiments.export import export_all
+
+        for path in export_all(args.results_dir, args.out_dir):
+            print(path)
+        return 0
+
+    config = make_config(profile=args.profile, seed=args.seed)
+    bench = Workbench(config)
+    if args.command == "run":
+        _run_one(args.experiment, bench, args.results_dir)
+    else:
+        for name in DEFAULT_ORDER:
+            _run_one(name, bench, args.results_dir)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

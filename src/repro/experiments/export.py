@@ -1,0 +1,46 @@
+"""Export experiment result records to CSV for external plotting.
+
+``results/<id>.json`` holds everything; this module flattens each
+record's rows into ``<id>.csv`` so the figures can be replotted with
+any tool without parsing JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import List
+
+from repro.errors import ConfigError
+
+
+def export_result_csv(json_path: str, out_dir: str) -> str:
+    """Convert one ``results/<id>.json`` into ``<out_dir>/<id>.csv``."""
+    if not os.path.exists(json_path):
+        raise ConfigError(f"no result file at {json_path}")
+    with open(json_path) as fh:
+        record = json.load(fh)
+    os.makedirs(out_dir, exist_ok=True)
+    experiment_id = record["experiment_id"]
+    out_path = os.path.join(out_dir, f"{experiment_id}.csv")
+    with open(out_path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(record["headers"])
+        writer.writerows(record["rows"])
+    return out_path
+
+
+def export_all(results_dir: str, out_dir: str) -> List[str]:
+    """Export every JSON record in ``results_dir``; returns CSV paths."""
+    if not os.path.isdir(results_dir):
+        raise ConfigError(f"no results directory at {results_dir}")
+    paths = []
+    for name in sorted(os.listdir(results_dir)):
+        if name.endswith(".json"):
+            paths.append(
+                export_result_csv(os.path.join(results_dir, name), out_dir)
+            )
+    if not paths:
+        raise ConfigError(f"no result records in {results_dir}")
+    return paths

@@ -1,0 +1,69 @@
+"""Figure 5: accuracy loss vs ENOB relative to the 6b quantized net.
+
+Paper setting: Nmult = 8, AMS error at evaluation time only ("based on
+the results shown in Figure 4, for this precision we only investigated
+adding AMS error at evaluation time"), using the best epoch of the
+quantized retrained network.  The paper finds ENOB = 11 is the cutoff
+for < 1% top-1 loss and ENOB = 12.5 reaches within one sample std.
+
+The reproduction reports the same two cutoffs for our ENOB scale.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Workbench
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Fig. 5: top-1 accuracy loss vs ENOB (re: 6b quantized, eval only)"
+
+
+def run(bench: Workbench) -> ExperimentResult:
+    cfg = bench.config
+    base_model, _ = bench.quantized_model(6, 6)
+    base = bench.stats(base_model)
+
+    rows = []
+    losses = {}
+    for enob in cfg.enob_sweep:
+        stats = bench.stats(bench.ams_eval_only(enob, bw=6, bx=6))
+        loss = base.mean - stats.mean
+        losses[enob] = (loss, stats.std)
+        rows.append([enob, loss, stats.std])
+
+    cutoff_1pct = _first_enob(losses, lambda l, s: l < 0.01)
+    cutoff_std = _first_enob(losses, lambda l, s: l <= max(base.std, s))
+    notes = [
+        f"6b quantized baseline: {base.mean:.4f} +/- {base.std:.2e}",
+        f"cutoff for <1% loss: ENOB {cutoff_1pct} (paper: 11 on its scale)",
+        f"cutoff for within-1-std: ENOB {cutoff_std} (paper: 12.5 on its scale)",
+    ]
+    from repro.utils.ascii_plot import ascii_chart
+
+    chart = ascii_chart(
+        list(cfg.enob_sweep),
+        {"AMS error in eval only": [losses[e][0] for e in cfg.enob_sweep]},
+        x_label="ENOB_VMAC",
+        y_label="top-1 accuracy loss re: 6b quantized",
+    )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["ENOB_VMAC", "Loss (eval only)", "Std"],
+        rows=rows,
+        notes=notes,
+        extras={
+            "baseline_mean": base.mean,
+            "baseline_std": base.std,
+            "cutoff_1pct": cutoff_1pct,
+            "cutoff_within_std": cutoff_std,
+        },
+        charts=[chart],
+    )
+
+
+def _first_enob(losses: dict, predicate) -> object:
+    for enob in sorted(losses):
+        loss, std = losses[enob]
+        if predicate(loss, std):
+            return enob
+    return "not reached"

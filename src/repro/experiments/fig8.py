@@ -1,0 +1,175 @@
+"""Figure 8: the (ENOB, Nmult) accuracy/energy lookup table.
+
+The paper overlays, on a grid of (ENOB_VMAC, Nmult):
+
+- top-1 accuracy loss relative to the 8b quantized network (measured at
+  Nmult = 8 and mapped to other Nmult through the Eq. 2 equivalence);
+- minimum energy per MAC (Eqs. 3-4) level curves
+  (~78 / 157 / 313 / 626 / 1250 fJ/MAC in the paper).
+
+The headline conclusion: in the thermal-noise-limited region the two
+families of level curves are parallel, so accuracy loss and E_MAC,min
+are in one-to-one correspondence; the paper reads off E_MAC,min ~313 fJ
+for < 0.4% loss and ~78 fJ for < 1%.
+
+The reproduction builds the grid from our measured Fig. 4 retrained
+curve, verifies level-curve parallelism numerically, and reports the
+minimum-energy numbers for our own loss targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.energy.emac import EnergyModel
+from repro.energy.tradeoff import AccuracyCurve, TradeoffGrid
+from repro.errors import ConfigError
+from repro.experiments import fig4
+from repro.experiments.common import ExperimentResult, Workbench
+
+EXPERIMENT_ID = "fig8"
+TITLE = "Fig. 8: accuracy loss and E_MAC over the (ENOB, Nmult) grid"
+
+#: Nmult rows of the grid (paper's Fig. 8 uses powers of two).
+NMULTS = (2, 4, 8, 16, 32, 64)
+
+
+def build_curve(bench: Workbench) -> AccuracyCurve:
+    """Measured loss-vs-ENOB curve (retrained series of Fig. 4)."""
+    result = fig4.run(bench)
+    losses = result.extras["retrain_losses"]
+    enobs = sorted(float(e) for e in losses)
+    return AccuracyCurve(
+        enobs=np.array(enobs),
+        losses=np.array([max(losses[_key(losses, e)], 0.0) for e in enobs]),
+        reference_nmult=bench.config.nmult,
+    )
+
+
+def _key(mapping: dict, enob: float) -> str:
+    for key in mapping:
+        if abs(float(key) - enob) < 1e-9:
+            return key
+    raise ConfigError(f"missing ENOB {enob} in fig4 results")
+
+
+def run(bench: Workbench) -> ExperimentResult:
+    curve = build_curve(bench)
+    grid = TradeoffGrid(curve, EnergyModel())
+
+    enobs = [float(e) for e in bench.config.enob_sweep]
+    rows = []
+    for nmult in NMULTS:
+        cells = [grid.cell(e, nmult) for e in enobs]
+        rows.append(
+            [nmult]
+            + [f"{c.loss*100:.2f}% / {c.emac_pj*1000:.0f}fJ" for c in cells]
+        )
+
+    # Loss targets scaled to our measured range (the paper uses 0.4%/1%).
+    targets = _loss_targets(curve)
+    target_rows = []
+    for target in targets:
+        emac_pj, cell = grid.min_emac_for_loss(
+            target, nmult_candidates=NMULTS
+        )
+        spread = grid.level_curve_parallelism(target, NMULTS)
+        target_rows.append((target, emac_pj, cell.enob, cell.nmult, spread))
+
+    # Projection to the paper's scale: our smaller Ntot shifts the
+    # required ENOB down (Eq. 2), landing the whole sweep below the ADC
+    # knee where Eq. 3 is flat and amortization is free.  Shifting the
+    # measured curve so its <1% cutoff coincides with the paper's
+    # (ENOB 11 at Nmult 8) prices the same curve *shape* on
+    # thermal-noise-limited hardware — the regime of the paper's
+    # headline numbers.
+    projection = _resnet50_projection(curve)
+
+    notes = [
+        "cell format: accuracy loss / E_MAC; loss mapped from Nmult=8 "
+        "measurements via Eq. 2 equivalence",
+        "paper headline: <0.4% loss needs ~313 fJ/MAC; <1% needs ~78 fJ/MAC "
+        "(ResNet-50/ImageNet scale)",
+    ]
+    for target, emac_pj, enob, nmult, spread in target_rows:
+        notes.append(
+            f"at our scale: <{target*100:.1f}% loss needs >= "
+            f"{emac_pj*1000:.0f} fJ/MAC (ENOB {enob:.2f} @ Nmult {nmult}) — "
+            "below the ADC knee, where the flat Eq. 3 floor makes "
+            "amortization nearly free"
+        )
+    if projection is not None:
+        notes.append(
+            "projected to ResNet-50 scale (curve shifted so the <1% "
+            f"cutoff sits at ENOB 11): <1% loss needs >= "
+            f"{projection['emac_1pct_fj']:.0f} fJ/MAC (paper: ~78); "
+            f"tightest reachable target {projection['tight_target']*100:.2f}% "
+            f"needs >= {projection['emac_tight_fj']:.0f} fJ/MAC; "
+            f"thermal-region iso-loss E_MAC spread "
+            f"{projection['parallel_spread']*100:.2f}% (parallel level curves)"
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Nmult \\ ENOB"] + [str(e) for e in enobs],
+        rows=rows,
+        notes=notes,
+        extras={
+            "targets": [
+                {
+                    "loss": t,
+                    "emac_pj": e,
+                    "enob": en,
+                    "nmult": nm,
+                    "parallel_spread": sp,
+                }
+                for t, e, en, nm, sp in target_rows
+            ],
+            "curve_enobs": curve.enobs.tolist(),
+            "curve_losses": curve.losses.tolist(),
+            "projection": projection,
+        },
+    )
+
+
+def _resnet50_projection(curve: AccuracyCurve) -> dict:
+    """Price the measured curve shape on paper-scale (thermal) hardware.
+
+    Shifts the curve so its <1% cutoff lands at the paper's ENOB 11
+    (Nmult 8) and recomputes the Fig. 8 quantities; returns None when
+    the curve never reaches 1% loss.
+    """
+    try:
+        our_cutoff = curve.required_enob(0.01)
+    except Exception:
+        return None
+    shift = 11.0 - our_cutoff
+    shifted = AccuracyCurve(
+        enobs=curve.enobs + shift,
+        losses=curve.losses.copy(),
+        reference_nmult=curve.reference_nmult,
+    )
+    grid = TradeoffGrid(shifted, EnergyModel())
+    emac_1pct, _ = grid.min_emac_for_loss(0.01, nmult_candidates=NMULTS)
+    tight_target = max(float(shifted.losses[-1]), 1e-4)
+    emac_tight, _ = grid.min_emac_for_loss(
+        tight_target, nmult_candidates=NMULTS
+    )
+    spread = grid.level_curve_parallelism(0.01, NMULTS)
+    return {
+        "enob_shift": shift,
+        "emac_1pct_fj": emac_1pct * 1000,
+        "tight_target": tight_target,
+        "emac_tight_fj": emac_tight * 1000,
+        "parallel_spread": spread,
+    }
+
+
+def _loss_targets(curve: AccuracyCurve) -> list:
+    """Paper-style targets clipped to what our curve can reach."""
+    reachable = curve.losses[-1]
+    candidates = [0.004, 0.01, 0.02, 0.05]
+    targets = [t for t in candidates if t >= reachable]
+    if not targets:
+        targets = [max(reachable * 2, 1e-4)]
+    return targets[:3]

@@ -1,0 +1,59 @@
+"""Experiment registry: id -> module."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ablations,
+    alloc,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    freelunch,
+    pvt,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult, Workbench
+
+EXPERIMENTS: Dict[str, object] = {
+    module.EXPERIMENT_ID: module
+    for module in (
+        table1, fig4, fig5, table2, fig6, fig7, fig8, ablations, freelunch,
+        alloc, pvt,
+    )
+}
+
+#: Suggested execution order (later experiments reuse earlier caches).
+DEFAULT_ORDER: List[str] = [
+    "table1",
+    "fig4",
+    "fig5",
+    "table2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablations",
+    "freelunch",
+    "alloc",
+    "pvt",
+]
+
+
+def get_experiment(experiment_id: str):
+    """The module implementing ``experiment_id``."""
+    if experiment_id not in EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id]
+
+
+def run_experiment(experiment_id: str, bench: Workbench) -> ExperimentResult:
+    """Run one experiment on a workbench."""
+    return get_experiment(experiment_id).run(bench)

@@ -1,0 +1,74 @@
+"""Table 2: selective freezing during AMS retraining.
+
+Paper rows (ENOB = 10, Nmult = 8; loss relative to the 8b quantized
+network):
+
+    None        0.0353
+    Conv        0.0341    (freezing conv barely matters)
+    BN          0.0886    (freezing batch norm destroys the recovery)
+    FC          0.0774
+    BN and FC   0.120
+
+"These results show that the batch norm layers are primarily
+responsible for the network's ability to recover a fraction of the lost
+accuracy when retrained with AMS error injection in the loop."
+
+The reproduction retrains with the same freeze groups at the config's
+``table2_enob`` and checks the ordering: None ~= Conv << BN, FC, BN+FC.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, Workbench
+
+EXPERIMENT_ID = "table2"
+TITLE = "Table 2: selective freezing during AMS retraining (loss re: 8b)"
+
+FREEZE_ROWS = (
+    ("None", ()),
+    ("Conv", ("conv",)),
+    ("BN", ("bn",)),
+    ("FC", ("fc",)),
+    ("BN and FC", ("bn", "fc")),
+)
+
+
+def run(bench: Workbench) -> ExperimentResult:
+    cfg = bench.config
+    base_model, _ = bench.quantized_model(8, 8)
+    base = bench.stats(base_model)
+
+    rows = []
+    losses = {}
+    for label, freeze in FREEZE_ROWS:
+        model, _ = bench.ams_retrained(cfg.table2_enob, freeze=freeze)
+        stats = bench.stats(model)
+        loss = base.mean - stats.mean
+        losses[label] = loss
+        rows.append([label, loss, stats.std])
+
+    bn_mechanism_ok = (
+        losses["BN"] > losses["None"]
+        and losses["FC"] > losses["None"]
+        and losses["BN and FC"] > losses["None"]
+    )
+    notes = [
+        f"ENOB={cfg.table2_enob}, Nmult={cfg.nmult}; "
+        f"8b baseline {base.mean:.4f} +/- {base.std:.2e}",
+        "paper shape: freezing BN (and FC) forfeits the recovery",
+        f"BN mechanism {'HOLDS' if bn_mechanism_ok else 'VIOLATED'}: "
+        + ", ".join(f"{k}={v:.4f}" for k, v in losses.items()),
+        "known scale divergence (see EXPERIMENTS.md): the paper's "
+        "'freezing Conv is harmless' does not transfer — our 78k-param "
+        "convs can adapt to noise during retraining, unlike ResNet-50's "
+        "25M inert weights under a 0.004 fine-tune LR, so the Conv row "
+        "hurts here",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        headers=["Frozen Layers", "Top-1 Accuracy Loss re: 8b", "Samp. Std. Dev."],
+        rows=rows,
+        notes=notes,
+        extras={"losses": losses, "enob": cfg.table2_enob},
+    )

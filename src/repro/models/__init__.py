@@ -1,0 +1,50 @@
+"""Network architectures and the layer-factory system.
+
+One ResNet definition serves three hardware models by swapping the
+:class:`~repro.models.factory.LayerFactory` that creates its compute
+layers:
+
+- :class:`~repro.models.factory.FP32Factory` — the paper's baseline.
+- :class:`~repro.models.factory.DoReFaFactory` — digital fixed-point
+  hardware (Table 1 rows).
+- :class:`~repro.models.factory.AMSFactory` — DoReFa quantization plus
+  AMS error injection per Fig. 3.
+"""
+
+from repro.models.factory import (
+    LayerFactory,
+    FP32Factory,
+    DoReFaFactory,
+    AMSFactory,
+)
+from repro.models.resnet import (
+    ResNet,
+    BasicBlock,
+    Bottleneck,
+    resnet18,
+    resnet34,
+    resnet50,
+    resnet_small,
+    count_conv_layers,
+)
+from repro.models.simple import SimpleCNN, MLP
+from repro.models.registry import build_model, available_models
+
+__all__ = [
+    "LayerFactory",
+    "FP32Factory",
+    "DoReFaFactory",
+    "AMSFactory",
+    "ResNet",
+    "BasicBlock",
+    "Bottleneck",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet_small",
+    "count_conv_layers",
+    "SimpleCNN",
+    "MLP",
+    "build_model",
+    "available_models",
+]

@@ -1,0 +1,257 @@
+"""Layer factories: one network definition, three hardware models.
+
+The network code (e.g. :mod:`repro.models.resnet`) asks its factory for
+convolutions, activations and the classifier head.  The factory decides
+what those layers are:
+
+========================  =======================================================
+Factory                   Produces
+========================  =======================================================
+:class:`FP32Factory`      plain Conv2d / ReLU / Linear
+:class:`DoReFaFactory`    QuantConv2d / QuantClippedReLU / QuantLinear
+:class:`AMSFactory`       DoReFa layers + Probe + AMSErrorInjector per Fig. 3
+========================  =======================================================
+
+Paper-mandated special cases handled here:
+
+- the *first* layer gets an :class:`~repro.quant.qmodules.InputQuantizer`
+  (network inputs must be rescaled to [-1, 1] and quantized);
+- the *last* layer's injector uses ``InjectionPolicy(in_training=False)``
+  ("we leave out AMS error injection from the last layer while training
+  the network"), unless the factory is built with
+  ``inject_last_in_training=True`` (used to reproduce the paper's
+  observation that doing so destroys learning);
+- error is injected into **every** layer at evaluation time, including
+  first and last.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ams.injection import AMSErrorInjector, InjectionPolicy
+from repro.ams.vmac import VMACConfig
+from repro.nn.activation import Identity, ReLU
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.quant.qmodules import (
+    InputQuantizer,
+    QuantClippedReLU,
+    QuantConfig,
+    QuantConv2d,
+    QuantLinear,
+)
+from repro.train.hooks import Probe
+from repro.utils.rng import new_rng
+
+
+class LayerFactory:
+    """Base factory: FP32 layers, no quantization, no AMS error.
+
+    ``with_probes=True`` inserts a :class:`~repro.train.hooks.Probe`
+    after every convolution / the classifier, at the exact location the
+    paper injects AMS error, enabling the Fig. 6 activation-mean
+    analysis on any variant (probes carry no parameters, so state dicts
+    stay interchangeable).
+    """
+
+    def __init__(self, seed: int = 0, with_probes: bool = False):
+        self._rng = new_rng(seed)
+        self._conv_index = 0
+        self.with_probes = with_probes
+
+    def _probe_layers(self, label: str) -> list:
+        return [Probe(label=label)] if self.with_probes else []
+
+    # -- hooks for subclasses -----------------------------------------
+    def input_adapter(self) -> Module:
+        """Module applied to raw network inputs before the first conv."""
+        return Identity()
+
+    def conv(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        role: str = "hidden",
+    ) -> Module:
+        """A convolution 'compute layer' (conv [+ probe + injector]).
+
+        ``role`` is ``"first"`` for the stem conv and ``"hidden"``
+        otherwise; subclasses use it for the first-layer input handling.
+
+        Every factory wraps the raw convolution as element 0 of a
+        Sequential so that parameter names are identical across
+        FP32/DoReFa/AMS variants — the retraining workflow relies on
+        loading an FP32 state dict into a quantized model.
+        """
+        self._conv_index += 1
+        conv = Conv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            bias=False,
+            rng=self._rng,
+        )
+        return Sequential(
+            conv, *self._probe_layers(f"conv{self._conv_index}")
+        )
+
+    def activation(self) -> Module:
+        return ReLU()
+
+    def classifier(self, in_features: int, num_classes: int) -> Module:
+        """The final fully-connected layer (the paper's 'last layer')."""
+        return Sequential(
+            Linear(in_features, num_classes, bias=True, rng=self._rng),
+            *self._probe_layers("fc"),
+        )
+
+    def describe(self) -> str:
+        return "fp32"
+
+
+class FP32Factory(LayerFactory):
+    """Alias of the base factory, named for clarity at call sites."""
+
+
+class DoReFaFactory(LayerFactory):
+    """DoReFa-quantized digital hardware (no AMS error) — Table 1."""
+
+    def __init__(
+        self,
+        quant: QuantConfig = QuantConfig(),
+        seed: int = 0,
+        with_probes: bool = False,
+    ):
+        super().__init__(seed, with_probes=with_probes)
+        self.quant = quant
+
+    def input_adapter(self) -> Module:
+        return InputQuantizer(bx=self.quant.bx)
+
+    def conv(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        role: str = "hidden",
+    ) -> Module:
+        self._conv_index += 1
+        conv = QuantConv2d(
+            in_channels,
+            out_channels,
+            kernel_size,
+            stride=stride,
+            padding=padding,
+            bias=False,
+            rng=self._rng,
+            bw=self.quant.bw,
+        )
+        return Sequential(
+            conv, *self._probe_layers(f"conv{self._conv_index}")
+        )
+
+    def activation(self) -> Module:
+        return QuantClippedReLU(bx=self.quant.bx)
+
+    def classifier(self, in_features: int, num_classes: int) -> Module:
+        return Sequential(
+            QuantLinear(
+                in_features,
+                num_classes,
+                bias=True,
+                rng=self._rng,
+                bw=self.quant.bw,
+            ),
+            *self._probe_layers("fc"),
+        )
+
+    def describe(self) -> str:
+        return f"dorefa(bw={self.quant.bw}, bx={self.quant.bx})"
+
+
+class AMSFactory(DoReFaFactory):
+    """DoReFa quantization + AMS error injection (paper Fig. 3).
+
+    Parameters
+    ----------
+    quant:
+        Weight/activation bit widths.
+    vmac:
+        VMAC parameters (ENOB, Nmult) shared by every layer.
+    noise_seed:
+        Seed for the per-layer noise generators (spawned children, so
+        layers draw independent streams).
+    inject_last_in_training:
+        Paper default False (the workaround); True reproduces the
+        "network loses the ability to learn" failure mode.
+    with_probes:
+        Insert a :class:`~repro.train.hooks.Probe` at each injection
+        point for the Fig. 6 activation-mean analysis.
+    """
+
+    def __init__(
+        self,
+        quant: QuantConfig = QuantConfig(),
+        vmac: VMACConfig = VMACConfig(enob=10, nmult=8),
+        seed: int = 0,
+        noise_seed: int = 999,
+        inject_last_in_training: bool = False,
+        with_probes: bool = False,
+    ):
+        super().__init__(quant, seed, with_probes=with_probes)
+        self.vmac = vmac
+        self.inject_last_in_training = inject_last_in_training
+        self._noise_seq = np.random.SeedSequence(noise_seed)
+
+    def _next_noise_rng(self) -> np.random.Generator:
+        return np.random.default_rng(self._noise_seq.spawn(1)[0])
+
+    def conv(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        role: str = "hidden",
+    ) -> Module:
+        wrapped = super().conv(
+            in_channels, out_channels, kernel_size, stride, padding, role
+        )
+        ntot = in_channels * kernel_size * kernel_size
+        injector = AMSErrorInjector(
+            self.vmac,
+            ntot=ntot,
+            policy=InjectionPolicy(in_training=True, in_eval=True),
+            rng=self._next_noise_rng(),
+        )
+        return Sequential(*list(wrapped), injector)
+
+    def classifier(self, in_features: int, num_classes: int) -> Module:
+        wrapped = super().classifier(in_features, num_classes)
+        policy = InjectionPolicy(
+            in_training=self.inject_last_in_training, in_eval=True
+        )
+        injector = AMSErrorInjector(
+            self.vmac,
+            ntot=in_features,
+            policy=policy,
+            rng=self._next_noise_rng(),
+        )
+        return Sequential(*list(wrapped), injector)
+
+    def describe(self) -> str:
+        return (
+            f"ams(bw={self.quant.bw}, bx={self.quant.bx}, "
+            f"enob={self.vmac.enob}, nmult={self.vmac.nmult})"
+        )

@@ -1,0 +1,44 @@
+"""Name-based model construction for the experiment CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.models.factory import LayerFactory
+from repro.models.resnet import resnet18, resnet34, resnet50, resnet_small
+from repro.models.simple import SimpleCNN
+from repro.nn.module import Module
+
+_BUILDERS: Dict[str, Callable[..., Module]] = {
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "resnet_small": resnet_small,
+    "simple_cnn": SimpleCNN,
+}
+
+
+def available_models() -> List[str]:
+    """Registered model names."""
+    return sorted(_BUILDERS)
+
+
+def build_model(
+    name: str,
+    factory: Optional[LayerFactory] = None,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    **kwargs,
+) -> Module:
+    """Build a registered model by name."""
+    if name not in _BUILDERS:
+        raise ConfigError(
+            f"unknown model {name!r}; available: {available_models()}"
+        )
+    return _BUILDERS[name](
+        factory=factory,
+        num_classes=num_classes,
+        in_channels=in_channels,
+        **kwargs,
+    )

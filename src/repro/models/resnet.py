@@ -1,0 +1,268 @@
+"""ResNet architectures (He et al., 2016) over a layer factory.
+
+:func:`resnet50` is the faithful ImageNet architecture the paper
+evaluates (bottleneck blocks, [3, 4, 6, 3] stages, 7x7 stem, 53
+convolutions including downsample projections).  :func:`resnet_small`
+builds down-scaled basic-block variants with identical topology rules
+(conv -> BN -> clipped ReLU, projection shortcuts, error injected into
+*every* conv including downsamples) that are trainable in numpy minutes;
+these carry the paper's experiments on the synthetic dataset
+(see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.models.factory import FP32Factory, LayerFactory
+from repro.nn.activation import Flatten
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.container import ModuleList
+from repro.nn.module import Module
+from repro.nn.pooling import GlobalAvgPool2d, MaxPool2d
+from repro.tensor.tensor import Tensor
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    expansion = 1
+
+    def __init__(
+        self, factory: LayerFactory, in_channels: int, channels: int, stride: int
+    ):
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = factory.conv(in_channels, channels, 3, stride, 1)
+        self.bn1 = BatchNorm2d(channels)
+        self.act1 = factory.activation()
+        self.conv2 = factory.conv(channels, out_channels, 3, 1, 1)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.act2 = factory.activation()
+        self.downsample = _make_downsample(
+            factory, in_channels, out_channels, stride
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        shortcut = self.downsample(x) if self.downsample is not None else x
+        return self.act2(out + shortcut)
+
+
+class Bottleneck(Module):
+    """1x1 reduce -> 3x3 -> 1x1 expand, the ResNet-50 block."""
+
+    expansion = 4
+
+    def __init__(
+        self, factory: LayerFactory, in_channels: int, channels: int, stride: int
+    ):
+        super().__init__()
+        out_channels = channels * self.expansion
+        self.conv1 = factory.conv(in_channels, channels, 1, 1, 0)
+        self.bn1 = BatchNorm2d(channels)
+        self.act1 = factory.activation()
+        self.conv2 = factory.conv(channels, channels, 3, stride, 1)
+        self.bn2 = BatchNorm2d(channels)
+        self.act2 = factory.activation()
+        self.conv3 = factory.conv(channels, out_channels, 1, 1, 0)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.act3 = factory.activation()
+        self.downsample = _make_downsample(
+            factory, in_channels, out_channels, stride
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.act1(self.bn1(self.conv1(x)))
+        out = self.act2(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        shortcut = self.downsample(x) if self.downsample is not None else x
+        return self.act3(out + shortcut)
+
+
+class _Downsample(Module):
+    """Projection shortcut: 1x1 strided conv + BN.
+
+    A real layer of the network — the paper injects AMS error into the
+    downsampling convolutions too ("43 of the 53 convolutional layers
+    ... (including downsampling layers)").
+    """
+
+    def __init__(self, factory: LayerFactory, in_channels: int,
+                 out_channels: int, stride: int):
+        super().__init__()
+        self.conv = factory.conv(in_channels, out_channels, 1, stride, 0)
+        self.bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.bn(self.conv(x))
+
+
+def _make_downsample(
+    factory: LayerFactory, in_channels: int, out_channels: int, stride: int
+) -> Optional[_Downsample]:
+    if stride == 1 and in_channels == out_channels:
+        return None
+    return _Downsample(factory, in_channels, out_channels, stride)
+
+
+class ResNet(Module):
+    """Generic ResNet over a layer factory.
+
+    Parameters
+    ----------
+    factory:
+        Creates compute layers (FP32 / DoReFa / AMS).
+    block:
+        :class:`BasicBlock` or :class:`Bottleneck`.
+    stage_blocks:
+        Blocks per stage, e.g. ``[3, 4, 6, 3]`` for ResNet-50.
+    stage_channels:
+        Base channels per stage, e.g. ``[64, 128, 256, 512]``.
+    num_classes:
+        Classifier outputs.
+    in_channels:
+        Input image channels.
+    imagenet_stem:
+        True: 7x7/2 conv + 3x3/2 max pool (the paper's ResNet-50).
+        False: single 3x3/1 conv (CIFAR-style, for small inputs).
+    """
+
+    def __init__(
+        self,
+        factory: LayerFactory,
+        block,
+        stage_blocks: Sequence[int],
+        stage_channels: Sequence[int],
+        num_classes: int,
+        in_channels: int = 3,
+        imagenet_stem: bool = True,
+    ):
+        super().__init__()
+        if len(stage_blocks) != len(stage_channels):
+            raise ConfigError("stage_blocks and stage_channels must align")
+        self.factory_description = factory.describe()
+        self.input_adapter = factory.input_adapter()
+        stem_width = stage_channels[0]
+        if imagenet_stem:
+            self.stem_conv = factory.conv(
+                in_channels, stem_width, 7, 2, 3, role="first"
+            )
+            self.stem_pool = MaxPool2d(3, stride=2, padding=1)
+        else:
+            self.stem_conv = factory.conv(
+                in_channels, stem_width, 3, 1, 1, role="first"
+            )
+            self.stem_pool = None
+        self.stem_bn = BatchNorm2d(stem_width)
+        self.stem_act = factory.activation()
+
+        blocks: List[Module] = []
+        current = stem_width
+        for stage_index, (count, channels) in enumerate(
+            zip(stage_blocks, stage_channels)
+        ):
+            for block_index in range(count):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                blocks.append(block(factory, current, channels, stride))
+                current = channels * block.expansion
+        self.blocks = ModuleList(blocks)
+
+        self.pool = GlobalAvgPool2d()
+        self.flatten = Flatten()
+        self.fc = factory.classifier(current, num_classes)
+        self.feature_dim = current
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.input_adapter(x)
+        out = self.stem_act(self.stem_bn(self.stem_conv(out)))
+        if self.stem_pool is not None:
+            out = self.stem_pool(out)
+        for block in self.blocks:
+            out = block(out)
+        out = self.flatten(self.pool(out))
+        return self.fc(out)
+
+
+def resnet50(
+    factory: Optional[LayerFactory] = None,
+    num_classes: int = 1000,
+    in_channels: int = 3,
+) -> ResNet:
+    """The faithful ResNet-50 the paper evaluates (25.5M params)."""
+    return ResNet(
+        factory or FP32Factory(),
+        Bottleneck,
+        stage_blocks=[3, 4, 6, 3],
+        stage_channels=[64, 128, 256, 512],
+        num_classes=num_classes,
+        in_channels=in_channels,
+        imagenet_stem=True,
+    )
+
+
+def resnet_small(
+    factory: Optional[LayerFactory] = None,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    blocks_per_stage: int = 1,
+    widths: Sequence[int] = (16, 32, 64),
+) -> ResNet:
+    """Down-scaled basic-block ResNet for the synthetic experiments.
+
+    Default (1 block/stage, widths 16/32/64) has 9 convolutions incl.
+    downsample projections — the same topology rules as ResNet-50 at a
+    size numpy can retrain in minutes.
+    """
+    return ResNet(
+        factory or FP32Factory(),
+        BasicBlock,
+        stage_blocks=[blocks_per_stage] * len(widths),
+        stage_channels=list(widths),
+        num_classes=num_classes,
+        in_channels=in_channels,
+        imagenet_stem=False,
+    )
+
+
+def resnet18(
+    factory: Optional[LayerFactory] = None,
+    num_classes: int = 1000,
+    in_channels: int = 3,
+) -> ResNet:
+    """ResNet-18 (basic blocks, ImageNet stem) — 11.7M parameters."""
+    return ResNet(
+        factory or FP32Factory(),
+        BasicBlock,
+        stage_blocks=[2, 2, 2, 2],
+        stage_channels=[64, 128, 256, 512],
+        num_classes=num_classes,
+        in_channels=in_channels,
+        imagenet_stem=True,
+    )
+
+
+def resnet34(
+    factory: Optional[LayerFactory] = None,
+    num_classes: int = 1000,
+    in_channels: int = 3,
+) -> ResNet:
+    """ResNet-34 (basic blocks, ImageNet stem) — 21.8M parameters."""
+    return ResNet(
+        factory or FP32Factory(),
+        BasicBlock,
+        stage_blocks=[3, 4, 6, 3],
+        stage_channels=[64, 128, 256, 512],
+        num_classes=num_classes,
+        in_channels=in_channels,
+        imagenet_stem=True,
+    )
+
+
+def count_conv_layers(model: Module) -> int:
+    """Number of convolution layers (incl. downsamples), as the paper counts."""
+    from repro.nn.conv import Conv2d
+
+    return sum(1 for m in model.modules() if isinstance(m, Conv2d))

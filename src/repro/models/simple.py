@@ -1,0 +1,74 @@
+"""Small reference networks for tests and examples."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.models.factory import FP32Factory, LayerFactory
+from repro.nn.activation import Flatten
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.container import Sequential
+from repro.nn.module import Module
+from repro.nn.pooling import GlobalAvgPool2d
+from repro.tensor.tensor import Tensor
+
+
+class SimpleCNN(Module):
+    """conv-BN-act stack + classifier; fast smoke-test network."""
+
+    def __init__(
+        self,
+        factory: Optional[LayerFactory] = None,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        widths: Sequence[int] = (16, 32),
+    ):
+        super().__init__()
+        factory = factory or FP32Factory()
+        self.input_adapter = factory.input_adapter()
+        layers = []
+        current = in_channels
+        for i, width in enumerate(widths):
+            role = "first" if i == 0 else "hidden"
+            stride = 1 if i == 0 else 2
+            layers.append(factory.conv(current, width, 3, stride, 1, role=role))
+            layers.append(BatchNorm2d(width))
+            layers.append(factory.activation())
+            current = width
+        self.features = Sequential(*layers)
+        self.pool = GlobalAvgPool2d()
+        self.flatten = Flatten()
+        self.fc = factory.classifier(current, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.input_adapter(x)
+        out = self.features(out)
+        return self.fc(self.flatten(self.pool(out)))
+
+
+class MLP(Module):
+    """Plain multilayer perceptron on flattened inputs."""
+
+    def __init__(
+        self,
+        factory: Optional[LayerFactory] = None,
+        in_features: int = 64,
+        hidden: Sequence[int] = (64,),
+        num_classes: int = 10,
+    ):
+        super().__init__()
+        factory = factory or FP32Factory()
+        self.flatten = Flatten()
+        layers = []
+        current = in_features
+        for width in hidden:
+            layers.append(factory.classifier(current, width))
+            layers.append(factory.activation())
+            current = width
+        self.hidden = Sequential(*layers)
+        self.fc = factory.classifier(current, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.flatten(x)
+        out = self.hidden(out)
+        return self.fc(out)

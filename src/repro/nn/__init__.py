@@ -1,0 +1,39 @@
+"""Neural-network modules (the Distiller/PyTorch substrate).
+
+Provides a ``Module`` system with parameters, buffers, train/eval modes
+and state dicts, plus the layers ResNet-50 needs: ``Conv2d``, ``Linear``,
+``BatchNorm2d``, ReLU variants, pooling, and containers.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.module import Module
+from repro.nn.container import Sequential, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv2d
+from repro.nn.batchnorm import BatchNorm2d, BatchNorm1d
+from repro.nn.activation import ReLU, ClippedReLU, Dropout, Identity, Flatten
+from repro.nn.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn import init
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "ReLU",
+    "ClippedReLU",
+    "Dropout",
+    "Identity",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "init",
+]

@@ -1,0 +1,73 @@
+"""Activation and shape-utility modules."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class ReLU(Module):
+    """Standard rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class ClippedReLU(Module):
+    """ReLU clipped at ``ceiling`` (default 1).
+
+    DoReFa replaces every activation with this so that activations are
+    bounded in [0, 1]; the bound is what lets the AMS error model place
+    the binary point (paper Fig. 2).
+    """
+
+    def __init__(self, ceiling: float = 1.0):
+        super().__init__()
+        self.ceiling = ceiling
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.clipped_relu(x, self.ceiling)
+
+    def __repr__(self) -> str:
+        return f"ClippedReLU(ceiling={self.ceiling})"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng=None):
+        super().__init__()
+        import numpy as np
+
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class Identity(Module):
+    """No-op module (useful as a placeholder when swapping layers)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+class Flatten(Module):
+    """Flatten all dims after the batch dim."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+    def __repr__(self) -> str:
+        return "Flatten()"

@@ -1,0 +1,53 @@
+"""Batch normalization layers.
+
+Batch norm is central to the paper: Section 3 shows that when retraining
+with AMS error in the loop, it is the batch-norm layers (their learnable
+scale/shift) that recover accuracy by pushing activation means away from
+zero.  These layers therefore keep full-precision parameters (Distiller's
+DoReFa leaves BN unquantized) and expose a ``freeze``-friendly interface.
+"""
+
+from __future__ import annotations
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class _BatchNorm(Module):
+    """Shared implementation for 1-D and 2-D batch norm."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(init.ones((num_features,)))  # gamma
+        self.bias = Parameter(init.zeros((num_features,)))  # beta
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_features}, eps={self.eps})"
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch norm over the channel axis of NCHW input."""
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch norm over the feature axis of NC input."""

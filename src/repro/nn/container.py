@@ -1,0 +1,55 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class Sequential(Module):
+    """Run modules in order, feeding each output to the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        for i, module in enumerate(modules):
+            setattr(self, str(i), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+
+class ModuleList(Module):
+    """Hold submodules in a list so they are registered for iteration."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._count = 0
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        setattr(self, str(self._count), module)
+        self._count += 1
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[str(index % self._count if index < 0 else index)]

@@ -1,0 +1,57 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that
+every experiment in the repo is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for linear or conv weight shapes."""
+    if len(shape) == 2:  # (out, in)
+        return shape[1], shape[0]
+    if len(shape) == 4:  # (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ConfigError(f"cannot infer fan for weight shape {shape}")
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He-normal initialization (suited to ReLU nets)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He-uniform initialization."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-normal initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,42 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform((out_features, in_features), rng, gain=1.0)
+        )
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

@@ -1,0 +1,29 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy from logits and integer labels."""
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, labels)
+
+    def __repr__(self) -> str:
+        return "CrossEntropyLoss()"
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return F.mse_loss(pred, target)
+
+    def __repr__(self) -> str:
+        return "MSELoss()"

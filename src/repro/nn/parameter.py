@@ -1,0 +1,22 @@
+"""Trainable parameter type."""
+
+from __future__ import annotations
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is always trainable.
+
+    Unlike ordinary tensors, a Parameter requires grad even when created
+    inside a ``no_grad`` block, so module construction is insensitive to
+    the surrounding grad mode.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+        # Tensor.__init__ masks requires_grad with the global grad mode;
+        # parameters must stay trainable regardless.
+        self.requires_grad = True

@@ -1,0 +1,61 @@
+"""Pooling modules."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class MaxPool2d(Module):
+    """Max pooling (supports the overlapping 3x3/stride-2 ResNet stem pool)."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None,
+                 padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaxPool2d(kernel={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding})"
+        )
+
+
+class AvgPool2d(Module):
+    """Average pooling."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None,
+                 padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"AvgPool2d(kernel={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding})"
+        )
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+    def __repr__(self) -> str:
+        return "GlobalAvgPool2d()"

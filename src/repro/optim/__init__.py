@@ -1,0 +1,7 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import StepLR, CosineLR, ConstantLR
+
+__all__ = ["SGD", "Adam", "StepLR", "CosineLR", "ConstantLR"]

@@ -1,0 +1,32 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.errors import ConfigError
+from repro.nn.parameter import Parameter
+
+
+class Optimizer:
+    """Holds a parameter list and updates it from accumulated gradients.
+
+    Parameters with ``requires_grad=False`` (frozen, as in the paper's
+    Table 2 experiments) are skipped even if they somehow carry a
+    gradient, so freezing is effective regardless of graph wiring.
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ConfigError("optimizer received no parameters")
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,41 @@
+"""DoReFa-style quantization (weights + activations) with STE training.
+
+This is the repo's stand-in for Distiller's DoReFa implementation, which
+the paper builds on: convolutional weights are squashed to [-1, 1] and
+quantized to ``BW`` bits; activations are clipped to [0, 1] by a clipped
+ReLU and quantized to ``BX`` bits; gradients flow through both via the
+straight-through estimator.  As in Distiller, gradients and batch-norm
+parameters are *not* quantized.
+"""
+
+from repro.quant.dorefa import (
+    quantize_unit_interval,
+    quantize_symmetric,
+    dorefa_quantize_weight,
+    dorefa_quantize_activation,
+    weight_levels,
+)
+from repro.quant.qmodules import (
+    QuantConfig,
+    QuantConv2d,
+    QuantLinear,
+    QuantClippedReLU,
+    InputQuantizer,
+)
+from repro.quant.fold import fold_batchnorm
+from repro.quant.deploy import fold_model_batchnorms
+
+__all__ = [
+    "quantize_unit_interval",
+    "quantize_symmetric",
+    "dorefa_quantize_weight",
+    "dorefa_quantize_activation",
+    "weight_levels",
+    "QuantConfig",
+    "QuantConv2d",
+    "QuantLinear",
+    "QuantClippedReLU",
+    "InputQuantizer",
+    "fold_batchnorm",
+    "fold_model_batchnorms",
+]

@@ -1,0 +1,110 @@
+"""Deployment-time batch-norm folding for whole models.
+
+The paper's justification for leaving BN unquantized: "after retraining,
+weights can be folded into the convolutional layer, while biases can be
+added digitally at little extra energy cost."  This module performs that
+fold on a trained network so the deployed inference graph contains only
+convolutions (with per-channel bias) and activations — the form an AMS
+accelerator actually executes, where the folded scale rides on the
+D-to-A weight codes and the bias is a digital post-ADC add.
+
+The fold walks the module tree looking for the conv/BN attribute pairs
+our architectures use (``conv1``/``bn1``, ``stem_conv``/``stem_bn``,
+``conv``/``bn``, ...).  Quantized convolutions are materialized — the
+folded weight is computed from the *quantized* weight, so a DoReFa
+network folds into exactly the function it evaluated before folding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.activation import Identity
+from repro.nn.batchnorm import _BatchNorm
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.quant.fold import fold_batchnorm
+from repro.quant.qmodules import QuantConv2d
+
+
+def _find_conv(module: Module):
+    """The Conv2d inside a compute-layer Sequential (or the module itself)."""
+    if isinstance(module, Conv2d):
+        return module
+    if isinstance(module, Sequential) and len(module) >= 1:
+        first = module[0]
+        if isinstance(first, Conv2d):
+            return first
+    return None
+
+
+def _conv_bn_pairs(model: Module) -> List[Tuple[Module, str, str]]:
+    """All (parent, conv_attr, bn_attr) pairs eligible for folding."""
+    pairs = []
+    for _, module in model.named_modules():
+        for name, child in list(module._modules.items()):
+            if _find_conv(child) is None:
+                continue
+            bn_name = name.replace("conv", "bn")
+            if bn_name == name:
+                continue
+            sibling = module._modules.get(bn_name)
+            if isinstance(sibling, _BatchNorm):
+                pairs.append((module, name, bn_name))
+    return pairs
+
+
+def fold_model_batchnorms(model: Module) -> int:
+    """Fold every conv+BN pair of a trained model, in place.
+
+    After folding, each affected convolution is a plain :class:`Conv2d`
+    whose weights absorb the BN scale (materialized from the quantized
+    weights for DoReFa convs) and whose bias absorbs the BN shift; the
+    BN modules become :class:`Identity`.  The model must be used in
+    eval mode afterwards (running statistics are consumed by the fold).
+
+    Returns the number of pairs folded; raises if none were found.
+    """
+    pairs = _conv_bn_pairs(model)
+    if not pairs:
+        raise ConfigError("no conv/batch-norm pairs found to fold")
+    for parent, conv_name, bn_name in pairs:
+        wrapper = parent._modules[conv_name]
+        conv = _find_conv(wrapper)
+        bn = parent._modules[bn_name]
+        # Materialize the effective weight (quantized if applicable).
+        effective = Conv2d(
+            conv.in_channels,
+            conv.out_channels,
+            conv.kernel_size,
+            stride=conv.stride,
+            padding=conv.padding,
+            bias=True,
+        )
+        if isinstance(conv, QuantConv2d):
+            effective.weight.data = conv.quantized_weight().data.copy()
+        else:
+            effective.weight.data = conv.weight.data.copy()
+        if conv.bias is not None:
+            effective.bias.data = conv.bias.data.copy()
+        else:
+            effective.bias.data = np.zeros(
+                conv.out_channels, dtype=np.float32
+            )
+        weight, bias = fold_batchnorm(effective, bn)
+        effective.weight = Parameter(weight)
+        effective.bias = Parameter(bias)
+        # Swap in: keep any trailing layers (probes/injectors) intact.
+        if isinstance(wrapper, Sequential):
+            tail = list(wrapper)[1:]
+            setattr(parent, conv_name, Sequential(effective, *tail))
+        else:
+            setattr(parent, conv_name, effective)
+        setattr(parent, bn_name, Identity())
+    model.eval()
+    return len(pairs)

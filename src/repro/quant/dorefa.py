@@ -1,0 +1,91 @@
+"""DoReFa quantization functions (Zhou et al., 2016 [28]).
+
+All functions operate on autograd tensors and use the straight-through
+estimator for the rounding step, so quantization can sit inside the
+training loop exactly as in the paper's Distiller-based setup.
+
+Key property relied on by the AMS error model (paper Section 2):
+DoReFa "caps all weights and activations at 1", so the ideal dot product
+of ``Ntot`` weight/activation pairs lies in ``[-Ntot, Ntot]`` and the
+binary point of Fig. 2 is known without per-layer calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.tensor.functional import straight_through
+from repro.tensor.tensor import Tensor
+
+
+def weight_levels(bits: int) -> int:
+    """Number of quantization levels for ``bits``-bit DoReFa values."""
+    if bits < 1:
+        raise ConfigError(f"bit width must be >= 1, got {bits}")
+    return (1 << bits) - 1
+
+
+def quantize_unit_interval(x: Tensor, bits: int) -> Tensor:
+    """Quantize values in [0, 1] to ``bits`` bits with STE backward.
+
+    ``quantize_k`` from the DoReFa paper:
+    ``q = round(x * (2^k - 1)) / (2^k - 1)``.
+    """
+    if bits >= 32:
+        return x
+    levels = weight_levels(bits)
+    return straight_through(x, lambda d: np.round(d * levels) / levels)
+
+
+def quantize_symmetric(x: Tensor, bits: int) -> Tensor:
+    """Quantize values in [-1, 1] to ``bits``-bit signed values (STE).
+
+    Uses a symmetric mid-tread quantizer with ``2^(bits-1) - 1`` positive
+    steps, matching the paper's sign-magnitude representation (one sign
+    bit, ``bits - 1`` magnitude bits).
+    """
+    if bits >= 32:
+        return x
+    if bits < 2:
+        raise ConfigError("signed quantization needs at least 2 bits")
+    steps = (1 << (bits - 1)) - 1
+    return straight_through(x, lambda d: np.round(d * steps) / steps)
+
+
+def dorefa_quantize_weight(w: Tensor, bits: int) -> Tensor:
+    """DoReFa weight quantization to ``bits`` bits.
+
+    The weight is squashed by ``tanh`` and normalized by the maximum
+    absolute squashed value (a detached constant, as in Distiller), so
+    the result lies in [-1, 1]:
+
+    ``w_q = 2 * quantize_k(tanh(w) / (2 max|tanh(w)|) + 1/2, k) - 1``
+    """
+    if bits >= 32:
+        return w
+    squashed = w.tanh()
+    scale = float(np.abs(squashed.data).max())
+    if scale == 0.0:
+        scale = 1.0
+    # Divide rather than multiply by the reciprocal: for subnormal
+    # scales, 0.5/scale overflows float32 while squashed/scale stays
+    # finite (found by the property-based tests).
+    unit = squashed / (2.0 * scale) + 0.5  # -> [0, 1]
+    quantized = quantize_unit_interval(unit, bits)
+    return quantized * 2.0 - 1.0
+
+
+def dorefa_quantize_activation(a: Tensor, bits: int, ceiling: float = 1.0) -> Tensor:
+    """DoReFa activation quantization: clip to [0, ceiling], quantize.
+
+    The clip is the "quantized ReLU" of paper Fig. 3; with
+    ``ceiling=1`` the output activations are bounded in [0, 1].
+    """
+    clipped = a.clip(0.0, ceiling)
+    if bits >= 32:
+        return clipped
+    if ceiling != 1.0:
+        normalized = clipped * (1.0 / ceiling)
+        return quantize_unit_interval(normalized, bits) * ceiling
+    return quantize_unit_interval(clipped, bits)

@@ -1,0 +1,39 @@
+"""Batch-norm folding.
+
+The paper notes that after retraining, batch-norm weights "can be folded
+into the convolutional layer, while biases can be added digitally at
+little extra energy cost" — which is why leaving BN unquantized is
+acceptable.  This module implements that folding for deployment-style
+inference.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.batchnorm import _BatchNorm
+from repro.nn.conv import Conv2d
+
+
+def fold_batchnorm(conv: Conv2d, bn: _BatchNorm) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold BN statistics/affine params into conv weights and bias.
+
+    Returns ``(weight, bias)`` such that for any input ``x``::
+
+        conv_fold(x) == bn(conv(x))    (in eval mode)
+
+    with ``weight`` shaped like ``conv.weight`` and ``bias`` per output
+    channel.  The conv's own bias (if any) is absorbed.
+    """
+    gamma = bn.weight.data
+    beta = bn.bias.data
+    mean = bn.running_mean
+    var = bn.running_var
+    scale = gamma / np.sqrt(var + bn.eps)  # per output channel
+
+    weight = conv.weight.data * scale.reshape(-1, 1, 1, 1)
+    conv_bias = conv.bias.data if conv.bias is not None else 0.0
+    bias = (conv_bias - mean) * scale + beta
+    return weight.astype(np.float32), bias.astype(np.float32)

@@ -1,0 +1,146 @@
+"""Quantized layer modules (the pieces of paper Fig. 3).
+
+A quantized convolutional layer in the paper's setup is::
+
+    [quantized input acts] -> Conv(w quantized to BW bits)
+        -> (AMS error injection, see repro.ams)
+        -> BatchNorm (FP32)
+        -> ReLU clipped at 1 -> quantize to BX bits
+
+``QuantConv2d`` / ``QuantLinear`` quantize their weights on every
+forward pass (training quantization with STE); ``QuantClippedReLU`` is
+the quantized activation; ``InputQuantizer`` performs the paper's
+first-layer treatment (rescale inputs by the maximum magnitude so they
+lie in [-1, 1], then quantize to BX signed bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.quant.dorefa import (
+    dorefa_quantize_activation,
+    dorefa_quantize_weight,
+    quantize_symmetric,
+)
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Bit widths for DoReFa quantization.
+
+    ``bw``/``bx`` of 32 mean "leave at FP32" (the paper's baseline row).
+    """
+
+    bw: int = 8
+    bx: int = 8
+
+    def __post_init__(self):
+        for name, bits in (("bw", self.bw), ("bx", self.bx)):
+            if bits < 2:
+                raise ConfigError(f"{name} must be >= 2 (or 32 for FP32), got {bits}")
+
+    @property
+    def is_fp32(self) -> bool:
+        return self.bw >= 32 and self.bx >= 32
+
+
+class QuantConv2d(Conv2d):
+    """Conv2d whose weights are DoReFa-quantized to ``bw`` bits per forward.
+
+    The underlying FP32 weight remains the trainable parameter; the STE
+    lets gradients update it through the quantizer.
+    """
+
+    def __init__(self, *args, bw: int = 8, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bw = bw
+
+    def quantized_weight(self) -> Tensor:
+        return dorefa_quantize_weight(self.weight, self.bw)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(
+            x,
+            self.quantized_weight(),
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+        )
+
+    def __repr__(self) -> str:
+        return super().__repr__().replace("Conv2d(", f"QuantConv2d(bw={self.bw}, ")
+
+
+class QuantLinear(Linear):
+    """Linear layer with DoReFa-quantized weights."""
+
+    def __init__(self, *args, bw: int = 8, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bw = bw
+
+    def quantized_weight(self) -> Tensor:
+        return dorefa_quantize_weight(self.weight, self.bw)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.quantized_weight(), self.bias)
+
+    def __repr__(self) -> str:
+        return f"QuantLinear(bw={self.bw}, in={self.in_features}, out={self.out_features})"
+
+
+class QuantClippedReLU(Module):
+    """The "Quantized ReLU" of Fig. 3: clip to [0, 1], quantize to bx bits."""
+
+    def __init__(self, bx: int = 8, ceiling: float = 1.0):
+        super().__init__()
+        self.bx = bx
+        self.ceiling = ceiling
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dorefa_quantize_activation(x, self.bx, self.ceiling)
+
+    def __repr__(self) -> str:
+        return f"QuantClippedReLU(bx={self.bx}, ceiling={self.ceiling})"
+
+
+class InputQuantizer(Module):
+    """First-layer input treatment from paper Section 2.
+
+    Network inputs are not outputs of a clipped ReLU, so they must be
+    bounded before quantization: "we rescale them by the maximum input
+    activation value so that they lie in the range [-1, 1] before
+    quantizing".  The maximum is calibrated from data (either fixed at
+    construction or tracked from the first batches).
+    """
+
+    def __init__(self, bx: int = 8, max_abs: Optional[float] = None):
+        super().__init__()
+        self.bx = bx
+        self.max_abs = max_abs
+
+    def calibrate(self, images: np.ndarray) -> None:
+        """Set the rescaling constant from a sample of input images."""
+        self.max_abs = float(np.abs(images).max())
+
+    def forward(self, x: Tensor) -> Tensor:
+        scale = self.max_abs
+        if scale is None:
+            # Fall back to per-batch max; deterministic once calibrated.
+            scale = float(np.abs(x.data).max())
+        if scale == 0.0:
+            scale = 1.0
+        bounded = (x * (1.0 / scale)).clip(-1.0, 1.0)
+        return quantize_symmetric(bounded, self.bx)
+
+    def __repr__(self) -> str:
+        return f"InputQuantizer(bx={self.bx}, max_abs={self.max_abs})"

@@ -1,0 +1,31 @@
+"""Reverse-mode autograd engine on top of numpy.
+
+This subpackage is the substrate that replaces PyTorch in the paper's
+stack.  :class:`~repro.tensor.tensor.Tensor` wraps a float32 numpy array
+and records the operations applied to it; calling
+:meth:`~repro.tensor.tensor.Tensor.backward` runs reverse-mode automatic
+differentiation through the recorded graph.
+
+:mod:`repro.tensor.functional` provides the neural-network operators
+(convolution, pooling, batch norm, losses) and the two non-standard
+primitives the paper requires:
+
+- :func:`~repro.tensor.functional.straight_through` — DoReFa's
+  straight-through estimator (arbitrary forward, identity backward).
+- forward-only additive noise (AMS error injection) falls out of
+  ordinary addition with a constant, non-differentiable tensor.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor import functional
+from repro.tensor.gradcheck import numerical_gradient, check_gradients
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "numerical_gradient",
+    "check_gradients",
+]

@@ -1,0 +1,76 @@
+"""Numerical gradient checking for the autograd engine.
+
+Used by the test suite to validate every primitive's backward pass
+against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    tensors: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*tensors))`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function of the given tensors returning a Tensor.
+    tensors:
+        All tensor inputs to ``fn``.
+    index:
+        Which input to differentiate with respect to.
+    eps:
+        Finite-difference step (float32 arithmetic needs a fairly large
+        step; 1e-3 is a good default).
+    """
+    target = tensors[index]
+    flat = target.data.reshape(-1)
+    grad = np.zeros_like(flat, dtype=np.float64)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*tensors).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*tensors).data.sum())
+        flat[i] = original
+        grad[i] = (plus - minus) / (2.0 * eps)
+    return grad.reshape(target.shape).astype(np.float32)
+
+
+def check_gradients(
+    fn: Callable[..., Tensor],
+    tensors: Sequence[Tensor],
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+    eps: float = 1e-3,
+) -> None:
+    """Assert analytic gradients match finite differences for all inputs.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch.
+    """
+    for t in tensors:
+        t.zero_grad()
+    out = fn(*tensors)
+    out.sum().backward()
+    for i, t in enumerate(tensors):
+        if not t.requires_grad:
+            continue
+        numeric = numerical_gradient(fn, tensors, i, eps=eps)
+        analytic = t.grad
+        assert analytic is not None, f"input {i} got no gradient"
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch on input {i}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )

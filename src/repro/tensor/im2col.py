@@ -1,0 +1,104 @@
+"""im2col / col2im transforms for fast convolution on numpy.
+
+Convolution is implemented by unfolding input patches into the columns of
+a matrix and performing a single large matrix multiply, the standard
+approach for CPU deep-learning kernels.  ``col2im`` is the exact adjoint
+of ``im2col`` and is used in the backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"non-positive conv output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Unfold an NCHW array into patch columns.
+
+    Returns an array of shape ``(N * out_h * out_w, C * kh * kw)`` whose
+    rows are the flattened receptive fields, ordered so that
+    ``cols.reshape(N, out_h, out_w, -1)`` recovers spatial layout.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+
+    # Strided view: (N, C, out_h, out_w, kh, kw)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * sh,
+        x.strides[3] * sw,
+        x.strides[2],
+        x.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, out_h, out_w, kh, kw), strides=strides, writeable=False
+    )
+    # -> (N, out_h, out_w, C, kh, kw) -> rows
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n * out_h * out_w, c * kh * kw
+    )
+    return np.ascontiguousarray(cols)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patch columns back.
+
+    Given ``cols`` of shape ``(N * out_h * out_w, C * kh * kw)``, returns
+    an array of the original shape ``x_shape`` where every patch element
+    has been accumulated into its source position.
+    """
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = conv_output_size(h, kh, sh, ph)
+    out_w = conv_output_size(w, kw, sw, pw)
+
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(
+        0, 3, 1, 2, 4, 5
+    )
+    # Accumulate each kernel offset with a strided slice; this loops only
+    # over kh*kw (small) rather than over all output positions.
+    for i in range(kh):
+        h_end = i + sh * out_h
+        for j in range(kw):
+            w_end = j + sw * out_w
+            padded[:, :, i:h_end:sh, j:w_end:sw] += patches[:, :, :, :, i, j]
+
+    if ph or pw:
+        return padded[:, :, ph : ph + h, pw : pw + w]
+    return padded

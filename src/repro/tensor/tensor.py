@@ -1,0 +1,522 @@
+"""The :class:`Tensor` class and the reverse-mode autograd engine.
+
+A :class:`Tensor` wraps a numpy array (float32 by default) together with
+an optional gradient and a record of how it was produced.  Operations on
+tensors build a DAG; :meth:`Tensor.backward` topologically sorts the DAG
+and accumulates gradients into every leaf tensor that has
+``requires_grad=True``.
+
+Design notes
+------------
+- Gradients are plain numpy arrays, not tensors; second-order autograd is
+  out of scope (the paper needs only first-order training).
+- Broadcasting follows numpy semantics; gradients are sum-reduced back to
+  the parent shape by :func:`_sum_to_shape`.
+- A global flag (:func:`no_grad`) disables graph recording during
+  evaluation, which keeps validation passes cheap.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GradientError, ShapeError
+
+DEFAULT_DTYPE = np.float32
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables autograd graph recording.
+
+    Inside the block, operations produce tensors with
+    ``requires_grad=False`` and no parents, exactly like
+    ``torch.no_grad``.
+    """
+    previous = is_grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = previous
+
+
+def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    """Coerce scalars / lists / arrays to a numpy array of ``dtype``."""
+    if isinstance(value, np.ndarray):
+        if value.dtype == dtype:
+            return value
+        return value.astype(dtype)
+    return np.asarray(value, dtype=dtype)
+
+
+def _sum_to_shape(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce a broadcast gradient back down to ``shape``.
+
+    numpy broadcasting can expand a parent of shape ``shape`` to the
+    output shape; the gradient flowing back must be summed over the
+    broadcast axes so that ``grad.shape == shape``.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(
+        i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape != shape:
+        raise ShapeError(
+            f"cannot reduce gradient of shape {grad.shape} to {shape}"
+        )
+    return grad
+
+
+GradFn = Callable[[np.ndarray], np.ndarray]
+
+
+class Tensor:
+    """A numpy-backed array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy array.  Stored as float32 unless
+        another dtype is given.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` during
+        :meth:`backward`.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self.name = name
+        # Sequence of (parent, grad_fn) pairs; grad_fn maps the gradient
+        # w.r.t. this tensor to the gradient contribution for the parent.
+        self._parents: Tuple[Tuple["Tensor", GradFn], ...] = ()
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return (
+            f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}"
+            f"{label})"
+        )
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a float."""
+        if self.data.size != 1:
+            raise ShapeError(
+                f"item() requires a 1-element tensor, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to ``None``."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _result(
+        data: np.ndarray,
+        parents: Sequence[Tuple["Tensor", GradFn]],
+    ) -> "Tensor":
+        """Create an op result, wiring parents only if grad is enabled."""
+        tracked = [
+            (p, fn) for p, fn in parents if p.requires_grad
+        ] if is_grad_enabled() else []
+        out = Tensor(data, requires_grad=bool(tracked))
+        out._parents = tuple(tracked)
+        return out
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to ones; for a scalar loss simply call ``loss.backward()``.
+        """
+        if not self.requires_grad:
+            raise GradientError(
+                "backward() called on a tensor that does not require grad"
+            )
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad, self.data.dtype)
+            if grad.shape != self.shape:
+                raise ShapeError(
+                    f"backward grad shape {grad.shape} != tensor shape {self.shape}"
+                )
+
+        order = self._topological_order()
+        grads: dict = {id(self): grad}
+        for node in order:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if not node._parents:
+                # Leaf: accumulate.
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            for parent, grad_fn in node._parents:
+                contribution = grad_fn(node_grad)
+                existing = grads.get(id(parent))
+                grads[id(parent)] = (
+                    contribution if existing is None else existing + contribution
+                )
+
+    def _topological_order(self) -> list:
+        """Return nodes reachable from ``self`` in reverse topological order."""
+        order: list = []
+        visited: set = set()
+        stack: list = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data + other.data
+        return Tensor._result(
+            out_data,
+            [
+                (self, lambda g: _sum_to_shape(g, self.shape)),
+                (other, lambda g: _sum_to_shape(g, other.shape)),
+            ],
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._result(-self.data, [(self, lambda g: -g)])
+
+    def __sub__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        return Tensor._result(
+            self.data - other.data,
+            [
+                (self, lambda g: _sum_to_shape(g, self.shape)),
+                (other, lambda g: _sum_to_shape(-g, other.shape)),
+            ],
+        )
+
+    def __rsub__(self, other) -> "Tensor":
+        return _ensure_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        return Tensor._result(
+            self.data * other.data,
+            [
+                (self, lambda g: _sum_to_shape(g * other.data, self.shape)),
+                (other, lambda g: _sum_to_shape(g * self.data, other.shape)),
+            ],
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+        return Tensor._result(
+            self.data / other.data,
+            [
+                (self, lambda g: _sum_to_shape(g / other.data, self.shape)),
+                (
+                    other,
+                    lambda g: _sum_to_shape(
+                        -g * self.data / (other.data * other.data), other.shape
+                    ),
+                ),
+            ],
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return _ensure_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+        return Tensor._result(
+            out_data,
+            [(self, lambda g: g * exponent * self.data ** (exponent - 1))],
+        )
+
+    # comparison helpers (non-differentiable, return numpy arrays)
+    def __gt__(self, other) -> np.ndarray:
+        return self.data > _raw(other)
+
+    def __lt__(self, other) -> np.ndarray:
+        return self.data < _raw(other)
+
+    def __ge__(self, other) -> np.ndarray:
+        return self.data >= _raw(other)
+
+    def __le__(self, other) -> np.ndarray:
+        return self.data <= _raw(other)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.shape
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            if axis is None:
+                return np.broadcast_to(g, shape).astype(g.dtype, copy=False)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            return np.broadcast_to(g, shape)
+
+        return Tensor._result(out_data, [(self, grad_fn)])
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0), differentiable."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            expanded = out_data
+            grad = g
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(out_data, axis)
+                grad = np.expand_dims(g, axis)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            # Split gradient evenly among ties, matching numpy-style subgradient.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return mask * grad / counts
+
+        return Tensor._result(out_data, [(self, grad_fn)])
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.shape
+        out_data = self.data.reshape(shape)
+        return Tensor._result(
+            out_data, [(self, lambda g: g.reshape(original))]
+        )
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = tuple(np.argsort(axes))
+        return Tensor._result(
+            self.data.transpose(axes),
+            [(self, lambda g: g.transpose(inverse))],
+        )
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        shape = self.shape
+        dtype = self.dtype
+
+        def grad_fn(g: np.ndarray) -> np.ndarray:
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, index, g)
+            return full
+
+        return Tensor._result(out_data, [(self, grad_fn)])
+
+    # ------------------------------------------------------------------
+    # elementwise math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        return Tensor._result(out_data, [(self, lambda g: g * out_data)])
+
+    def log(self) -> "Tensor":
+        return Tensor._result(
+            np.log(self.data), [(self, lambda g: g / self.data)]
+        )
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+        return Tensor._result(
+            out_data, [(self, lambda g: g * 0.5 / out_data)]
+        )
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+        return Tensor._result(
+            out_data, [(self, lambda g: g * (1.0 - out_data * out_data))]
+        )
+
+    def abs(self) -> "Tensor":
+        return Tensor._result(
+            np.abs(self.data), [(self, lambda g: g * np.sign(self.data))]
+        )
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values to ``[low, high]``; gradient is zero outside."""
+        out_data = np.clip(self.data, low, high)
+        mask = ((self.data >= low) & (self.data <= high)).astype(self.dtype)
+        return Tensor._result(out_data, [(self, lambda g: g * mask)])
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(self.dtype)
+        return Tensor._result(self.data * mask, [(self, lambda g: g * mask)])
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = _ensure_tensor(other)
+        if self.ndim != 2 or other.ndim != 2:
+            raise ShapeError(
+                f"matmul expects 2-D operands, got {self.shape} @ {other.shape}"
+            )
+        out_data = self.data @ other.data
+        return Tensor._result(
+            out_data,
+            [
+                (self, lambda g: g @ other.data.T),
+                (other, lambda g: self.data.T @ g),
+            ],
+        )
+
+    __matmul__ = matmul
+
+
+def _raw(value) -> np.ndarray:
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def _ensure_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def tensor(data, requires_grad: bool = False, name: str = "") -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    parents = []
+    offset = 0
+    for t in tensors:
+        width = t.shape[axis]
+        start, stop = offset, offset + width
+
+        def grad_fn(g: np.ndarray, start=start, stop=stop) -> np.ndarray:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, stop)
+            return g[tuple(slicer)]
+
+        parents.append((t, grad_fn))
+        offset = stop
+    return Tensor._result(out_data, parents)
+
+
+def pad2d(x: Tensor, padding: Union[int, Tuple[int, int]]) -> Tensor:
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+    if isinstance(padding, int):
+        ph = pw = padding
+    else:
+        ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    out_data = np.pad(
+        x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant"
+    )
+
+    def grad_fn(g: np.ndarray) -> np.ndarray:
+        return g[:, :, ph : g.shape[2] - ph, pw : g.shape[3] - pw]
+
+    return Tensor._result(out_data, [(x, grad_fn)])

@@ -1,0 +1,32 @@
+"""Training, retraining and evaluation workflow.
+
+Mirrors the paper's Section 3 methodology: retraining from a pretrained
+FP32 network after swapping in quantized/AMS layers, constant learning
+rate with early stopping when validation accuracy begins to decrease,
+repeated validation passes for mean +/- sample std, selective layer
+freezing (Table 2), and activation-mean instrumentation (Fig. 6).
+"""
+
+from repro.train.trainer import Trainer, TrainConfig, TrainResult
+from repro.train.evaluate import evaluate_accuracy, repeated_evaluate, EvalStats
+from repro.train.freeze import freeze_layers, FREEZE_GROUPS
+from repro.train.hooks import Probe, collect_probes, set_probes_enabled
+from repro.train.recalibrate import recalibrate_batchnorm
+from repro.train.ensemble import ensemble_evaluate, effective_enob
+
+__all__ = [
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+    "evaluate_accuracy",
+    "repeated_evaluate",
+    "EvalStats",
+    "freeze_layers",
+    "FREEZE_GROUPS",
+    "Probe",
+    "collect_probes",
+    "set_probes_enabled",
+    "recalibrate_batchnorm",
+    "ensemble_evaluate",
+    "effective_enob",
+]

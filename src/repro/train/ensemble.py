@@ -1,0 +1,68 @@
+"""Training-free accuracy recovery: multi-sample noisy inference.
+
+The AMS error is zero-mean and independent across forward passes, so
+averaging the class probabilities of ``k`` noisy passes shrinks the
+effective error standard deviation by ``sqrt(k)`` — by Eq. 2 that is
+worth ``0.5 * log2(k)`` bits of effective ENOB, purchased with ``k``
+times the computation energy.  This gives system designers a *runtime*
+knob on the paper's energy-accuracy tradeoff: the same silicon can
+trade throughput/energy for accuracy per request.
+
+``effective_enob`` quantifies the exchange rate so results can be
+placed on the Fig. 8 grid.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigError
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def effective_enob(enob: float, samples: int) -> float:
+    """ENOB equivalent of averaging ``samples`` independent noisy passes.
+
+    Averaging divides the error variance by ``samples``; Eq. 2 gives
+    4x variance per bit, so the gain is ``0.5 * log2(samples)`` bits.
+    """
+    if samples < 1:
+        raise ConfigError(f"samples must be >= 1, got {samples}")
+    return enob + 0.5 * math.log2(samples)
+
+
+def ensemble_evaluate(
+    model: Module,
+    dataset: ArrayDataset,
+    samples: int = 4,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy with ``samples``-fold noisy logit averaging.
+
+    Each pass re-samples the injected AMS error; class probabilities
+    (softmax) are averaged before the argmax.  With ``samples=1`` this
+    reduces to plain evaluation.
+    """
+    if samples < 1:
+        raise ConfigError(f"samples must be >= 1, got {samples}")
+    loader = DataLoader(dataset, batch_size=batch_size)
+    model.eval()
+    correct = 0
+    total = 0
+    with no_grad():
+        for images, labels in loader:
+            batch = Tensor(images)
+            accumulated = None
+            for _ in range(samples):
+                probs = F.softmax(model(batch)).data
+                accumulated = (
+                    probs if accumulated is None else accumulated + probs
+                )
+            predictions = accumulated.argmax(axis=1)
+            correct += int((predictions == labels).sum())
+            total += len(labels)
+    return correct / total

@@ -1,0 +1,60 @@
+"""Selective layer freezing (paper Table 2).
+
+"To explore the mechanism behind the improvement in accuracy when AMS
+error is injected during training ..., we selectively froze different
+kinds of layers while retraining and compared the accuracy results."
+
+Groups follow the paper's rows: ``conv`` (all convolutional weights),
+``bn`` (batch-norm scale/shift), ``fc`` (the final fully-connected
+layer).  Freezing sets ``requires_grad=False`` on the parameters, which
+both stops optimizer updates and is honored by the autograd engine.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.errors import ConfigError
+from repro.nn.batchnorm import _BatchNorm
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+#: The freeze groups of paper Table 2.
+FREEZE_GROUPS = ("conv", "bn", "fc")
+
+_GROUP_TYPES = {
+    "conv": (Conv2d,),
+    "bn": (_BatchNorm,),
+    "fc": (Linear,),
+}
+
+
+def freeze_layers(model: Module, groups: Iterable[str]) -> int:
+    """Freeze the parameters of every module in the given groups.
+
+    Note ``conv`` matches quantized convolutions too (subclasses), and
+    ``fc`` matches every Linear — in the paper's ResNet-50 there is
+    exactly one.  Returns the number of parameters tensors frozen.
+    """
+    groups = set(groups)
+    unknown = groups - set(FREEZE_GROUPS)
+    if unknown:
+        raise ConfigError(f"unknown freeze groups {sorted(unknown)}")
+    types = tuple(t for g in groups for t in _GROUP_TYPES[g])
+    frozen = 0
+    if not types:
+        return frozen
+    for module in model.modules():
+        if isinstance(module, types):
+            for param in module._parameters.values():
+                param.requires_grad = False
+                frozen += 1
+    return frozen
+
+
+def frozen_parameter_names(model: Module) -> Set[str]:
+    """Names of parameters currently frozen (for assertions/logging)."""
+    return {
+        name for name, p in model.named_parameters() if not p.requires_grad
+    }

@@ -1,0 +1,83 @@
+"""Activation instrumentation (paper Fig. 6).
+
+The paper investigates *how* batch norm recovers accuracy by "saving and
+visualizing activation means at the output of every convolutional layer
+(the location where AMS error is injected)" across the validation set,
+finding that retraining pushes those means away from zero, and further
+for larger noise.
+
+:class:`Probe` is a pass-through module inserted at that location.  When
+enabled it accumulates a streaming mean (and mean of squares) of every
+element that flows through; when disabled it is free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class Probe(Module):
+    """Pass-through module that accumulates activation statistics."""
+
+    def __init__(self, label: str = ""):
+        super().__init__()
+        self.label = label
+        self.enabled = False
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear accumulated statistics."""
+        self._count = 0
+        self._total = 0.0
+        self._total_sq = 0.0
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.enabled:
+            data = x.data
+            self._count += data.size
+            self._total += float(data.sum(dtype="float64"))
+            self._total_sq += float((data.astype("float64") ** 2).sum())
+        return x
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean activation across everything observed since reset."""
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population std across everything observed since reset."""
+        if not self._count:
+            return 0.0
+        mean = self.mean
+        var = max(self._total_sq / self._count - mean * mean, 0.0)
+        return math.sqrt(var)
+
+    def __repr__(self) -> str:
+        return f"Probe(label={self.label!r}, enabled={self.enabled})"
+
+
+def collect_probes(model: Module) -> List[Probe]:
+    """All probes in the model, in definition order."""
+    return [m for m in model.modules() if isinstance(m, Probe)]
+
+
+def set_probes_enabled(model: Module, enabled: bool, reset: bool = True) -> None:
+    """Enable/disable (and optionally reset) every probe in the model."""
+    for probe in collect_probes(model):
+        probe.enabled = enabled
+        if reset:
+            probe.reset()
+
+
+def probe_means(model: Module) -> Dict[str, float]:
+    """Mapping of probe label to observed activation mean."""
+    return {p.label: p.mean for p in collect_probes(model)}

@@ -1,0 +1,7 @@
+"""Shared utilities: deterministic RNG, checkpoints, text tables."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.serialization import save_state, load_state
+from repro.utils.tabulate import format_table
+
+__all__ = ["new_rng", "spawn_rngs", "save_state", "load_state", "format_table"]

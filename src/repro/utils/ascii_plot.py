@@ -1,0 +1,81 @@
+"""Terminal line charts for the experiment harnesses.
+
+The paper's Figs. 4 and 5 are line plots of accuracy loss vs ENOB; the
+harness renders the same series as an ASCII chart so the figure's shape
+is visible directly in the terminal (and in CI logs) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
+
+_MARKERS = "ox+*#@"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 14,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named y-series over shared x values as an ASCII chart.
+
+    Each series gets a marker (legend printed underneath); points are
+    plotted on a ``width`` x ``height`` character grid with linear axes
+    spanning the data range.
+    """
+    if not x or not series:
+        raise ConfigError("need x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigError(
+                f"series {name!r} has {len(ys)} points for {len(x)} x values"
+            )
+    x_min, x_max = min(x), max(x)
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for xv, yv in zip(x, ys):
+            col = int(round((xv - x_min) / x_span * (width - 1)))
+            row = int(round((yv - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_max:.4g}"
+    bottom = f"{y_min:.4g}"
+    label_width = max(len(top), len(bottom))
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            label = top.rjust(label_width)
+        elif i == height - 1:
+            label = bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row_chars)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + f"{x_min:.4g}".ljust(width - len(f"{x_max:.4g}"))
+        + f"{x_max:.4g}"
+    )
+    lines.append(x_axis)
+    if x_label:
+        lines.append(" " * (label_width + 2) + x_label)
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the repo (weight init, data generation,
+AMS noise sampling, batch shuffling) takes an explicit
+``numpy.random.Generator``.  These helpers create and fan out
+generators so a single experiment seed reproduces an entire run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def new_rng(seed: int) -> np.random.Generator:
+    """A fresh PCG64 generator for ``seed``."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """``count`` independent generators derived from one seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are statistically
+    independent (unlike ``seed+i`` arithmetic).
+    """
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

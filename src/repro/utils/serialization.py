@@ -1,0 +1,22 @@
+"""Checkpoint I/O for module state dicts (npz on disk)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
+    """Write a state dict to ``path`` (npz).  Creates parent dirs."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    # npz keys cannot contain '/', but '.' is fine; store as-is.
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    """Read a state dict written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}

@@ -1,0 +1,43 @@
+"""Minimal ASCII table formatting for experiment harness output.
+
+The harness prints the same rows the paper's tables report; this keeps
+the output readable without pulling in external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render headers + rows as a fixed-width text table."""
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    rule = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([rule, line(list(headers)), rule])
+    parts.extend(line(row) for row in str_rows)
+    parts.append(rule)
+    return "\n".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e4 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

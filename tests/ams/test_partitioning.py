@@ -1,0 +1,119 @@
+"""Tests for long-multiplication operand partitioning."""
+
+import pytest
+
+from repro.ams.partitioning import (
+    PartitionScheme,
+    equivalent_unpartitioned_enob,
+    partitioned_energy,
+    partitioned_error_std,
+)
+from repro.ams.vmac import VMACConfig, total_error_std
+from repro.energy.adc import adc_energy
+from repro.errors import ConfigError
+
+
+def scheme(enob=8.0, nmult=8, bw=8, bx=8, nw=2, nx=2, low=None):
+    return PartitionScheme(
+        VMACConfig(enob=enob, nmult=nmult, bw=bw, bx=bx),
+        nw=nw,
+        nx=nx,
+        low_significance_enob=low,
+    )
+
+
+class TestScheme:
+    def test_chunk_bits(self):
+        s = scheme(bw=8, bx=8, nw=2, nx=4)
+        assert s.weight_chunk_bits == 4
+        assert s.activation_chunk_bits == 2
+        assert s.conversions_per_vmac == 8
+
+    def test_divisibility_enforced(self):
+        with pytest.raises(ConfigError):
+            scheme(bw=8, nw=3)
+        with pytest.raises(ConfigError):
+            scheme(bx=8, nx=3)
+        scheme(bw=8, nw=4)  # divides evenly -> fine
+
+    def test_offsets_cover_all_partials(self):
+        s = scheme(nw=2, nx=2)
+        offsets = s.partial_offsets()
+        assert len(offsets) == 4
+        assert offsets[0] == (0, 0, 0)  # MSB partial has no shift
+
+    def test_partial_enob_low_significance(self):
+        s = scheme(enob=8.0, low=5.0)
+        assert s.partial_enob(0, 0) == 8.0
+        assert s.partial_enob(0, 1) == 5.0
+        assert s.partial_enob(1, 1) == 5.0
+
+
+class TestErrorModel:
+    def test_unpartitioned_matches_eq2(self):
+        """nw = nx = 1 must reduce exactly to the lumped model."""
+        s = scheme(nw=1, nx=1)
+        assert partitioned_error_std(s, 576) == pytest.approx(
+            total_error_std(8.0, 8, 576)
+        )
+
+    def test_partitioning_wins_via_lossless_floor(self):
+        """The paper's claim: a lower-resolution ADC on smaller partial
+        products can incur *less* error overall.  A 2x2 split of 8b
+        operands is lossless at 10 bits (4+4-2+1+log2(8)), while the
+        unpartitioned product needs 18 bits."""
+        s = scheme(enob=10.0, nw=2, nx=2)
+        assert s.partial_lossless_bits() == pytest.approx(10.0)
+        assert partitioned_error_std(s, 576) == 0.0
+        # The unpartitioned converter at higher resolution still errs.
+        assert partitioned_error_std(scheme(enob=12.0, nw=1, nx=1), 576) > 0
+
+    def test_below_lossless_floor_msb_partial_dominates(self):
+        """Below the lossless floor the MSB partial alone matches the
+        unpartitioned error, so partitioning cannot win there."""
+        full = partitioned_error_std(scheme(enob=8.0, nw=1, nx=1), 576)
+        split = partitioned_error_std(scheme(enob=8.0, nw=2, nx=2), 576)
+        assert split >= full
+
+    def test_error_monotonic_in_enob(self):
+        lo = partitioned_error_std(scheme(enob=6.0), 100)
+        hi = partitioned_error_std(scheme(enob=10.0), 100)
+        assert hi < lo
+
+    def test_low_significance_enob_increases_error(self):
+        base = partitioned_error_std(scheme(), 100)
+        cheap = partitioned_error_std(scheme(low=4.0), 100)
+        assert cheap > base
+
+    def test_ntot_validation(self):
+        with pytest.raises(ConfigError):
+            partitioned_error_std(scheme(), 0)
+
+
+class TestEnergyModel:
+    def test_energy_counts_all_conversions(self):
+        s = scheme(enob=8.0, nw=2, nx=2)
+        expected = 4 * adc_energy(8.0) / 8
+        assert partitioned_energy(s, adc_energy) == pytest.approx(expected)
+
+    def test_low_significance_saves_energy_in_thermal_regime(self):
+        expensive = partitioned_energy(scheme(enob=13.0), adc_energy)
+        cheap = partitioned_energy(
+            scheme(enob=13.0, low=11.0), adc_energy
+        )
+        assert cheap < expensive
+
+
+class TestEquivalentEnob:
+    def test_inverse_of_eq2(self):
+        """Mapping a scheme's error back through Eq. 2 and forward again
+        reproduces the same injected error."""
+        s = scheme(enob=7.0, nw=2, nx=2)
+        eq = equivalent_unpartitioned_enob(s, 576)
+        assert total_error_std(eq, 8, 576) == pytest.approx(
+            partitioned_error_std(s, 576), rel=1e-9
+        )
+
+    def test_unpartitioned_is_fixed_point(self):
+        s = scheme(enob=9.0, nw=1, nx=1)
+        assert equivalent_unpartitioned_enob(s, 64) == pytest.approx(9.0)

@@ -1,0 +1,83 @@
+"""Tests for delta-sigma error recycling."""
+
+import numpy as np
+import pytest
+
+from repro.ams.recycling import (
+    plain_quantize,
+    recycle_quantize,
+    recycling_error_reduction,
+)
+from repro.ams.vmac import vmac_lsb
+from repro.errors import ConfigError
+
+
+def partials(rng, batch=2000, cycles=16, nmult=8, scale=2.0):
+    """Random analog partial sums well inside the ADC full scale."""
+    return rng.uniform(-scale, scale, (batch, cycles))
+
+
+class TestPlainQuantize:
+    def test_sums_last_axis(self, rng):
+        p = partials(rng, cycles=4)
+        out = plain_quantize(p, enob=20, nmult=8)
+        np.testing.assert_allclose(out, p.sum(axis=-1), atol=1e-3)
+
+    def test_error_grows_with_cycles(self, rng):
+        enob, nmult = 6.0, 8
+        e4 = plain_quantize(partials(rng, cycles=4), enob, nmult)
+        e64 = plain_quantize(partials(rng, cycles=64), enob, nmult)
+        rms4 = np.sqrt(
+            np.mean((e4 - partials(rng, cycles=4).sum(-1)) ** 2)
+        )
+        # Just check the 64-cycle error is larger in RMS than 4-cycle.
+        p64 = partials(rng, cycles=64)
+        rms64 = np.sqrt(
+            np.mean((plain_quantize(p64, enob, nmult) - p64.sum(-1)) ** 2)
+        )
+        p4 = partials(rng, cycles=4)
+        rms4 = np.sqrt(
+            np.mean((plain_quantize(p4, enob, nmult) - p4.sum(-1)) ** 2)
+        )
+        assert rms64 > rms4
+
+
+class TestRecycling:
+    def test_telescoping_error_bound(self, rng):
+        """Without clipping, the recycled total's error equals the last
+        conversion's residual: |error| <= LSB_final / 2 per output."""
+        enob, nmult, extra = 6.0, 8, 2.0
+        p = partials(rng, cycles=32)
+        total = recycle_quantize(p, enob, nmult, final_extra_bits=extra)
+        error = np.abs(total - p.sum(-1))
+        bound = vmac_lsb(enob + extra, nmult) / 2
+        assert error.max() <= bound + 1e-9
+
+    def test_beats_plain_quantization(self, rng):
+        p = partials(rng, cycles=32)
+        result = recycling_error_reduction(p, enob=6.0, nmult=8)
+        assert result["reduction_factor"] > 2.0
+        assert result["rms_recycled"] < result["rms_plain"]
+
+    def test_single_cycle_close_to_plain(self, rng):
+        """With one cycle there is nothing to recycle; only the higher
+        final resolution differs."""
+        p = partials(rng, cycles=1)
+        plain = plain_quantize(p, 8.0, 8)
+        recycled = recycle_quantize(p, 8.0, 8, final_extra_bits=0.0)
+        np.testing.assert_allclose(plain, recycled)
+
+    def test_requires_cycles(self):
+        with pytest.raises(ConfigError):
+            recycle_quantize(np.zeros((3, 0)), 8.0, 8)
+
+    def test_reduction_grows_with_cycles(self, rng):
+        """More recycled cycles -> bigger win over independent
+        conversions (error grows ~sqrt(N) for plain, ~const recycled)."""
+        short = recycling_error_reduction(
+            partials(rng, cycles=4), 6.0, 8
+        )["reduction_factor"]
+        long = recycling_error_reduction(
+            partials(rng, cycles=64), 6.0, 8
+        )["reduction_factor"]
+        assert long > short

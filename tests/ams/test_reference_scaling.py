@@ -1,0 +1,68 @@
+"""Tests for ADC reference-voltage scaling."""
+
+import numpy as np
+import pytest
+
+from repro.ams.reference_scaling import (
+    best_alpha,
+    clipped_quantize,
+    reference_scaling_sweep,
+)
+from repro.ams.vmac import vmac_lsb
+from repro.errors import ConfigError
+
+
+class TestClippedQuantize:
+    def test_alpha_one_is_plain_quantizer(self, rng):
+        values = rng.uniform(-8, 8, 500)
+        out = clipped_quantize(values, enob=8.0, nmult=8, alpha=1.0)
+        lsb = vmac_lsb(8.0, 8)
+        np.testing.assert_allclose(
+            out / lsb, np.round(out / lsb), atol=1e-9
+        )
+        assert np.abs(out).max() <= 8.0
+
+    def test_small_alpha_clips(self):
+        out = clipped_quantize(np.array([7.9]), enob=8.0, nmult=8, alpha=0.25)
+        assert out[0] == pytest.approx(2.0)
+
+    def test_small_alpha_finer_lsb(self):
+        value = np.array([0.011])
+        coarse = clipped_quantize(value, enob=6.0, nmult=8, alpha=1.0)
+        fine = clipped_quantize(value, enob=6.0, nmult=8, alpha=0.0625)
+        assert abs(fine[0] - 0.011) < abs(coarse[0] - 0.011)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigError):
+            clipped_quantize(np.zeros(1), 8.0, 8, alpha=0.0)
+        with pytest.raises(ConfigError):
+            clipped_quantize(np.zeros(1), 8.0, 8, alpha=1.5)
+
+
+class TestSweep:
+    def test_concentrated_data_favors_small_alpha(self, rng):
+        """Partial sums concentrated near zero: scaling the reference
+        down wins (the paper's premise)."""
+        samples = rng.normal(0, 0.3, 20000)
+        points = reference_scaling_sweep(samples, enob=6.0, nmult=8)
+        best = best_alpha(points)
+        assert best.alpha < 1.0
+
+    def test_full_range_data_favors_alpha_one(self, rng):
+        """Uniform full-scale data clips catastrophically at small
+        alpha, so alpha = 1 should win."""
+        samples = rng.uniform(-8, 8, 20000)
+        points = reference_scaling_sweep(
+            samples, enob=6.0, nmult=8, alphas=(1.0, 0.125)
+        )
+        assert best_alpha(points).alpha == 1.0
+
+    def test_clip_fraction_monotone(self, rng):
+        samples = rng.normal(0, 2.0, 5000)
+        points = reference_scaling_sweep(samples, enob=8.0, nmult=8)
+        fracs = [p.clip_fraction for p in points]  # alphas descending
+        assert fracs == sorted(fracs)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigError):
+            best_alpha([])

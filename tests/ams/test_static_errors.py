@@ -1,0 +1,148 @@
+"""Tests for the static (per-device) error model."""
+
+import numpy as np
+import pytest
+
+from repro.ams.static_errors import (
+    DeviceVariation,
+    StaticChannelError,
+    apply_device_variation,
+    population_accuracy,
+)
+from repro.errors import ConfigError
+from repro.models import DoReFaFactory, FP32Factory, resnet_small
+from repro.quant import QuantConfig
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class TestDeviceVariation:
+    def test_defaults(self):
+        v = DeviceVariation()
+        assert v.gain_std == 0.0 and v.offset_std == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DeviceVariation(gain_std=-0.1)
+
+
+class TestStaticChannelError:
+    def test_applies_gain_and_offset_4d(self):
+        layer = StaticChannelError(
+            gain=np.array([2.0, 1.0]), offset=np.array([0.0, 1.0])
+        )
+        x = Tensor(np.ones((1, 2, 2, 2), np.float32))
+        out = layer(x)
+        np.testing.assert_allclose(out.data[0, 0], 2.0)
+        np.testing.assert_allclose(out.data[0, 1], 2.0)  # 1*1 + 1
+
+    def test_applies_2d(self):
+        layer = StaticChannelError(
+            gain=np.array([1.0, 3.0]), offset=np.array([0.5, 0.0])
+        )
+        x = Tensor(np.ones((4, 2), np.float32))
+        out = layer(x)
+        np.testing.assert_allclose(out.data[:, 0], 1.5)
+        np.testing.assert_allclose(out.data[:, 1], 3.0)
+
+    def test_backward_is_identity(self):
+        layer = StaticChannelError(
+            gain=np.array([2.0]), offset=np.array([1.0])
+        )
+        x = Tensor(np.ones((1, 1, 2, 2), np.float32), requires_grad=True)
+        layer(x * 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, 1.0)
+
+    def test_repr(self):
+        layer = StaticChannelError(np.ones(4), np.zeros(4))
+        assert "channels=4" in repr(layer)
+
+
+class TestApplyDeviceVariation:
+    def _model(self):
+        model = resnet_small(
+            DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4
+        )
+        return model
+
+    def test_wraps_all_compute_layers(self):
+        model = self._model()
+        count = apply_device_variation(
+            model, DeviceVariation(gain_std=0.05, seed=1)
+        )
+        assert count == 10  # 9 convs + fc
+        errors = [
+            m for m in model.modules() if isinstance(m, StaticChannelError)
+        ]
+        assert len(errors) == 10
+
+    def test_same_seed_same_device(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32))
+        outs = []
+        for _ in range(2):
+            model = resnet_small(
+                DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4
+            )
+            apply_device_variation(
+                model, DeviceVariation(gain_std=0.1, seed=7)
+            )
+            model.eval()
+            with no_grad():
+                outs.append(model(x).data.copy())
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_different_seeds_differ(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32))
+        outs = []
+        for seed in (1, 2):
+            model = resnet_small(
+                DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4
+            )
+            apply_device_variation(
+                model, DeviceVariation(gain_std=0.1, seed=seed)
+            )
+            model.eval()
+            with no_grad():
+                outs.append(model(x).data.copy())
+        assert not np.array_equal(outs[0], outs[1])
+
+    def test_zero_variation_is_transparent(self, rng):
+        x = Tensor(rng.standard_normal((1, 3, 16, 16)).astype(np.float32))
+        clean = resnet_small(
+            DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4
+        )
+        clean.eval()
+        with no_grad():
+            expected = clean(x).data.copy()
+        varied = resnet_small(
+            DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4
+        )
+        apply_device_variation(varied, DeviceVariation(seed=3))
+        varied.eval()
+        with no_grad():
+            actual = varied(x).data
+        np.testing.assert_allclose(actual, expected, atol=1e-5)
+
+    def test_fp32_model_rejected(self):
+        """Only quantized compute layers model AMS hardware."""
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        with pytest.raises(ConfigError):
+            apply_device_variation(model, DeviceVariation(seed=0))
+
+
+class TestPopulationAccuracy:
+    def test_fans_out_chip_seeds(self):
+        seen = []
+
+        def fake_eval(chip):
+            seen.append(chip.seed)
+            return 0.5
+
+        results = population_accuracy(
+            fake_eval, DeviceVariation(gain_std=0.1, seed=9), devices=4
+        )
+        assert results == [0.5] * 4
+        assert len(set(seen)) == 4  # distinct chips
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            population_accuracy(lambda c: 0.5, DeviceVariation(), devices=0)

@@ -1,0 +1,157 @@
+"""Tests for per-VMAC tiled error modeling."""
+
+import numpy as np
+import pytest
+
+from repro.ams.tiled import (
+    TiledVMACConv2d,
+    quantize_to_adc,
+    tile_quantized_convs,
+    tiled_vmac_dot,
+)
+from repro.ams.vmac import VMACConfig, total_error_std, vmac_lsb
+from repro.models import DoReFaFactory, resnet_small
+from repro.quant import QuantConfig, QuantConv2d
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class TestQuantizeToADC:
+    def test_on_grid_and_clipped(self, rng):
+        values = rng.uniform(-20, 20, 1000).astype(np.float32)
+        out = quantize_to_adc(values, enob=6.0, nmult=8)
+        lsb = vmac_lsb(6.0, 8)
+        np.testing.assert_allclose(out / lsb, np.round(out / lsb), atol=1e-4)
+        assert np.abs(out).max() <= 8.0
+
+    def test_high_enob_near_exact(self, rng):
+        values = rng.uniform(-8, 8, 100).astype(np.float64)
+        out = quantize_to_adc(values, enob=24.0, nmult=8)
+        np.testing.assert_allclose(out, values, atol=1e-5)
+
+    def test_thermal_noise_added(self, rng):
+        values = np.zeros(20000)
+        out = quantize_to_adc(
+            values, enob=8.0, nmult=8, thermal_fraction=1.0,
+            rng=np.random.default_rng(0),
+        )
+        # With pure thermal error the output has nonzero variance even
+        # for constant input at a grid point.
+        assert out.std() > 0
+
+
+class TestTiledDot:
+    def _layer(self, rng, m=200, ntot=72, out=4):
+        cols = rng.uniform(0, 1, (m, ntot)).astype(np.float32)
+        w = rng.uniform(-1, 1, (out, ntot)).astype(np.float32)
+        return cols, w
+
+    def test_exact_at_high_enob(self, rng):
+        cols, w = self._layer(rng)
+        out = tiled_vmac_dot(cols, w, VMACConfig(enob=24, nmult=8))
+        np.testing.assert_allclose(out, cols @ w.T, atol=1e-3)
+
+    def test_error_rms_matches_eq2_prediction(self, rng):
+        """The lumped model's Eq. 2 should predict the tiled RMS error
+        within a modest factor (quantization error is ~uniform, Eq. 2
+        assumes its variance exactly)."""
+        cols, w = self._layer(rng, m=500, ntot=64)
+        cfg = VMACConfig(enob=8.0, nmult=8)
+        out = tiled_vmac_dot(cols, w, cfg)
+        rms = np.sqrt(np.mean((out - cols @ w.T) ** 2))
+        predicted = total_error_std(8.0, 8, 64)
+        assert 0.5 < rms / predicted < 1.5
+
+    def test_partial_tail_handled(self, rng):
+        """Ntot not divisible by Nmult must still work."""
+        cols, w = self._layer(rng, ntot=70)
+        out = tiled_vmac_dot(cols, w, VMACConfig(enob=20, nmult=8))
+        np.testing.assert_allclose(out, cols @ w.T, atol=1e-2)
+
+    def test_recycling_reduces_error(self, rng):
+        """Delta-sigma feedback across the chunk conversions must beat
+        independent conversions (paper Section 4, error recycling)."""
+        cols, w = self._layer(rng, m=400, ntot=128)
+        cfg = VMACConfig(enob=6.0, nmult=8)
+        ideal = cols @ w.T
+        plain = tiled_vmac_dot(cols, w, cfg)
+        recycled = tiled_vmac_dot(cols, w, cfg, recycle=True)
+        rms_plain = np.sqrt(np.mean((plain - ideal) ** 2))
+        rms_recycled = np.sqrt(np.mean((recycled - ideal) ** 2))
+        assert rms_recycled < rms_plain / 2
+
+    def test_recycling_exact_at_high_enob(self, rng):
+        cols, w = self._layer(rng)
+        out = tiled_vmac_dot(
+            cols, w, VMACConfig(enob=22, nmult=8), recycle=True
+        )
+        np.testing.assert_allclose(out, cols @ w.T, atol=1e-3)
+
+
+class TestTiledConvModule:
+    def _conv(self):
+        return QuantConv2d(
+            2, 3, 3, padding=1, bias=False, bw=8,
+            rng=np.random.default_rng(0),
+        )
+
+    def test_matches_ideal_at_high_enob(self, rng):
+        conv = self._conv()
+        tiled = TiledVMACConv2d(conv, VMACConfig(enob=24, nmult=8))
+        x = Tensor(rng.uniform(0, 1, (2, 2, 6, 6)).astype(np.float32))
+        with no_grad():
+            np.testing.assert_allclose(
+                tiled(x).data, conv(x).data, atol=1e-3
+            )
+
+    def test_backward_is_ideal_convs(self, rng):
+        conv = self._conv()
+        tiled = TiledVMACConv2d(conv, VMACConfig(enob=5, nmult=8))
+        x1 = Tensor(
+            rng.uniform(0, 1, (1, 2, 5, 5)).astype(np.float32),
+            requires_grad=True,
+        )
+        tiled(x1).sum().backward()
+        grad_tiled = x1.grad.copy()
+        x1.zero_grad()
+        conv.weight.zero_grad()
+        conv(x1).sum().backward()
+        np.testing.assert_allclose(grad_tiled, x1.grad, rtol=1e-5)
+
+    def test_stride_and_shape(self, rng):
+        conv = QuantConv2d(
+            2, 4, 3, stride=2, padding=1, bias=False,
+            rng=np.random.default_rng(1),
+        )
+        tiled = TiledVMACConv2d(conv, VMACConfig(enob=10, nmult=8))
+        x = Tensor(rng.uniform(0, 1, (1, 2, 8, 8)).astype(np.float32))
+        with no_grad():
+            assert tiled(x).shape == (1, 4, 4, 4)
+
+
+class TestTileTransform:
+    def test_replaces_all_quant_convs(self):
+        model = resnet_small(
+            DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4
+        )
+        count = tile_quantized_convs(model, VMACConfig(enob=10, nmult=8))
+        assert count == 9  # resnet_small has 9 convolutions
+        remaining = [
+            m for m in model.modules()
+            if isinstance(m, QuantConv2d)
+        ]
+        # The original convs survive inside the wrappers only.
+        wrappers = [
+            m for m in model.modules() if isinstance(m, TiledVMACConv2d)
+        ]
+        assert len(wrappers) == 9
+        assert len(remaining) == 9
+
+    def test_model_still_runs(self, rng):
+        model = resnet_small(
+            DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4
+        )
+        tile_quantized_convs(model, VMACConfig(enob=12, nmult=8))
+        model.eval()
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        with no_grad():
+            assert model(x).shape == (2, 4)

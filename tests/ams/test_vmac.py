@@ -1,0 +1,132 @@
+"""Tests for the VMAC error math (paper Eqs. 1-2, Fig. 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ams.vmac import (
+    PrecisionBreakdown,
+    VMACConfig,
+    equivalent_enob,
+    total_error_std,
+    vmac_error_std,
+    vmac_lsb,
+)
+from repro.errors import ConfigError
+
+enobs = st.floats(min_value=2.0, max_value=16.0)
+nmults = st.integers(min_value=1, max_value=256)
+
+
+class TestConfig:
+    def test_valid(self):
+        cfg = VMACConfig(enob=10, nmult=8)
+        assert cfg.bw == 8 and cfg.bx == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"enob": 0, "nmult": 8},
+            {"enob": 10, "nmult": 0},
+            {"enob": 10, "nmult": 8, "bw": 1},
+            {"enob": 10, "nmult": 8, "bx": 1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            VMACConfig(**kwargs)
+
+
+class TestErrorMath:
+    def test_lsb_formula(self):
+        """LSB = full scale / 2^ENOB = 2*Nmult / 2^ENOB."""
+        assert vmac_lsb(10, 8) == pytest.approx(2 * 8 / 2**10)
+
+    def test_eq1_paper_form(self):
+        """Var(E_VMAC) = (Nmult * 2^-(ENOB-1))^2 / 12."""
+        enob, nmult = 11.0, 16
+        expected = (nmult * 2 ** (-(enob - 1))) ** 2 / 12
+        assert vmac_error_std(enob, nmult) ** 2 == pytest.approx(expected)
+
+    def test_eq2_paper_form(self):
+        """Var(E_tot) = Ntot * (sqrt(Nmult) * 2^-(ENOB-1))^2 / 12."""
+        enob, nmult, ntot = 10.0, 8, 576
+        expected = ntot * (math.sqrt(nmult) * 2 ** (-(enob - 1))) ** 2 / 12
+        assert total_error_std(enob, nmult, ntot) ** 2 == pytest.approx(expected)
+
+    @given(enobs, nmults)
+    @settings(max_examples=100, deadline=None)
+    def test_one_extra_bit_quarters_variance(self, enob, nmult):
+        """Paper: 'for each extra digitized bit, the variance of the
+        total error drops by a factor of four'."""
+        v1 = total_error_std(enob, nmult, 100) ** 2
+        v2 = total_error_std(enob + 1, nmult, 100) ** 2
+        assert v1 / v2 == pytest.approx(4.0, rel=1e-6)
+
+    @given(enobs, st.integers(min_value=1, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_total_variance_linear_in_nmult(self, enob, nmult):
+        """Paper: quadratically greater per-VMAC error but linearly fewer
+        VMACs => overall linear dependence on Nmult (Eq. 2)."""
+        v1 = total_error_std(enob, nmult, nmult * 8) ** 2
+        v2 = total_error_std(enob, 2 * nmult, nmult * 8) ** 2
+        assert v2 / v1 == pytest.approx(2.0, rel=1e-6)
+
+    def test_relative_error_independent_of_averaging(self):
+        """Averaging-based VMACs divide signal and LSB by Nmult alike,
+        so error relative to full scale is Nmult-free (paper Sec. 2)."""
+        for nmult in (1, 8, 64):
+            relative = vmac_error_std(9.0, nmult) / (2 * nmult)
+            assert relative == pytest.approx(
+                vmac_error_std(9.0, 1) / 2, rel=1e-9
+            )
+
+    def test_ntot_validation(self):
+        with pytest.raises(ConfigError):
+            total_error_std(10, 8, 0)
+
+
+class TestEquivalentEnob:
+    @given(enobs, st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    @settings(max_examples=100, deadline=None)
+    def test_equal_error_after_mapping(self, enob, nmult):
+        """Mapping to the reference Nmult preserves injected error."""
+        ref = equivalent_enob(enob, nmult, reference_nmult=8)
+        original = total_error_std(enob, nmult, 512)
+        mapped = total_error_std(ref, 8, 512)
+        assert mapped == pytest.approx(original, rel=1e-6)
+
+    def test_identity_at_reference(self):
+        assert equivalent_enob(10.0, 8, 8) == 10.0
+
+    def test_half_bit_per_doubling(self):
+        """Doubling Nmult costs exactly half a bit of equivalent ENOB."""
+        assert equivalent_enob(10.0, 16, 8) == pytest.approx(9.5)
+        assert equivalent_enob(10.0, 4, 8) == pytest.approx(10.5)
+
+
+class TestPrecisionBreakdown:
+    def test_fig2_bookkeeping(self):
+        """BW+BX-2 magnitude bits + 1 sign + log2(Nmult) sum extension."""
+        pb = PrecisionBreakdown.from_config(VMACConfig(enob=10, nmult=8))
+        assert pb.ideal_magnitude_bits == 14
+        assert pb.sum_extension_bits == pytest.approx(4.0)
+        assert pb.total_ideal_bits == pytest.approx(18.0)
+        assert pb.recovered_bits == 10
+        assert pb.lost_bits == pytest.approx(8.0)
+        assert not pb.is_lossless
+
+    def test_lossless_when_enob_covers_everything(self):
+        pb = PrecisionBreakdown.from_config(
+            VMACConfig(enob=20, nmult=4, bw=8, bx=8)
+        )
+        assert pb.is_lossless
+        assert pb.lost_bits == 0.0
+
+    def test_recovered_capped_at_total(self):
+        pb = PrecisionBreakdown.from_config(
+            VMACConfig(enob=50, nmult=2, bw=4, bx=4)
+        )
+        assert pb.recovered_bits == pb.total_ideal_bits

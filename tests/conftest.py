@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SynthImageNet, SynthImageNetConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_data() -> SynthImageNet:
+    """A very small dataset shared across tests (deterministic)."""
+    return SynthImageNet(
+        SynthImageNetConfig(
+            num_classes=4,
+            image_size=8,
+            train_per_class=20,
+            val_per_class=8,
+            seed=99,
+        )
+    )

@@ -1,0 +1,96 @@
+"""Tests for batch-level transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    AugmentingDataLoader,
+    Compose,
+    GaussianNoise,
+    RandomHorizontalFlip,
+    RandomShift,
+)
+from repro.errors import ConfigError
+
+
+def batch(n=6, c=3, s=8, seed=0):
+    return (
+        np.random.default_rng(seed)
+        .standard_normal((n, c, s, s))
+        .astype(np.float32)
+    )
+
+
+class TestRandomHorizontalFlip:
+    def test_p1_flips_everything(self, rng):
+        images = batch()
+        out = RandomHorizontalFlip(p=1.0)(images, rng)
+        np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+
+    def test_p0_identity(self, rng):
+        images = batch()
+        out = RandomHorizontalFlip(p=0.0)(images, rng)
+        np.testing.assert_array_equal(out, images)
+
+    def test_does_not_mutate_input(self, rng):
+        images = batch()
+        original = images.copy()
+        RandomHorizontalFlip(p=1.0)(images, rng)
+        np.testing.assert_array_equal(images, original)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RandomHorizontalFlip(p=1.5)
+
+
+class TestRandomShift:
+    def test_preserves_content(self, rng):
+        images = batch()
+        out = RandomShift(max_shift=3)(images, rng)
+        # Torus roll preserves per-image pixel multiset (sum is easy proxy).
+        np.testing.assert_allclose(
+            out.sum(axis=(1, 2, 3)), images.sum(axis=(1, 2, 3)), rtol=1e-5
+        )
+
+    def test_zero_shift_identity(self, rng):
+        images = batch()
+        assert RandomShift(0)(images, rng) is images
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RandomShift(-1)
+
+
+class TestGaussianNoise:
+    def test_noise_scale(self, rng):
+        images = np.zeros((4, 1, 32, 32), np.float32)
+        out = GaussianNoise(std=0.5)(images, rng)
+        assert out.std() == pytest.approx(0.5, rel=0.1)
+
+    def test_zero_std_identity(self, rng):
+        images = batch()
+        assert GaussianNoise(0.0)(images, rng) is images
+
+
+class TestComposeAndLoader:
+    def test_compose_order(self, rng):
+        images = np.zeros((2, 1, 4, 4), np.float32)
+        add_one = lambda x, r: x + 1.0
+        double = lambda x, r: x * 2.0
+        out = Compose([add_one, double])(images, rng)
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_augmenting_loader_applies_transform(self, rng):
+        images = np.zeros((10, 1, 4, 4), np.float32)
+        labels = np.zeros(10, dtype=np.int64)
+        loader = AugmentingDataLoader(
+            ArrayDataset(images, labels),
+            batch_size=5,
+            transform=lambda x, r: x + 7.0,
+            shuffle=False,
+            drop_last=False,
+            rng=rng,
+        )
+        for images_out, _ in loader:
+            np.testing.assert_allclose(images_out, 7.0)

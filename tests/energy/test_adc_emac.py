@@ -1,0 +1,104 @@
+"""Tests for the ADC energy model (Eq. 3) and E_MAC (Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.adc import (
+    FLAT_ENERGY_PJ,
+    THERMAL_KNEE_ENOB,
+    adc_energy,
+    adc_energy_array,
+    enob_from_sndr,
+    schreier_fom,
+    sndr_from_enob,
+)
+from repro.energy.emac import EnergyModel, emac, emac_array
+from repro.errors import ConfigError
+
+
+class TestADCEnergy:
+    def test_flat_region(self):
+        for enob in (1.0, 5.0, 10.0, 10.5):
+            assert adc_energy(enob) == FLAT_ENERGY_PJ
+
+    def test_eq3_thermal_value(self):
+        """Paper Eq. 3: E = 10^(0.1*(6.02*ENOB - 68.25)) pJ above 10.5b."""
+        assert adc_energy(12.0) == pytest.approx(
+            10 ** (0.1 * (6.02 * 12 - 68.25))
+        )
+
+    def test_near_continuity_at_knee(self):
+        """The paper's Eq. 3 constants leave only a ~4% seam at 10.5b."""
+        eps = 1e-9
+        left = adc_energy(THERMAL_KNEE_ENOB)
+        right = adc_energy(THERMAL_KNEE_ENOB + eps)
+        assert right == pytest.approx(left, rel=0.05)
+
+    def test_quadruples_per_bit(self):
+        """Thermal-limited designs: x4 energy per extra bit [29]."""
+        ratio = adc_energy(14.0) / adc_energy(13.0)
+        assert ratio == pytest.approx(10 ** 0.602, rel=1e-6)
+        assert ratio == pytest.approx(4.0, rel=0.01)
+
+    def test_vectorized_matches_scalar(self):
+        grid = np.array([2.0, 8.0, 10.5, 11.0, 16.0])
+        np.testing.assert_allclose(
+            adc_energy_array(grid), [adc_energy(e) for e in grid]
+        )
+
+    def test_positive_enob_required(self):
+        with pytest.raises(ConfigError):
+            adc_energy(0)
+        with pytest.raises(ConfigError):
+            adc_energy_array(np.array([1.0, -2.0]))
+
+    def test_paper_headline_energies(self):
+        """Fig. 8's level curves: E_ADC(12)/8 ~ 313 fJ, E_ADC(11)/8 ~ 78 fJ."""
+        assert emac(12.0, 8) * 1000 == pytest.approx(313, rel=0.02)
+        assert emac(11.0, 8) * 1000 == pytest.approx(78, rel=0.02)
+
+
+class TestFOM:
+    def test_sndr_roundtrip(self):
+        assert enob_from_sndr(sndr_from_enob(11.3)) == pytest.approx(11.3)
+
+    def test_schreier_fom_reasonable(self):
+        """The Eq. 3 bound at high resolution sits near the paper's
+        187 dB Schreier line (within a few dB)."""
+        fom = schreier_fom(adc_energy(14.0), 14.0)
+        assert 180 < fom < 195
+
+    def test_fom_decreases_with_wasted_energy(self):
+        assert schreier_fom(10.0, 12.0) < schreier_fom(1.0, 12.0)
+
+    def test_energy_validation(self):
+        with pytest.raises(ConfigError):
+            schreier_fom(0.0, 10.0)
+
+
+class TestEMAC:
+    def test_eq4_amortization(self):
+        assert emac(9.0, 16) == pytest.approx(adc_energy(9.0) / 16)
+
+    def test_nmult_validation(self):
+        with pytest.raises(ConfigError):
+            emac(9.0, 0)
+        with pytest.raises(ConfigError):
+            emac_array(np.array([9.0]), np.array([0]))
+
+    def test_array_broadcasting(self):
+        enobs = np.array([9.0, 12.0])
+        nmults = np.array([8, 8])
+        out = emac_array(enobs, nmults)
+        assert out.shape == (2,)
+        assert out[1] > out[0]
+
+    def test_energy_model_adds_multiplier_term(self):
+        model = EnergyModel(multiplier_energy_pj=0.05)
+        assert model.emac(9.0, 8) == pytest.approx(emac(9.0, 8) + 0.05)
+        assert not model.is_adc_dominated
+        assert EnergyModel().is_adc_dominated
+
+    def test_energy_model_validation(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(multiplier_energy_pj=-1.0)

@@ -1,0 +1,113 @@
+"""Tests for the network-level energy profiler."""
+
+import numpy as np
+import pytest
+
+from repro.ams import VMACConfig
+from repro.energy.emac import EnergyModel, emac
+from repro.energy.network import (
+    LayerProfile,
+    inference_energy,
+    profile_network,
+)
+from repro.errors import ConfigError
+from repro.models import (
+    DoReFaFactory,
+    FP32Factory,
+    resnet50,
+    resnet_small,
+)
+from repro.nn.activation import ReLU
+from repro.quant import QuantConfig
+
+
+class TestProfileNetwork:
+    def test_resnet_small_layer_count(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        profiles = profile_network(model, (1, 3, 16, 16))
+        assert len(profiles) == 9 + 1  # convs + classifier
+
+    def test_stem_conv_macs_by_hand(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        profiles = profile_network(model, (1, 3, 16, 16))
+        stem = profiles[0]
+        # 3x3 conv, 3->16 channels, 16x16 output: ntot=27, outputs=16*256
+        assert stem.ntot == 27
+        assert stem.outputs == 16 * 16 * 16
+        assert stem.macs == stem.ntot * stem.outputs
+
+    def test_resnet50_gmacs_match_published(self):
+        """torchvision reports ~4.09 GMACs for ResNet-50 at 224x224."""
+        profiles = profile_network(resnet50(), (1, 3, 224, 224))
+        total = sum(p.macs for p in profiles)
+        assert total == pytest.approx(4.09e9, rel=0.02)
+
+    def test_quantized_model_profiles_identically(self):
+        fp32 = resnet_small(FP32Factory(seed=0), num_classes=4)
+        quant = resnet_small(DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4)
+        p1 = profile_network(fp32, (1, 3, 16, 16))
+        p2 = profile_network(quant, (1, 3, 16, 16))
+        assert [(p.macs, p.ntot) for p in p1] == [(p.macs, p.ntot) for p in p2]
+
+    def test_hooks_removed_after_profiling(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        profile_network(model, (1, 3, 16, 16))
+        assert all(not m._forward_hooks for m in model.modules())
+
+    def test_training_mode_restored(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        model.train()
+        profile_network(model, (1, 3, 16, 16))
+        assert model.training
+
+    def test_model_without_compute_layers_rejected(self):
+        with pytest.raises(ConfigError):
+            profile_network(ReLU(), (1, 3, 4, 4))
+
+    def test_vmacs_ceiling(self):
+        profile = LayerProfile("l", "conv", macs=270, ntot=27, outputs=10)
+        assert profile.vmacs(nmult=8) == 10 * 4  # ceil(27/8) = 4
+
+
+class TestInferenceEnergy:
+    def _profiles(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        return profile_network(model, (1, 3, 16, 16))
+
+    def test_total_is_macs_times_emac(self):
+        profiles = self._profiles()
+        vmac = VMACConfig(enob=12.0, nmult=8)
+        report = inference_energy(profiles, vmac)
+        total_macs = sum(p.macs for p in profiles)
+        expected_uj = total_macs * emac(12.0, 8) * 1e-6
+        assert report.total_macs == total_macs
+        assert report.total_energy_uj == pytest.approx(expected_uj)
+
+    def test_per_layer_sums_to_total(self):
+        report = inference_energy(
+            self._profiles(), VMACConfig(enob=11.0, nmult=16)
+        )
+        assert sum(e for _, _, e in report.per_layer) == pytest.approx(
+            report.total_energy_uj
+        )
+
+    def test_multiplier_energy_included(self):
+        profiles = self._profiles()
+        vmac = VMACConfig(enob=11.0, nmult=8)
+        base = inference_energy(profiles, vmac)
+        loaded = inference_energy(
+            profiles, vmac, EnergyModel(multiplier_energy_pj=0.1)
+        )
+        assert loaded.total_energy_uj > base.total_energy_uj
+
+    def test_str_summary(self):
+        report = inference_energy(
+            self._profiles(), VMACConfig(enob=12.0, nmult=8)
+        )
+        assert "GMACs" in str(report) and "fJ/MAC" in str(report)
+
+    def test_resnet50_headline_number(self):
+        """Paper-scale sanity: ~4.1 GMACs at ~313 fJ/MAC ~= 1.3 mJ."""
+        profiles = profile_network(resnet50(), (1, 3, 224, 224))
+        report = inference_energy(profiles, VMACConfig(enob=12.0, nmult=8))
+        assert report.total_energy_uj == pytest.approx(1280, rel=0.05)

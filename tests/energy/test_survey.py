@@ -1,0 +1,50 @@
+"""Tests for the synthetic ADC survey (Fig. 7 substitute)."""
+
+import numpy as np
+
+from repro.energy.adc import adc_energy_array
+from repro.energy.survey import SyntheticADCSurvey
+
+
+class TestSurvey:
+    def test_deterministic(self):
+        s1 = SyntheticADCSurvey(seed=3)
+        s2 = SyntheticADCSurvey(seed=3)
+        np.testing.assert_array_equal(s1.enobs(), s2.enobs())
+        np.testing.assert_array_equal(s1.energies_pj(), s2.energies_pj())
+
+    def test_size(self):
+        survey = SyntheticADCSurvey(points_per_architecture=50, seed=0)
+        assert len(survey) == 4 * 50
+
+    def test_no_bound_violations(self):
+        """Every synthetic published design respects the Eq. 3 bound."""
+        survey = SyntheticADCSurvey(seed=11)
+        assert survey.violations() == []
+
+    def test_architectures_cover_resolution_ranges(self):
+        survey = SyntheticADCSurvey(seed=0)
+        by_arch = {}
+        for p in survey.points:
+            by_arch.setdefault(p.architecture, []).append(p.enob)
+        assert max(by_arch["flash"]) < min(by_arch["delta-sigma"]) + 5
+        assert max(by_arch["delta-sigma"]) > 15
+
+    def test_frontier_matches_eq3(self):
+        survey = SyntheticADCSurvey(seed=0)
+        grid = [4.0, 10.0, 14.0]
+        np.testing.assert_allclose(
+            survey.frontier(grid), adc_energy_array(np.array(grid))
+        )
+
+    def test_best_fom_below_theoretical_line(self):
+        """Scatter sits above the bound, so the best synthetic FOM is
+        below (or at) the bound's own FOM at the same ENOB."""
+        survey = SyntheticADCSurvey(seed=0)
+        assert survey.best_fom_db() < 192
+
+    def test_point_fields(self):
+        p = SyntheticADCSurvey(points_per_architecture=1, seed=0).points[0]
+        assert p.venue in ("ISSCC", "VLSI")
+        assert 1997 <= p.year <= 2018
+        assert p.fom_schreier_db > 100

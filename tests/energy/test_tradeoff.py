@@ -1,0 +1,130 @@
+"""Tests for the energy-accuracy tradeoff machinery (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.adc import THERMAL_KNEE_ENOB
+from repro.energy.emac import EnergyModel, emac
+from repro.energy.tradeoff import AccuracyCurve, TradeoffGrid
+from repro.errors import ConfigError
+
+
+def paper_like_curve():
+    """A smooth loss-vs-ENOB curve shaped like the paper's Fig. 4."""
+    enobs = np.array([9.0, 10.0, 11.0, 12.0, 13.0])
+    losses = np.array([0.08, 0.03, 0.01, 0.004, 0.0])
+    return AccuracyCurve(enobs=enobs, losses=losses, reference_nmult=8)
+
+
+class TestAccuracyCurve:
+    def test_interpolation(self):
+        curve = paper_like_curve()
+        assert curve.loss_at(11.0) == pytest.approx(0.01)
+        assert 0.004 < curve.loss_at(11.5) < 0.01
+
+    def test_clamps_outside_range(self):
+        curve = paper_like_curve()
+        assert curve.loss_at(5.0) == pytest.approx(0.08)
+        assert curve.loss_at(20.0) == pytest.approx(0.0)
+
+    def test_nmult_mapping(self):
+        """Querying at Nmult 32 must equal querying the equivalent ENOB
+        at the reference Nmult (Eq. 2: +1 bit per 4x Nmult)."""
+        curve = paper_like_curve()
+        assert curve.loss_at(12.0, nmult=32) == pytest.approx(
+            curve.loss_at(11.0, nmult=8)
+        )
+
+    def test_monotonic_cleanup(self):
+        """Measurement-noise inversions are flattened."""
+        curve = AccuracyCurve(
+            enobs=np.array([9.0, 10.0, 11.0]),
+            losses=np.array([0.05, 0.002, 0.004]),
+        )
+        assert curve.loss_at(10.0) <= 0.004
+        assert (np.diff(curve.losses) <= 1e-12).all()
+
+    def test_unsorted_input_sorted(self):
+        curve = AccuracyCurve(
+            enobs=np.array([11.0, 9.0, 10.0]),
+            losses=np.array([0.01, 0.08, 0.03]),
+        )
+        assert curve.loss_at(10.0) == pytest.approx(0.03)
+
+    def test_required_enob(self):
+        curve = paper_like_curve()
+        req = curve.required_enob(0.01)
+        assert req == pytest.approx(11.0, abs=0.01)
+
+    def test_required_enob_unreachable(self):
+        curve = AccuracyCurve(
+            enobs=np.array([9.0, 10.0]), losses=np.array([0.2, 0.1])
+        )
+        with pytest.raises(ConfigError):
+            curve.required_enob(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AccuracyCurve(enobs=np.array([1.0]), losses=np.array([0.1]))
+
+
+class TestTradeoffGrid:
+    def test_cell(self):
+        grid = TradeoffGrid(paper_like_curve())
+        cell = grid.cell(12.0, 8)
+        assert cell.loss == pytest.approx(0.004)
+        assert cell.emac_pj == pytest.approx(emac(12.0, 8))
+
+    def test_grid_shape(self):
+        grid = TradeoffGrid(paper_like_curve())
+        table = grid.grid([10.0, 12.0], [4, 8, 16])
+        assert len(table) == 3 and len(table[0]) == 2
+
+    def test_paper_headline_numbers(self):
+        """With the paper-shaped curve, <0.4% loss costs ~313 fJ/MAC and
+        <1% costs ~78 fJ/MAC — the paper's Fig. 8 headline."""
+        grid = TradeoffGrid(paper_like_curve())
+        e04, _ = grid.min_emac_for_loss(0.004)
+        e1, _ = grid.min_emac_for_loss(0.01)
+        assert e04 * 1000 == pytest.approx(313, rel=0.05)
+        assert e1 * 1000 == pytest.approx(78, rel=0.05)
+
+    def test_tighter_accuracy_costs_more(self):
+        grid = TradeoffGrid(paper_like_curve())
+        loose, _ = grid.min_emac_for_loss(0.03)
+        tight, _ = grid.min_emac_for_loss(0.004)
+        assert tight > loose
+
+    def test_iso_loss_contour_parallel_in_thermal_region(self):
+        """Level curves of loss and E_MAC are parallel above the knee:
+        E_MAC is constant along an iso-loss contour.  (The paper's
+        rounded 6.02 dB/bit slope — vs the exact 20*log10(2) = 6.0206 —
+        leaves a ~0.02% seam per Nmult doubling, so 'constant' means
+        well under 1%.)"""
+        grid = TradeoffGrid(paper_like_curve())
+        spread = grid.level_curve_parallelism(0.004, [8, 16, 32, 64, 128])
+        assert spread < 0.01
+
+    def test_contour_energies_differ_below_knee(self):
+        """In the flat-energy region the one-to-one link breaks (the
+        paper's claim is specific to thermal-noise-limited designs)."""
+        grid = TradeoffGrid(paper_like_curve())
+        cells = grid.iso_loss_contour(0.03, [1, 2, 4])
+        assert all(c.enob < THERMAL_KNEE_ENOB for c in cells)
+        energies = [c.emac_pj for c in cells]
+        assert max(energies) / min(energies) > 1.5
+
+    def test_multiplier_energy_shifts_but_preserves_parallelism(self):
+        """A constant per-MAC multiplier term raises every cell equally,
+        so the one-to-one energy-accuracy link survives the
+        ADC-dominated assumption being relaxed — it just moves the
+        floor up by exactly the multiplier energy."""
+        base = TradeoffGrid(paper_like_curve())
+        shifted = TradeoffGrid(
+            paper_like_curve(), EnergyModel(multiplier_energy_pj=0.1)
+        )
+        spread = shifted.level_curve_parallelism(0.004, [8, 16, 32, 64])
+        assert spread < 0.01
+        e_base = base.iso_loss_contour(0.004, [16])[0].emac_pj
+        e_shift = shifted.iso_loss_contour(0.004, [16])[0].emac_pj
+        assert e_shift == pytest.approx(e_base + 0.1)

@@ -1,0 +1,44 @@
+"""Fixtures for experiment-harness tests: a micro workbench.
+
+Training-backed experiment tests share one session-scoped workbench with
+a microscopic configuration so the whole experiment test module runs in
+tens of seconds; its cache lives in a temp dir so it never collides with
+real experiment caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import Workbench
+from repro.experiments.config import make_config
+
+
+@pytest.fixture(scope="session")
+def micro_config(tmp_path_factory):
+    root = tmp_path_factory.mktemp("experiments")
+    config = make_config(profile="quick", seed=77)
+    return replace(
+        config,
+        num_classes=4,
+        image_size=8,
+        train_per_class=24,
+        val_per_class=10,
+        pretrain_epochs=3,
+        retrain_epochs=2,
+        batch_size=32,
+        patience=2,
+        eval_passes=2,
+        enob_sweep=(4.0, 6.0),
+        table2_enob=4.0,
+        fig6_enobs=(4.0, 6.0),
+        cache_dir=str(root / "cache"),
+        results_dir=str(root / "results"),
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_bench(micro_config):
+    return Workbench(micro_config)

@@ -1,0 +1,62 @@
+"""Tests for the experiment CLI."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestList:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig4", "fig8", "ablations"):
+            assert name in out
+
+
+class TestCache:
+    def test_cache_list_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_cache_list_missing_dir(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope")
+        assert main(["cache", "list", "--cache-dir", missing]) == 0
+        assert "no cache" in capsys.readouterr().out
+
+    def test_cache_list_and_clear(self, tmp_path, capsys):
+        np.savez(str(tmp_path / "model.npz"), w=np.zeros(3))
+        (tmp_path / "model.json").write_text("{}")
+        assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
+        assert "model.npz" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert not os.listdir(tmp_path)
+
+
+class TestRun:
+    def test_run_fig7_quick(self, tmp_path, capsys, monkeypatch):
+        """fig7 involves no training, so the CLI round trip is fast."""
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "run",
+                    "fig7",
+                    "--profile",
+                    "quick",
+                    "--results-dir",
+                    str(tmp_path / "results"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert os.path.exists(tmp_path / "results" / "fig7.json")
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])

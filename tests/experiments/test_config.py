@@ -1,0 +1,56 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import PROFILES, ExperimentConfig, make_config
+
+
+class TestProfiles:
+    def test_both_profiles_exist(self):
+        assert set(PROFILES) == {"full", "quick"}
+
+    def test_quick_is_smaller(self):
+        full, quick = PROFILES["full"], PROFILES["quick"]
+        assert quick.train_per_class < full.train_per_class
+        assert quick.pretrain_epochs < full.pretrain_epochs
+        assert len(quick.enob_sweep) < len(full.enob_sweep)
+
+    def test_full_matches_paper_settings(self):
+        full = PROFILES["full"]
+        assert full.nmult == 8  # the paper's Nmult for all accuracy runs
+        assert full.eval_passes == 5  # five validation passes
+
+    def test_fig6_enobs_subset_of_sweep(self):
+        """Fig. 6 reuses fig4's retrained models from cache; its ENOBs
+        must be in the sweep or extra training is silently incurred."""
+        for profile in PROFILES.values():
+            assert set(profile.fig6_enobs) <= set(profile.enob_sweep)
+
+    def test_table2_enob_in_sweep(self):
+        for profile in PROFILES.values():
+            assert profile.table2_enob in profile.enob_sweep
+
+
+class TestMakeConfig:
+    def test_overrides(self):
+        config = make_config("quick", seed=5, num_classes=3)
+        assert config.seed == 5
+        assert config.num_classes == 3
+        assert config.profile == "quick"
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            make_config("turbo")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(profile="nope")
+        with pytest.raises(ConfigError):
+            ExperimentConfig(eval_passes=0)
+
+    def test_cache_key_prefix_distinguishes_regimes(self):
+        a = make_config("quick", seed=1).cache_key_prefix()
+        b = make_config("quick", seed=2).cache_key_prefix()
+        c = make_config("full", seed=1).cache_key_prefix()
+        assert len({a, b, c}) == 3

@@ -1,0 +1,53 @@
+"""Tests for the CSV export utility."""
+
+import csv
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.export import export_all, export_result_csv
+
+
+def write_record(path, experiment_id="figX"):
+    record = {
+        "experiment_id": experiment_id,
+        "title": "T",
+        "headers": ["a", "b"],
+        "rows": [[1, 2.5], [3, 4.5]],
+        "notes": [],
+        "extras": {},
+    }
+    with open(path, "w") as fh:
+        json.dump(record, fh)
+
+
+class TestExport:
+    def test_single_record(self, tmp_path):
+        json_path = str(tmp_path / "figX.json")
+        write_record(json_path)
+        out = export_result_csv(json_path, str(tmp_path / "csv"))
+        with open(out) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["a", "b"]
+        assert rows[1] == ["1", "2.5"]
+
+    def test_export_all(self, tmp_path):
+        write_record(str(tmp_path / "one.json"), "one")
+        write_record(str(tmp_path / "two.json"), "two")
+        paths = export_all(str(tmp_path), str(tmp_path / "csv"))
+        assert len(paths) == 2
+        assert all(os.path.exists(p) for p in paths)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_result_csv(str(tmp_path / "nope.json"), str(tmp_path))
+
+    def test_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_all(str(tmp_path), str(tmp_path / "csv"))
+
+    def test_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_all(str(tmp_path / "nope"), str(tmp_path / "csv"))

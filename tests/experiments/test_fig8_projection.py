@@ -1,0 +1,42 @@
+"""Tests for fig8's ResNet-50-scale projection (no training needed)."""
+
+import numpy as np
+import pytest
+
+from repro.energy.tradeoff import AccuracyCurve
+from repro.experiments.fig8 import _resnet50_projection
+
+
+def curve(enobs, losses):
+    return AccuracyCurve(
+        enobs=np.array(enobs, dtype=float),
+        losses=np.array(losses, dtype=float),
+        reference_nmult=8,
+    )
+
+
+class TestProjection:
+    def test_paper_headline_from_paper_shaped_curve(self):
+        """A curve whose <1% cutoff is already at ENOB 11 projects with
+        zero shift and must reproduce the ~78 fJ/MAC number."""
+        c = curve([9, 10, 11, 12, 13], [0.08, 0.03, 0.0099, 0.004, 0.001])
+        projection = _resnet50_projection(c)
+        assert projection["enob_shift"] == pytest.approx(0.0, abs=0.05)
+        assert projection["emac_1pct_fj"] == pytest.approx(78, rel=0.1)
+
+    def test_shift_moves_small_scale_curve_to_thermal_regime(self):
+        """Our-scale curves (cutoffs near ENOB 6) need ~+5 bits."""
+        c = curve([4, 5, 6, 7, 8], [0.4, 0.15, 0.02, 0.005, 0.001])
+        projection = _resnet50_projection(c)
+        assert 4.0 < projection["enob_shift"] < 6.0
+        assert projection["emac_1pct_fj"] > 10  # thermal-regime prices
+        assert projection["parallel_spread"] < 0.01
+
+    def test_projection_none_when_target_unreachable(self):
+        c = curve([4, 5, 6], [0.5, 0.3, 0.2])
+        assert _resnet50_projection(c) is None
+
+    def test_tight_target_costs_more_than_1pct(self):
+        c = curve([9, 10, 11, 12, 13], [0.08, 0.03, 0.0099, 0.004, 0.001])
+        projection = _resnet50_projection(c)
+        assert projection["emac_tight_fj"] > projection["emac_1pct_fj"]

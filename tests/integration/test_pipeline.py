@@ -1,0 +1,145 @@
+"""Integration tests: the paper's workflow end to end via the public API.
+
+These mirror the quickstart example at microscopic scale: pretrain an
+FP32 net, transfer weights into quantized/AMS variants, evaluate and
+retrain, and exercise the Section-4 extensions on the trained weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ams import VMACConfig, tile_quantized_convs
+from repro.data import SynthImageNet, SynthImageNetConfig
+from repro.models import (
+    AMSFactory,
+    DoReFaFactory,
+    FP32Factory,
+    resnet_small,
+)
+from repro.quant import QuantConfig, fold_batchnorm
+from repro.tensor.tensor import Tensor, no_grad
+from repro.train import (
+    TrainConfig,
+    Trainer,
+    evaluate_accuracy,
+    repeated_evaluate,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Shared trained artifacts for the integration tests."""
+    data = SynthImageNet(
+        SynthImageNetConfig(
+            num_classes=4, image_size=8, train_per_class=30,
+            val_per_class=12, seed=5,
+        )
+    )
+    fp32 = resnet_small(FP32Factory(seed=2), num_classes=4)
+    train_cfg = TrainConfig(epochs=6, batch_size=24, lr=0.05, patience=6)
+    fp32_result = Trainer(train_cfg).fit(fp32, data.train, data.val)
+
+    quant = resnet_small(DoReFaFactory(QuantConfig(8, 8), seed=2), num_classes=4)
+    quant.input_adapter.calibrate(data.train.images)
+    quant.load_state_dict(fp32.state_dict())
+    retrain_cfg = TrainConfig(epochs=4, batch_size=24, lr=0.02, patience=4)
+    quant_result = Trainer(retrain_cfg).fit(quant, data.train, data.val)
+    return data, fp32, fp32_result, quant, quant_result, retrain_cfg
+
+
+class TestPretrainAndTransfer:
+    def test_fp32_learns(self, pipeline):
+        _, _, fp32_result, _, _, _ = pipeline
+        assert fp32_result.best_accuracy > 0.4  # chance = 0.25
+
+    def test_quantized_close_to_fp32(self, pipeline):
+        _, _, fp32_result, _, quant_result, _ = pipeline
+        assert quant_result.best_accuracy > fp32_result.best_accuracy - 0.25
+
+
+class TestAMSEvaluation:
+    def _ams(self, data, quant, enob, seed=9):
+        model = resnet_small(
+            AMSFactory(
+                QuantConfig(8, 8),
+                VMACConfig(enob=enob, nmult=8),
+                seed=2,
+                noise_seed=seed,
+            ),
+            num_classes=4,
+        )
+        model.input_adapter.calibrate(data.train.images)
+        model.load_state_dict(quant.state_dict())
+        return model
+
+    def test_low_enob_worse_than_high(self, pipeline):
+        data, _, _, quant, _, _ = pipeline
+        noisy = repeated_evaluate(
+            self._ams(data, quant, enob=2.5), data.val, passes=4
+        )
+        clean = repeated_evaluate(
+            self._ams(data, quant, enob=14.0), data.val, passes=4
+        )
+        assert clean.mean >= noisy.mean
+
+    def test_high_enob_matches_quant_baseline(self, pipeline):
+        data, _, _, quant, _, _ = pipeline
+        base = evaluate_accuracy(quant, data.val)
+        ams = evaluate_accuracy(self._ams(data, quant, enob=16.0), data.val)
+        assert ams == pytest.approx(base, abs=0.05)
+
+    def test_retraining_with_error_runs_and_reports(self, pipeline):
+        data, _, _, quant, _, retrain_cfg = pipeline
+        model = self._ams(data, quant, enob=3.5)
+        result = Trainer(retrain_cfg).fit(model, data.train, data.val)
+        assert 0.0 <= result.best_accuracy <= 1.0
+        assert result.epochs_run >= 1
+
+
+class TestExtensionsOnTrainedWeights:
+    def test_bn_folding_on_trained_model(self, pipeline):
+        data, fp32, _, _, _, _ = pipeline
+        fp32.eval()
+        conv = fp32.stem_conv[0]
+        bn = fp32.stem_bn
+        weight, bias = fold_batchnorm(conv, bn)
+        from repro.nn.conv import Conv2d
+
+        folded = Conv2d(3, 16, 3, padding=1)
+        folded.weight.data = weight
+        folded.bias.data = bias
+        x = Tensor(data.val.images[:4])
+        with no_grad():
+            expected = bn(conv(x)).data
+            actual = folded(x).data
+        np.testing.assert_allclose(actual, expected, rtol=1e-3, atol=1e-4)
+
+    def test_tiled_model_accuracy_close_to_lumped(self, pipeline):
+        """The tiled (per-VMAC) error model and the lumped Gaussian
+        should agree on accuracy to within a few points at equal ENOB —
+        the paper's abstraction-validity claim."""
+        data, _, _, quant, _, _ = pipeline
+        base = evaluate_accuracy(quant, data.val)
+
+        tiled = resnet_small(
+            DoReFaFactory(QuantConfig(8, 8), seed=2), num_classes=4
+        )
+        tiled.input_adapter.calibrate(data.train.images)
+        tiled.load_state_dict(quant.state_dict())
+        tile_quantized_convs(tiled, VMACConfig(enob=12.0, nmult=8))
+        tiled_acc = evaluate_accuracy(tiled, data.val)
+        assert tiled_acc == pytest.approx(base, abs=0.15)
+
+    def test_tiled_recycling_variant_runs(self, pipeline):
+        data, _, _, quant, _, _ = pipeline
+        model = resnet_small(
+            DoReFaFactory(QuantConfig(8, 8), seed=2), num_classes=4
+        )
+        model.input_adapter.calibrate(data.train.images)
+        model.load_state_dict(quant.state_dict())
+        count = tile_quantized_convs(
+            model, VMACConfig(enob=6.0, nmult=8), recycle=True
+        )
+        assert count == 9
+        acc = evaluate_accuracy(model, data.val)
+        assert 0.0 <= acc <= 1.0

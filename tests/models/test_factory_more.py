@@ -1,0 +1,90 @@
+"""Additional layer-factory behaviours."""
+
+import numpy as np
+
+from repro.ams import AMSErrorInjector, VMACConfig
+from repro.models import AMSFactory, DoReFaFactory, FP32Factory, resnet_small
+from repro.quant import QuantConfig
+from repro.quant.qmodules import InputQuantizer, QuantClippedReLU
+from repro.nn.activation import Identity, ReLU
+
+
+class TestInputAdapters:
+    def test_fp32_uses_identity(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        assert isinstance(model.input_adapter, Identity)
+
+    def test_quantized_uses_input_quantizer(self):
+        model = resnet_small(DoReFaFactory(QuantConfig(8, 4), seed=0), num_classes=4)
+        adapter = model.input_adapter
+        assert isinstance(adapter, InputQuantizer)
+        assert adapter.bx == 4
+
+
+class TestActivations:
+    def test_fp32_relu(self):
+        factory = FP32Factory(seed=0)
+        assert isinstance(factory.activation(), ReLU)
+
+    def test_quantized_clipped_relu_bits(self):
+        factory = DoReFaFactory(QuantConfig(8, 6), seed=0)
+        act = factory.activation()
+        assert isinstance(act, QuantClippedReLU)
+        assert act.bx == 6
+
+
+class TestNoiseSeeds:
+    def test_layers_get_independent_streams(self):
+        model = resnet_small(
+            AMSFactory(
+                QuantConfig(8, 8),
+                VMACConfig(enob=5, nmult=8),
+                seed=0,
+                noise_seed=42,
+            ),
+            num_classes=4,
+        )
+        from repro.tensor.tensor import Tensor
+
+        injectors = [
+            m for m in model.modules() if isinstance(m, AMSErrorInjector)
+        ]
+        x = Tensor(np.zeros((3, 3), np.float32))
+        draws = set()
+        for injector in injectors:
+            injector.eval()
+            draws.add(tuple(np.round(injector(x).data.reshape(-1), 5)))
+        assert len(draws) == len(injectors)
+
+    def test_same_noise_seed_reproduces_model_noise(self):
+        from repro.tensor.tensor import Tensor
+
+        outs = []
+        for _ in range(2):
+            model = resnet_small(
+                AMSFactory(
+                    QuantConfig(8, 8),
+                    VMACConfig(enob=5, nmult=8),
+                    seed=0,
+                    noise_seed=42,
+                ),
+                num_classes=4,
+            )
+            injector = model.stem_conv[-1]
+            injector.eval()
+            outs.append(
+                injector(Tensor(np.zeros((2, 2), np.float32))).data.copy()
+            )
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_conv_index_continues_across_stages(self):
+        """Probe labels must be unique and sequential."""
+        model = resnet_small(
+            FP32Factory(seed=0, with_probes=True), num_classes=4
+        )
+        from repro.train.hooks import collect_probes
+
+        labels = [p.label for p in collect_probes(model)]
+        conv_labels = [l for l in labels if l.startswith("conv")]
+        indices = sorted(int(l[4:]) for l in conv_labels)
+        assert indices == list(range(1, 10))

@@ -1,0 +1,33 @@
+"""Tests for the ResNet-18/34 family builders."""
+
+import numpy as np
+
+from repro.models import count_conv_layers, resnet18, resnet34
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class TestResNet18:
+    def test_parameter_count_matches_torchvision(self):
+        """torchvision's resnet18 has exactly 11,689,512 parameters."""
+        assert resnet18().num_parameters() == 11_689_512
+
+    def test_conv_count(self):
+        # 1 stem + 8 blocks * 2 convs + 3 downsample projections = 20
+        assert count_conv_layers(resnet18()) == 20
+
+    def test_forward(self):
+        model = resnet18(num_classes=10)
+        model.eval()
+        x = Tensor(np.zeros((1, 3, 64, 64), np.float32))
+        with no_grad():
+            assert model(x).shape == (1, 10)
+
+
+class TestResNet34:
+    def test_parameter_count_matches_torchvision(self):
+        """torchvision's resnet34 has exactly 21,797,672 parameters."""
+        assert resnet34().num_parameters() == 21_797_672
+
+    def test_conv_count(self):
+        # 1 stem + 16 blocks * 2 convs + 3 downsample projections = 36
+        assert count_conv_layers(resnet34()) == 36

@@ -1,0 +1,59 @@
+"""Tests for the simple models and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import (
+    MLP,
+    DoReFaFactory,
+    SimpleCNN,
+    available_models,
+    build_model,
+)
+from repro.quant import QuantConfig
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def x(shape, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+    )
+
+
+class TestSimpleCNN:
+    def test_forward_shape(self):
+        model = SimpleCNN(num_classes=5)
+        model.eval()
+        with no_grad():
+            assert model(x((2, 3, 8, 8))).shape == (2, 5)
+
+    def test_quantized_variant(self):
+        model = SimpleCNN(DoReFaFactory(QuantConfig(4, 4), seed=0), num_classes=3)
+        model.eval()
+        with no_grad():
+            assert model(x((1, 3, 8, 8))).shape == (1, 3)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        model = MLP(in_features=12, hidden=(8, 8), num_classes=3)
+        model.eval()
+        with no_grad():
+            assert model(x((4, 3, 2, 2))).shape == (4, 3)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_models()
+        assert "resnet50" in names and "resnet_small" in names
+
+    def test_build(self):
+        model = build_model("resnet_small", num_classes=6)
+        model.eval()
+        with no_grad():
+            assert model(x((1, 3, 16, 16))).shape == (1, 6)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            build_model("resnet9000")

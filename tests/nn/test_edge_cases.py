@@ -1,0 +1,69 @@
+"""Edge-case tests across the nn package."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (
+    BatchNorm2d,
+    Flatten,
+    Linear,
+    ModuleList,
+    ReLU,
+    Sequential,
+)
+from repro.tensor.tensor import Tensor
+
+
+class TestSequentialEdges:
+    def test_empty_sequential_is_identity(self):
+        seq = Sequential()
+        x = Tensor(np.ones(3, np.float32))
+        assert seq(x) is x
+
+    def test_repr_lists_children(self):
+        seq = Sequential(ReLU(), Flatten())
+        text = repr(seq)
+        assert "ReLU" in text and "Flatten" in text
+
+
+class TestModuleListEdges:
+    def test_negative_index(self):
+        ml = ModuleList([ReLU(), Flatten()])
+        assert isinstance(ml[-1], Flatten)
+
+    def test_grows_incrementally(self):
+        ml = ModuleList()
+        assert len(ml) == 0
+        ml.append(ReLU())
+        assert len(ml) == 1
+
+
+class TestBatchNormEdges:
+    def test_batch_of_one_does_not_crash(self):
+        bn = BatchNorm2d(2)
+        bn.train()
+        out = bn(Tensor(np.ones((1, 2, 3, 3), np.float32)))
+        assert np.isfinite(out.data).all()
+        assert np.isfinite(bn.running_var).all()
+
+    def test_eval_before_any_training_uses_identity_stats(self):
+        bn = BatchNorm2d(2)
+        bn.eval()
+        x = Tensor(np.full((2, 2, 2, 2), 3.0, np.float32))
+        out = bn(x)
+        np.testing.assert_allclose(out.data, 3.0, rtol=1e-4)
+
+
+class TestLoadStateEdges:
+    def test_buffer_shape_mismatch_rejected(self):
+        bn1, bn2 = BatchNorm2d(2), BatchNorm2d(3)
+        with pytest.raises(ConfigError):
+            bn2.load_state_dict(bn1.state_dict())
+
+    def test_linear_after_flatten_pipeline(self):
+        model = Sequential(
+            Flatten(), Linear(12, 4, rng=np.random.default_rng(0))
+        )
+        out = model(Tensor(np.zeros((2, 3, 2, 2), np.float32)))
+        assert out.shape == (2, 4)

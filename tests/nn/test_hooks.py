@@ -1,0 +1,71 @@
+"""Tests for module forward hooks."""
+
+import numpy as np
+
+from repro.nn import Linear, ReLU, Sequential
+from repro.tensor.tensor import Tensor
+
+
+def x(shape, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+    )
+
+
+class TestForwardHooks:
+    def test_hook_called_with_module_inputs_output(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        calls = []
+        layer.register_forward_hook(
+            lambda mod, inputs, output: calls.append(
+                (mod, inputs[0].shape, output.shape)
+            )
+        )
+        layer(x((4, 3)))
+        assert len(calls) == 1
+        mod, in_shape, out_shape = calls[0]
+        assert mod is layer
+        assert in_shape == (4, 3)
+        assert out_shape == (4, 2)
+
+    def test_hook_fires_per_forward(self):
+        layer = ReLU()
+        count = []
+        layer.register_forward_hook(lambda *a: count.append(1))
+        layer(x((2, 2)))
+        layer(x((2, 2)))
+        assert len(count) == 2
+
+    def test_remove_detaches(self):
+        layer = ReLU()
+        count = []
+        handle = layer.register_forward_hook(lambda *a: count.append(1))
+        layer(x((2, 2)))
+        handle.remove()
+        layer(x((2, 2)))
+        assert len(count) == 1
+
+    def test_remove_idempotent(self):
+        layer = ReLU()
+        handle = layer.register_forward_hook(lambda *a: None)
+        handle.remove()
+        handle.remove()
+
+    def test_multiple_hooks_all_fire(self):
+        layer = ReLU()
+        seen = []
+        layer.register_forward_hook(lambda *a: seen.append("a"))
+        layer.register_forward_hook(lambda *a: seen.append("b"))
+        layer(x((1,)))
+        assert seen == ["a", "b"]
+
+    def test_hooks_do_not_fire_on_children_implicitly(self):
+        inner = Linear(2, 2, rng=np.random.default_rng(0))
+        outer = Sequential(inner)
+        calls = []
+        outer.register_forward_hook(lambda *a: calls.append("outer"))
+        inner.register_forward_hook(lambda *a: calls.append("inner"))
+        outer(x((1, 2)))
+        # inner fires (it is called through Sequential) and outer fires
+        # once for the container itself.
+        assert calls == ["inner", "outer"]

@@ -1,0 +1,164 @@
+"""Tests for concrete layers and containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    ClippedReLU,
+    Conv2d,
+    CrossEntropyLoss,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ModuleList,
+    MSELoss,
+    ReLU,
+    Sequential,
+)
+from repro.nn import init
+from repro.errors import ConfigError
+from repro.tensor.tensor import Tensor
+
+
+def x(shape, seed=0):
+    return Tensor(
+        np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+    )
+
+
+class TestLinearConv:
+    def test_linear_shapes(self):
+        layer = Linear(4, 6, rng=np.random.default_rng(0))
+        assert layer(x((3, 4))).shape == (3, 6)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 6, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        assert len(list(layer.named_parameters())) == 1
+
+    def test_conv_shapes(self):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=np.random.default_rng(0))
+        assert layer(x((2, 3, 8, 8))).shape == (2, 8, 4, 4)
+
+    def test_conv_no_bias(self):
+        layer = Conv2d(3, 8, 3, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+
+    def test_conv_repr(self):
+        assert "Conv2d" in repr(Conv2d(1, 2, 3))
+
+
+class TestBatchNorm:
+    def test_bn2d_trains_stats(self):
+        bn = BatchNorm2d(3)
+        data = x((8, 3, 4, 4), seed=1)
+        bn.train()
+        bn(data)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_bn2d_eval_deterministic(self):
+        bn = BatchNorm2d(3)
+        bn.eval()
+        data = x((8, 3, 4, 4), seed=1)
+        out1 = bn(data).data
+        out2 = bn(data).data
+        np.testing.assert_allclose(out1, out2)
+        np.testing.assert_allclose(bn.running_mean, 0.0)
+
+    def test_bn1d(self):
+        bn = BatchNorm1d(5)
+        out = bn(x((16, 5)))
+        assert out.shape == (16, 5)
+
+    def test_bn_gamma_beta_trainable(self):
+        bn = BatchNorm2d(2)
+        names = {n for n, _ in bn.named_parameters()}
+        assert names == {"weight", "bias"}
+
+
+class TestContainers:
+    def test_sequential_order(self):
+        seq = Sequential(ReLU(), Flatten())
+        out = seq(x((2, 3, 2, 2)))
+        assert out.shape == (2, 12)
+        assert (out.data >= 0).all()
+
+    def test_sequential_indexing(self):
+        seq = Sequential(ReLU(), Identity())
+        assert isinstance(seq[0], ReLU)
+        assert len(seq) == 2
+        assert len(list(iter(seq))) == 2
+
+    def test_module_list(self):
+        ml = ModuleList([ReLU(), Identity()])
+        ml.append(Flatten())
+        assert len(ml) == 3
+        assert isinstance(ml[2], Flatten)
+        assert len(list(ml)) == 3
+
+    def test_module_list_registers_params(self):
+        ml = ModuleList([Linear(2, 2, rng=np.random.default_rng(0))])
+        assert len(list(ml.parameters())) == 2
+
+
+class TestActivations:
+    def test_relu(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0], np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_clipped_relu_default_one(self):
+        out = ClippedReLU()(Tensor(np.array([-1.0, 0.5, 3.0], np.float32)))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0])
+
+    def test_clipped_relu_custom_ceiling(self):
+        out = ClippedReLU(2.0)(Tensor(np.array([3.0], np.float32)))
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_identity(self):
+        data = x((2, 2))
+        assert Identity()(data) is data
+
+    def test_pooling_modules(self):
+        assert MaxPool2d(2)(x((1, 2, 4, 4))).shape == (1, 2, 2, 2)
+        assert AvgPool2d(2)(x((1, 2, 4, 4))).shape == (1, 2, 2, 2)
+        assert GlobalAvgPool2d()(x((1, 2, 4, 4))).shape == (1, 2)
+
+
+class TestLossesAndInit:
+    def test_ce_loss_module(self):
+        loss = CrossEntropyLoss()(x((4, 3)), np.zeros(4, dtype=np.int64))
+        assert np.isfinite(loss.item())
+
+    def test_mse_loss_module(self):
+        loss = MSELoss()(x((4,)), Tensor(np.zeros(4, np.float32)))
+        assert loss.item() >= 0
+
+    def test_kaiming_std(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 128, 3, 3), rng)
+        expected = np.sqrt(2.0 / (128 * 9))
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((64, 64), rng)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 64)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_normal((100, 200), rng)
+        assert w.std() == pytest.approx(np.sqrt(2 / 300), rel=0.1)
+
+    def test_fan_rejects_3d(self):
+        with pytest.raises(ConfigError):
+            init.kaiming_normal((2, 3, 4), np.random.default_rng(0))
+
+    def test_zeros_ones(self):
+        assert init.zeros((2,)).sum() == 0
+        assert init.ones((2,)).sum() == 2

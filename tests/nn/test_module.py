@@ -1,0 +1,153 @@
+"""Tests for the Module registration/iteration/serialization machinery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import BatchNorm2d, Linear, Module, Parameter, ReLU
+from repro.tensor.tensor import Tensor, no_grad
+
+
+class Toy(Module):
+    _instances = 0
+
+    def __init__(self):
+        super().__init__()
+        Toy._instances += 1
+        rng = np.random.default_rng(Toy._instances)
+        self.fc1 = Linear(4, 8, rng=rng)
+        self.act = ReLU()
+        self.fc2 = Linear(8, 2, rng=rng)
+        self.scale = Parameter(np.ones(1, np.float32))
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x))) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_found(self):
+        m = Toy()
+        names = dict(m.named_parameters())
+        assert set(names) == {
+            "fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias", "scale",
+        }
+
+    def test_parameter_reassignment_replaces(self):
+        m = Toy()
+        m.scale = Parameter(np.zeros(1, np.float32))
+        assert m._parameters["scale"].data[0] == 0.0
+        assert len(list(m.named_parameters())) == 5
+
+    def test_module_overwrite_by_parameter(self):
+        m = Toy()
+        m.act = Parameter(np.ones(1, np.float32))
+        assert "act" in m._parameters
+        assert "act" not in m._modules
+
+    def test_buffers(self):
+        bn = BatchNorm2d(3)
+        names = dict(bn.named_buffers())
+        assert set(names) == {"running_mean", "running_var"}
+
+    def test_named_modules_qualified(self):
+        m = Toy()
+        names = [n for n, _ in m.named_modules()]
+        assert "" in names and "fc1" in names
+
+    def test_children(self):
+        assert len(list(Toy().children())) == 3
+
+    def test_num_parameters(self):
+        m = Toy()
+        assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_apply_reaches_all(self):
+        seen = []
+        Toy().apply(lambda mod: seen.append(type(mod).__name__))
+        assert "Toy" in seen and "Linear" in seen and "ReLU" in seen
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        m = Toy()
+        m.eval()
+        assert not m.fc1.training
+        m.train()
+        assert m.fc1.training
+
+    def test_requires_grad_toggle(self):
+        m = Toy()
+        m.requires_grad_(False)
+        assert all(not p.requires_grad for p in m.parameters())
+        m.requires_grad_(True)
+        assert all(p.requires_grad for p in m.parameters())
+
+    def test_zero_grad(self):
+        m = Toy()
+        x = Tensor(np.ones((2, 4), np.float32))
+        m(x).sum().backward()
+        assert any(p.grad is not None for p in m.parameters())
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+    def test_parameter_trainable_under_no_grad(self):
+        with no_grad():
+            p = Parameter(np.ones(2, np.float32))
+        assert p.requires_grad
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        m1, m2 = Toy(), Toy()
+        x = Tensor(np.ones((1, 4), np.float32))
+        assert not np.allclose(m1(x).data, m2(x).data)
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_allclose(m1(x).data, m2(x).data)
+
+    def test_state_dict_copies(self):
+        m = Toy()
+        state = m.state_dict()
+        state["scale"][0] = 123.0
+        assert m.scale.data[0] == 1.0
+
+    def test_missing_key_strict(self):
+        m = Toy()
+        state = m.state_dict()
+        del state["scale"]
+        with pytest.raises(ConfigError):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_strict(self):
+        m = Toy()
+        state = m.state_dict()
+        state["bogus"] = np.zeros(1, np.float32)
+        with pytest.raises(ConfigError):
+            m.load_state_dict(state)
+
+    def test_non_strict_ignores(self):
+        m = Toy()
+        state = m.state_dict()
+        del state["scale"]
+        state["bogus"] = np.zeros(1, np.float32)
+        m.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch(self):
+        m = Toy()
+        state = m.state_dict()
+        state["scale"] = np.zeros(7, np.float32)
+        with pytest.raises(ConfigError):
+            m.load_state_dict(state)
+
+    def test_buffer_loaded_in_place(self):
+        bn1, bn2 = BatchNorm2d(2), BatchNorm2d(2)
+        bn1.running_mean[:] = 5.0
+        ref = bn2.running_mean  # view held elsewhere
+        bn2.load_state_dict(bn1.state_dict())
+        np.testing.assert_allclose(ref, 5.0)
+
+    def test_repr_contains_children(self):
+        assert "fc1" in repr(Toy())

@@ -1,0 +1,158 @@
+"""Tests for SGD, Adam and schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, ConstantLR, CosineLR, StepLR
+
+
+def quadratic_step(optimizer, p, target):
+    """One gradient step on 0.5 * ||p - target||^2."""
+    optimizer.zero_grad()
+    p.grad = p.data - target
+    optimizer.step()
+
+
+class TestSGD:
+    def test_plain_update_rule(self):
+        p = Parameter(np.array([1.0], np.float32))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([2.0], np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.8])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0], np.float32))
+        target = np.array([1.0, 2.0], np.float32)
+        opt = SGD([p], lr=0.3)
+        for _ in range(100):
+            quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-4)
+
+    def test_momentum_matches_reference(self):
+        p = Parameter(np.array([0.0], np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        v_ref, x_ref = 0.0, 0.0
+        for step in range(5):
+            grad = 1.0
+            p.grad = np.array([grad], np.float32)
+            opt.step()
+            v_ref = 0.9 * v_ref + grad
+            x_ref -= 0.1 * v_ref
+            assert p.data[0] == pytest.approx(x_ref, rel=1e-5)
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        p1 = Parameter(np.array([0.0], np.float32))
+        p2 = Parameter(np.array([0.0], np.float32))
+        o1 = SGD([p1], lr=0.1, momentum=0.9)
+        o2 = SGD([p2], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            p1.grad = np.array([1.0], np.float32)
+            p2.grad = np.array([1.0], np.float32)
+            o1.step()
+            o2.step()
+        assert p1.data[0] != p2.data[0]
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0], np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1, np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [10.0 - 0.1 * 0.5 * 10.0])
+
+    def test_frozen_param_skipped(self):
+        p = Parameter(np.array([1.0], np.float32))
+        p.requires_grad = False
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([1.0], np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0], np.float32))
+        opt = SGD([p], lr=0.1)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+        with pytest.raises(ConfigError):
+            SGD([Parameter(np.zeros(1, np.float32))], lr=0.0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0], np.float32))
+        opt = SGD([p], lr=0.1)
+        p.grad = np.array([1.0], np.float32)
+        opt.zero_grad()
+        assert p.grad is None
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, |first step| ~= lr regardless of grad scale."""
+        for scale in (0.01, 100.0):
+            p = Parameter(np.array([0.0], np.float32))
+            opt = Adam([p], lr=0.05)
+            p.grad = np.array([scale], np.float32)
+            opt.step()
+            assert abs(p.data[0]) == pytest.approx(0.05, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0], np.float32))
+        target = np.array([1.0, 2.0], np.float32)
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            quadratic_step(opt, p, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.array([1.0], np.float32))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            p.grad = np.zeros(1, np.float32)
+            opt.step()
+        assert abs(p.data[0]) < 1.0
+
+    def test_frozen_param_skipped(self):
+        p = Parameter(np.array([1.0], np.float32))
+        p.requires_grad = False
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([1.0], np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1, np.float32))], lr=1.0)
+
+    def test_constant(self):
+        opt = self._opt()
+        sched = ConstantLR(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 1.0
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineLR(opt, total_epochs=10, min_lr=0.1)
+        mid_values = []
+        for _ in range(10):
+            sched.step()
+            mid_values.append(opt.lr)
+        assert opt.lr == pytest.approx(0.1, abs=1e-6)
+        assert mid_values[4] < 1.0

@@ -1,0 +1,62 @@
+"""Tests for whole-model batch-norm folding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import DoReFaFactory, FP32Factory, resnet_small
+from repro.models.simple import MLP
+from repro.nn.activation import Identity
+from repro.nn.batchnorm import BatchNorm2d
+from repro.quant import QuantConfig, fold_model_batchnorms
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def _train_stats(model, rng):
+    """Give BN layers non-trivial running statistics."""
+    model.train()
+    with no_grad():
+        for _ in range(3):
+            model(Tensor(rng.standard_normal((8, 3, 16, 16)).astype(np.float32)))
+    model.eval()
+
+
+class TestFoldModel:
+    def test_fp32_resnet_function_preserved(self, rng):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        _train_stats(model, rng)
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        with no_grad():
+            expected = model(x).data.copy()
+        folded = fold_model_batchnorms(model)
+        assert folded == 9  # every conv has a BN; the classifier does not
+        with no_grad():
+            actual = model(x).data
+        np.testing.assert_allclose(actual, expected, rtol=1e-3, atol=1e-4)
+
+    def test_quantized_resnet_function_preserved(self, rng):
+        model = resnet_small(DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=4)
+        model.input_adapter.calibrate(
+            rng.standard_normal((8, 3, 16, 16)).astype(np.float32)
+        )
+        _train_stats(model, rng)
+        x = Tensor(rng.standard_normal((2, 3, 16, 16)).astype(np.float32))
+        with no_grad():
+            expected = model(x).data.copy()
+        fold_model_batchnorms(model)
+        with no_grad():
+            actual = model(x).data
+        np.testing.assert_allclose(actual, expected, rtol=1e-3, atol=1e-4)
+
+    def test_all_bns_replaced(self, rng):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        _train_stats(model, rng)
+        fold_model_batchnorms(model)
+        assert not any(
+            isinstance(m, BatchNorm2d) for m in model.modules()
+        )
+        assert any(isinstance(m, Identity) for m in model.modules())
+
+    def test_no_pairs_rejected(self):
+        with pytest.raises(ConfigError):
+            fold_model_batchnorms(MLP(in_features=12, num_classes=3))

@@ -1,0 +1,173 @@
+"""Tests (incl. property-based) for DoReFa quantization functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.quant.dorefa import (
+    dorefa_quantize_activation,
+    dorefa_quantize_weight,
+    quantize_symmetric,
+    quantize_unit_interval,
+    weight_levels,
+)
+from repro.tensor.tensor import Tensor
+
+
+def t(arr):
+    return Tensor(np.asarray(arr, dtype=np.float32), requires_grad=True)
+
+
+unit_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, width=32), min_size=1, max_size=32
+)
+signed_arrays = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, width=32), min_size=1, max_size=32
+)
+any_arrays = st.lists(
+    st.floats(
+        min_value=-100.0, max_value=100.0, width=32, allow_nan=False
+    ),
+    min_size=1,
+    max_size=32,
+)
+bit_widths = st.integers(min_value=2, max_value=8)
+
+
+class TestWeightLevels:
+    def test_values(self):
+        assert weight_levels(1) == 1
+        assert weight_levels(8) == 255
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            weight_levels(0)
+
+
+class TestQuantizeUnitInterval:
+    @given(unit_arrays, bit_widths)
+    @settings(max_examples=50, deadline=None)
+    def test_output_on_grid_and_in_range(self, values, bits):
+        out = quantize_unit_interval(t(values), bits).data
+        levels = (1 << bits) - 1
+        assert (out >= 0).all() and (out <= 1).all()
+        np.testing.assert_allclose(
+            out * levels, np.round(out * levels), atol=1e-4
+        )
+
+    @given(unit_arrays, bit_widths)
+    @settings(max_examples=50, deadline=None)
+    def test_max_error_half_lsb(self, values, bits):
+        x = t(values)
+        out = quantize_unit_interval(x, bits).data
+        lsb = 1.0 / ((1 << bits) - 1)
+        assert np.abs(out - x.data).max() <= lsb / 2 + 1e-6
+
+    def test_bits32_identity(self):
+        x = t([0.123456])
+        assert quantize_unit_interval(x, 32) is x
+
+    def test_ste_gradient_is_identity(self):
+        x = t([0.2, 0.8])
+        quantize_unit_interval(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_idempotent(self):
+        x = t([0.0, 0.25, 0.5, 1.0])
+        once = quantize_unit_interval(x, 3)
+        twice = quantize_unit_interval(once, 3)
+        np.testing.assert_allclose(once.data, twice.data)
+
+
+class TestQuantizeSymmetric:
+    @given(signed_arrays, bit_widths)
+    @settings(max_examples=50, deadline=None)
+    def test_range_and_grid(self, values, bits):
+        out = quantize_symmetric(t(values), bits).data
+        steps = (1 << (bits - 1)) - 1
+        assert (np.abs(out) <= 1.0 + 1e-6).all()
+        np.testing.assert_allclose(
+            out * steps, np.round(out * steps), atol=1e-4
+        )
+
+    @given(signed_arrays, bit_widths)
+    @settings(max_examples=50, deadline=None)
+    def test_odd_symmetry(self, values, bits):
+        pos = quantize_symmetric(t(values), bits).data
+        neg = quantize_symmetric(t([-v for v in values]), bits).data
+        np.testing.assert_allclose(pos, -neg, atol=1e-6)
+
+    def test_zero_maps_to_zero(self):
+        assert quantize_symmetric(t([0.0]), 4).data[0] == 0.0
+
+    def test_needs_two_bits(self):
+        with pytest.raises(ConfigError):
+            quantize_symmetric(t([0.5]), 1)
+
+
+class TestWeightQuantization:
+    @given(any_arrays, bit_widths)
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_one(self, values, bits):
+        out = dorefa_quantize_weight(t(values), bits).data
+        assert (np.abs(out) <= 1.0 + 1e-5).all()
+
+    def test_extreme_weight_hits_plus_minus_one(self):
+        out = dorefa_quantize_weight(t([-10.0, 10.0]), 4).data
+        np.testing.assert_allclose(out, [-1.0, 1.0], atol=1e-6)
+
+    def test_monotonic(self, rng):
+        values = np.sort(rng.standard_normal(32).astype(np.float32))
+        out = dorefa_quantize_weight(t(values), 4).data
+        assert (np.diff(out) >= -1e-6).all()
+
+    def test_all_zero_weights_safe(self):
+        out = dorefa_quantize_weight(t([0.0, 0.0]), 4).data
+        assert np.isfinite(out).all()
+
+    def test_gradient_flows(self):
+        x = t([0.3, -0.5])
+        dorefa_quantize_weight(x, 4).sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()
+        assert (x.grad != 0).any()
+
+    def test_bits32_identity(self):
+        x = t([0.3])
+        assert dorefa_quantize_weight(x, 32) is x
+
+    def test_high_bits_small_error(self, rng):
+        values = rng.standard_normal(64).astype(np.float32)
+        x = t(values)
+        out8 = dorefa_quantize_weight(x, 8).data
+        out2 = dorefa_quantize_weight(x, 2).data
+        squashed = np.tanh(values) / np.abs(np.tanh(values)).max()
+        assert np.abs(out8 - squashed).max() < np.abs(out2 - squashed).max()
+
+
+class TestActivationQuantization:
+    def test_clips_then_quantizes(self):
+        out = dorefa_quantize_activation(t([-1.0, 0.5, 3.0]), 2).data
+        assert out[0] == 0.0 and out[2] == 1.0
+        np.testing.assert_allclose(out[1], round(0.5 * 3) / 3, atol=1e-6)
+
+    def test_fp32_still_clips(self):
+        out = dorefa_quantize_activation(t([2.0]), 32).data
+        assert out[0] == 1.0
+
+    def test_custom_ceiling(self):
+        out = dorefa_quantize_activation(t([5.0]), 4, ceiling=2.0).data
+        assert out[0] == pytest.approx(2.0)
+
+    @given(any_arrays, bit_widths)
+    @settings(max_examples=50, deadline=None)
+    def test_always_in_unit_interval(self, values, bits):
+        out = dorefa_quantize_activation(t(values), bits).data
+        assert (out >= 0).all() and (out <= 1.0 + 1e-6).all()
+
+    def test_gradient_zero_outside_clip(self):
+        x = t([-1.0, 0.5, 3.0])
+        dorefa_quantize_activation(x, 4).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])

@@ -1,0 +1,145 @@
+"""Tests for the quantized layer modules and BN folding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import BatchNorm2d, Conv2d
+from repro.quant import (
+    InputQuantizer,
+    QuantClippedReLU,
+    QuantConfig,
+    QuantConv2d,
+    QuantLinear,
+    fold_batchnorm,
+)
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def x(shape, seed=0, scale=1.0):
+    return Tensor(
+        scale
+        * np.random.default_rng(seed).standard_normal(shape).astype(np.float32)
+    )
+
+
+class TestQuantConfig:
+    def test_defaults(self):
+        cfg = QuantConfig()
+        assert cfg.bw == 8 and cfg.bx == 8
+        assert not cfg.is_fp32
+
+    def test_fp32_flag(self):
+        assert QuantConfig(32, 32).is_fp32
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            QuantConfig(bw=1)
+
+
+class TestQuantConv2d:
+    def test_weights_are_quantized_in_forward(self):
+        conv = QuantConv2d(1, 1, 1, bw=2, rng=np.random.default_rng(0), bias=False)
+        q = conv.quantized_weight().data
+        # 2-bit DoReFa weights live on the grid {-1, -1/3, 1/3, 1}.
+        np.testing.assert_allclose(q * 3, np.round(q * 3), atol=1e-5)
+
+    def test_forward_uses_quantized_not_raw(self):
+        conv = QuantConv2d(1, 1, 1, bw=2, rng=np.random.default_rng(0), bias=False)
+        raw_out = Conv2d(1, 1, 1, bias=False)
+        raw_out.weight.data = conv.weight.data.copy()
+        inp = x((1, 1, 3, 3))
+        quant_result = conv(inp).data
+        raw_result = raw_out(inp).data
+        assert not np.allclose(quant_result, raw_result)
+
+    def test_gradient_reaches_raw_weight(self):
+        conv = QuantConv2d(2, 3, 3, bw=4, rng=np.random.default_rng(0), bias=False)
+        conv(x((1, 2, 5, 5))).sum().backward()
+        assert conv.weight.grad is not None
+        assert np.isfinite(conv.weight.grad).all()
+
+    def test_repr(self):
+        assert "bw=4" in repr(QuantConv2d(1, 2, 3, bw=4))
+
+
+class TestQuantLinear:
+    def test_forward_shape(self):
+        layer = QuantLinear(4, 3, bw=4, rng=np.random.default_rng(0))
+        assert layer(x((2, 4))).shape == (2, 3)
+
+    def test_weight_bounded(self):
+        layer = QuantLinear(16, 8, bw=4, rng=np.random.default_rng(0))
+        assert np.abs(layer.quantized_weight().data).max() <= 1.0 + 1e-6
+
+    def test_repr(self):
+        assert "QuantLinear" in repr(QuantLinear(2, 2))
+
+
+class TestQuantClippedReLU:
+    def test_output_levels(self):
+        act = QuantClippedReLU(bx=2)
+        out = act(Tensor(np.linspace(-1, 2, 50, dtype=np.float32))).data
+        assert set(np.round(out * 3).astype(int)) <= {0, 1, 2, 3}
+
+    def test_repr(self):
+        assert "bx=3" in repr(QuantClippedReLU(bx=3))
+
+
+class TestInputQuantizer:
+    def test_calibrated_scale(self):
+        q = InputQuantizer(bx=8)
+        q.calibrate(np.array([[-4.0, 2.0]], dtype=np.float32))
+        assert q.max_abs == 4.0
+        out = q(Tensor(np.array([4.0, -4.0, 0.0], np.float32))).data
+        np.testing.assert_allclose(out, [1.0, -1.0, 0.0], atol=1e-6)
+
+    def test_uncalibrated_uses_batch_max(self):
+        q = InputQuantizer(bx=8)
+        out = q(Tensor(np.array([-2.0, 1.0], np.float32))).data
+        np.testing.assert_allclose(out, [-1.0, 0.5], atol=1e-2)
+
+    def test_values_beyond_calibration_clip(self):
+        q = InputQuantizer(bx=8, max_abs=1.0)
+        out = q(Tensor(np.array([5.0], np.float32))).data
+        assert out[0] == pytest.approx(1.0)
+
+    def test_zero_input_safe(self):
+        q = InputQuantizer(bx=8)
+        out = q(Tensor(np.zeros(3, np.float32))).data
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_repr(self):
+        assert "max_abs" in repr(InputQuantizer())
+
+
+class TestFoldBatchnorm:
+    def test_fold_matches_bn_conv_eval(self):
+        rng = np.random.default_rng(3)
+        conv = Conv2d(3, 4, 3, padding=1, rng=rng)
+        bn = BatchNorm2d(4)
+        # Give BN non-trivial statistics and affine params.
+        bn.running_mean[:] = rng.standard_normal(4).astype(np.float32)
+        bn.running_var[:] = rng.uniform(0.5, 2.0, 4).astype(np.float32)
+        bn.weight.data = rng.uniform(0.5, 1.5, 4).astype(np.float32)
+        bn.bias.data = rng.standard_normal(4).astype(np.float32)
+        bn.eval()
+
+        weight, bias = fold_batchnorm(conv, bn)
+        folded = Conv2d(3, 4, 3, padding=1)
+        folded.weight.data = weight
+        folded.bias.data = bias
+
+        inp = x((2, 3, 6, 6), seed=9)
+        with no_grad():
+            expected = bn(conv(inp)).data
+            actual = folded(inp).data
+        np.testing.assert_allclose(actual, expected, rtol=1e-4, atol=1e-5)
+
+    def test_fold_without_conv_bias(self):
+        conv = Conv2d(2, 2, 1, bias=False, rng=np.random.default_rng(0))
+        bn = BatchNorm2d(2)
+        bn.eval()
+        weight, bias = fold_batchnorm(conv, bn)
+        assert weight.shape == conv.weight.shape
+        assert bias.shape == (2,)

@@ -1,0 +1,236 @@
+"""Tests for the NN functional operators (values and gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, check_gradients
+from repro.tensor import functional as F
+
+
+def t(arr, grad=True):
+    return Tensor(np.asarray(arr, dtype=np.float32), requires_grad=grad)
+
+
+class TestConv2d:
+    def test_shape(self, rng):
+        x = t(rng.standard_normal((2, 3, 8, 8)))
+        w = t(rng.standard_normal((5, 3, 3, 3)))
+        assert F.conv2d(x, w, stride=2, padding=1).shape == (2, 5, 4, 4)
+
+    def test_channel_mismatch(self, rng):
+        x = t(rng.standard_normal((1, 3, 4, 4)))
+        w = t(rng.standard_normal((2, 4, 3, 3)))
+        with pytest.raises(ShapeError):
+            F.conv2d(x, w)
+
+    def test_identity_kernel(self):
+        x = t(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        w = t(np.ones((1, 1, 1, 1)))
+        np.testing.assert_allclose(F.conv2d(x, w).data, x.data)
+
+    def test_bias_broadcast(self, rng):
+        x = t(rng.standard_normal((1, 1, 3, 3)))
+        w = t(np.zeros((2, 1, 1, 1)))
+        b = t(np.array([1.0, -1.0]))
+        out = F.conv2d(x, w, b)
+        np.testing.assert_allclose(out.data[0, 0], 1.0)
+        np.testing.assert_allclose(out.data[0, 1], -1.0)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), ((1, 2), (1, 0))])
+    def test_gradients(self, rng, stride, padding):
+        x = t(rng.standard_normal((2, 2, 6, 6)))
+        w = t(rng.standard_normal((3, 2, 3, 3)) * 0.2)
+        b = t(np.zeros(3))
+        check_gradients(
+            lambda x, w, b: F.conv2d(x, w, b, stride=stride, padding=padding),
+            [x, w, b],
+        )
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = t(np.array([[[[1, 2], [3, 4]]]], dtype=np.float32))
+        out = F.max_pool2d(x, 2)
+        assert out.data.reshape(-1)[0] == 4.0
+
+    def test_max_pool_overlapping_grad(self, rng):
+        x = t(rng.standard_normal((2, 2, 7, 7)))
+        check_gradients(lambda x: F.max_pool2d(x, 3, stride=2, padding=1), [x])
+
+    def test_max_pool_padding_never_wins(self):
+        x = t(-np.ones((1, 1, 2, 2), dtype=np.float32))
+        out = F.max_pool2d(x, 3, stride=1, padding=1)
+        assert (out.data == -1.0).all()
+
+    def test_avg_pool_values(self):
+        x = t(np.array([[[[1, 3], [5, 7]]]], dtype=np.float32))
+        assert F.avg_pool2d(x, 2).data.reshape(-1)[0] == 4.0
+
+    def test_avg_pool_grad(self, rng):
+        x = t(rng.standard_normal((1, 3, 6, 6)))
+        check_gradients(lambda x: F.avg_pool2d(x, 2), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = t(rng.standard_normal((2, 3, 4, 4)))
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(
+            out.data, x.data.mean(axis=(2, 3)), rtol=1e-5
+        )
+
+
+class TestBatchNorm:
+    def test_training_normalizes(self, rng):
+        x = t(rng.standard_normal((16, 3, 5, 5)) * 3 + 2)
+        gamma = t(np.ones(3))
+        beta = t(np.zeros(3))
+        rm, rv = np.zeros(3, np.float32), np.ones(3, np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        np.testing.assert_allclose(
+            out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-4
+        )
+        np.testing.assert_allclose(
+            out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-3
+        )
+
+    def test_running_stats_updated(self, rng):
+        x = t(rng.standard_normal((64, 2, 4, 4)) * 2 + 5)
+        gamma, beta = t(np.ones(2)), t(np.zeros(2))
+        rm, rv = np.zeros(2, np.float32), np.ones(2, np.float32)
+        F.batch_norm(x, gamma, beta, rm, rv, training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, x.data.mean(axis=(0, 2, 3)), atol=1e-3)
+        np.testing.assert_allclose(
+            rv, x.data.var(axis=(0, 2, 3), ddof=1), rtol=0.05
+        )
+
+    def test_eval_uses_running_stats(self):
+        x = t(np.full((4, 1, 2, 2), 10.0, dtype=np.float32))
+        gamma, beta = t(np.ones(1)), t(np.zeros(1))
+        rm = np.full(1, 10.0, dtype=np.float32)
+        rv = np.full(1, 4.0, dtype=np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=False)
+        np.testing.assert_allclose(out.data, 0.0, atol=1e-3)
+
+    def test_2d_input(self, rng):
+        x = t(rng.standard_normal((32, 5)))
+        gamma, beta = t(np.ones(5)), t(np.zeros(5))
+        rm, rv = np.zeros(5, np.float32), np.ones(5, np.float32)
+        out = F.batch_norm(x, gamma, beta, rm, rv, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-4)
+
+    def test_rejects_3d(self, rng):
+        x = t(rng.standard_normal((2, 3, 4)))
+        gamma, beta = t(np.ones(3)), t(np.zeros(3))
+        with pytest.raises(ShapeError):
+            F.batch_norm(
+                x, gamma, beta, np.zeros(3, np.float32),
+                np.ones(3, np.float32), training=True,
+            )
+
+    def test_gradients(self, rng):
+        x = t(rng.standard_normal((8, 2, 3, 3)))
+        gamma = t(rng.uniform(0.5, 1.5, 2))
+        beta = t(rng.standard_normal(2))
+        rm, rv = np.zeros(2, np.float32), np.ones(2, np.float32)
+        check_gradients(
+            lambda x, g, b: F.batch_norm(
+                x, g, b, rm.copy(), rv.copy(), training=True
+            ),
+            [x, gamma, beta],
+        )
+
+
+class TestActivationsAndLosses:
+    def test_clipped_relu(self):
+        x = t([-1.0, 0.5, 2.0])
+        np.testing.assert_allclose(
+            F.clipped_relu(x).data, [0.0, 0.5, 1.0]
+        )
+
+    def test_sigmoid_values_and_grad(self, rng):
+        x = t(rng.standard_normal(5))
+        np.testing.assert_allclose(
+            F.sigmoid(x).data, 1 / (1 + np.exp(-x.data)), rtol=1e-5
+        )
+        check_gradients(lambda x: F.sigmoid(x), [x])
+
+    def test_softmax_sums_to_one(self, rng):
+        x = t(rng.standard_normal((4, 7)) * 5)
+        np.testing.assert_allclose(
+            F.softmax(x).data.sum(axis=1), 1.0, rtol=1e-5
+        )
+
+    def test_log_softmax_stable_large_inputs(self):
+        x = t(np.array([[1000.0, 1000.0]], dtype=np.float32))
+        out = F.log_softmax(x)
+        assert np.isfinite(out.data).all()
+
+    def test_log_softmax_grad(self, rng):
+        x = t(rng.standard_normal((3, 5)))
+        check_gradients(lambda x: F.log_softmax(x), [x])
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.standard_normal((6, 4)).astype(np.float32)
+        labels = rng.integers(0, 4, 6)
+        loss = F.cross_entropy(t(logits), labels).item()
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        manual = -logp[np.arange(6), labels].mean()
+        assert loss == pytest.approx(manual, rel=1e-5)
+
+    def test_cross_entropy_grad(self, rng):
+        logits = t(rng.standard_normal((5, 3)))
+        labels = rng.integers(0, 3, 5)
+        check_gradients(lambda l: F.cross_entropy(l, labels), [logits])
+
+    def test_cross_entropy_shape_check(self, rng):
+        with pytest.raises(ShapeError):
+            F.cross_entropy(t(rng.standard_normal((2, 3))), np.zeros(3, int))
+
+    def test_mse(self):
+        loss = F.mse_loss(t([1.0, 2.0]), t([0.0, 0.0], grad=False))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_linear_matches_numpy(self, rng):
+        x = t(rng.standard_normal((3, 4)))
+        w = t(rng.standard_normal((2, 4)))
+        b = t(rng.standard_normal(2))
+        out = F.linear(x, w, b)
+        np.testing.assert_allclose(
+            out.data, x.data @ w.data.T + b.data, rtol=1e-5
+        )
+
+
+class TestEstimators:
+    def test_straight_through_forward_backward(self):
+        x = t([0.3, 0.7])
+        out = F.straight_through(x, lambda d: np.round(d))
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_straight_through_shape_guard(self):
+        x = t([0.3, 0.7])
+        with pytest.raises(ShapeError):
+            F.straight_through(x, lambda d: d[:1])
+
+    def test_add_forward_noise(self):
+        x = t([1.0, 2.0])
+        out = F.add_forward_noise(x, np.array([0.5, -0.5], np.float32))
+        np.testing.assert_allclose(out.data, [1.5, 1.5])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_dropout_eval_identity(self, rng):
+        x = t([1.0, 2.0])
+        out = F.dropout(x, 0.5, training=False, rng=rng)
+        assert out is x
+
+    def test_dropout_train_scales(self, rng):
+        x = t(np.ones(10000, dtype=np.float32))
+        out = F.dropout(x, 0.25, training=True, rng=rng)
+        # Inverted dropout keeps the expectation.
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+        kept = out.data[out.data > 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.75, rtol=1e-5)

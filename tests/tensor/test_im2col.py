@@ -1,0 +1,86 @@
+"""Tests for the im2col/col2im transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor.im2col import col2im, conv_output_size, im2col
+
+
+def naive_conv2d(x, w, stride, padding):
+    """Reference convolution via explicit loops."""
+    n, c, h, wd = x.shape
+    co, ci, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (h + 2 * ph - kh) // sh + 1
+    ow = (wd + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, co, oh, ow), dtype=x.dtype)
+    for b in range(n):
+        for o in range(co):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[b, :, i * sh : i * sh + kh, j * sw : j * sw + kw]
+                    out[b, o, i, j] = (patch * w[o]).sum()
+    return out
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 2, 1) == 4
+        assert conv_output_size(7, 7, 2, 3) == 4
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [
+            ((2, 3, 8, 8), (3, 3), (1, 1), (1, 1)),
+            ((1, 2, 7, 9), (3, 2), (2, 2), (0, 1)),
+            ((2, 1, 5, 5), (1, 1), (1, 1), (0, 0)),
+            ((1, 3, 10, 10), (7, 7), (2, 2), (3, 3)),
+        ],
+    )
+    def test_matches_naive_conv(self, rng, shape, kernel, stride, padding):
+        x = rng.standard_normal(shape).astype(np.float32)
+        co = 4
+        w = rng.standard_normal((co, shape[1], *kernel)).astype(np.float32)
+        cols = im2col(x, kernel, stride, padding)
+        out = cols @ w.reshape(co, -1).T
+        oh = conv_output_size(shape[2], kernel[0], stride[0], padding[0])
+        ow = conv_output_size(shape[3], kernel[1], stride[1], padding[1])
+        out = out.reshape(shape[0], oh, ow, co).transpose(0, 3, 1, 2)
+        expected = naive_conv2d(x, w, stride, padding)
+        np.testing.assert_allclose(out, expected, rtol=1e-4, atol=1e-5)
+
+    def test_row_count(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        cols = im2col(x, (3, 3), (1, 1), (0, 0))
+        assert cols.shape == (2 * 4 * 4, 3 * 9)
+
+    def test_col2im_is_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> for random x, y."""
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float64)
+        kernel, stride, padding = (3, 3), (2, 2), (1, 1)
+        cols = im2col(x, kernel, stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, kernel, stride, padding)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_counts_overlaps(self):
+        """col2im of ones counts how many patches cover each pixel."""
+        x_shape = (1, 1, 4, 4)
+        cols = np.ones((9, 4), dtype=np.float32)  # 3x3 outputs, 2x2 kernel
+        out = col2im(cols, x_shape, (2, 2), (1, 1), (0, 0))
+        # Center pixels are covered by 4 patches, corners by 1.
+        assert out[0, 0, 0, 0] == 1.0
+        assert out[0, 0, 1, 1] == 4.0
+        assert out[0, 0, 0, 1] == 2.0

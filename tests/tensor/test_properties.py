@@ -1,0 +1,127 @@
+"""Property-based tests for the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, functional as F
+from repro.tensor.im2col import col2im, im2col
+from repro.tensor.tensor import _sum_to_shape
+
+
+def t(arr, grad=True):
+    return Tensor(np.asarray(arr, dtype=np.float32), requires_grad=grad)
+
+
+small_floats = st.floats(min_value=-10.0, max_value=10.0, width=32)
+
+
+def array_strategy(max_side=4, max_dims=3):
+    """Random small float32 arrays."""
+    return st.lists(
+        st.integers(min_value=1, max_value=max_side),
+        min_size=1,
+        max_size=max_dims,
+    ).flatmap(
+        lambda shape: st.lists(
+            small_floats,
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        ).map(lambda vals: np.array(vals, np.float32).reshape(shape))
+    )
+
+
+class TestBroadcastGradients:
+    @given(array_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_add_grad_shapes_match_inputs(self, data):
+        """d(sum(a+b))/da always has a's shape, even with broadcasting."""
+        a = t(data)
+        b = t(np.ones((1,) * data.ndim, np.float32))
+        (a + b).sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+        np.testing.assert_allclose(a.grad, 1.0)
+        np.testing.assert_allclose(b.grad, data.size)
+
+    @given(array_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_mul_by_zero_grad(self, data):
+        """d(sum(a*0))/da == 0 everywhere."""
+        a = t(data)
+        zero = t(np.zeros_like(data), grad=False)
+        (a * zero).sum().backward()
+        np.testing.assert_allclose(a.grad, 0.0)
+
+    @given(array_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_then_broadcast_roundtrip(self, data):
+        grad = np.ones((3,) + data.shape, dtype=np.float32)
+        reduced = _sum_to_shape(grad, data.shape)
+        np.testing.assert_allclose(reduced, 3.0)
+
+
+class TestAlgebraicIdentities:
+    @given(array_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_linear(self, data):
+        a = t(data, grad=False)
+        lhs = (a * 2.0 + a).sum().item()
+        rhs = 3.0 * float(data.sum())
+        assert np.isclose(lhs, rhs, rtol=1e-3, atol=1e-3)
+
+    @given(array_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_relu_plus_neg_relu_is_identity(self, data):
+        a = t(data, grad=False)
+        recon = a.relu() - (-a).relu()
+        np.testing.assert_allclose(recon.data, data, rtol=1e-5, atol=1e-6)
+
+    @given(array_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_invariant_to_shift(self, data):
+        if data.ndim < 1:
+            return
+        flat = data.reshape(1, -1)
+        a = F.softmax(t(flat, grad=False)).data
+        b = F.softmax(t(flat + 5.0, grad=False)).data
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+
+
+class TestIm2ColProperties:
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=2),
+        st.integers(min_value=0, max_value=1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_adjoint_property_random_geometry(self, size, kernel, stride, pad):
+        """<im2col(x), y> == <x, col2im(y)> for random geometries."""
+        if size + 2 * pad < kernel:
+            return
+        rng = np.random.default_rng(size * 100 + kernel * 10 + stride)
+        x = rng.standard_normal((1, 2, size, size))
+        cols = im2col(x, (kernel, kernel), (stride, stride), (pad, pad))
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float(
+            (x * col2im(y, x.shape, (kernel, kernel), (stride, stride), (pad, pad))).sum()
+        )
+        assert np.isclose(lhs, rhs, rtol=1e-9)
+
+    @given(
+        st.integers(min_value=3, max_value=8),
+        st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_im2col_preserves_values(self, size, kernel):
+        """Every column entry is an actual input pixel (padding 0)."""
+        if size < kernel:
+            return
+        rng = np.random.default_rng(size * 7 + kernel)
+        x = rng.standard_normal((1, 1, size, size))
+        cols = im2col(x, (kernel, kernel), (1, 1), (0, 0))
+        assert set(np.round(cols.reshape(-1), 6)) <= set(
+            np.round(x.reshape(-1), 6)
+        )

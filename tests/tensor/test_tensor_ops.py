@@ -1,0 +1,248 @@
+"""Tests for basic tensor arithmetic and its gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError, ShapeError
+from repro.tensor import Tensor, check_gradients, no_grad
+from repro.tensor.tensor import concatenate, pad2d
+
+
+def t(arr, grad=True):
+    return Tensor(np.asarray(arr, dtype=np.float32), requires_grad=grad)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        out = t([1.0, 2.0]) + t([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = t([1.0, 2.0]) + 1.5
+        np.testing.assert_allclose(out.data, [2.5, 3.5])
+
+    def test_radd(self):
+        out = 1.5 + t([1.0])
+        np.testing.assert_allclose(out.data, [2.5])
+
+    def test_sub_and_rsub(self):
+        np.testing.assert_allclose((t([3.0]) - t([1.0])).data, [2.0])
+        np.testing.assert_allclose((5.0 - t([1.0])).data, [4.0])
+
+    def test_mul_div(self):
+        np.testing.assert_allclose((t([2.0]) * t([3.0])).data, [6.0])
+        np.testing.assert_allclose((t([6.0]) / t([3.0])).data, [2.0])
+        np.testing.assert_allclose((6.0 / t([3.0])).data, [2.0])
+
+    def test_neg_pow(self):
+        np.testing.assert_allclose((-t([2.0])).data, [-2.0])
+        np.testing.assert_allclose((t([2.0]) ** 3).data, [8.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            t([2.0]) ** t([2.0])
+
+    def test_comparisons_return_arrays(self):
+        mask = t([1.0, 3.0]) > 2.0
+        assert isinstance(mask, np.ndarray)
+        np.testing.assert_array_equal(mask, [False, True])
+
+
+class TestGradients:
+    def test_add_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        b = t(rng.standard_normal((3, 4)))
+        check_gradients(lambda a, b: a + b, [a, b])
+
+    def test_mul_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        b = t(rng.standard_normal((3, 4)))
+        check_gradients(lambda a, b: a * b, [a, b])
+
+    def test_div_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        b = t(rng.uniform(0.5, 2.0, (3, 4)))
+        check_gradients(lambda a, b: a / b, [a, b])
+
+    def test_broadcast_add_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        b = t(rng.standard_normal((1, 4)))
+        check_gradients(lambda a, b: a + b, [a, b])
+
+    def test_broadcast_mul_scalar_shape(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        b = t(rng.standard_normal(()))
+        check_gradients(lambda a, b: a * b, [a, b])
+
+    def test_matmul_grad(self, rng):
+        a = t(rng.standard_normal((3, 4)))
+        b = t(rng.standard_normal((4, 2)))
+        check_gradients(lambda a, b: a @ b, [a, b])
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            t([1.0, 2.0]) @ t([1.0, 2.0])
+
+    def test_pow_grad(self, rng):
+        a = t(rng.uniform(0.5, 2.0, (3,)))
+        check_gradients(lambda a: a**2.5, [a])
+
+    def test_exp_log_sqrt_tanh_abs(self, rng):
+        a = t(rng.uniform(0.5, 2.0, (4,)))
+        check_gradients(lambda a: a.exp(), [a])
+        check_gradients(lambda a: a.log(), [a])
+        check_gradients(lambda a: a.sqrt(), [a])
+        check_gradients(lambda a: a.tanh(), [a])
+        b = t(rng.uniform(0.5, 2.0, (4,)) * np.array([1, -1, 1, -1]))
+        check_gradients(lambda b: b.abs(), [b])
+
+    def test_clip_grad_zero_outside(self):
+        a = t([-2.0, 0.5, 2.0])
+        out = a.clip(0.0, 1.0)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_relu_grad(self):
+        a = t([-1.0, 2.0])
+        a.relu().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        check_gradients(lambda a: a.sum(axis=1), [a])
+        a.zero_grad()
+        check_gradients(lambda a: a.sum(axis=(0, 2), keepdims=True), [a])
+
+    def test_mean_value(self):
+        a = t([[1.0, 2.0], [3.0, 4.0]])
+        assert a.mean().item() == pytest.approx(2.5)
+        np.testing.assert_allclose(a.mean(axis=0).data, [2.0, 3.0])
+
+    def test_mean_grad(self, rng):
+        a = t(rng.standard_normal((3, 5)))
+        check_gradients(lambda a: a.mean(axis=1), [a])
+
+    def test_var_matches_numpy(self, rng):
+        data = rng.standard_normal((4, 6)).astype(np.float32)
+        a = t(data)
+        np.testing.assert_allclose(
+            a.var(axis=0).data, data.var(axis=0), rtol=1e-5, atol=1e-6
+        )
+
+    def test_max_grad_single(self):
+        a = t([1.0, 5.0, 3.0])
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_grad_ties_split(self):
+        a = t([2.0, 2.0])
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+
+class TestShapes:
+    def test_reshape_roundtrip_grad(self, rng):
+        a = t(rng.standard_normal((2, 6)))
+        check_gradients(lambda a: a.reshape(3, 4), [a])
+
+    def test_reshape_tuple_arg(self):
+        a = t(np.zeros((2, 6)))
+        assert a.reshape((3, 4)).shape == (3, 4)
+        assert a.reshape(4, -1).shape == (4, 3)
+
+    def test_transpose_grad(self, rng):
+        a = t(rng.standard_normal((2, 3, 4)))
+        check_gradients(lambda a: a.transpose(2, 0, 1), [a])
+
+    def test_T(self):
+        a = t(np.zeros((2, 5)))
+        assert a.T.shape == (5, 2)
+
+    def test_getitem_grad(self, rng):
+        a = t(rng.standard_normal((4, 5)))
+        check_gradients(lambda a: a[1:3, ::2], [a])
+
+    def test_concatenate_grad(self, rng):
+        a = t(rng.standard_normal((2, 3)))
+        b = t(rng.standard_normal((2, 2)))
+        check_gradients(lambda a, b: concatenate([a, b], axis=1), [a, b])
+
+    def test_pad2d_grad(self, rng):
+        a = t(rng.standard_normal((1, 2, 3, 3)))
+        check_gradients(lambda a: pad2d(a, 2), [a])
+
+    def test_pad2d_zero_is_identity(self):
+        a = t(np.ones((1, 1, 2, 2)))
+        assert pad2d(a, 0) is a
+
+
+class TestAutogradMachinery:
+    def test_diamond_graph_accumulates(self):
+        a = t([2.0])
+        b = a * 3.0
+        c = a * 4.0
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        a = t([1.0])
+        (a * 2.0).sum().backward()
+        (a * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = t([1.0])
+        (a * 2.0).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_backward_requires_grad(self):
+        a = t([1.0], grad=False)
+        with pytest.raises(GradientError):
+            a.backward()
+
+    def test_backward_shape_check(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(ShapeError):
+            (a * 2).backward(np.ones(3, dtype=np.float32))
+
+    def test_no_grad_blocks_graph(self):
+        a = t([1.0])
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_no_grad_restores(self):
+        with no_grad():
+            pass
+        out = t([1.0]) * 2.0
+        assert out.requires_grad
+
+    def test_detach(self):
+        a = t([1.0])
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data
+
+    def test_item_single(self):
+        assert t([3.5]).item() == pytest.approx(3.5)
+
+    def test_item_rejects_multi(self):
+        with pytest.raises(ShapeError):
+            t([1.0, 2.0]).item()
+
+    def test_repr_and_len(self):
+        a = Tensor(np.zeros((2, 3)), name="w")
+        assert "w" in repr(a)
+        assert len(a) == 2
+
+    def test_deep_chain_no_recursion_error(self):
+        a = t([1.0])
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(a.grad, [1.0])

@@ -1,0 +1,54 @@
+"""Tests for training-time augmentation wiring and the Dropout module."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import RandomHorizontalFlip
+from repro.models import FP32Factory
+from repro.models.simple import SimpleCNN
+from repro.nn import Dropout
+from repro.tensor.tensor import Tensor
+from repro.train import TrainConfig, Trainer
+
+
+class TestDropoutModule:
+    def test_train_mode_drops(self):
+        layer = Dropout(p=0.5, rng=np.random.default_rng(0))
+        layer.train()
+        out = layer(Tensor(np.ones(1000, np.float32)))
+        assert (out.data == 0).any()
+        assert out.data.mean() == pytest.approx(1.0, abs=0.15)
+
+    def test_eval_mode_identity(self):
+        layer = Dropout(p=0.9)
+        layer.eval()
+        x = Tensor(np.ones(10, np.float32))
+        assert layer(x) is x
+
+
+class TestTrainerAugmentation:
+    def test_augment_applied_during_training(self, tiny_data):
+        calls = []
+
+        def spy_transform(images, rng):
+            calls.append(images.shape)
+            return images
+
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(4,))
+        config = TrainConfig(
+            epochs=1, batch_size=16, lr=0.01, augment=spy_transform
+        )
+        Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+        assert calls  # transform saw every training batch
+
+    def test_flip_augmentation_trains(self, tiny_data):
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(8,))
+        config = TrainConfig(
+            epochs=3,
+            batch_size=16,
+            lr=0.05,
+            augment=RandomHorizontalFlip(p=0.5),
+        )
+        result = Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+        assert result.best_accuracy > 0.25  # beats chance with aug on
+

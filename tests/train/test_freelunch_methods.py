@@ -1,0 +1,125 @@
+"""Tests for the training-free recovery methods (recalibration, ensembles)."""
+
+import numpy as np
+import pytest
+
+from repro.ams import VMACConfig
+from repro.errors import ConfigError
+from repro.models import AMSFactory, FP32Factory, resnet_small
+from repro.models.simple import SimpleCNN
+from repro.nn.batchnorm import BatchNorm2d
+from repro.quant import QuantConfig
+from repro.train import (
+    TrainConfig,
+    Trainer,
+    effective_enob,
+    ensemble_evaluate,
+    evaluate_accuracy,
+    recalibrate_batchnorm,
+)
+
+
+class TestEffectiveEnob:
+    def test_half_bit_per_quadrupling(self):
+        assert effective_enob(8.0, 4) == pytest.approx(9.0)
+        assert effective_enob(8.0, 16) == pytest.approx(10.0)
+
+    def test_single_sample_identity(self):
+        assert effective_enob(7.5, 1) == 7.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            effective_enob(8.0, 0)
+
+
+class TestRecalibrateBatchnorm:
+    def test_updates_running_stats(self, tiny_data):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        bn = model.stem_bn
+        before_mean = bn.running_mean.copy()
+        count = recalibrate_batchnorm(model, tiny_data.train, batch_size=16)
+        assert count == 9  # one BN per conv
+        assert not np.allclose(bn.running_mean, before_mean)
+
+    def test_weights_untouched(self, tiny_data):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        before = model.stem_conv[0].weight.data.copy()
+        recalibrate_batchnorm(model, tiny_data.train, batch_size=16)
+        np.testing.assert_array_equal(model.stem_conv[0].weight.data, before)
+
+    def test_momentum_restored(self, tiny_data):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        recalibrate_batchnorm(model, tiny_data.train, batch_size=16)
+        for m in model.modules():
+            if isinstance(m, BatchNorm2d):
+                assert m.momentum == 0.1
+
+    def test_eval_mode_restored(self, tiny_data):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        model.eval()
+        recalibrate_batchnorm(model, tiny_data.train, batch_size=16)
+        assert not model.training
+
+    def test_batches_cap(self, tiny_data):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        count = recalibrate_batchnorm(
+            model, tiny_data.train, batch_size=16, batches=1
+        )
+        assert count == 9
+
+    def test_no_bn_model_returns_zero(self, tiny_data):
+        from repro.models.simple import MLP
+
+        model = MLP(in_features=8 * 8 * 3, num_classes=4)
+        assert recalibrate_batchnorm(model, tiny_data.train) == 0
+
+    def test_clean_model_recalibration_roughly_preserves_accuracy(
+        self, tiny_data
+    ):
+        """On a noiseless model, recalibrating on the training split
+        should not destroy accuracy (stats barely move)."""
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(8,))
+        Trainer(TrainConfig(epochs=5, batch_size=16, lr=0.05, patience=5)).fit(
+            model, tiny_data.train, tiny_data.val
+        )
+        before = evaluate_accuracy(model, tiny_data.val)
+        recalibrate_batchnorm(model, tiny_data.train, batch_size=16)
+        after = evaluate_accuracy(model, tiny_data.val)
+        assert after >= before - 0.15
+
+
+class TestEnsembleEvaluate:
+    def _noisy_model(self, tiny_data, enob=3.0):
+        model = resnet_small(
+            AMSFactory(
+                QuantConfig(8, 8), VMACConfig(enob=enob, nmult=8), seed=0
+            ),
+            num_classes=4,
+        )
+        model.input_adapter.calibrate(tiny_data.train.images)
+        return model
+
+    def test_single_sample_matches_plain_eval_distribution(self, tiny_data):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        plain = evaluate_accuracy(model, tiny_data.val)
+        ensembled = ensemble_evaluate(model, tiny_data.val, samples=1)
+        assert ensembled == pytest.approx(plain)
+
+    def test_averaging_reduces_variance(self, tiny_data):
+        """Across repeated evaluations, k=8 averaging should vary less
+        than k=1 on a very noisy model."""
+        model = self._noisy_model(tiny_data)
+        singles = [
+            ensemble_evaluate(model, tiny_data.val, samples=1)
+            for _ in range(6)
+        ]
+        averaged = [
+            ensemble_evaluate(model, tiny_data.val, samples=8)
+            for _ in range(6)
+        ]
+        assert np.std(averaged) <= np.std(singles) + 0.02
+
+    def test_validation(self, tiny_data):
+        model = self._noisy_model(tiny_data)
+        with pytest.raises(ConfigError):
+            ensemble_evaluate(model, tiny_data.val, samples=0)

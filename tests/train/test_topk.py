@@ -1,0 +1,74 @@
+"""Tests for top-k evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.data import ArrayDataset
+from repro.tensor.tensor import Tensor
+from repro.train import evaluate_accuracy
+
+
+class FixedLogits:
+    """Fake model emitting predetermined logits."""
+
+    def __init__(self, logits):
+        self.logits = np.asarray(logits, dtype=np.float32)
+        self._cursor = 0
+
+    def eval(self):
+        return self
+
+    def __call__(self, images):
+        n = images.shape[0]
+        out = self.logits[self._cursor : self._cursor + n]
+        self._cursor += n
+        return Tensor(out)
+
+
+def dataset(labels):
+    labels = np.asarray(labels)
+    images = np.zeros((len(labels), 1, 2, 2), np.float32)
+    return ArrayDataset(images, labels)
+
+
+class TestTopK:
+    def test_top1_exact(self):
+        logits = [[0.9, 0.1, 0.0], [0.1, 0.9, 0.0], [0.0, 0.1, 0.9]]
+        model = FixedLogits(logits)
+        acc = evaluate_accuracy(model, dataset([0, 1, 0]), batch_size=3)
+        assert acc == pytest.approx(2 / 3)
+
+    def test_top2_counts_runner_up(self):
+        logits = [[0.9, 0.8, 0.0], [0.1, 0.9, 0.8], [0.9, 0.0, 0.8]]
+        model = FixedLogits(logits)
+        acc = evaluate_accuracy(
+            model, dataset([1, 2, 1]), batch_size=3, k=2
+        )
+        # labels 1, 2 are in the top-2 of rows 0 and 1; label 1 is not
+        # in the top-2 of row 2.
+        assert acc == pytest.approx(2 / 3)
+
+    def test_k_equal_classes_is_always_one(self):
+        logits = np.random.default_rng(0).standard_normal((5, 4))
+        model = FixedLogits(logits)
+        acc = evaluate_accuracy(
+            model, dataset([0, 1, 2, 3, 0]), batch_size=5, k=4
+        )
+        assert acc == 1.0
+
+    def test_top5_tracks_top1(self, tiny_data):
+        """The paper: 'top-5 accuracies generally tracked top-1'."""
+        from repro.models import FP32Factory, resnet_small
+
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        top1 = evaluate_accuracy(model, tiny_data.val, k=1)
+        top3 = evaluate_accuracy(model, tiny_data.val, k=3)
+        assert top3 >= top1
+
+    def test_invalid_k(self, tiny_data):
+        from repro.models import FP32Factory, resnet_small
+
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        with pytest.raises(ConfigError):
+            evaluate_accuracy(model, tiny_data.val, k=0)

@@ -1,0 +1,192 @@
+"""Tests for the training/eval/freeze/probe workflow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import FP32Factory, resnet_small
+from repro.models.simple import SimpleCNN
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.tensor.tensor import Tensor
+from repro.train import (
+    FREEZE_GROUPS,
+    Probe,
+    TrainConfig,
+    Trainer,
+    collect_probes,
+    evaluate_accuracy,
+    freeze_layers,
+    repeated_evaluate,
+    set_probes_enabled,
+)
+from repro.train.freeze import frozen_parameter_names
+
+
+class TestEvaluate:
+    def test_accuracy_counts_correct(self, tiny_data):
+        class Oracle:
+            """Predicts from the label channel mean ordering (fake)."""
+
+            def eval(self):
+                return self
+
+            def __call__(self, images):
+                n = images.shape[0]
+                logits = np.zeros((n, 4), dtype=np.float32)
+                logits[:, 0] = 1.0
+                return Tensor(logits)
+
+        acc = evaluate_accuracy(Oracle(), tiny_data.val)
+        # Always predicts class 0 -> exactly 1/num_classes.
+        assert acc == pytest.approx(0.25)
+
+    def test_repeated_evaluate_deterministic_model(self, tiny_data):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        stats = repeated_evaluate(model, tiny_data.val, passes=3)
+        assert stats.std == pytest.approx(0.0, abs=1e-12)
+        assert len(stats.values) == 3
+        assert "+/-" in str(stats)
+
+
+class TestTrainer:
+    def test_learns_tiny_task(self, tiny_data):
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(8, 16))
+        config = TrainConfig(
+            epochs=8, batch_size=16, lr=0.05, patience=8, shuffle_seed=0
+        )
+        result = Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+        assert result.best_accuracy > 0.5  # 4 classes, chance = 0.25
+        assert result.epochs_run >= 1
+        assert result.history[0]["train_loss"] > 0
+
+    def test_best_state_restored(self, tiny_data):
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(8,))
+        config = TrainConfig(epochs=5, batch_size=16, lr=0.05, patience=5)
+        result = Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+        final_acc = evaluate_accuracy(model, tiny_data.val)
+        assert final_acc == pytest.approx(result.best_accuracy, abs=1e-9)
+
+    def test_early_stopping(self, tiny_data):
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(4,))
+        # Absurd LR so accuracy cannot improve; patience must trigger.
+        config = TrainConfig(epochs=50, batch_size=16, lr=0.05, patience=2)
+        result = Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+        assert result.epochs_run < 50
+
+    def test_log_callback(self, tiny_data):
+        lines = []
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(4,))
+        config = TrainConfig(
+            epochs=1, batch_size=16, lr=0.01, log=lines.append
+        )
+        Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+        assert any("val_acc" in line for line in lines)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ConfigError):
+            TrainConfig(patience=0)
+
+    def test_batch_bigger_than_dataset_rejected(self, tiny_data):
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(4,))
+        config = TrainConfig(epochs=1, batch_size=10_000, lr=0.01)
+        with pytest.raises(ConfigError):
+            Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+
+
+class TestFreeze:
+    def test_groups_constant(self):
+        assert set(FREEZE_GROUPS) == {"conv", "bn", "fc"}
+
+    def test_freeze_bn_only(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        frozen = freeze_layers(model, ["bn"])
+        assert frozen > 0
+        names = frozen_parameter_names(model)
+        assert names  # every BN weight/bias
+        for module in model.modules():
+            if isinstance(module, BatchNorm2d):
+                assert not module.weight.requires_grad
+            elif isinstance(module, Conv2d):
+                assert module.weight.requires_grad
+
+    def test_freeze_conv_and_fc(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        freeze_layers(model, ["conv", "fc"])
+        for module in model.modules():
+            if isinstance(module, (Conv2d, Linear)):
+                for p in module._parameters.values():
+                    assert not p.requires_grad
+            elif isinstance(module, BatchNorm2d):
+                assert module.weight.requires_grad
+
+    def test_unknown_group(self):
+        with pytest.raises(ConfigError):
+            freeze_layers(resnet_small(num_classes=4), ["attention"])
+
+    def test_empty_groups_noop(self):
+        model = resnet_small(FP32Factory(seed=0), num_classes=4)
+        assert freeze_layers(model, []) == 0
+
+    def test_frozen_weights_do_not_change_in_training(self, tiny_data):
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(8,))
+        freeze_layers(model, ["conv"])
+        conv = next(
+            m for m in model.modules() if isinstance(m, Conv2d)
+        )
+        before = conv.weight.data.copy()
+        config = TrainConfig(epochs=2, batch_size=16, lr=0.1, patience=5)
+        Trainer(config).fit(model, tiny_data.train, tiny_data.val)
+        # Trainer restores best state; weights of frozen convs must be
+        # identical to the initial ones in every epoch.
+        np.testing.assert_array_equal(conv.weight.data, before)
+
+
+class TestProbes:
+    def test_probe_statistics(self):
+        probe = Probe("p")
+        probe.enabled = True
+        probe(Tensor(np.array([1.0, 2.0, 3.0], np.float32)))
+        probe(Tensor(np.array([4.0], np.float32)))
+        assert probe.count == 4
+        assert probe.mean == pytest.approx(2.5)
+        assert probe.std == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_probe_disabled_by_default(self):
+        probe = Probe("p")
+        probe(Tensor(np.ones(3, np.float32)))
+        assert probe.count == 0
+        assert probe.mean == 0.0
+        assert probe.std == 0.0
+
+    def test_probe_passthrough(self):
+        probe = Probe("p")
+        data = Tensor(np.ones(3, np.float32))
+        assert probe(data) is data
+
+    def test_collect_and_toggle(self):
+        model = resnet_small(
+            FP32Factory(seed=0, with_probes=True), num_classes=4
+        )
+        probes = collect_probes(model)
+        assert len(probes) == 10  # 9 convs + fc
+        set_probes_enabled(model, True)
+        assert all(p.enabled for p in probes)
+        model.eval()
+        from repro.tensor.tensor import no_grad
+
+        with no_grad():
+            model(Tensor(np.ones((2, 3, 16, 16), np.float32)))
+        assert all(p.count > 0 for p in probes)
+        set_probes_enabled(model, False)
+        assert all(p.count == 0 for p in probes)  # reset on toggle
+
+    def test_probe_labels_unique(self):
+        model = resnet_small(
+            FP32Factory(seed=0, with_probes=True), num_classes=4
+        )
+        labels = [p.label for p in collect_probes(model)]
+        assert len(labels) == len(set(labels))

@@ -1,0 +1,45 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.ascii_plot import ascii_chart
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            [1.0, 2.0, 3.0],
+            {"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]},
+        )
+        assert "o a" in chart and "x b" in chart
+        assert "o" in chart.splitlines()[0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            [0.0, 10.0], {"s": [0.0, 5.0]}, x_label="enob", y_label="loss"
+        )
+        assert chart.splitlines()[0] == "loss"
+        assert "enob" in chart
+
+    def test_range_endpoints_printed(self):
+        chart = ascii_chart([4.0, 8.0], {"s": [0.25, 0.75]})
+        assert "0.75" in chart and "0.25" in chart
+        assert "4" in chart and "8" in chart
+
+    def test_constant_series_safe(self):
+        chart = ascii_chart([1.0, 2.0], {"s": [3.0, 3.0]})
+        assert "o" in chart
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ascii_chart([], {})
+        with pytest.raises(ConfigError):
+            ascii_chart([1.0, 2.0], {"s": [1.0]})
+
+    def test_grid_dimensions(self):
+        chart = ascii_chart([0, 1.0], {"s": [0, 1.0]}, width=30, height=7)
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_lines) == 7
