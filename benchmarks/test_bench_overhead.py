@@ -86,3 +86,87 @@ def test_injection_kernel(benchmark):
     )
     x = Tensor(np.zeros((16, 32, 16, 16), np.float32))
     benchmark(lambda: injector(x))
+
+
+# ----------------------------------------------------------------------
+# op-profiler overhead
+# ----------------------------------------------------------------------
+@pytest.mark.benchmark(group="profiler")
+def test_forward_ams_profiler_off(benchmark):
+    """AMS forward with the profiler inactive (the production default)."""
+    from repro.utils import profiler
+
+    profiler.disable()
+    model = resnet_small(
+        AMSFactory(QuantConfig(8, 8), VMACConfig(enob=8, nmult=8), seed=0),
+        num_classes=10,
+    )
+    x = _input()
+    benchmark(lambda: _forward(model, x))
+
+
+@pytest.mark.benchmark(group="profiler")
+def test_forward_ams_profiler_on(benchmark):
+    """Same forward with an active profiler recording every op."""
+    from repro.utils import profiler
+
+    model = resnet_small(
+        AMSFactory(QuantConfig(8, 8), VMACConfig(enob=8, nmult=8), seed=0),
+        num_classes=10,
+    )
+    x = _input()
+
+    def step():
+        with profiler.profiled():
+            _forward(model, x)
+
+    benchmark(step)
+
+
+def test_disabled_profiler_overhead_under_5pct():
+    """Disabled brackets must cost < 5% of a forward pass.
+
+    The bracket count of one AMS forward is measured with the profiler
+    on; the unit cost of a disabled bracket is measured directly.  Their
+    product — the total disabled-profiler tax on that forward — must be
+    under 5% of the forward's own wall time.
+    """
+    from time import perf_counter
+
+    from repro.utils import profiler
+
+    model = resnet_small(
+        AMSFactory(QuantConfig(8, 8), VMACConfig(enob=8, nmult=8), seed=0),
+        num_classes=10,
+    )
+    x = _input()
+    _forward(model, x)  # warm caches and the buffer pool
+
+    with profiler.profiled() as prof:
+        _forward(model, x)
+    brackets = sum(r.calls for r in prof.records().values())
+    assert brackets > 0
+
+    profiler.disable()
+    forward_s = min(
+        _timed(lambda: _forward(model, x)) for _ in range(3)
+    )
+
+    pairs = 100_000
+    start = perf_counter()
+    for _ in range(pairs):
+        profiler.op_end(profiler.op_start(), "x")
+    unit_s = (perf_counter() - start) / pairs
+
+    assert unit_s * brackets < 0.05 * forward_s, (
+        f"{brackets} disabled brackets at {unit_s * 1e9:.0f} ns each "
+        f"vs forward {forward_s * 1e3:.2f} ms"
+    )
+
+
+def _timed(fn):
+    from time import perf_counter
+
+    start = perf_counter()
+    fn()
+    return perf_counter() - start

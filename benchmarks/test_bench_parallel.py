@@ -1,0 +1,45 @@
+"""Benchmark: sweep fan-out — serial loop vs process-pool workers.
+
+Times the fig5-style eval-only ENOB sweep (the embarrassingly parallel
+part of the paper's grids) with a pre-warmed trained-model cache, so the
+measured cost is the fanned-out work itself, not the shared prelude.
+
+The serial/parallel ratio depends entirely on the host's core count:
+on a single-CPU machine ``jobs > 1`` adds pool overhead and *loses*;
+the speedup criterion only has meaning on multi-core hardware.  See
+``tools/bench_compare.py`` and ``docs/performance.md`` — the checked-in
+numbers record what the benchmark host actually measured.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_config, run_once
+from repro.experiments import fig5
+from repro.experiments.common import Workbench
+
+
+def _warm_bench(tmp_path, jobs):
+    """A workbench whose shared artifacts are already trained on disk."""
+    bench = Workbench(
+        bench_config(tmp_path, enob_sweep=(3.0, 4.0, 5.0, 6.0)), jobs=jobs
+    )
+    bench.quantized_model(6, 6)  # trains fp32 + quant-6-6 into the cache
+    return bench
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sweep_serial(benchmark, tmp_path):
+    bench = _warm_bench(tmp_path, jobs=1)
+    run_once(benchmark, lambda: fig5.run(bench))
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sweep_jobs2(benchmark, tmp_path):
+    bench = _warm_bench(tmp_path, jobs=2)
+    run_once(benchmark, lambda: fig5.run(bench))
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sweep_jobs4(benchmark, tmp_path):
+    bench = _warm_bench(tmp_path, jobs=4)
+    run_once(benchmark, lambda: fig5.run(bench))

@@ -26,7 +26,9 @@ from repro.ams.vmac import VMACConfig, total_error_std
 from repro.errors import ConfigError
 from repro.nn.module import Module
 from repro.tensor.functional import add_forward_noise
+from repro.tensor.pool import default_pool
 from repro.tensor.tensor import Tensor
+from repro.utils import profiler as _profiler
 
 
 @dataclass(frozen=True)
@@ -105,10 +107,27 @@ class AMSErrorInjector(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.active or self.error_std == 0.0:
             return x
-        noise = self.rng.normal(0.0, self.error_std, size=x.shape).astype(
-            x.dtype
-        )
-        return add_forward_noise(x, noise)
+        token = _profiler.op_start()
+        pool = default_pool()
+        # Draw into a pooled float64 buffer and scale in place; this is
+        # bit-identical to ``rng.normal(0.0, std, size=shape)`` (the
+        # same ziggurat draws, then loc + scale * z with loc = 0).
+        draw = pool.get(x.shape, np.float64)
+        self.rng.standard_normal(out=draw)
+        draw *= self.error_std
+        if x.dtype == np.float64:
+            noise = draw
+        else:
+            # Pooled equivalent of ``.astype(x.dtype)``.
+            noise = pool.get(x.shape, x.dtype)
+            np.copyto(noise, draw, casting="unsafe")
+            pool.release(draw)
+        out = add_forward_noise(x, noise)
+        # add_forward_noise stores x + noise in a fresh array; the
+        # sample buffer itself is not referenced by the graph.
+        pool.release(noise)
+        _profiler.op_end(token, "ams.inject")
+        return out
 
     def __repr__(self) -> str:
         return (

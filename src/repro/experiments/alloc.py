@@ -37,9 +37,17 @@ from repro.ams.injection import AMSErrorInjector
 from repro.energy.network import profile_network
 from repro.errors import ConfigError
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.parallel import Artifact, SweepPoint, sweep_map
 
 EXPERIMENT_ID = "alloc"
 TITLE = "Per-layer ENOB allocation vs uniform (equal noise budget)"
+
+ARTIFACTS = {
+    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "quant-8-8": Artifact(
+        "quant-8-8", lambda b: b.quantized_model(8, 8), deps=("fp32",)
+    ),
+}
 
 
 def _layer_budgets(bench: Workbench) -> List[LayerBudget]:
@@ -66,6 +74,19 @@ def _measure(bench: Workbench, layers, enobs: Dict[str, float]) -> float:
     return bench.stats(model).mean
 
 
+def _sens_point(
+    bench: Workbench, index: int, probe_enob: float, n_layers: int
+) -> float:
+    """Accuracy with noise injected into layer ``index`` only."""
+    quant, _ = bench.quantized_model(8, 8)
+    model = bench.build_ams(probe_enob, noise_tag=f"sens{index}")
+    model.load_state_dict(quant.state_dict())
+    enobs = [16.0] * n_layers
+    enobs[index] = probe_enob
+    set_layer_enobs(model, enobs)
+    return bench.stats(model).mean
+
+
 def _empirical_sensitivities(
     bench: Workbench, layers: Sequence[LayerBudget], probe_enob: float
 ) -> List[float]:
@@ -77,17 +98,23 @@ def _empirical_sensitivities(
     the analytic proxies cannot: noise at the classifier reaches the
     logits unattenuated, while conv noise is largely absorbed by batch
     norm and pooling.
+
+    The per-layer probes are independent, so they fan out through
+    :func:`~repro.parallel.sweep_map` when ``bench.jobs > 1``.
     """
-    quant, _ = bench.quantized_model(8, 8)
     base = bench.stats(bench.ams_eval_only(16.0)).mean
+    points = [
+        SweepPoint(
+            key=layer.name,
+            args=(index, probe_enob, len(layers)),
+            requires=("quant-8-8",),
+        )
+        for index, layer in enumerate(layers)
+    ]
+    accuracies = sweep_map(bench, _sens_point, points, ARTIFACTS)
     sensitivities = []
-    for index, layer in enumerate(layers):
-        model = bench.build_ams(probe_enob, noise_tag=f"sens{index}")
-        model.load_state_dict(quant.state_dict())
-        enobs = [16.0] * len(layers)
-        enobs[index] = probe_enob
-        set_layer_enobs(model, enobs)
-        drop = max(base - bench.stats(model).mean, 0.0)
+    for layer, accuracy in zip(layers, accuracies):
+        drop = max(base - accuracy, 0.0)
         variance = layer.error_variance(probe_enob, bench.config.nmult)
         sensitivities.append(max(drop, 1e-4) / variance)
     return sensitivities

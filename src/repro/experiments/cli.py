@@ -69,13 +69,41 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="results",
         help="where to write <experiment>.json records",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for sweep fan-out (1 = serial; results "
+            "are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-ops",
+        action="store_true",
+        help="record per-op wall time / allocations and print a table",
+    )
 
 
-def _run_one(name: str, bench: Workbench, results_dir: str) -> None:
+def _run_one(
+    name: str,
+    bench: Workbench,
+    results_dir: str,
+    profile_ops: bool = False,
+) -> None:
+    from repro.utils import profiler
+
     start = time.time()
-    result = run_experiment(name, bench)
+    if profile_ops:
+        with profiler.profiled() as prof:
+            result = run_experiment(name, bench)
+    else:
+        result = run_experiment(name, bench)
     elapsed = time.time() - start
     print(result.table())
+    if profile_ops:
+        print()
+        print(prof.report())
     path = result.save(results_dir)
     print(f"[{name}] done in {elapsed:.1f}s -> {path}\n")
 
@@ -106,7 +134,10 @@ def _handle_cache(action: str, cache_dir: str) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.command == "list":
         for name in DEFAULT_ORDER:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
@@ -122,12 +153,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     config = make_config(profile=args.profile, seed=args.seed)
-    bench = Workbench(config)
+    bench = Workbench(config, jobs=args.jobs)
     if args.command == "run":
-        _run_one(args.experiment, bench, args.results_dir)
+        _run_one(args.experiment, bench, args.results_dir, args.profile_ops)
     else:
         for name in DEFAULT_ORDER:
-            _run_one(name, bench, args.results_dir)
+            _run_one(name, bench, args.results_dir, args.profile_ops)
     return 0
 
 

@@ -76,10 +76,17 @@ def _jsonable(value):
 
 
 class Workbench:
-    """Builds, trains and caches the models the experiments share."""
+    """Builds, trains and caches the models the experiments share.
 
-    def __init__(self, config: ExperimentConfig):
+    ``jobs`` is the worker-process count the sweep engine
+    (:func:`repro.parallel.sweep_map`) uses when an experiment fans its
+    grid points out; ``1`` (the default) keeps every experiment on the
+    historical serial path, bit for bit.
+    """
+
+    def __init__(self, config: ExperimentConfig, jobs: int = 1):
         self.config = config
+        self.jobs = jobs
         self._data: Optional[SynthImageNet] = None
         self._accuracy_cache: Dict[str, dict] = {}
 
@@ -201,9 +208,17 @@ class Workbench:
             "stopped_early": result.stopped_early,
             "history": result.history,
         }
-        save_state(state_path, model.state_dict())
-        with open(meta_path, "w") as fh:
+        # Write-then-rename so a cache file is either absent or complete:
+        # sweep workers sharing cache_dir must never load a partial
+        # checkpoint.  The tmp name is pid-unique, so even two processes
+        # redundantly training the same artifact cannot corrupt it.
+        tmp_state = f"{base}.tmp{os.getpid()}.npz"
+        tmp_meta = f"{base}.tmp{os.getpid()}.json"
+        save_state(tmp_state, model.state_dict())
+        with open(tmp_meta, "w") as fh:
             json.dump(meta, fh, indent=2)
+        os.replace(tmp_state, state_path)
+        os.replace(tmp_meta, meta_path)
         return model, meta
 
     def _pretrain_config(self) -> TrainConfig:

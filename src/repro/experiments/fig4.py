@@ -18,9 +18,27 @@ Paper shape claims reproduced here:
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.parallel import Artifact, SweepPoint, sweep_map
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Fig. 4: top-1 accuracy loss vs ENOB (re: 8b quantized, Nmult=8)"
+
+#: Shared trained models every grid point leans on; built serially in
+#: the parent so sweep workers find a warm disk cache.
+ARTIFACTS = {
+    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "quant-8-8": Artifact(
+        "quant-8-8", lambda b: b.quantized_model(8, 8), deps=("fp32",)
+    ),
+}
+
+
+def _point(bench: Workbench, enob: float):
+    """One ENOB grid point: eval-only and retrained statistics."""
+    eval_stats = bench.stats(bench.ams_eval_only(enob))
+    retrained, _ = bench.ams_retrained(enob)
+    retrain_stats = bench.stats(retrained)
+    return eval_stats, retrain_stats
 
 
 def run(bench: Workbench) -> ExperimentResult:
@@ -28,13 +46,16 @@ def run(bench: Workbench) -> ExperimentResult:
     base_model, _ = bench.quantized_model(8, 8)
     base = bench.stats(base_model)
 
+    points = [
+        SweepPoint(key=enob, args=(enob,), requires=("quant-8-8",))
+        for enob in cfg.enob_sweep
+    ]
+    results = sweep_map(bench, _point, points, ARTIFACTS)
+
     rows = []
     eval_losses = {}
     retrain_losses = {}
-    for enob in cfg.enob_sweep:
-        eval_stats = bench.stats(bench.ams_eval_only(enob))
-        retrained, _ = bench.ams_retrained(enob)
-        retrain_stats = bench.stats(retrained)
+    for enob, (eval_stats, retrain_stats) in zip(cfg.enob_sweep, results):
         loss_eval = base.mean - eval_stats.mean
         loss_retrain = base.mean - retrain_stats.mean
         eval_losses[enob] = loss_eval

@@ -12,9 +12,22 @@ The reproduction reports the same two cutoffs for our ENOB scale.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.parallel import Artifact, SweepPoint, sweep_map
 
 EXPERIMENT_ID = "fig5"
 TITLE = "Fig. 5: top-1 accuracy loss vs ENOB (re: 6b quantized, eval only)"
+
+ARTIFACTS = {
+    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "quant-6-6": Artifact(
+        "quant-6-6", lambda b: b.quantized_model(6, 6), deps=("fp32",)
+    ),
+}
+
+
+def _point(bench: Workbench, enob: float):
+    """One eval-only grid point at 6b precision."""
+    return bench.stats(bench.ams_eval_only(enob, bw=6, bx=6))
 
 
 def run(bench: Workbench) -> ExperimentResult:
@@ -22,10 +35,15 @@ def run(bench: Workbench) -> ExperimentResult:
     base_model, _ = bench.quantized_model(6, 6)
     base = bench.stats(base_model)
 
+    points = [
+        SweepPoint(key=enob, args=(enob,), requires=("quant-6-6",))
+        for enob in cfg.enob_sweep
+    ]
+    results = sweep_map(bench, _point, points, ARTIFACTS)
+
     rows = []
     losses = {}
-    for enob in cfg.enob_sweep:
-        stats = bench.stats(bench.ams_eval_only(enob, bw=6, bx=6))
+    for enob, stats in zip(cfg.enob_sweep, results):
         loss = base.mean - stats.mean
         losses[enob] = (loss, stats.std)
         rows.append([enob, loss, stats.std])

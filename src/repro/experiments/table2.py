@@ -20,6 +20,7 @@ The reproduction retrains with the same freeze groups at the config's
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.parallel import Artifact, SweepPoint, sweep_map
 
 EXPERIMENT_ID = "table2"
 TITLE = "Table 2: selective freezing during AMS retraining (loss re: 8b)"
@@ -32,17 +33,34 @@ FREEZE_ROWS = (
     ("BN and FC", ("bn", "fc")),
 )
 
+ARTIFACTS = {
+    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "quant-8-8": Artifact(
+        "quant-8-8", lambda b: b.quantized_model(8, 8), deps=("fp32",)
+    ),
+}
+
+
+def _point(bench: Workbench, freeze):
+    """One freeze-group row: retrain with ``freeze`` and evaluate."""
+    model, _ = bench.ams_retrained(bench.config.table2_enob, freeze=freeze)
+    return bench.stats(model)
+
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
     base_model, _ = bench.quantized_model(8, 8)
     base = bench.stats(base_model)
 
+    points = [
+        SweepPoint(key=label, args=(freeze,), requires=("quant-8-8",))
+        for label, freeze in FREEZE_ROWS
+    ]
+    results = sweep_map(bench, _point, points, ARTIFACTS)
+
     rows = []
     losses = {}
-    for label, freeze in FREEZE_ROWS:
-        model, _ = bench.ams_retrained(cfg.table2_enob, freeze=freeze)
-        stats = bench.stats(model)
+    for (label, _freeze), stats in zip(FREEZE_ROWS, results):
         loss = base.mean - stats.mean
         losses[label] = loss
         rows.append([label, loss, stats.std])

@@ -1,4 +1,10 @@
-"""Adam optimizer."""
+"""Adam optimizer.
+
+The update runs fully in place on ``p.data`` with pooled scratch
+buffers (see :mod:`repro.tensor.pool`), preserving the exact operand
+order — and therefore rounding — of the textbook allocating form.
+``p.grad`` is never mutated.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +14,8 @@ import numpy as np
 
 from repro.nn.parameter import Parameter
 from repro.optim.optimizer import Optimizer
+from repro.tensor.pool import default_pool
+from repro.utils import profiler as _profiler
 
 
 class Adam(Optimizer):
@@ -30,6 +38,8 @@ class Adam(Optimizer):
         self._t = 0
 
     def step(self) -> None:
+        token = _profiler.op_start()
+        pool = default_pool()
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
@@ -37,16 +47,37 @@ class Adam(Optimizer):
             if not p.requires_grad or p.grad is None:
                 continue
             grad = p.grad
+            s1 = pool.get(p.data.shape, p.data.dtype)
+            s2 = pool.get(p.data.shape, p.data.dtype)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                # grad + wd * p  (commuted, bitwise identical)
+                wd = pool.get(p.data.shape, p.data.dtype)
+                np.multiply(p.data, self.weight_decay, out=wd)
+                wd += grad
+                grad = wd
             if self._m[i] is None:
                 self._m[i] = np.zeros_like(p.data)
                 self._v[i] = np.zeros_like(p.data)
             m, v = self._m[i], self._v[i]
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            # m += (1 - beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            m += s1
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # v += ((1 - beta2) * grad) * grad
+            np.multiply(grad, 1.0 - self.beta2, out=s2)
+            s2 *= grad
+            v += s2
+            np.divide(m, bias1, out=s1)  # m_hat
+            np.divide(v, bias2, out=s2)  # v_hat
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            # p -= (lr * m_hat) / (sqrt(v_hat) + eps)
+            s1 *= self.lr
+            s1 /= s2
+            p.data -= s1
+            if self.weight_decay:
+                pool.release(grad)
+            pool.release(s1)
+            pool.release(s2)
+        _profiler.op_end(token, "optim.step")

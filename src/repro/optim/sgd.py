@@ -2,6 +2,12 @@
 
 The paper retrains with plain SGD (minibatch 1024, lr 0.004, Distiller's
 defaults otherwise); this mirrors ``torch.optim.SGD`` semantics.
+
+The update is applied *in place* on ``p.data`` using pooled scratch
+buffers, so a training step allocates nothing at steady state.  The
+arithmetic (operand order and rounding) is unchanged from the
+allocating version, and ``p.grad`` is never mutated.  In-place mutation
+of ``p.data`` is safe because ``state_dict()`` snapshots copies.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ import numpy as np
 
 from repro.nn.parameter import Parameter
 from repro.optim.optimizer import Optimizer
+from repro.tensor.pool import default_pool
+from repro.utils import profiler as _profiler
 
 
 class SGD(Optimizer):
@@ -32,17 +40,43 @@ class SGD(Optimizer):
         self._velocity = [None] * len(self.params)
 
     def step(self) -> None:
+        token = _profiler.op_start()
+        pool = default_pool()
         for i, p in enumerate(self.params):
             if not p.requires_grad or p.grad is None:
                 continue
             grad = p.grad
+            scratch = pool.get(p.data.shape, p.data.dtype)
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                # grad + wd * p  (commuted, bitwise identical)
+                np.multiply(p.data, self.weight_decay, out=scratch)
+                scratch += grad
+                grad = scratch
             if self.momentum:
                 if self._velocity[i] is None:
                     self._velocity[i] = np.zeros_like(p.data)
                 v = self._velocity[i]
                 v *= self.momentum
                 v += grad
-                grad = grad + self.momentum * v if self.nesterov else v
-            p.data = p.data - self.lr * grad
+                if self.nesterov:
+                    # grad + momentum * v  (commuted)
+                    if grad is scratch:
+                        nest = pool.get(p.data.shape, p.data.dtype)
+                        np.multiply(v, self.momentum, out=nest)
+                        nest += grad
+                        np.copyto(scratch, nest)
+                        pool.release(nest)
+                    else:
+                        np.multiply(v, self.momentum, out=scratch)
+                        scratch += grad
+                    grad = scratch
+                else:
+                    grad = v
+            # p -= lr * grad
+            if grad is not scratch:
+                np.multiply(grad, self.lr, out=scratch)
+            else:
+                scratch *= self.lr
+            p.data -= scratch
+            pool.release(scratch)
+        _profiler.op_end(token, "optim.step")

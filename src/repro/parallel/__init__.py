@@ -1,0 +1,41 @@
+"""Parallel sweep execution for the paper's grid experiments.
+
+The paper's headline artifacts are grids of independent (ENOB, Nmult,
+filter) points — embarrassingly parallel work the original authors
+spread over seven V100s.  This subpackage supplies the process-pool
+equivalent for the numpy reproduction:
+
+- :mod:`~repro.parallel.scheduler` — cache-aware planning: shared
+  trained artifacts are topologically ordered into a serial prelude so
+  dependents fan out against a warm cache.
+- :mod:`~repro.parallel.runner` — a generic, order-preserving
+  process-pool mapper (``jobs=1`` degenerates to a plain loop).
+- :mod:`~repro.parallel.sweep` — the Workbench-aware glue the
+  experiment modules use (``sweep_map``).
+
+Determinism contract: every task derives its randomness from explicit
+seeds in the experiment config, so parallel results are bit-identical
+to serial ones (tested in ``tests/integration/
+test_parallel_determinism.py``).
+"""
+
+from repro.parallel.runner import SweepRunner, start_method
+from repro.parallel.scheduler import (
+    Artifact,
+    SweepPoint,
+    SweepSchedule,
+    plan,
+    topo_order,
+)
+from repro.parallel.sweep import sweep_map
+
+__all__ = [
+    "Artifact",
+    "SweepPoint",
+    "SweepSchedule",
+    "SweepRunner",
+    "plan",
+    "start_method",
+    "sweep_map",
+    "topo_order",
+]

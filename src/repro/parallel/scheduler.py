@@ -1,0 +1,128 @@
+"""Cache-aware scheduling of sweep grid points.
+
+A sweep (ENOB grid, freeze ablation, per-layer sensitivity scan) is a
+set of independent :class:`SweepPoint`\\ s, but the points usually lean
+on shared trained artifacts — the pretrained FP32 network, the
+quantized baselines — that the :class:`~repro.experiments.common.
+Workbench` builds lazily and caches on disk.  Fanning points out before
+those artifacts exist would make every worker train the same baseline
+(wasted work, and racing writers on the same cache file).
+
+:func:`plan` therefore topologically orders the declared
+:class:`Artifact` dependencies into a serial *prelude* (built once, in
+the parent process, warming the on-disk cache) after which all points
+are free to run concurrently; workers then find the shared models
+already trained and merely load them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A named shared prerequisite (e.g. a trained baseline).
+
+    Attributes
+    ----------
+    name:
+        Stable identifier referenced by ``SweepPoint.requires`` and by
+        other artifacts' ``deps``.
+    build:
+        ``build(bench) -> None`` — idempotent warm-up callable run in
+        the parent process (typically a cached Workbench method).
+    deps:
+        Names of artifacts that must be built before this one.
+    """
+
+    name: str
+    build: Callable
+    deps: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent grid point of a sweep.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier (e.g. the ENOB value); used for labeling and
+        deterministic per-point RNG derivation.
+    args, kwargs:
+        Arguments forwarded to the point function after the workbench.
+    requires:
+        Names of shared artifacts this point depends on.
+    """
+
+    key: object
+    args: Tuple = ()
+    kwargs: Mapping = field(default_factory=dict)
+    requires: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class SweepSchedule:
+    """Output of :func:`plan`: serial prelude + parallelizable points."""
+
+    prelude: Tuple[str, ...]
+    points: Tuple[SweepPoint, ...]
+
+
+def topo_order(artifacts: Mapping[str, Artifact], needed: Sequence[str]) -> List[str]:
+    """Dependency-respecting build order of ``needed`` (plus transitive deps).
+
+    Depth-first with cycle detection; ties resolve in declaration order
+    of ``artifacts`` so the prelude is deterministic.
+    """
+    order: List[str] = []
+    done: set = set()
+    visiting: set = set()
+
+    def visit(name: str, chain: Tuple[str, ...]) -> None:
+        if name in done:
+            return
+        if name not in artifacts:
+            raise ConfigError(
+                f"unknown artifact {name!r} (required via {' -> '.join(chain) or 'a sweep point'}); "
+                f"declared: {sorted(artifacts)}"
+            )
+        if name in visiting:
+            raise ConfigError(
+                f"artifact dependency cycle: {' -> '.join(chain + (name,))}"
+            )
+        visiting.add(name)
+        for dep in artifacts[name].deps:
+            visit(dep, chain + (name,))
+        visiting.discard(name)
+        done.add(name)
+        order.append(name)
+
+    for name in needed:
+        visit(name, ())
+    return order
+
+
+def plan(
+    points: Sequence[SweepPoint],
+    artifacts: Mapping[str, Artifact] = (),
+) -> SweepSchedule:
+    """Schedule a sweep: shared artifacts first, then the point fan-out.
+
+    Point order is preserved (results are assembled by input position,
+    so execution order never affects output order).
+    """
+    artifacts = dict(artifacts or {})
+    needed: List[str] = []
+    seen: set = set()
+    for point in points:
+        for name in point.requires:
+            if name not in seen:
+                seen.add(name)
+                needed.append(name)
+    prelude = topo_order(artifacts, needed)
+    return SweepSchedule(prelude=tuple(prelude), points=tuple(points))

@@ -1,0 +1,79 @@
+"""Workbench-aware parallel sweep execution.
+
+:func:`sweep_map` is what the experiment modules call to evaluate a
+grid of independent points (ENOB values, freeze groups, layer indices):
+
+1. The :mod:`~repro.parallel.scheduler` plans a serial *prelude* of
+   shared artifacts (trained baselines), which is built once in the
+   parent process so the disk cache is warm before any fan-out.
+2. With ``bench.jobs <= 1`` every point runs in the calling process on
+   the caller's own workbench — byte-for-byte the behaviour of the old
+   serial loops.
+3. With ``bench.jobs > 1`` the points fan out over a process pool.
+   Each worker constructs its own :class:`~repro.experiments.common.
+   Workbench` from the (picklable) experiment config once, then serves
+   points from it.  Because every stochastic input is derived
+   deterministically from the config (data generation, weight init,
+   per-point noise seeds) and shared models are loaded from the warmed
+   cache, the results are bit-identical to the serial run regardless of
+   worker count or completion order.
+
+Point functions must be module-level functions of signature
+``fn(bench, *args, **kwargs)`` returning picklable values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from repro.parallel.runner import SweepRunner
+from repro.parallel.scheduler import Artifact, SweepPoint, plan
+from repro.utils import profiler as _profiler
+
+#: Worker-process-local workbench, built once by :func:`_init_worker`.
+_WORKER_BENCH = None
+
+
+def _init_worker(config) -> None:
+    global _WORKER_BENCH
+    from repro.experiments.common import Workbench
+
+    _WORKER_BENCH = Workbench(config)
+
+
+def _run_point(task):
+    fn, args, kwargs = task
+    return fn(_WORKER_BENCH, *args, **kwargs)
+
+
+def sweep_map(
+    bench,
+    fn: Callable,
+    points: Sequence[SweepPoint],
+    artifacts: Optional[Mapping[str, Artifact]] = None,
+) -> List:
+    """Evaluate ``fn(bench, *point.args, **point.kwargs)`` per point.
+
+    Results are returned in point order.  See the module docstring for
+    the serial/parallel execution contract.
+    """
+    schedule = plan(points, artifacts or {})
+    token = _profiler.op_start()
+    for name in schedule.prelude:
+        artifacts[name].build(bench)
+    _profiler.op_end(token, "sweep.prelude")
+
+    token = _profiler.op_start()
+    jobs = getattr(bench, "jobs", 1)
+    if jobs <= 1:
+        results = [
+            fn(bench, *p.args, **p.kwargs) for p in schedule.points
+        ]
+    else:
+        runner = SweepRunner(
+            jobs=jobs, initializer=_init_worker, initargs=(bench.config,)
+        )
+        tasks = [(fn, p.args, p.kwargs) for p in schedule.points]
+        results = runner.map(_run_point, tasks)
+    _profiler.op_end(token, "sweep.points")
+    return results

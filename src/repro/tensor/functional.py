@@ -23,7 +23,9 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.tensor.im2col import col2im, conv_output_size, im2col
-from repro.tensor.tensor import Tensor, _ensure_tensor
+from repro.tensor.pool import default_pool
+from repro.tensor.tensor import Tensor, _ensure_tensor, is_grad_enabled
+from repro.utils import profiler as _profiler
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -57,6 +59,7 @@ def conv2d(
     stride, padding:
         Int or (h, w) pair.
     """
+    token = _profiler.op_start()
     stride = _pair(stride)
     padding = _pair(padding)
     n, c_in, h, w = x.shape
@@ -78,18 +81,35 @@ def conv2d(
     x_shape = x.shape
 
     def grad_x(g: np.ndarray) -> np.ndarray:
+        token = _profiler.op_start()
         g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
-        grad_cols = g_mat @ w_mat
-        return col2im(grad_cols, x_shape, (kh, kw), stride, padding)
+        grad_cols = default_pool().get(
+            (g_mat.shape[0], w_mat.shape[1]),
+            np.result_type(g_mat.dtype, w_mat.dtype),
+        )
+        np.matmul(g_mat, w_mat, out=grad_cols)
+        result = col2im(grad_cols, x_shape, (kh, kw), stride, padding)
+        default_pool().release(grad_cols)
+        _profiler.op_end(token, "conv2d.grad_x")
+        return result
 
     def grad_w(g: np.ndarray) -> np.ndarray:
+        token = _profiler.op_start()
         g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
-        return (g_mat.T @ cols).reshape(weight.shape)
+        result = (g_mat.T @ cols).reshape(weight.shape)
+        _profiler.op_end(token, "conv2d.grad_w")
+        return result
 
     parents = [(x, grad_x), (weight, grad_w)]
     if bias is not None:
         parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
-    return Tensor._result(out, parents)
+    result = Tensor._result(out, parents)
+    if not is_grad_enabled():
+        # Inference: the backward closures were dropped by _result, so
+        # the patch-column workspace is immediately reusable.
+        default_pool().release(cols)
+    _profiler.op_end(token, "conv2d.forward")
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -120,11 +140,14 @@ def max_pool2d(
     arg = cols.argmax(axis=1)
     rows = np.arange(cols.shape[0])
     out = cols[rows, arg].reshape(n, c, out_h, out_w)
+    cols_shape, cols_dtype = cols.shape, cols.dtype
+    # The backward needs only arg, not the column values: recycle now.
+    default_pool().release(cols)
 
     padded_shape = flat.shape
 
     def grad_x(g: np.ndarray) -> np.ndarray:
-        grad_cols = np.zeros_like(cols)
+        grad_cols = np.zeros(cols_shape, dtype=cols_dtype)
         grad_cols[rows, arg] = g.reshape(-1)
         grad_padded = col2im(grad_cols, padded_shape, kernel, stride, (0, 0))
         grad_padded = grad_padded.reshape(
@@ -154,6 +177,8 @@ def avg_pool2d(
     flat = x.data.reshape(n * c, 1, h, w)
     cols = im2col(flat, kernel, stride, padding)
     out = cols.mean(axis=1).reshape(n, c, out_h, out_w)
+    # The backward needs only the window size, not the columns.
+    default_pool().release(cols)
 
     flat_shape = flat.shape
 

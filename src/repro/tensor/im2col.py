@@ -4,6 +4,14 @@ Convolution is implemented by unfolding input patches into the columns of
 a matrix and performing a single large matrix multiply, the standard
 approach for CPU deep-learning kernels.  ``col2im`` is the exact adjoint
 of ``im2col`` and is used in the backward pass.
+
+Both transforms draw their workspaces (padded input, patch columns,
+scatter-add scratch) from the process-global :class:`~repro.tensor.pool.
+BufferPool`, so repeated calls at the same layer shape — the normal case
+inside a training loop or an evaluation sweep — are allocation-free.
+``im2col`` performs exactly one data copy: the strided patch view is
+copied straight into the (pooled) output buffer, with no intermediate
+materialisation.
 """
 
 from __future__ import annotations
@@ -13,6 +21,8 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.tensor.pool import default_pool
+from repro.utils import profiler as _profiler
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
@@ -37,7 +47,13 @@ def im2col(
     Returns an array of shape ``(N * out_h * out_w, C * kh * kw)`` whose
     rows are the flattened receptive fields, ordered so that
     ``cols.reshape(N, out_h, out_w, -1)`` recovers spatial layout.
+
+    The returned array comes from the buffer pool; callers that consume
+    it within one op (e.g. the conv forward under ``no_grad``) may
+    release it back for reuse.
     """
+    token = _profiler.op_start()
+    pool = default_pool()
     n, c, h, w = x.shape
     kh, kw = kernel
     sh, sw = stride
@@ -45,8 +61,12 @@ def im2col(
     out_h = conv_output_size(h, kh, sh, ph)
     out_w = conv_output_size(w, kw, sw, pw)
 
+    pad_buf = None
     if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)), mode="constant")
+        pad_buf = pool.get((n, c, h + 2 * ph, w + 2 * pw), x.dtype)
+        pad_buf.fill(0)
+        pad_buf[:, :, ph : ph + h, pw : pw + w] = x
+        x = pad_buf
 
     # Strided view: (N, C, out_h, out_w, kh, kw)
     strides = (
@@ -60,11 +80,18 @@ def im2col(
     patches = np.lib.stride_tricks.as_strided(
         x, shape=(n, c, out_h, out_w, kh, kw), strides=strides, writeable=False
     )
-    # -> (N, out_h, out_w, C, kh, kw) -> rows
-    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(
-        n * out_h * out_w, c * kh * kw
+    # Single copy: gather (N, out_h, out_w, C, kh, kw) straight into the
+    # pooled output buffer (previously transpose().reshape() materialised
+    # the rows and ascontiguousarray risked a second copy).
+    cols = pool.get((n * out_h * out_w, c * kh * kw), x.dtype)
+    np.copyto(
+        cols.reshape(n, out_h, out_w, c, kh, kw),
+        patches.transpose(0, 2, 3, 1, 4, 5),
     )
-    return np.ascontiguousarray(cols)
+    if pad_buf is not None:
+        pool.release(pad_buf)
+    _profiler.op_end(token, "im2col")
+    return cols
 
 
 def col2im(
@@ -80,6 +107,8 @@ def col2im(
     an array of the original shape ``x_shape`` where every patch element
     has been accumulated into its source position.
     """
+    token = _profiler.op_start()
+    pool = default_pool()
     n, c, h, w = x_shape
     kh, kw = kernel
     sh, sw = stride
@@ -87,7 +116,7 @@ def col2im(
     out_h = conv_output_size(h, kh, sh, ph)
     out_w = conv_output_size(w, kw, sw, pw)
 
-    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    padded = pool.zeros((n, c, h + 2 * ph, w + 2 * pw), cols.dtype)
     patches = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(
         0, 3, 1, 2, 4, 5
     )
@@ -100,5 +129,12 @@ def col2im(
             padded[:, :, i:h_end:sh, j:w_end:sw] += patches[:, :, :, :, i, j]
 
     if ph or pw:
-        return padded[:, :, ph : ph + h, pw : pw + w]
-    return padded
+        # Copy the interior out so the (larger) padded scratch can be
+        # recycled instead of staying alive behind a view.
+        out = np.empty((n, c, h, w), dtype=cols.dtype)
+        np.copyto(out, padded[:, :, ph : ph + h, pw : pw + w])
+        pool.release(padded)
+    else:
+        out = padded
+    _profiler.op_end(token, "col2im")
+    return out

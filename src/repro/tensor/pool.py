@@ -1,0 +1,174 @@
+"""Reusable workspace buffers for the numpy hot paths.
+
+Convolution via im2col allocates large, identically-shaped scratch
+arrays (patch columns, padded inputs, gradient columns, AMS noise
+samples) on every call.  During a sweep the same layer shapes recur
+thousands of times, so the allocator cost and page-fault churn are pure
+waste.  :class:`BufferPool` keeps released buffers in per-(shape, dtype)
+free lists and hands them back on the next request.
+
+Correctness rules:
+
+- ``get`` returns an *uninitialized* buffer (like ``np.empty``); callers
+  must overwrite every element or use :meth:`BufferPool.zeros`.
+- ``release`` may only be called with arrays that own their data; views
+  are rejected so a pooled buffer can never alias live memory.
+- Buffers handed to callers that never release them are simply garbage
+  collected — the pool holds references only to *free* buffers.
+
+The pool also counts allocations and reuse hits, which the op profiler
+(:mod:`repro.utils.profiler`) reports and the kernel tests use to assert
+allocation-free steady states.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+class PoolStats:
+    """Counters describing pool traffic since the last reset."""
+
+    __slots__ = (
+        "allocations",
+        "hits",
+        "releases",
+        "rejected",
+        "bytes_allocated",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.allocations = 0  # fresh numpy allocations through get()
+        self.hits = 0  # get() calls served from the free lists
+        self.releases = 0  # buffers accepted back
+        self.rejected = 0  # release() calls refused (views, over budget)
+        self.bytes_allocated = 0  # total bytes of fresh allocations
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"PoolStats({fields})"
+
+
+_Key = Tuple[Tuple[int, ...], str]
+
+
+class BufferPool:
+    """LIFO free lists of numpy arrays keyed by exact (shape, dtype).
+
+    Parameters
+    ----------
+    max_bytes:
+        Cap on the total bytes parked in the free lists.  Releases that
+        would exceed the cap are silently dropped (the array is then
+        freed by the garbage collector as usual).
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024):
+        self.max_bytes = max_bytes
+        self.enabled = True
+        self.stats = PoolStats()
+        self._free: Dict[_Key, List[np.ndarray]] = {}
+        self._free_ids: set = set()
+        self._pooled_bytes = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def pooled_bytes(self) -> int:
+        """Bytes currently parked in the free lists."""
+        return self._pooled_bytes
+
+    def get(self, shape, dtype=np.float32) -> np.ndarray:
+        """An uninitialized C-contiguous buffer of ``shape`` / ``dtype``."""
+        shape = (shape,) if isinstance(shape, int) else tuple(
+            int(s) for s in shape
+        )
+        key = (shape, np.dtype(dtype).str)
+        if self.enabled:
+            with self._lock:
+                bucket = self._free.get(key)
+                if bucket:
+                    arr = bucket.pop()
+                    self._free_ids.discard(id(arr))
+                    self._pooled_bytes -= arr.nbytes
+                    self.stats.hits += 1
+                    return arr
+        arr = np.empty(shape, dtype)
+        self.stats.allocations += 1
+        self.stats.bytes_allocated += arr.nbytes
+        return arr
+
+    def zeros(self, shape, dtype=np.float32) -> np.ndarray:
+        """A zero-filled buffer (pool-backed ``np.zeros``)."""
+        buf = self.get(shape, dtype)
+        buf.fill(0)
+        return buf
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return ``arr`` to the free lists for reuse.
+
+        Only whole, C-contiguous, data-owning arrays are accepted; the
+        caller must not touch ``arr`` afterwards.  Double releases and
+        over-budget releases are dropped, never an error.
+        """
+        if not self.enabled or arr is None:
+            return
+        if not (
+            isinstance(arr, np.ndarray)
+            and arr.flags.c_contiguous
+            and arr.flags.owndata
+            and arr.base is None
+        ):
+            self.stats.rejected += 1
+            return
+        key = (arr.shape, arr.dtype.str)
+        with self._lock:
+            if (
+                id(arr) in self._free_ids
+                or self._pooled_bytes + arr.nbytes > self.max_bytes
+            ):
+                self.stats.rejected += 1
+                return
+            self._free.setdefault(key, []).append(arr)
+            self._free_ids.add(id(arr))
+            self._pooled_bytes += arr.nbytes
+            self.stats.releases += 1
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (stats are kept; see reset_stats)."""
+        with self._lock:
+            self._free.clear()
+            self._free_ids.clear()
+            self._pooled_bytes = 0
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    @contextlib.contextmanager
+    def disabled(self):
+        """Temporarily bypass pooling (every get allocates fresh)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield self
+        finally:
+            self.enabled = previous
+
+
+#: Process-global pool used by the conv/noise/optimizer hot paths.
+_DEFAULT = BufferPool()
+
+
+def default_pool() -> BufferPool:
+    """The process-global :class:`BufferPool`."""
+    return _DEFAULT

@@ -10,7 +10,7 @@ the modeled hardware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -19,6 +19,8 @@ from repro.data.dataset import ArrayDataset
 from repro.errors import ConfigError
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor, no_grad
+from repro.utils import profiler as _profiler
+from repro.utils.rng import point_seed_sequence
 
 
 def evaluate_accuracy(
@@ -69,21 +71,86 @@ class EvalStats:
         return f"{self.mean:.4f} +/- {self.std:.2e}"
 
 
+def reseed_noise(model: Module, seed: int, index: int) -> int:
+    """Reseed every AMS injector in ``model`` from ``(seed, index)``.
+
+    Each injector gets an independent child stream of the point's seed
+    sequence, keyed only by its position in module order — so the noise
+    drawn afterwards depends on ``(seed, index)`` alone, never on which
+    process or in what order the pass runs.  Returns the injector count.
+    """
+    from repro.ams.injection import AMSErrorInjector
+
+    injectors = [
+        m for m in model.modules() if isinstance(m, AMSErrorInjector)
+    ]
+    if injectors:
+        children = point_seed_sequence(seed, index).spawn(len(injectors))
+        for injector, child in zip(injectors, children):
+            injector.rng = np.random.default_rng(child)
+    return len(injectors)
+
+
+#: Worker-process state for parallel evaluation passes, set once per
+#: worker by :func:`_init_eval_worker`.
+_EVAL_STATE = None
+
+
+def _init_eval_worker(model, dataset, batch_size, seed) -> None:
+    global _EVAL_STATE
+    _EVAL_STATE = (model, dataset, batch_size, seed)
+
+
+def _eval_pass(pass_index: int) -> float:
+    model, dataset, batch_size, seed = _EVAL_STATE
+    reseed_noise(model, seed, pass_index)
+    return evaluate_accuracy(model, dataset, batch_size)
+
+
 def repeated_evaluate(
     model: Module,
     dataset: ArrayDataset,
     passes: int = 5,
     batch_size: int = 256,
+    jobs: int = 1,
+    seed: Optional[int] = None,
 ) -> EvalStats:
     """The paper's reporting protocol: ``passes`` full validation passes.
 
     Each pass re-samples every stochastic element (AMS noise); the
     sample standard deviation is computed with ddof=1 as usual for a
     sample statistic.
+
+    With the defaults the passes run sequentially, drawing noise from
+    whatever generator state each injector currently holds — exactly the
+    historical behaviour.  Passing ``seed`` switches to *per-pass*
+    noise streams derived from ``(seed, pass_index)``, which makes the
+    result independent of execution order and therefore safe to fan out
+    with ``jobs > 1`` (bit-identical for any worker count).  ``jobs > 1``
+    without a ``seed`` is a :class:`~repro.errors.ConfigError`: the
+    sequential generator state cannot be shared across processes.
     """
-    values: List[float] = [
-        evaluate_accuracy(model, dataset, batch_size) for _ in range(passes)
-    ]
+    if jobs > 1 and seed is None:
+        raise ConfigError(
+            "repeated_evaluate(jobs>1) requires an explicit seed; "
+            "sequential injector streams cannot span processes"
+        )
+    token = _profiler.op_start()
+    if seed is None:
+        values: List[float] = [
+            evaluate_accuracy(model, dataset, batch_size)
+            for _ in range(passes)
+        ]
+    else:
+        from repro.parallel.runner import SweepRunner
+
+        runner = SweepRunner(
+            jobs=jobs,
+            initializer=_init_eval_worker,
+            initargs=(model, dataset, batch_size, seed),
+        )
+        values = runner.map(_eval_pass, list(range(passes)))
+    _profiler.op_end(token, "eval.pass")
     mean = float(np.mean(values))
     std = float(np.std(values, ddof=1)) if len(values) > 1 else 0.0
     return EvalStats(mean=mean, std=std, values=tuple(values))

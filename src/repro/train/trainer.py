@@ -25,6 +25,7 @@ from repro.optim.sgd import SGD
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 from repro.train.evaluate import evaluate_accuracy
+from repro.utils import profiler as _profiler
 from repro.utils.rng import new_rng
 
 
@@ -150,6 +151,7 @@ class Trainer:
         self, model: Module, loader: DataLoader, optimizer: SGD
     ) -> float:
         model.train()
+        token = _profiler.op_start()
         total_loss = 0.0
         batches = 0
         for images, labels in loader:
@@ -160,6 +162,7 @@ class Trainer:
             optimizer.step()
             total_loss += loss.item()
             batches += 1
+        _profiler.op_end(token, "train.epoch")
         if batches == 0:
             raise ConfigError(
                 "no training batches; dataset smaller than batch_size "

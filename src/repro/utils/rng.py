@@ -26,3 +26,20 @@ def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
     """
     seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def point_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
+    """The seed sequence for grid point ``index`` of a sweep.
+
+    Keyed by ``spawn_key`` so the stream depends only on ``(seed,
+    index)`` — never on execution order or worker assignment — which is
+    what makes parallel sweeps reproduce serial ones exactly.  The
+    returned sequence can itself be ``spawn``\\ n for per-layer streams
+    within the point.
+    """
+    return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+def rng_for_point(seed: int, index: int) -> np.random.Generator:
+    """A generator for grid point ``index``, independent of its siblings."""
+    return np.random.default_rng(point_seed_sequence(seed, index))

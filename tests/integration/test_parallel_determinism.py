@@ -1,0 +1,150 @@
+"""Parallel sweeps must be bit-identical to serial ones.
+
+The determinism contract of :mod:`repro.parallel`: every grid point is a
+deterministic function of the experiment config (all randomness flows
+from explicit seeds), so fanning points out over worker processes with
+``jobs=2`` must reproduce the serial ``jobs=1`` results exactly — not
+approximately.  Results are compared through their JSON serialization,
+i.e. exactly what ``ExperimentResult.save`` would write to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig4, fig5
+from repro.experiments.common import Workbench, _jsonable
+from repro.experiments.config import make_config
+from repro.train.evaluate import repeated_evaluate
+
+
+def _tiny_config(cache_dir: str):
+    """A 2-point ENOB sweep small enough to retrain inside a test."""
+    return replace(
+        make_config(profile="quick", seed=31),
+        num_classes=3,
+        image_size=8,
+        train_per_class=16,
+        val_per_class=8,
+        pretrain_epochs=1,
+        retrain_epochs=1,
+        batch_size=16,
+        patience=1,
+        eval_passes=2,
+        enob_sweep=(4.0, 6.0),
+        cache_dir=cache_dir,
+    )
+
+
+def _payload(result) -> str:
+    return json.dumps(
+        {
+            "rows": result.rows,
+            "notes": result.notes,
+            "extras": result.extras,
+        },
+        sort_keys=True,
+        default=_jsonable,
+    )
+
+
+@pytest.mark.slow
+def test_fig4_jobs2_bit_identical_to_serial(tmp_path):
+    """The full fig4 sweep — retraining included — across 2 workers.
+
+    Separate cache dirs per run, so the parallel run really trains its
+    artifacts through the prelude + worker path rather than loading the
+    serial run's checkpoints.
+    """
+    serial = fig4.run(
+        Workbench(_tiny_config(str(tmp_path / "serial")), jobs=1)
+    )
+    parallel = fig4.run(
+        Workbench(_tiny_config(str(tmp_path / "parallel")), jobs=2)
+    )
+    assert _payload(parallel) == _payload(serial)
+
+
+def test_fig5_jobs2_bit_identical_to_serial(tmp_path):
+    """The eval-only sweep (no per-point retraining) across 2 workers."""
+    serial = fig5.run(
+        Workbench(_tiny_config(str(tmp_path / "serial")), jobs=1)
+    )
+    parallel = fig5.run(
+        Workbench(_tiny_config(str(tmp_path / "parallel")), jobs=2)
+    )
+    assert _payload(parallel) == _payload(serial)
+
+
+class TestRepeatedEvaluateJobs:
+    """Seeded multi-pass evaluation is invariant to the worker count."""
+
+    @pytest.fixture(scope="class")
+    def noisy_model(self, tiny_data):
+        from repro.ams.vmac import VMACConfig
+        from repro.models.factory import AMSFactory
+        from repro.models.resnet import resnet_small
+        from repro.quant.qmodules import QuantConfig
+
+        factory = AMSFactory(
+            QuantConfig(8, 8),
+            VMACConfig(enob=4.0, nmult=8, bw=8, bx=8),
+            seed=5,
+            noise_seed=6,
+        )
+        return resnet_small(factory, num_classes=4)
+
+    def test_jobs_invariant(self, noisy_model, tiny_data):
+        one = repeated_evaluate(
+            noisy_model, tiny_data.val, passes=3, jobs=1, seed=123
+        )
+        two = repeated_evaluate(
+            noisy_model, tiny_data.val, passes=3, jobs=2, seed=123
+        )
+        assert one.values == two.values
+
+    def test_seeded_passes_differ_from_each_other(self, noisy_model, tiny_data):
+        stats = repeated_evaluate(
+            noisy_model, tiny_data.val, passes=3, jobs=1, seed=123
+        )
+        assert len(set(stats.values)) > 1  # fresh noise per pass
+
+    def test_seeded_is_reproducible(self, noisy_model, tiny_data):
+        a = repeated_evaluate(
+            noisy_model, tiny_data.val, passes=2, jobs=1, seed=9
+        )
+        b = repeated_evaluate(
+            noisy_model, tiny_data.val, passes=2, jobs=1, seed=9
+        )
+        assert a.values == b.values
+
+    def test_jobs_without_seed_rejected(self, noisy_model, tiny_data):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="seed"):
+            repeated_evaluate(noisy_model, tiny_data.val, passes=2, jobs=2)
+
+    def test_unseeded_default_keeps_sequential_stream(self, tiny_data):
+        """seed=None must replay the injectors' own generator state."""
+        from repro.ams.vmac import VMACConfig
+        from repro.models.factory import AMSFactory
+        from repro.models.resnet import resnet_small
+        from repro.quant.qmodules import QuantConfig
+
+        def build():
+            factory = AMSFactory(
+                QuantConfig(8, 8),
+                VMACConfig(enob=4.0, nmult=8, bw=8, bx=8),
+                seed=5,
+                noise_seed=6,
+            )
+            return resnet_small(factory, num_classes=4)
+
+        a = repeated_evaluate(build(), tiny_data.val, passes=2)
+        b = repeated_evaluate(build(), tiny_data.val, passes=2)
+        assert a.values == b.values
+        assert np.isfinite(a.mean)

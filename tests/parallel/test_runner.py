@@ -1,0 +1,122 @@
+"""Tests for the process-pool sweep runner and the Workbench glue."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import Artifact, SweepPoint, SweepRunner, start_method, sweep_map
+
+# Module-level so they pickle for the jobs>1 paths.
+_INIT_FLAG = {"value": None}
+
+
+def _square(task):
+    return task * task
+
+
+def _pid_of(task):
+    return os.getpid()
+
+
+def _set_flag(value):
+    _INIT_FLAG["value"] = value
+
+
+def _read_flag(task):
+    return _INIT_FLAG["value"]
+
+
+class TestStartMethod:
+    def test_default_is_valid(self):
+        import multiprocessing
+
+        assert start_method() in multiprocessing.get_all_start_methods()
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        assert start_method() == "spawn"
+
+    def test_bad_override_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "teleport")
+        with pytest.raises(ConfigError, match="REPRO_MP_START"):
+            start_method()
+
+
+class TestSerial:
+    def test_plain_map(self):
+        assert SweepRunner(jobs=1).map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_initializer_runs_in_process(self):
+        _INIT_FLAG["value"] = None
+        runner = SweepRunner(jobs=1, initializer=_set_flag, initargs=(7,))
+        assert runner.map(_read_flag, [0]) == [7]
+
+    def test_empty_tasks(self):
+        assert SweepRunner(jobs=4).map(_square, []) == []
+
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            SweepRunner(jobs=0)
+
+
+class TestParallel:
+    def test_results_in_input_order(self):
+        result = SweepRunner(jobs=2).map(_square, list(range(8)))
+        assert result == [i * i for i in range(8)]
+
+    def test_workers_receive_initializer_state(self):
+        runner = SweepRunner(jobs=2, initializer=_set_flag, initargs=(42,))
+        assert runner.map(_read_flag, [0, 1, 2, 3]) == [42] * 4
+
+    def test_work_leaves_parent_process(self):
+        pids = SweepRunner(jobs=2).map(_pid_of, [0, 1, 2, 3])
+        assert all(pid != os.getpid() for pid in pids)
+
+
+# ----------------------------------------------------------------------
+# sweep_map against a fake workbench
+# ----------------------------------------------------------------------
+class FakeBench:
+    """Duck-typed stand-in for Workbench: just config + jobs."""
+
+    def __init__(self, jobs=1):
+        self.config = None
+        self.jobs = jobs
+        self.built = []
+
+
+def _record_build(name):
+    return Artifact(name, build=lambda bench: bench.built.append(name))
+
+
+def _double_point(bench, value):
+    return 2 * value
+
+
+class TestSweepMapSerial:
+    def test_maps_in_order(self):
+        bench = FakeBench()
+        points = [SweepPoint(key=i, args=(i,)) for i in (5, 3, 1)]
+        assert sweep_map(bench, _double_point, points) == [10, 6, 2]
+
+    def test_prelude_built_once_in_parent(self):
+        bench = FakeBench()
+        arts = {"base": _record_build("base")}
+        points = [
+            SweepPoint(key=i, args=(i,), requires=("base",))
+            for i in range(4)
+        ]
+        sweep_map(bench, _double_point, points, arts)
+        assert bench.built == ["base"]
+
+    def test_runs_on_callers_bench(self):
+        bench = FakeBench()
+        seen = []
+
+        def fn(b, value):
+            seen.append(b)
+            return value
+
+        sweep_map(bench, fn, [SweepPoint(key=0, args=(0,))])
+        assert seen == [bench]

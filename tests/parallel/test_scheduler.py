@@ -1,0 +1,76 @@
+"""Tests for cache-aware sweep planning."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import Artifact, SweepPoint, plan, topo_order
+
+
+def _artifacts(**deps):
+    return {
+        name: Artifact(name, build=lambda bench: None, deps=tuple(d))
+        for name, d in deps.items()
+    }
+
+
+class TestTopoOrder:
+    def test_linear_chain(self):
+        arts = _artifacts(a=[], b=["a"], c=["b"])
+        assert topo_order(arts, ["c"]) == ["a", "b", "c"]
+
+    def test_diamond_builds_each_once(self):
+        arts = _artifacts(base=[], left=["base"], right=["base"],
+                          top=["left", "right"])
+        order = topo_order(arts, ["top"])
+        assert order == ["base", "left", "right", "top"]
+
+    def test_needed_order_is_stable(self):
+        arts = _artifacts(a=[], b=[])
+        assert topo_order(arts, ["b", "a"]) == ["b", "a"]
+
+    def test_cycle_raises(self):
+        arts = _artifacts(a=["b"], b=["a"])
+        with pytest.raises(ConfigError, match="cycle"):
+            topo_order(arts, ["a"])
+
+    def test_self_cycle_raises(self):
+        arts = _artifacts(a=["a"])
+        with pytest.raises(ConfigError, match="cycle"):
+            topo_order(arts, ["a"])
+
+    def test_unknown_artifact_raises(self):
+        with pytest.raises(ConfigError, match="unknown artifact"):
+            topo_order(_artifacts(a=[]), ["missing"])
+
+    def test_unknown_dep_names_chain(self):
+        arts = _artifacts(a=["ghost"])
+        with pytest.raises(ConfigError, match="ghost"):
+            topo_order(arts, ["a"])
+
+
+class TestPlan:
+    def test_prelude_covers_transitive_requires(self):
+        arts = _artifacts(base=[], derived=["base"])
+        points = [SweepPoint(key=0, requires=("derived",))]
+        schedule = plan(points, arts)
+        assert schedule.prelude == ("base", "derived")
+
+    def test_shared_requirement_deduplicated(self):
+        arts = _artifacts(base=[])
+        points = [
+            SweepPoint(key=i, requires=("base",)) for i in range(5)
+        ]
+        assert plan(points, arts).prelude == ("base",)
+
+    def test_point_order_preserved(self):
+        points = [SweepPoint(key=i) for i in (3, 1, 2)]
+        schedule = plan(points, {})
+        assert [p.key for p in schedule.points] == [3, 1, 2]
+
+    def test_no_requires_no_prelude(self):
+        assert plan([SweepPoint(key=0)], {}).prelude == ()
+
+    def test_unknown_require_raises(self):
+        points = [SweepPoint(key=0, requires=("nope",))]
+        with pytest.raises(ConfigError, match="unknown artifact"):
+            plan(points, {})

@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ShapeError
 from repro.tensor.im2col import col2im, conv_output_size, im2col
+from repro.tensor.pool import default_pool
 
 
 def naive_conv2d(x, w, stride, padding):
@@ -84,3 +85,91 @@ class TestIm2Col:
         assert out[0, 0, 0, 0] == 1.0
         assert out[0, 0, 1, 1] == 4.0
         assert out[0, 0, 0, 1] == 2.0
+
+
+class TestAdjointRegression:
+    """``<cols, im2col(x)> == <col2im(cols), x>`` across awkward geometries.
+
+    The pooled rewrite changed how both transforms stage their scratch
+    (pooled padded buffers, interior copy-out); the adjoint identity is
+    the strongest single check that no geometry case regressed.
+    """
+
+    @pytest.mark.parametrize(
+        "shape,kernel,stride,padding",
+        [
+            ((2, 3, 9, 9), (3, 3), (2, 2), (0, 0)),  # stride > 1
+            ((1, 2, 8, 8), (3, 3), (3, 3), (0, 0)),  # stride > kernel gap
+            ((2, 2, 7, 9), (1, 3), (1, 1), (0, 0)),  # asymmetric kernel
+            ((1, 3, 9, 6), (5, 2), (2, 1), (0, 0)),  # asymmetric + stride
+            ((2, 1, 6, 6), (3, 3), (1, 1), (2, 2)),  # padding > 1
+            ((1, 2, 5, 7), (3, 2), (2, 2), (1, 2)),  # everything at once
+            ((1, 1, 4, 4), (4, 4), (4, 4), (0, 0)),  # non-overlapping tiles
+        ],
+    )
+    def test_inner_product_identity(self, rng, shape, kernel, stride, padding):
+        x = rng.standard_normal(shape)
+        cols_shape = im2col(x, kernel, stride, padding).shape
+        cols = rng.standard_normal(cols_shape)
+        lhs = float((cols * im2col(x, kernel, stride, padding)).sum())
+        rhs = float((col2im(cols, shape, kernel, stride, padding) * x).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_result_is_not_a_pooled_view(self, rng):
+        """With padding, the result must not alias the pooled scratch."""
+        shape, kernel, stride, padding = (1, 2, 6, 6), (3, 3), (1, 1), (1, 1)
+        cols_shape = im2col(rng.standard_normal(shape), kernel, stride, padding).shape
+        cols = rng.standard_normal(cols_shape)
+        out = col2im(cols, shape, kernel, stride, padding)
+        expected = out.copy()
+        # Recycle pooled buffers at the same geometry; if ``out`` aliased
+        # the padded scratch this would corrupt it.
+        col2im(cols, shape, kernel, stride, padding)
+        np.testing.assert_array_equal(out, expected)
+        assert out.base is None
+
+
+class TestSingleCopy:
+    """The pooled im2col performs exactly one data copy (no intermediate
+    materialisation), observable through the pool's allocation counter."""
+
+    def test_cold_call_allocates_only_pad_and_cols(self):
+        pool = default_pool()
+        pool.clear()
+        pool.reset_stats()
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(
+            np.float32
+        )
+        cols = im2col(x, (3, 3), (1, 1), (1, 1))
+        # One padded workspace + one cols buffer; a hidden intermediate
+        # copy would show up as a third allocation.
+        assert pool.stats.allocations == 2
+        assert pool.stats.bytes_allocated == (
+            2 * 3 * 10 * 10 * 4 + cols.nbytes
+        )
+        pool.release(cols)
+
+    def test_steady_state_is_allocation_free(self):
+        pool = default_pool()
+        pool.clear()
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8)).astype(
+            np.float32
+        )
+        pool.release(im2col(x, (3, 3), (1, 1), (1, 1)))  # warm the pool
+        pool.reset_stats()
+        for _ in range(3):
+            pool.release(im2col(x, (3, 3), (1, 1), (1, 1)))
+        assert pool.stats.allocations == 0
+        assert pool.stats.hits == 6  # pad + cols per call, all reused
+
+    def test_unpadded_call_allocates_only_cols(self):
+        pool = default_pool()
+        pool.clear()
+        pool.reset_stats()
+        x = np.random.default_rng(0).standard_normal((1, 2, 6, 6)).astype(
+            np.float32
+        )
+        cols = im2col(x, (3, 3), (1, 1), (0, 0))
+        assert pool.stats.allocations == 1
+        assert pool.stats.bytes_allocated == cols.nbytes
+        pool.release(cols)

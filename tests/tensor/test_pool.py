@@ -1,0 +1,146 @@
+"""Tests for the workspace buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.pool import BufferPool, default_pool
+
+
+class TestGetRelease:
+    def test_get_shape_dtype(self):
+        pool = BufferPool()
+        buf = pool.get((3, 4), np.float64)
+        assert buf.shape == (3, 4)
+        assert buf.dtype == np.float64
+        assert buf.flags.c_contiguous
+
+    def test_release_then_get_reuses_same_array(self):
+        pool = BufferPool()
+        buf = pool.get((8, 8))
+        pool.release(buf)
+        again = pool.get((8, 8))
+        assert again is buf
+        assert pool.stats.hits == 1
+        assert pool.stats.allocations == 1
+
+    def test_lifo_order(self):
+        pool = BufferPool()
+        a = pool.get((4,))
+        b = pool.get((4,))
+        pool.release(a)
+        pool.release(b)
+        assert pool.get((4,)) is b
+        assert pool.get((4,)) is a
+
+    def test_distinct_shapes_do_not_mix(self):
+        pool = BufferPool()
+        a = pool.get((2, 3))
+        pool.release(a)
+        b = pool.get((3, 2))
+        assert b is not a
+        assert pool.stats.allocations == 2
+
+    def test_distinct_dtypes_do_not_mix(self):
+        pool = BufferPool()
+        a = pool.get((4,), np.float32)
+        pool.release(a)
+        b = pool.get((4,), np.float64)
+        assert b is not a
+
+    def test_zeros_is_zero_filled_even_on_reuse(self):
+        pool = BufferPool()
+        buf = pool.get((5,))
+        buf[:] = 7.0
+        pool.release(buf)
+        again = pool.zeros((5,))
+        assert again is buf
+        assert (again == 0).all()
+
+    def test_int_shape(self):
+        pool = BufferPool()
+        assert pool.get(6).shape == (6,)
+
+
+class TestReleaseGuards:
+    def test_view_rejected(self):
+        pool = BufferPool()
+        arr = np.empty((4, 4), np.float32)
+        pool.release(arr[:2])
+        assert pool.stats.releases == 0
+        assert pool.stats.rejected == 1
+
+    def test_transposed_rejected(self):
+        pool = BufferPool()
+        arr = np.empty((4, 3), np.float32)
+        pool.release(arr.T)
+        assert pool.stats.releases == 0
+
+    def test_double_release_dropped(self):
+        pool = BufferPool()
+        buf = pool.get((4,))
+        pool.release(buf)
+        pool.release(buf)
+        assert pool.stats.releases == 1
+        assert pool.stats.rejected == 1
+        # The bucket must hold the buffer exactly once.
+        assert pool.get((4,)) is buf
+        assert pool.get((4,)) is not buf
+
+    def test_none_is_noop(self):
+        pool = BufferPool()
+        pool.release(None)
+        assert pool.stats.rejected == 0
+
+    def test_budget_cap(self):
+        pool = BufferPool(max_bytes=100)
+        small = pool.get((10,), np.float32)  # 40 bytes
+        big = pool.get((100,), np.float32)  # 400 bytes > cap
+        pool.release(small)
+        pool.release(big)
+        assert pool.stats.releases == 1
+        assert pool.stats.rejected == 1
+        assert pool.pooled_bytes == 40
+
+
+class TestDisable:
+    def test_disabled_context_allocates_fresh(self):
+        pool = BufferPool()
+        buf = pool.get((4,))
+        pool.release(buf)
+        with pool.disabled():
+            other = pool.get((4,))
+            assert other is not buf
+            pool.release(other)
+        # Re-enabled: the originally pooled buffer is still there.
+        assert pool.get((4,)) is buf
+
+    def test_clear_drops_buffers(self):
+        pool = BufferPool()
+        buf = pool.get((4,))
+        pool.release(buf)
+        pool.clear()
+        assert pool.pooled_bytes == 0
+        assert pool.get((4,)) is not buf
+
+
+class TestStats:
+    def test_counters(self):
+        pool = BufferPool()
+        a = pool.get((4,), np.float64)
+        pool.release(a)
+        pool.get((4,), np.float64)
+        stats = pool.stats.as_dict()
+        assert stats["allocations"] == 1
+        assert stats["hits"] == 1
+        assert stats["releases"] == 1
+        assert stats["bytes_allocated"] == 32
+
+    def test_reset(self):
+        pool = BufferPool()
+        pool.get((4,))
+        pool.reset_stats()
+        assert pool.stats.allocations == 0
+
+
+def test_default_pool_is_singleton():
+    assert default_pool() is default_pool()

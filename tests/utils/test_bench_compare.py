@@ -1,0 +1,119 @@
+"""Tests for the benchmark regression comparator."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    os.path.join(
+        os.path.dirname(__file__), "..", "..", "tools", "bench_compare.py"
+    ),
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _bench_json(medians):
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ]
+    }
+
+
+def _write(path, medians):
+    with open(path, "w") as fh:
+        json.dump(_bench_json(medians), fh)
+    return str(path)
+
+
+class TestLoadMedians:
+    def test_round_trip(self, tmp_path):
+        path = _write(tmp_path / "run.json", {"a": 0.5, "b": 1.5})
+        assert bench_compare.load_medians(path) == {"a": 0.5, "b": 1.5}
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        assert bench_compare.load_medians(str(path)) == {}
+
+
+class TestCompare:
+    def test_within_budget_passes(self):
+        reg, imp, added, removed = bench_compare.compare(
+            {"a": 1.0}, {"a": 1.1}, threshold=0.20
+        )
+        assert reg == [] and imp == [] and added == [] and removed == []
+
+    def test_regression_detected(self):
+        reg, _, _, _ = bench_compare.compare(
+            {"a": 1.0}, {"a": 1.3}, threshold=0.20
+        )
+        assert len(reg) == 1
+        name, old, new, ratio = reg[0]
+        assert name == "a"
+        assert ratio == pytest.approx(1.3)
+
+    def test_improvement_detected(self):
+        _, imp, _, _ = bench_compare.compare(
+            {"a": 1.0}, {"a": 0.5}, threshold=0.20
+        )
+        assert [i[0] for i in imp] == ["a"]
+
+    def test_added_and_removed_never_fail(self):
+        reg, _, added, removed = bench_compare.compare(
+            {"old": 1.0}, {"new": 9.9}, threshold=0.20
+        )
+        assert reg == []
+        assert added == ["new"]
+        assert removed == ["old"]
+
+
+class TestMain:
+    def test_clean_compare_exits_zero(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"a": 1.0})
+        current = _write(tmp_path / "cur.json", {"a": 1.05})
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current]
+        )
+        assert code == 0
+        assert "0 regressed" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"a": 1.0})
+        current = _write(tmp_path / "cur.json", {"a": 2.0})
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        baseline = _write(tmp_path / "base.json", {"a": 1.0})
+        current = _write(tmp_path / "cur.json", {"a": 2.0})
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--threshold", "1.5"]
+        )
+        assert code == 0
+
+    def test_update_writes_baseline(self, tmp_path, capsys):
+        current = _write(tmp_path / "cur.json", {"a": 1.0})
+        baseline = str(tmp_path / "new_base.json")
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current, "--update"]
+        )
+        assert code == 0
+        assert bench_compare.load_medians(baseline) == {"a": 1.0}
+
+    def test_missing_baseline_exits(self, tmp_path):
+        current = _write(tmp_path / "cur.json", {"a": 1.0})
+        with pytest.raises(SystemExit, match="no baseline"):
+            bench_compare.main(
+                ["--baseline", str(tmp_path / "nope.json"),
+                 "--current", current]
+            )

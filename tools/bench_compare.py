@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark run against the checked-in baseline.
+
+Usage::
+
+    python tools/bench_compare.py                 # run + compare
+    python tools/bench_compare.py --update        # run + rewrite baseline
+    python tools/bench_compare.py --current out.json   # compare existing run
+    python tools/bench_compare.py --threshold 0.3
+
+Runs ``pytest benchmarks/ --benchmark-json=...`` (unless ``--current``
+points at an existing pytest-benchmark JSON), then compares each
+benchmark's median against ``BENCH_baseline.json``.  Exits non-zero if
+any benchmark regressed by more than ``--threshold`` (default 20%).
+
+Benchmarks present only on one side are reported but never fail the
+run, so adding or retiring a bench does not require touching the
+baseline in the same change.  Speedups beyond the threshold are flagged
+as a hint to refresh the baseline with ``--update``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_baseline.json")
+
+
+def run_benchmarks(json_path: str, pytest_args=()) -> None:
+    """Run the benchmark suite, writing pytest-benchmark JSON."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/",
+        "-q",
+        f"--benchmark-json={json_path}",
+        *pytest_args,
+    ]
+    print("$", " ".join(cmd), flush=True)
+    result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        sys.exit(f"benchmark run failed (exit {result.returncode})")
+
+
+def load_medians(path: str) -> dict:
+    """``{benchmark fullname: median seconds}`` from pytest-benchmark JSON."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return {
+        bench["fullname"]: bench["stats"]["median"]
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def compare(baseline: dict, current: dict, threshold: float):
+    """Partition benches into (regressions, improvements, only-one-side)."""
+    regressions, improvements = [], []
+    for name in sorted(set(baseline) & set(current)):
+        old, new = baseline[name], current[name]
+        ratio = new / old if old > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            regressions.append((name, old, new, ratio))
+        elif ratio < 1.0 - threshold:
+            improvements.append((name, old, new, ratio))
+    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
+    return regressions, improvements, added, removed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail if any benchmark regressed vs the baseline."
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="checked-in pytest-benchmark JSON (default: BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="existing run to compare; omit to run pytest benchmarks/ now",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional slowdown tolerated per bench (default 0.20)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write the current run over the baseline instead of comparing",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra args forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.current is None:
+        tmp = tempfile.NamedTemporaryFile(
+            suffix=".json", prefix="bench-", delete=False
+        )
+        tmp.close()
+        run_benchmarks(tmp.name, args.pytest_args)
+        current_path = tmp.name
+    else:
+        current_path = args.current
+
+    if args.update:
+        with open(current_path) as fh:
+            payload = json.load(fh)
+        with open(args.baseline, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        sys.exit(
+            f"no baseline at {args.baseline}; create one with --update"
+        )
+    baseline = load_medians(args.baseline)
+    current = load_medians(current_path)
+    regressions, improvements, added, removed = compare(
+        baseline, current, args.threshold
+    )
+
+    for name in added:
+        print(f"NEW       {name} ({current[name] * 1e3:.3f} ms)")
+    for name in removed:
+        print(f"GONE      {name}")
+    for name, old, new, ratio in improvements:
+        print(
+            f"FASTER    {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
+            f"({ratio:.2f}x) — consider --update"
+        )
+    for name, old, new, ratio in regressions:
+        print(
+            f"REGRESSED {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
+            f"({ratio:.2f}x > 1.{int(args.threshold * 100):02d}x budget)"
+        )
+    compared = len(set(baseline) & set(current))
+    print(
+        f"\n{compared} benches compared: {len(regressions)} regressed, "
+        f"{len(improvements)} faster, {len(added)} new, {len(removed)} gone"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
