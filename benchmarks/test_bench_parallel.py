@@ -16,6 +16,7 @@ import pytest
 from benchmarks.conftest import bench_config, run_once
 from repro.experiments import fig5
 from repro.experiments.common import Workbench
+from repro.serve import ModelSpec
 
 
 def _warm_bench(tmp_path, jobs):
@@ -23,7 +24,8 @@ def _warm_bench(tmp_path, jobs):
     bench = Workbench(
         bench_config(tmp_path, enob_sweep=(3.0, 4.0, 5.0, 6.0)), jobs=jobs
     )
-    bench.quantized_model(6, 6)  # trains fp32 + quant-6-6 into the cache
+    # Trains fp32 + quant-6-6 into the cache.
+    bench.model(ModelSpec("quant", bw=6, bx=6))
     return bench
 
 

@@ -1,0 +1,53 @@
+"""Benchmark: batched serving — direct forward vs engine at 1/4 workers.
+
+Times 64 requests against the noisy eval-only AMS model three ways:
+one synchronous whole-set forward (``classify_direct``, the floor), and
+through the micro-batching engine with 1 and 4 executor threads.  The
+engine paths pay queue hops and per-request noise-stream setup; on a
+single-CPU host extra workers only add contention, so (as with the
+parallel-sweep bench) the checked-in ``BENCH_serve.json`` numbers are
+host-specific — re-record on multicore hardware, see
+``docs/performance.md``.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_config, run_once
+from repro.experiments.common import Workbench
+from repro.serve import InferenceEngine, ModelSpec
+
+SPEC = ModelSpec("ams_eval", enob=4.0)
+REQUESTS = 64
+
+
+def _warm(tmp_path, workers):
+    """An engine whose model is trained and cached before timing."""
+    bench = Workbench(bench_config(tmp_path))
+    engine = InferenceEngine(
+        bench, max_batch=16, max_wait_ms=2.0, workers=workers
+    )
+    engine.warm(SPEC)
+    images = bench.data.val.images
+    reps = -(-REQUESTS // len(images))
+    return engine, np.concatenate([images] * reps)[:REQUESTS]
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_direct(benchmark, tmp_path):
+    engine, images = _warm(tmp_path, workers=1)
+    run_once(benchmark, lambda: engine.classify_direct(SPEC, images))
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_batched_w1(benchmark, tmp_path):
+    engine, images = _warm(tmp_path, workers=1)
+    with engine:
+        run_once(benchmark, lambda: engine.classify(SPEC, images))
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_batched_w4(benchmark, tmp_path):
+    engine, images = _warm(tmp_path, workers=4)
+    with engine:
+        run_once(benchmark, lambda: engine.classify(SPEC, images))

@@ -18,7 +18,7 @@ Two behaviours from the paper are encoded in :class:`InjectionPolicy`:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -97,12 +97,27 @@ class AMSErrorInjector(Module):
         self.ntot = ntot
         self.policy = policy
         self.rng = rng or np.random.default_rng()
+        self.row_rngs: Optional[List[np.random.Generator]] = None
         self.error_std = total_error_std(config.enob, config.nmult, ntot)
 
     @property
     def active(self) -> bool:
         """Whether the current mode (train/eval) injects error."""
         return self.policy.in_training if self.training else self.policy.in_eval
+
+    def set_row_rngs(
+        self, rngs: Optional[Sequence[np.random.Generator]]
+    ) -> None:
+        """Attach one noise generator per batch row (or ``None`` to clear).
+
+        With row generators attached, the forward pass draws each
+        sample's noise from its own stream, so a sample's error depends
+        only on its generator — never on which other requests were
+        coalesced into the same batch.  This is what lets the serving
+        engine's dynamic micro-batcher stay reproducible per request at
+        any concurrency (see :mod:`repro.serve.engine`).
+        """
+        self.row_rngs = list(rngs) if rngs is not None else None
 
     def forward(self, x: Tensor) -> Tensor:
         if not self.active or self.error_std == 0.0:
@@ -113,7 +128,16 @@ class AMSErrorInjector(Module):
         # bit-identical to ``rng.normal(0.0, std, size=shape)`` (the
         # same ziggurat draws, then loc + scale * z with loc = 0).
         draw = pool.get(x.shape, np.float64)
-        self.rng.standard_normal(out=draw)
+        if self.row_rngs is not None:
+            if len(self.row_rngs) != x.shape[0]:
+                raise ConfigError(
+                    f"{len(self.row_rngs)} row generators for a batch "
+                    f"of {x.shape[0]}"
+                )
+            for row, row_rng in zip(draw, self.row_rngs):
+                row_rng.standard_normal(out=row)
+        else:
+            self.rng.standard_normal(out=draw)
         draw *= self.error_std
         if x.dtype == np.float64:
             noise = draw

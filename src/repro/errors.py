@@ -26,3 +26,16 @@ class ConfigError(ReproError):
 
 class ConvergenceError(ReproError):
     """A training run failed to make progress when it was required to."""
+
+
+class ServiceOverloadError(ReproError):
+    """The inference service's bounded queue is saturated.
+
+    Raised instead of queueing unboundedly; callers should back off and
+    retry, or configure a fallback spec for graceful degradation (see
+    :class:`repro.serve.InferenceService`).
+    """
+
+
+class ServiceTimeoutError(ReproError):
+    """An inference request missed its deadline before completing."""

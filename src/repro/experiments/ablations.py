@@ -30,6 +30,7 @@ from repro.ams.vmac import VMACConfig, total_error_std
 from repro.energy.adc import adc_energy
 from repro.energy.emac import emac
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.serve.spec import ModelSpec
 from repro.tensor.im2col import im2col
 
 EXPERIMENT_ID = "ablations"
@@ -42,7 +43,7 @@ def _sample_layer(bench: Workbench):
     Gives the data-dependent inputs the Vref / tiled studies need:
     activation patches in [0, 1] and DoReFa weights in [-1, 1].
     """
-    model, _ = bench.quantized_model(8, 8)
+    model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     model.eval()
     images = bench.data.val.images[:64]
     from repro.tensor.tensor import Tensor, no_grad
@@ -77,11 +78,11 @@ def run(bench: Workbench) -> ExperimentResult:
     )
     extras["tiled_rms_ratio"] = actual_rms / predicted
 
-    model, _ = bench.quantized_model(8, 8)
+    model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     base_acc = bench.stats(model).mean
-    lumped = bench.ams_eval_only(enob)
+    lumped, _ = bench.model(ModelSpec("ams_eval", enob=enob))
     lumped_acc = bench.stats(lumped).mean
-    tiled_model, _ = bench.quantized_model(8, 8)
+    tiled_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     tile_quantized_convs(
         tiled_model, VMACConfig(enob=enob, nmult=nmult), seed=cfg.seed
     )
@@ -147,9 +148,9 @@ def run(bench: Workbench) -> ExperimentResult:
     # Paper: "injecting AMS error into the last layer while training led
     # to a loss of the network's ability to learn, and this workaround
     # provides a working solution."
-    normal, meta_normal = bench.ams_retrained(enob)
-    injected, meta_injected = bench.ams_retrained(
-        enob, inject_last_in_training=True
+    normal, meta_normal = bench.model(ModelSpec("ams", enob=enob))
+    injected, meta_injected = bench.model(
+        ModelSpec("ams", enob=enob, inject_last_in_training=True)
     )
     rows.append(
         [

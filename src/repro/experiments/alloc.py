@@ -38,21 +38,24 @@ from repro.energy.network import profile_network
 from repro.errors import ConfigError
 from repro.experiments.common import ExperimentResult, Workbench
 from repro.parallel import Artifact, SweepPoint, sweep_map
+from repro.serve.spec import ModelSpec
 
 EXPERIMENT_ID = "alloc"
 TITLE = "Per-layer ENOB allocation vs uniform (equal noise budget)"
 
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
     "quant-8-8": Artifact(
-        "quant-8-8", lambda b: b.quantized_model(8, 8), deps=("fp32",)
+        "quant-8-8",
+        lambda b: b.model(ModelSpec("quant", bw=8, bx=8)),
+        deps=("fp32",),
     ),
 }
 
 
 def _layer_budgets(bench: Workbench) -> List[LayerBudget]:
     """Profiles of the experiment network's compute layers."""
-    model, _ = bench.quantized_model(8, 8)
+    model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     cfg = bench.config
     shape = (1, 3, cfg.image_size, cfg.image_size)
     return [
@@ -63,8 +66,10 @@ def _layer_budgets(bench: Workbench) -> List[LayerBudget]:
 
 def _measure(bench: Workbench, layers, enobs: Dict[str, float]) -> float:
     """Accuracy of the quantized net with per-layer ENOB injection."""
-    quant, _ = bench.quantized_model(8, 8)
-    model = bench.build_ams(bench.config.table2_enob, noise_tag="alloc")
+    quant, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    model = bench.build(
+        ModelSpec("ams", enob=bench.config.table2_enob), noise_tag="alloc"
+    )
     model.load_state_dict(quant.state_dict())
     injectors = [
         m for m in model.modules() if isinstance(m, AMSErrorInjector)
@@ -78,8 +83,10 @@ def _sens_point(
     bench: Workbench, index: int, probe_enob: float, n_layers: int
 ) -> float:
     """Accuracy with noise injected into layer ``index`` only."""
-    quant, _ = bench.quantized_model(8, 8)
-    model = bench.build_ams(probe_enob, noise_tag=f"sens{index}")
+    quant, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    model = bench.build(
+        ModelSpec("ams", enob=probe_enob), noise_tag=f"sens{index}"
+    )
     model.load_state_dict(quant.state_dict())
     enobs = [16.0] * n_layers
     enobs[index] = probe_enob
@@ -102,7 +109,7 @@ def _empirical_sensitivities(
     The per-layer probes are independent, so they fan out through
     :func:`~repro.parallel.sweep_map` when ``bench.jobs > 1``.
     """
-    base = bench.stats(bench.ams_eval_only(16.0)).mean
+    base = bench.stats(bench.model(ModelSpec("ams_eval", enob=16.0))[0]).mean
     points = [
         SweepPoint(
             key=layer.name,
@@ -160,7 +167,9 @@ def run(bench: Workbench) -> ExperimentResult:
             ]
         )
 
-    uniform_acc = bench.stats(bench.ams_eval_only(enob)).mean
+    uniform_acc = bench.stats(
+        bench.model(ModelSpec("ams_eval", enob=enob))[0]
+    ).mean
     naive_acc = _measure(bench, layers, naive)
     pa_acc = _measure(bench, layers, per_activation)
     emp_acc = _measure(bench, layers, empirical)

@@ -6,11 +6,13 @@ Examples::
     python -m repro.experiments run table1
     python -m repro.experiments run fig8 --profile quick --seed 7
     python -m repro.experiments all --profile quick
+    python -m repro.experiments serve --spec ams:e5.5:n8 --requests 256
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 import time
 from typing import List, Optional
@@ -53,6 +55,46 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("--results-dir", default="results")
     export.add_argument("--out-dir", default="results/csv")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the batched inference service over a trained model",
+    )
+    serve.add_argument(
+        "--spec",
+        default="quant:bw8:bx8",
+        help="model spec, e.g. ams:e5.5:n8 (see repro.serve.ModelSpec)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=256, help="requests to serve"
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="batch-executor threads in the engine",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, help="micro-batch size cap"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batcher coalescing window",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=128, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--timeout-s", type=float, default=60.0, help="per-request deadline"
+    )
+    serve.add_argument(
+        "--fallback-spec",
+        default=None,
+        help="cheaper spec served when the queue saturates (degradation)",
+    )
+    _add_common(serve)
     return parser
 
 
@@ -108,14 +150,24 @@ def _run_one(
     print(f"[{name}] done in {elapsed:.1f}s -> {path}\n")
 
 
+#: Leftovers of a crashed sweep worker's write-then-rename: real cache
+#: entries are ``<name>.npz``; a worker that died mid-save leaves
+#: ``<name>.tmp<pid>.npz`` / ``.tmp<pid>.json`` behind.
+_STALE_TMP = re.compile(r"\.tmp\d+\.(npz|json)$")
+
+
 def _handle_cache(action: str, cache_dir: str) -> int:
     import os
 
     if not os.path.isdir(cache_dir):
         print(f"no cache at {cache_dir}")
         return 0
+    names = os.listdir(cache_dir)
+    stale = sorted(name for name in names if _STALE_TMP.search(name))
     entries = sorted(
-        name for name in os.listdir(cache_dir) if name.endswith(".npz")
+        name
+        for name in names
+        if name.endswith(".npz") and not _STALE_TMP.search(name)
     )
     if action == "list":
         if not entries:
@@ -123,13 +175,90 @@ def _handle_cache(action: str, cache_dir: str) -> int:
         for name in entries:
             size_kb = os.path.getsize(os.path.join(cache_dir, name)) // 1024
             print(f"{size_kb:6d} KB  {name}")
+        if stale:
+            print(
+                f"({len(stale)} stale tmp file(s) from crashed workers; "
+                "'cache clear' removes them)"
+            )
         return 0
     removed = 0
-    for name in os.listdir(cache_dir):
+    for name in names:
         if name.endswith((".npz", ".json")):
             os.remove(os.path.join(cache_dir, name))
             removed += 1
-    print(f"removed {removed} cache files from {cache_dir}")
+    print(
+        f"removed {removed} cache files from {cache_dir}"
+        + (f" (including {len(stale)} stale tmp)" if stale else "")
+    )
+    return 0
+
+
+def _handle_serve(args) -> int:
+    """Drive the batched inference service end to end from the CLI."""
+    import numpy as np
+
+    from repro.serve import InferenceEngine, InferenceService, ModelSpec
+    from repro.utils import profiler
+
+    config = make_config(profile=args.profile, seed=args.seed)
+    bench = Workbench(config, jobs=args.jobs)
+    spec = ModelSpec.parse(args.spec)
+    fallback = (
+        ModelSpec.parse(args.fallback_spec) if args.fallback_spec else None
+    )
+    engine = InferenceEngine(
+        bench,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        workers=args.serve_workers,
+    )
+    print(f"warming {spec}" + (f" (fallback {fallback})" if fallback else ""))
+    engine.warm(spec, *([fallback] if fallback else []))
+
+    images = bench.data.val.images
+    labels = bench.data.val.labels
+    count = args.requests
+    prof_ctx = profiler.profiled() if args.profile_ops else None
+    prof = prof_ctx.__enter__() if prof_ctx else None
+    try:
+        with engine, InferenceService(
+            engine,
+            queue_size=args.queue_size,
+            workers=2,
+            timeout_s=args.timeout_s,
+            fallback_spec=fallback,
+        ) as service:
+            start = time.time()
+            futures = [
+                service.submit(
+                    spec, images[i % len(images)], request_id=i, block=True
+                )
+                for i in range(count)
+            ]
+            predictions = [f.result(timeout=args.timeout_s) for f in futures]
+            elapsed = time.time() - start
+    finally:
+        if prof_ctx:
+            prof_ctx.__exit__(None, None, None)
+
+    hits = sum(
+        p.label == labels[i % len(labels)] for i, p in enumerate(predictions)
+    )
+    degraded = sum(p.degraded for p in predictions)
+    print(engine.stats().report())
+    print(
+        f"\nserved {count} requests in {elapsed:.2f}s "
+        f"({count / elapsed:.1f} req/s), accuracy {hits / count:.4f}"
+        + (f", {degraded} degraded" if degraded else "")
+    )
+    if prof is not None:
+        print()
+        print(prof.report())
+    batch_sizes = [p.batch_size for p in predictions]
+    print(
+        f"batch sizes: min {min(batch_sizes)}, "
+        f"mean {np.mean(batch_sizes):.2f}, max {max(batch_sizes)}"
+    )
     return 0
 
 
@@ -145,6 +274,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "cache":
         return _handle_cache(args.action, args.cache_dir)
+    if args.command == "serve":
+        return _handle_serve(args)
     if args.command == "export":
         from repro.experiments.export import export_all
 

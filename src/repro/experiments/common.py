@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 import zlib
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,6 +26,7 @@ from repro.models.factory import AMSFactory, DoReFaFactory, FP32Factory
 from repro.models.resnet import ResNet, resnet_small
 from repro.nn.module import Module
 from repro.quant.qmodules import InputQuantizer, QuantConfig
+from repro.serve.spec import ModelSpec
 from repro.train.evaluate import EvalStats, repeated_evaluate
 from repro.train.freeze import freeze_layers
 from repro.train.trainer import TrainConfig, Trainer
@@ -75,6 +78,23 @@ def _jsonable(value):
     raise TypeError(f"not JSON serializable: {type(value)}")
 
 
+#: Deprecated-method names whose warning already fired this process.
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Emit the deprecation warning for ``name`` exactly once per process."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"Workbench.{name}() is deprecated; use {replacement} — same "
+        "cache artifacts, nothing retrains",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class Workbench:
     """Builds, trains and caches the models the experiments share.
 
@@ -111,7 +131,7 @@ class Workbench:
         return self._data
 
     # ------------------------------------------------------------------
-    # model builders
+    # model construction (untrained)
     # ------------------------------------------------------------------
     def _finish(self, model: ResNet) -> ResNet:
         """Post-construction calibration shared by all variants."""
@@ -119,46 +139,50 @@ class Workbench:
             model.input_adapter.calibrate(self.data.train.images)
         return model
 
-    def build_fp32(self) -> ResNet:
-        return self._finish(
-            resnet_small(
-                FP32Factory(seed=self.config.seed + 1),
-                num_classes=self.config.num_classes,
-            )
-        )
-
-    def build_quantized(self, bw: int, bx: int) -> ResNet:
-        return self._finish(
-            resnet_small(
-                DoReFaFactory(QuantConfig(bw, bx), seed=self.config.seed + 1),
-                num_classes=self.config.num_classes,
-            )
-        )
-
-    def build_ams(
+    def build(
         self,
-        enob: float,
-        nmult: Optional[int] = None,
-        bw: int = 8,
-        bx: int = 8,
-        inject_last_in_training: bool = False,
+        spec: ModelSpec,
+        *,
         with_probes: bool = False,
         noise_tag: str = "",
     ) -> ResNet:
-        nmult = nmult or self.config.nmult
-        noise_seed = zlib.crc32(
-            f"{self.config.seed}-{enob}-{nmult}-{noise_tag}".encode()
-        )
-        factory = AMSFactory(
-            QuantConfig(bw, bx),
-            VMACConfig(enob=enob, nmult=nmult, bw=bw, bx=bx),
-            seed=self.config.seed + 1,
-            noise_seed=noise_seed,
-            inject_last_in_training=inject_last_in_training,
-            with_probes=with_probes,
-        )
+        """Construct the untrained, input-calibrated network for ``spec``.
+
+        ``with_probes`` inserts activation probes (Fig. 6
+        instrumentation; parameter names are unchanged, so state dicts
+        stay interchangeable).  ``noise_tag`` labels the AMS noise
+        stream of custom eval-time studies; ``ams_eval`` defaults to
+        the historical ``"evalonly"`` tag so existing results
+        reproduce bit for bit.
+        """
+        spec = spec.resolved(self.config)
+        cfg = self.config
+        if spec.variant == "fp32":
+            factory = FP32Factory(seed=cfg.seed + 1, with_probes=with_probes)
+        elif spec.variant == "quant":
+            factory = DoReFaFactory(
+                QuantConfig(spec.bw, spec.bx),
+                seed=cfg.seed + 1,
+                with_probes=with_probes,
+            )
+        else:
+            if spec.variant == "ams_eval" and not noise_tag:
+                noise_tag = "evalonly"
+            noise_seed = zlib.crc32(
+                f"{cfg.seed}-{spec.enob}-{spec.nmult}-{noise_tag}".encode()
+            )
+            factory = AMSFactory(
+                QuantConfig(spec.bw, spec.bx),
+                VMACConfig(
+                    enob=spec.enob, nmult=spec.nmult, bw=spec.bw, bx=spec.bx
+                ),
+                seed=cfg.seed + 1,
+                noise_seed=noise_seed,
+                inject_last_in_training=spec.inject_last_in_training,
+                with_probes=with_probes,
+            )
         return self._finish(
-            resnet_small(factory, num_classes=self.config.num_classes)
+            resnet_small(factory, num_classes=cfg.num_classes)
         )
 
     # ------------------------------------------------------------------
@@ -242,34 +266,106 @@ class Workbench:
         )
 
     # ------------------------------------------------------------------
-    # the shared artifacts
+    # the shared artifacts: one entry point, keyed by ModelSpec
     # ------------------------------------------------------------------
-    def fp32_model(self) -> Tuple[ResNet, dict]:
-        """The pretrained FP32 baseline (paper: pretrained ResNet-50)."""
-        return self._train_cached(
-            "fp32", self.build_fp32, self._pretrain_config()
+    def model(self, spec: ModelSpec) -> Tuple[ResNet, dict]:
+        """Train-or-load the artifact named by ``spec``.
+
+        The single public build/train/load entry point.  Cache file
+        names are exactly those of the pre-spec keyword methods, so
+        adopting the spec API never retrains an existing artifact.
+
+        - ``fp32``: pretrained from scratch.
+        - ``quant``: DoReFa-retrained from ``fp32`` with a doubled
+          epoch budget (early stopping still applies) so the baseline
+          is at convergence — otherwise AMS retraining at high ENOB
+          would beat it merely by training longer, inverting the
+          paper's Fig. 4 high-ENOB behaviour.
+        - ``ams``: AMS-error-in-the-loop retraining from the matching
+          ``quant`` baseline (optionally with frozen layers).
+        - ``ams_eval``: the ``quant`` baseline's best weights with AMS
+          error injected at evaluation time only; the returned
+          metadata is the baseline's, marked ``eval_only``.
+        """
+        spec = spec.resolved(self.config)
+        if spec.variant == "fp32":
+            return self._train_cached(
+                spec.cache_name(),
+                lambda: self.build(spec),
+                self._pretrain_config(),
+            )
+        if spec.variant == "quant":
+            fp32, _ = self.model(spec.baseline())
+            retrain = self._retrain_config()
+            retrain = dc_replace(retrain, epochs=retrain.epochs * 2)
+            return self._train_cached(
+                spec.cache_name(),
+                lambda: self.build(spec),
+                retrain,
+                init_state=fp32.state_dict(),
+            )
+        if spec.variant == "ams":
+            quant, _ = self.model(spec.baseline())
+            return self._train_cached(
+                spec.cache_name(),
+                lambda: self.build(spec),
+                self._retrain_config(),
+                init_state=quant.state_dict(),
+                freeze=spec.freeze,
+            )
+        quant, quant_meta = self.model(spec.baseline())
+        model = self.build(spec)
+        model.load_state_dict(quant.state_dict())
+        return model, dict(quant_meta, eval_only=True)
+
+    # ------------------------------------------------------------------
+    # deprecated keyword shims (the pre-ModelSpec surface)
+    # ------------------------------------------------------------------
+    def build_fp32(self) -> ResNet:
+        """Deprecated: use ``build(ModelSpec('fp32'))``."""
+        _warn_deprecated("build_fp32", "Workbench.build(ModelSpec('fp32'))")
+        return self.build(ModelSpec("fp32"))
+
+    def build_quantized(self, bw: int, bx: int) -> ResNet:
+        """Deprecated: use ``build(ModelSpec('quant', bw=.., bx=..))``."""
+        _warn_deprecated(
+            "build_quantized", "Workbench.build(ModelSpec('quant', ...))"
         )
+        return self.build(ModelSpec("quant", bw=bw, bx=bx))
+
+    def build_ams(
+        self,
+        enob: float,
+        nmult: Optional[int] = None,
+        bw: int = 8,
+        bx: int = 8,
+        inject_last_in_training: bool = False,
+        with_probes: bool = False,
+        noise_tag: str = "",
+    ) -> ResNet:
+        """Deprecated: use ``build(ModelSpec('ams', ...))``."""
+        _warn_deprecated("build_ams", "Workbench.build(ModelSpec('ams', ...))")
+        spec = ModelSpec(
+            "ams",
+            enob=enob,
+            nmult=nmult,
+            bw=bw,
+            bx=bx,
+            inject_last_in_training=inject_last_in_training,
+        )
+        return self.build(spec, with_probes=with_probes, noise_tag=noise_tag)
+
+    def fp32_model(self) -> Tuple[ResNet, dict]:
+        """Deprecated: use ``model(ModelSpec('fp32'))``."""
+        _warn_deprecated("fp32_model", "Workbench.model(ModelSpec('fp32'))")
+        return self.model(ModelSpec("fp32"))
 
     def quantized_model(self, bw: int, bx: int) -> Tuple[ResNet, dict]:
-        """DoReFa-retrained network at (bw, bx), started from FP32.
-
-        Trained with a doubled epoch budget (early stopping still
-        applies) so the baseline is at convergence — otherwise AMS
-        retraining at high ENOB would beat the baseline merely by
-        training longer, inverting the paper's Fig. 4 high-ENOB
-        behaviour.
-        """
-        from dataclasses import replace as dc_replace
-
-        fp32, _ = self.fp32_model()
-        retrain = self._retrain_config()
-        retrain = dc_replace(retrain, epochs=retrain.epochs * 2)
-        return self._train_cached(
-            f"quant-bw{bw}-bx{bx}",
-            lambda: self.build_quantized(bw, bx),
-            retrain,
-            init_state=fp32.state_dict(),
+        """Deprecated: use ``model(ModelSpec('quant', bw=.., bx=..))``."""
+        _warn_deprecated(
+            "quantized_model", "Workbench.model(ModelSpec('quant', ...))"
         )
+        return self.model(ModelSpec("quant", bw=bw, bx=bx))
 
     def ams_retrained(
         self,
@@ -280,80 +376,57 @@ class Workbench:
         freeze: Sequence[str] = (),
         inject_last_in_training: bool = False,
     ) -> Tuple[ResNet, dict]:
-        """AMS-error-in-the-loop retraining from the quantized baseline."""
-        quant, _ = self.quantized_model(bw, bx)
-        freeze_tag = "".join(sorted(freeze)) if freeze else "none"
-        last_tag = "-lastinj" if inject_last_in_training else ""
-        name = (
-            f"ams-e{enob}-n{nmult or self.config.nmult}-bw{bw}-bx{bx}"
-            f"-f{freeze_tag}{last_tag}"
+        """Deprecated: use ``model(ModelSpec('ams', ...))``."""
+        _warn_deprecated(
+            "ams_retrained", "Workbench.model(ModelSpec('ams', ...))"
         )
-        return self._train_cached(
-            name,
-            lambda: self.build_ams(
-                enob,
-                nmult,
-                bw,
-                bx,
+        return self.model(
+            ModelSpec(
+                "ams",
+                enob=enob,
+                nmult=nmult,
+                bw=bw,
+                bx=bx,
+                freeze=tuple(freeze),
                 inject_last_in_training=inject_last_in_training,
-            ),
-            self._retrain_config(),
-            init_state=quant.state_dict(),
-            freeze=freeze,
+            )
         )
 
     def ams_eval_only(
         self, enob: float, nmult: Optional[int] = None, bw: int = 8, bx: int = 8
     ) -> ResNet:
-        """Quantized baseline weights evaluated with AMS error injected.
-
-        Matches the paper's "AMS error in eval only" series: no
-        retraining, the best epoch of the quantized retrained network.
-        """
-        quant, _ = self.quantized_model(bw, bx)
-        model = self.build_ams(enob, nmult, bw, bx, noise_tag="evalonly")
-        model.load_state_dict(quant.state_dict())
+        """Deprecated: use ``model(ModelSpec('ams_eval', ...))``."""
+        _warn_deprecated(
+            "ams_eval_only", "Workbench.model(ModelSpec('ams_eval', ...))"
+        )
+        model, _ = self.model(
+            ModelSpec("ams_eval", enob=enob, nmult=nmult, bw=bw, bx=bx)
+        )
         return model
 
     # ------------------------------------------------------------------
     # probed rebuilds (Fig. 6): same weights, instrumented layers
     # ------------------------------------------------------------------
-    def build_fp32_probed(self) -> ResNet:
-        """The trained FP32 baseline rebuilt with activation probes."""
-        trained, _ = self.fp32_model()
-        model = self._finish(
-            resnet_small(
-                FP32Factory(seed=self.config.seed + 1, with_probes=True),
-                num_classes=self.config.num_classes,
-            )
-        )
+    def probed(self, spec: ModelSpec) -> ResNet:
+        """The trained artifact for ``spec`` rebuilt with activation probes."""
+        trained, _ = self.model(spec)
+        model = self.build(spec, with_probes=True)
         model.load_state_dict(trained.state_dict())
         return model
 
+    def build_fp32_probed(self) -> ResNet:
+        """The trained FP32 baseline rebuilt with activation probes."""
+        return self.probed(ModelSpec("fp32"))
+
     def build_quantized_probed(self, bw: int, bx: int) -> ResNet:
         """A trained quantized baseline rebuilt with activation probes."""
-        trained, _ = self.quantized_model(bw, bx)
-        model = self._finish(
-            resnet_small(
-                DoReFaFactory(
-                    QuantConfig(bw, bx),
-                    seed=self.config.seed + 1,
-                    with_probes=True,
-                ),
-                num_classes=self.config.num_classes,
-            )
-        )
-        model.load_state_dict(trained.state_dict())
-        return model
+        return self.probed(ModelSpec("quant", bw=bw, bx=bx))
 
     def ams_retrained_probed(
         self, enob: float, nmult: Optional[int] = None
     ) -> ResNet:
         """An AMS-retrained model rebuilt with activation probes."""
-        trained, _ = self.ams_retrained(enob, nmult)
-        model = self.build_ams(enob, nmult, with_probes=True)
-        model.load_state_dict(trained.state_dict())
-        return model
+        return self.probed(ModelSpec("ams", enob=enob, nmult=nmult))
 
     # ------------------------------------------------------------------
     def stats(self, model: Module) -> EvalStats:

@@ -10,7 +10,8 @@ Two profiles trade fidelity for wall clock:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import difflib
+from dataclasses import dataclass, fields, replace
 from typing import Dict, Tuple
 
 from repro.errors import ConfigError
@@ -119,9 +120,28 @@ PROFILES: Dict[str, ExperimentConfig] = {
 
 
 def make_config(profile: str = "full", seed: int = 1234, **overrides) -> ExperimentConfig:
-    """Config for a profile with optional field overrides."""
+    """Config for a profile with optional field overrides.
+
+    Override names are validated up front: an unknown key raises
+    :class:`~repro.errors.ConfigError` listing the valid fields (and a
+    did-you-mean suggestion) instead of surfacing as a bare
+    ``TypeError`` from ``dataclasses.replace``.
+    """
     if profile not in PROFILES:
         raise ConfigError(
             f"unknown profile {profile!r}; options: {sorted(PROFILES)}"
+        )
+    valid = sorted(f.name for f in fields(ExperimentConfig))
+    unknown = sorted(set(overrides) - set(valid))
+    if unknown:
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, valid, n=1)
+            hints.append(
+                f"{name!r}" + (f" (did you mean {close[0]!r}?)" if close else "")
+            )
+        raise ConfigError(
+            f"unknown config override{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(hints)}; valid fields: {valid}"
         )
     return replace(PROFILES[profile], seed=seed, **overrides)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
 from repro.parallel import Artifact, SweepPoint, sweep_map
+from repro.serve.spec import ModelSpec
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Fig. 4: top-1 accuracy loss vs ENOB (re: 8b quantized, Nmult=8)"
@@ -26,24 +27,27 @@ TITLE = "Fig. 4: top-1 accuracy loss vs ENOB (re: 8b quantized, Nmult=8)"
 #: Shared trained models every grid point leans on; built serially in
 #: the parent so sweep workers find a warm disk cache.
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
     "quant-8-8": Artifact(
-        "quant-8-8", lambda b: b.quantized_model(8, 8), deps=("fp32",)
+        "quant-8-8",
+        lambda b: b.model(ModelSpec("quant", bw=8, bx=8)),
+        deps=("fp32",),
     ),
 }
 
 
 def _point(bench: Workbench, enob: float):
     """One ENOB grid point: eval-only and retrained statistics."""
-    eval_stats = bench.stats(bench.ams_eval_only(enob))
-    retrained, _ = bench.ams_retrained(enob)
+    eval_only, _ = bench.model(ModelSpec("ams_eval", enob=enob))
+    eval_stats = bench.stats(eval_only)
+    retrained, _ = bench.model(ModelSpec("ams", enob=enob))
     retrain_stats = bench.stats(retrained)
     return eval_stats, retrain_stats
 
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    base_model, _ = bench.quantized_model(8, 8)
+    base_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     base = bench.stats(base_model)
 
     points = [

@@ -13,26 +13,30 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
 from repro.parallel import Artifact, SweepPoint, sweep_map
+from repro.serve.spec import ModelSpec
 
 EXPERIMENT_ID = "fig5"
 TITLE = "Fig. 5: top-1 accuracy loss vs ENOB (re: 6b quantized, eval only)"
 
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
     "quant-6-6": Artifact(
-        "quant-6-6", lambda b: b.quantized_model(6, 6), deps=("fp32",)
+        "quant-6-6",
+        lambda b: b.model(ModelSpec("quant", bw=6, bx=6)),
+        deps=("fp32",),
     ),
 }
 
 
 def _point(bench: Workbench, enob: float):
     """One eval-only grid point at 6b precision."""
-    return bench.stats(bench.ams_eval_only(enob, bw=6, bx=6))
+    model, _ = bench.model(ModelSpec("ams_eval", enob=enob, bw=6, bx=6))
+    return bench.stats(model)
 
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    base_model, _ = bench.quantized_model(6, 6)
+    base_model, _ = bench.model(ModelSpec("quant", bw=6, bx=6))
     base = bench.stats(base_model)
 
     points = [

@@ -25,6 +25,7 @@ direct comparison.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.serve.spec import ModelSpec
 from repro.train.ensemble import effective_enob, ensemble_evaluate
 from repro.train.recalibrate import recalibrate_batchnorm
 
@@ -37,7 +38,7 @@ ENSEMBLE_SIZES = (2, 4, 8)
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
     enob = cfg.table2_enob
-    base_model, _ = bench.quantized_model(8, 8)
+    base_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     base = bench.stats(base_model)
 
     rows = []
@@ -49,11 +50,11 @@ def run(bench: Workbench) -> ExperimentResult:
         rows.append([label, loss, cost, bits])
 
     # Reference 1: plain eval-only (the damage to fix).
-    eval_model = bench.ams_eval_only(enob)
+    eval_model, _ = bench.model(ModelSpec("ams_eval", enob=enob))
     record("eval only", bench.stats(eval_model).mean, "1x energy", "+0.0b")
 
     # Method 1: BN recalibration (forward passes only).
-    recal_model = bench.ams_eval_only(enob)
+    recal_model, _ = bench.model(ModelSpec("ams_eval", enob=enob))
     recalibrate_batchnorm(
         recal_model, bench.data.train, batch_size=cfg.batch_size
     )
@@ -89,7 +90,7 @@ def run(bench: Workbench) -> ExperimentResult:
     )
 
     # Reference 2: full retraining with error in the loop (Fig. 4).
-    retrained, _ = bench.ams_retrained(enob)
+    retrained, _ = bench.model(ModelSpec("ams", enob=enob))
     record(
         "retrained (paper's method)",
         bench.stats(retrained).mean,

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.ams.static_errors import DeviceVariation, apply_device_variation
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.serve.spec import ModelSpec
 from repro.train.evaluate import evaluate_accuracy
 from repro.train.recalibrate import recalibrate_batchnorm
 
@@ -39,7 +40,7 @@ DEVICES = 5
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    quant, _ = bench.quantized_model(8, 8)
+    quant, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     baseline = evaluate_accuracy(quant, bench.data.val, cfg.batch_size)
 
     rows = []
@@ -53,7 +54,7 @@ def run(bench: Workbench) -> ExperimentResult:
             chip = DeviceVariation(
                 gain_std=gain_std, offset_std=offset_std, seed=chip_seed
             )
-            model = bench.build_quantized(8, 8)
+            model = bench.build(ModelSpec("quant", bw=8, bx=8))
             model.load_state_dict(quant.state_dict())
             apply_device_variation(model, chip)
             raw_accs.append(

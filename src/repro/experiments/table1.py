@@ -16,6 +16,7 @@ validation passes.  The *shape* claims checked here: 8b ~= FP32,
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
+from repro.serve.spec import ModelSpec
 
 EXPERIMENT_ID = "table1"
 TITLE = "Table 1: top-1 accuracy after DoReFa retraining (no AMS error)"
@@ -40,9 +41,9 @@ def run(bench: Workbench) -> ExperimentResult:
     accuracies = {}
     for label, bw, bx in CONFIGS:
         if bw is None:
-            model, meta = bench.fp32_model()
+            model, meta = bench.model(ModelSpec("fp32"))
         else:
-            model, meta = bench.quantized_model(bw, bx)
+            model, meta = bench.model(ModelSpec("quant", bw=bw, bx=bx))
         stats = bench.stats(model)
         accuracies[label] = stats.mean
         rows.append([label, stats.mean, stats.std, meta["best_epoch"]])

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult, Workbench
 from repro.parallel import Artifact, SweepPoint, sweep_map
+from repro.serve.spec import ModelSpec
 
 EXPERIMENT_ID = "table2"
 TITLE = "Table 2: selective freezing during AMS retraining (loss re: 8b)"
@@ -34,22 +35,28 @@ FREEZE_ROWS = (
 )
 
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.fp32_model()),
+    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
     "quant-8-8": Artifact(
-        "quant-8-8", lambda b: b.quantized_model(8, 8), deps=("fp32",)
+        "quant-8-8",
+        lambda b: b.model(ModelSpec("quant", bw=8, bx=8)),
+        deps=("fp32",),
     ),
 }
 
 
 def _point(bench: Workbench, freeze):
     """One freeze-group row: retrain with ``freeze`` and evaluate."""
-    model, _ = bench.ams_retrained(bench.config.table2_enob, freeze=freeze)
+    model, _ = bench.model(
+        ModelSpec(
+            "ams", enob=bench.config.table2_enob, freeze=tuple(freeze)
+        )
+    )
     return bench.stats(model)
 
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    base_model, _ = bench.quantized_model(8, 8)
+    base_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
     base = bench.stats(base_model)
 
     points = [

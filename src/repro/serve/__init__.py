@@ -1,0 +1,32 @@
+"""Batched inference serving over trained AMS models.
+
+The serving stack, bottom to top:
+
+- :class:`ModelSpec` — the frozen public identity of every model the
+  workbench can build (``Workbench.model(spec)`` is the single
+  build/train/load entry point);
+- :class:`InferenceEngine` — LRU model cache + dynamic micro-batcher
+  with per-request deterministic AMS noise streams;
+- :class:`InferenceService` — bounded thread-pool front end with
+  deadlines, backpressure and graceful degradation.
+
+Command line::
+
+    python -m repro.experiments serve --spec ams:e5.5:n8 --requests 256
+
+See ``docs/serving.md`` for the architecture and the knobs.
+"""
+
+from repro.serve.engine import InferenceEngine, Prediction
+from repro.serve.service import InferenceService
+from repro.serve.spec import VARIANTS, ModelSpec
+from repro.serve.stats import EngineStats
+
+__all__ = [
+    "ModelSpec",
+    "VARIANTS",
+    "InferenceEngine",
+    "InferenceService",
+    "Prediction",
+    "EngineStats",
+]

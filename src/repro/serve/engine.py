@@ -1,0 +1,351 @@
+"""Batched inference engine over the workbench's trained models.
+
+The engine answers classify requests at high throughput by doing three
+things the offline experiment harness never needed:
+
+- an **LRU model cache** keyed by :class:`~repro.serve.spec.ModelSpec`,
+  so the working set of hot models stays built while cold specs are
+  evicted (``Workbench.model`` still train-or-loads misses from disk);
+- a **dynamic micro-batcher**: worker threads coalesce queued requests
+  for the same spec up to ``max_batch`` or ``max_wait_ms``, then run
+  one forward pass per batch;
+- **per-request deterministic noise**: before each batch forward, every
+  AMS injector gets one generator per batch *row*, derived from
+  ``point_seed_sequence(seed, request_id)`` — a request's injected
+  error depends only on ``(spec, seed, request_id)``, never on which
+  other requests happened to share its batch.  Identical requests are
+  therefore reproducible at any concurrency and any batch composition.
+
+Each executed batch is bracketed with the ``serve.batch`` profiler op,
+so ``--profile-ops`` decomposes serving time with the same tooling the
+training paths use; request-level telemetry lives in
+:meth:`InferenceEngine.stats`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass
+from time import monotonic, perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serve.spec import ModelSpec
+from repro.serve.stats import EngineStats
+from repro.train.evaluate import ams_injectors, predict_logits
+from repro.utils import profiler as _profiler
+from repro.utils.rng import point_seed_sequence
+
+
+@dataclass
+class Prediction:
+    """The answer to one classify request."""
+
+    request_id: int
+    spec: ModelSpec
+    label: int
+    logits: np.ndarray
+    batch_size: int
+    latency_s: float
+    degraded: bool = False
+
+
+@dataclass
+class _Request:
+    spec: ModelSpec
+    image: np.ndarray
+    request_id: int
+    future: Future
+    enqueued_s: float
+
+
+class InferenceEngine:
+    """Micro-batching inference front end over a workbench.
+
+    Parameters
+    ----------
+    workbench:
+        Anything with ``.config`` and ``.model(spec)`` — normally a
+        :class:`repro.experiments.common.Workbench`.
+    seed:
+        Root of the per-request noise streams (default: the workbench
+        config's seed).  Predictions are a pure function of
+        ``(spec, seed, request_id, image)``.
+    max_models:
+        LRU capacity of the in-memory model cache.
+    max_batch, max_wait_ms:
+        Micro-batcher knobs: a batch closes when it reaches
+        ``max_batch`` requests or the oldest request has waited
+        ``max_wait_ms``, whichever comes first.
+    workers:
+        Batch-executor threads.  More workers overlap queue handling
+        with compute; determinism per request is unaffected.
+    """
+
+    def __init__(
+        self,
+        workbench,
+        *,
+        seed: Optional[int] = None,
+        max_models: int = 4,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        workers: int = 1,
+    ):
+        if max_models < 1:
+            raise ConfigError(f"max_models must be >= 1, got {max_models}")
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ConfigError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workbench = workbench
+        self.seed = workbench.config.seed if seed is None else seed
+        self.max_models = max_models
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.workers = workers
+        self._queue: "queue.Queue[_Request]" = queue.Queue()
+        self._models: "OrderedDict[ModelSpec, Tuple[object, threading.Lock]]" = (
+            OrderedDict()
+        )
+        self._models_lock = threading.Lock()
+        self._stats = EngineStats()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceEngine":
+        """Spawn the batch-executor threads (idempotent)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"serve-batch-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop the executor threads; queued requests stay pending."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+
+    def __enter__(self) -> "InferenceEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # request API
+    # ------------------------------------------------------------------
+    def submit(self, spec: ModelSpec, image, request_id: int) -> Future:
+        """Queue one classify request; resolves to a :class:`Prediction`.
+
+        ``request_id`` is the caller's replay key: resubmitting the
+        same ``(spec, image, request_id)`` reproduces the prediction
+        bit-for-bit regardless of batching or concurrency.
+        """
+        spec = spec.resolved(self.workbench.config)
+        future: Future = Future()
+        self._queue.put(
+            _Request(
+                spec=spec,
+                image=np.asarray(image, dtype=np.float32),
+                request_id=int(request_id),
+                future=future,
+                enqueued_s=perf_counter(),
+            )
+        )
+        return future
+
+    def classify(
+        self,
+        spec: ModelSpec,
+        images: Sequence,
+        request_ids: Optional[Sequence[int]] = None,
+        timeout: Optional[float] = 60.0,
+    ) -> List[Prediction]:
+        """Submit a request set and wait for every prediction."""
+        if not self._threads:
+            raise ConfigError(
+                "engine is not started; call start() (or use "
+                "classify_direct for the synchronous path)"
+            )
+        if request_ids is None:
+            request_ids = range(len(images))
+        futures = [
+            self.submit(spec, image, rid)
+            for image, rid in zip(images, request_ids)
+        ]
+        return [future.result(timeout=timeout) for future in futures]
+
+    def classify_direct(
+        self,
+        spec: ModelSpec,
+        images: Sequence,
+        request_ids: Optional[Sequence[int]] = None,
+        degraded: bool = False,
+    ) -> List[Prediction]:
+        """One synchronous forward pass in the calling thread.
+
+        Bypasses the queue and the batcher (used by the service's
+        degradation path and by benchmarks); noise streams are keyed
+        identically to the batched path, so the predictions match.
+        """
+        spec = spec.resolved(self.workbench.config)
+        if request_ids is None:
+            request_ids = range(len(images))
+        batch = [
+            _Request(
+                spec=spec,
+                image=np.asarray(image, dtype=np.float32),
+                request_id=int(rid),
+                future=Future(),
+                enqueued_s=perf_counter(),
+            )
+            for image, rid in zip(images, request_ids)
+        ]
+        return self._execute(batch, degraded=degraded)
+
+    def warm(self, *specs: ModelSpec) -> "InferenceEngine":
+        """Load (train-or-load) ``specs`` into the model cache now."""
+        for spec in specs:
+            self._model_entry(spec.resolved(self.workbench.config))
+        return self
+
+    def stats(self) -> EngineStats:
+        """The engine's live telemetry accumulator."""
+        return self._stats
+
+    def cached_specs(self) -> List[ModelSpec]:
+        """Model-cache contents, least recently used first."""
+        with self._models_lock:
+            return list(self._models)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _model_entry(self, spec: ModelSpec) -> Tuple[object, threading.Lock]:
+        with self._models_lock:
+            entry = self._models.get(spec)
+            if entry is not None:
+                self._models.move_to_end(spec)
+                return entry
+        # Build outside the cache lock: a cold spec may train for
+        # seconds and must not block serving of already-hot specs.
+        # Concurrent builders of the same spec are safe — the cache on
+        # disk is write-then-rename — and the duplicate is discarded.
+        model, _meta = self.workbench.model(spec)
+        with self._models_lock:
+            if spec not in self._models:
+                self._models[spec] = (model, threading.Lock())
+            self._models.move_to_end(spec)
+            while len(self._models) > self.max_models:
+                self._models.popitem(last=False)
+            return self._models[spec]
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = monotonic() + self.max_wait_ms / 1e3
+            requeue = None
+            while len(batch) < self.max_batch:
+                remaining = deadline - monotonic()
+                try:
+                    if remaining <= 0:
+                        nxt = self._queue.get_nowait()
+                    else:
+                        nxt = self._queue.get(timeout=min(remaining, 0.05))
+                except queue.Empty:
+                    if remaining <= 0:
+                        break
+                    continue
+                if nxt.spec == batch[0].spec:
+                    batch.append(nxt)
+                else:
+                    # Different spec: close this batch, hand the
+                    # stranger back for another worker (or this one's
+                    # next iteration) to coalesce with its own kind.
+                    requeue = nxt
+                    break
+            if requeue is not None:
+                self._queue.put(requeue)
+            try:
+                predictions = self._execute(batch)
+            except BaseException as exc:  # noqa: BLE001 - fail the requests
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                continue
+            for request, prediction in zip(batch, predictions):
+                request.future.set_result(prediction)
+
+    def _execute(
+        self, batch: List[_Request], degraded: bool = False
+    ) -> List[Prediction]:
+        spec = batch[0].spec
+        model, lock = self._model_entry(spec)
+        images = np.stack([request.image for request in batch])
+        ids = [request.request_id for request in batch]
+        with lock:
+            logits = self._forward(model, images, ids)
+        now = perf_counter()
+        latencies = [now - request.enqueued_s for request in batch]
+        labels = logits.argmax(axis=1)
+        self._stats.record_batch(spec.token(), latencies, degraded=degraded)
+        return [
+            Prediction(
+                request_id=request.request_id,
+                spec=spec,
+                label=int(labels[row]),
+                logits=logits[row].copy(),
+                batch_size=len(batch),
+                latency_s=latencies[row],
+                degraded=degraded,
+            )
+            for row, request in enumerate(batch)
+        ]
+
+    def _forward(
+        self, model, images: np.ndarray, request_ids: List[int]
+    ) -> np.ndarray:
+        injectors = ams_injectors(model)
+        with _profiler.bracket("serve.batch"):
+            if injectors:
+                # Row r of every injector draws from a child stream of
+                # request r's seed sequence, keyed by injector order —
+                # the same (seed, index) convention reseed_noise uses.
+                per_request = [
+                    point_seed_sequence(self.seed, rid).spawn(len(injectors))
+                    for rid in request_ids
+                ]
+                for j, injector in enumerate(injectors):
+                    injector.set_row_rngs(
+                        [
+                            np.random.default_rng(children[j])
+                            for children in per_request
+                        ]
+                    )
+            try:
+                return np.array(predict_logits(model, images), copy=True)
+            finally:
+                for injector in injectors:
+                    injector.set_row_rngs(None)

@@ -1,0 +1,223 @@
+"""Thread-pool serving front end with admission control.
+
+:class:`InferenceService` sits between callers and an
+:class:`~repro.serve.engine.InferenceEngine` and adds the operational
+behaviours a production front end needs:
+
+- a **bounded request queue**: when it is full, ``submit`` fails fast
+  with :class:`~repro.errors.ServiceOverloadError` instead of growing
+  without bound (callers can opt into blocking admission instead);
+- **deadlines**: every request carries ``timeout_s``; requests that
+  expire in the queue or in flight resolve to
+  :class:`~repro.errors.ServiceTimeoutError`;
+- **graceful degradation**: with ``fallback_spec`` configured, a
+  saturated queue serves the request *synchronously in the caller's
+  thread* from a cheaper cached model instead of rejecting it — the
+  returned prediction is marked ``degraded=True``.
+
+The service owns only routing; all model state, batching and telemetry
+live in the engine.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as _FutureTimeout
+from dataclasses import dataclass
+from time import monotonic
+from typing import List, Optional
+
+from repro.errors import ConfigError, ServiceOverloadError, ServiceTimeoutError
+from repro.serve.engine import InferenceEngine, Prediction
+from repro.serve.spec import ModelSpec
+
+#: How often blocked workers re-check deadlines and the stop flag.
+_POLL_S = 0.05
+
+
+@dataclass
+class _Item:
+    spec: ModelSpec
+    image: object
+    request_id: int
+    future: Future
+    deadline: float
+
+
+class InferenceService:
+    """Bounded, deadline-aware request router over an engine.
+
+    Parameters
+    ----------
+    engine:
+        The batching engine that does the work.  The service does not
+        start or stop it; manage the engine's lifecycle separately.
+    queue_size:
+        Admission bound.  ``submit`` on a full queue raises
+        :class:`ServiceOverloadError` (or degrades, see below).
+    workers:
+        Router threads moving admitted requests into the engine and
+        enforcing deadlines.
+    timeout_s:
+        Per-request deadline, measured from admission.
+    fallback_spec:
+        Optional cheaper spec served synchronously when the queue is
+        saturated, instead of rejecting.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        *,
+        queue_size: int = 64,
+        workers: int = 2,
+        timeout_s: float = 30.0,
+        fallback_spec: Optional[ModelSpec] = None,
+    ):
+        if queue_size < 1:
+            raise ConfigError(f"queue_size must be >= 1, got {queue_size}")
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be > 0, got {timeout_s}")
+        self.engine = engine
+        self.queue_size = queue_size
+        self.timeout_s = timeout_s
+        self.fallback_spec = fallback_spec
+        self._queue: "queue.Queue[_Item]" = queue.Queue(maxsize=queue_size)
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"serve-router-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, spec: ModelSpec, image, request_id: int, block: bool = False
+    ) -> Future:
+        """Admit one request; resolves to a :class:`Prediction`.
+
+        ``block=True`` waits up to ``timeout_s`` for queue space
+        (natural backpressure for bulk clients); the default fails
+        fast so interactive callers see saturation immediately.
+        """
+        if self._stop.is_set():
+            raise ServiceOverloadError("service is closed")
+        item = _Item(
+            spec=spec,
+            image=image,
+            request_id=request_id,
+            future=Future(),
+            deadline=monotonic() + self.timeout_s,
+        )
+        try:
+            if block:
+                self._queue.put(item, timeout=self.timeout_s)
+            else:
+                self._queue.put_nowait(item)
+        except queue.Full:
+            if self.fallback_spec is not None:
+                return self._degrade(image, request_id)
+            raise ServiceOverloadError(
+                f"request queue full ({self.queue_size} pending); back "
+                "off and retry, or configure fallback_spec for "
+                "degradation"
+            ) from None
+        return item.future
+
+    def classify(
+        self, spec: ModelSpec, image, request_id: int, block: bool = False
+    ) -> Prediction:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        future = self.submit(spec, image, request_id, block=block)
+        try:
+            # The router enforces the deadline; the small slack keeps
+            # this outer wait from racing it.
+            return future.result(timeout=self.timeout_s + 4 * _POLL_S)
+        except _FutureTimeout:
+            raise ServiceTimeoutError(
+                f"request {request_id} missed its {self.timeout_s}s "
+                "deadline"
+            ) from None
+
+    def close(self, timeout: float = 2.0) -> None:
+        """Stop routing; pending requests fail with a timeout error."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if not item.future.done():
+                item.future.set_exception(
+                    ServiceTimeoutError("service closed before dispatch")
+                )
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _degrade(self, image, request_id: int) -> Future:
+        """Serve from the fallback spec in the caller's thread."""
+        future: Future = Future()
+        try:
+            prediction = self.engine.classify_direct(
+                self.fallback_spec, [image], [request_id], degraded=True
+            )[0]
+            future.set_result(prediction)
+        except BaseException as exc:  # noqa: BLE001 - report to caller
+            future.set_exception(exc)
+        return future
+
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            try:
+                item = self._queue.get(timeout=_POLL_S)
+            except queue.Empty:
+                continue
+            remaining = item.deadline - monotonic()
+            if remaining <= 0:
+                item.future.set_exception(
+                    ServiceTimeoutError(
+                        f"request {item.request_id} expired after "
+                        f"{self.timeout_s}s in queue"
+                    )
+                )
+                continue
+            inner = self.engine.submit(item.spec, item.image, item.request_id)
+            self._await(inner, item)
+
+    def _await(self, inner: Future, item: _Item) -> None:
+        """Wait on the engine future, polling deadline and stop flag."""
+        while True:
+            try:
+                item.future.set_result(inner.result(timeout=_POLL_S))
+                return
+            except _FutureTimeout:
+                if monotonic() >= item.deadline:
+                    item.future.set_exception(
+                        ServiceTimeoutError(
+                            f"request {item.request_id} missed its "
+                            f"{self.timeout_s}s deadline in flight"
+                        )
+                    )
+                    return
+                if self._stop.is_set():
+                    item.future.set_exception(
+                        ServiceTimeoutError("service closed mid-flight")
+                    )
+                    return
+            except BaseException as exc:  # noqa: BLE001 - report to caller
+                item.future.set_exception(exc)
+                return

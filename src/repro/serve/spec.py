@@ -1,0 +1,221 @@
+"""The stable public model identity: :class:`ModelSpec`.
+
+Every trained artifact the workbench can produce is named by one frozen,
+hashable spec.  The spec is the single currency of the public API:
+``Workbench.model(spec)`` trains-or-loads it, ``Workbench.build(spec)``
+constructs it untrained, the serving engine keys its LRU model cache by
+it, and ``cache_name()`` reproduces the exact on-disk cache file names
+the pre-spec keyword methods used — so adopting the spec API never
+retrains an existing cached artifact.
+
+Variants
+--------
+``fp32``
+    The pretrained floating-point baseline (no quantization fields).
+``quant``
+    DoReFa-retrained at ``(bw, bx)``, started from ``fp32``.
+``ams``
+    AMS-error-in-the-loop retrained at ``(enob, nmult, bw, bx)``,
+    started from the matching ``quant`` baseline; supports selective
+    layer freezing and the paper's last-layer-injection ablation.
+``ams_eval``
+    The ``quant`` baseline's weights evaluated with AMS error injected
+    (the paper's "error in eval only" series).  Has no training
+    artifact of its own.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Recognized model variants, in dependency order.
+VARIANTS: Tuple[str, ...] = ("fp32", "quant", "ams", "ams_eval")
+
+#: Variants whose construction includes AMS error injectors.
+_AMS_VARIANTS = ("ams", "ams_eval")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Frozen identity of one model the workbench can produce.
+
+    Attributes
+    ----------
+    variant:
+        One of :data:`VARIANTS`.
+    enob:
+        Effective number of bits of the modeled VMAC (AMS variants
+        only).
+    nmult:
+        VMAC width.  ``None`` means "the experiment config's default";
+        call :meth:`resolved` before asking for :meth:`cache_name`.
+    bw, bx:
+        DoReFa weight / activation bit widths (quantized variants).
+    freeze:
+        Layer-name prefixes kept frozen during AMS retraining
+        (canonicalized to a sorted tuple, matching the legacy cache
+        naming).
+    inject_last_in_training:
+        Reproduce the paper's "inject into the last layer while
+        training" ablation (``ams`` only).
+    """
+
+    variant: str
+    enob: Optional[float] = None
+    nmult: Optional[int] = None
+    bw: int = 8
+    bx: int = 8
+    freeze: Tuple[str, ...] = field(default=())
+    inject_last_in_training: bool = False
+
+    def __post_init__(self):
+        if self.variant not in VARIANTS:
+            suggestion = _did_you_mean(self.variant, VARIANTS)
+            raise ConfigError(
+                f"unknown variant {self.variant!r}; options: "
+                f"{list(VARIANTS)}{suggestion}"
+            )
+        # Canonicalize freeze so equal specs hash equally regardless of
+        # the order callers list the layer prefixes in.
+        object.__setattr__(self, "freeze", tuple(sorted(self.freeze)))
+        if self.bw < 1 or self.bx < 1:
+            raise ConfigError(
+                f"bit widths must be >= 1, got bw={self.bw}, bx={self.bx}"
+            )
+        if self.variant in _AMS_VARIANTS:
+            if self.enob is None:
+                raise ConfigError(f"variant {self.variant!r} requires enob")
+            if self.enob <= 0:
+                raise ConfigError(f"enob must be > 0, got {self.enob}")
+            if self.nmult is not None and self.nmult < 1:
+                raise ConfigError(f"nmult must be >= 1, got {self.nmult}")
+        else:
+            for name in ("enob", "nmult"):
+                if getattr(self, name) is not None:
+                    raise ConfigError(
+                        f"variant {self.variant!r} takes no {name}"
+                    )
+        if self.variant != "ams":
+            if self.freeze:
+                raise ConfigError(
+                    f"freeze applies only to variant 'ams', "
+                    f"not {self.variant!r}"
+                )
+            if self.inject_last_in_training:
+                raise ConfigError(
+                    "inject_last_in_training applies only to variant "
+                    f"'ams', not {self.variant!r}"
+                )
+        if self.variant == "fp32" and (self.bw, self.bx) != (8, 8):
+            raise ConfigError(
+                "variant 'fp32' is unquantized; leave bw/bx at their "
+                "defaults"
+            )
+
+    # ------------------------------------------------------------------
+    def resolved(self, config) -> "ModelSpec":
+        """This spec with ``nmult`` defaulted from ``config.nmult``."""
+        if self.variant in _AMS_VARIANTS and self.nmult is None:
+            return replace(self, nmult=config.nmult)
+        return self
+
+    def baseline(self) -> Optional["ModelSpec"]:
+        """The spec this variant's training starts from (None for fp32)."""
+        if self.variant == "fp32":
+            return None
+        if self.variant == "quant":
+            return ModelSpec("fp32")
+        return ModelSpec("quant", bw=self.bw, bx=self.bx)
+
+    def cache_name(self) -> str:
+        """The on-disk artifact name (identical to the legacy methods').
+
+        ``ams_eval`` has no training artifact of its own; its cache name
+        is the quantized baseline's, because those are the weights it
+        loads.
+        """
+        if self.variant == "fp32":
+            return "fp32"
+        if self.variant in ("quant", "ams_eval"):
+            return f"quant-bw{self.bw}-bx{self.bx}"
+        if self.nmult is None:
+            raise ConfigError(
+                "cache_name() needs a concrete nmult; call "
+                "spec.resolved(config) first"
+            )
+        freeze_tag = "".join(self.freeze) if self.freeze else "none"
+        last_tag = "-lastinj" if self.inject_last_in_training else ""
+        return (
+            f"ams-e{self.enob}-n{self.nmult}-bw{self.bw}-bx{self.bx}"
+            f"-f{freeze_tag}{last_tag}"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ModelSpec":
+        """Parse the CLI spec syntax, e.g. ``ams:e5.5:n8``.
+
+        Grammar: ``variant[:e<enob>][:n<nmult>][:bw<bits>][:bx<bits>]
+        [:f<layer>]...[:lastinj]``.  ``f`` tokens accumulate into
+        ``freeze``; everything else sets the matching field.
+        """
+        parts = [p for p in text.strip().split(":") if p]
+        if not parts:
+            raise ConfigError(f"empty model spec {text!r}")
+        variant, tokens = parts[0], parts[1:]
+        kwargs: dict = {}
+        freeze = []
+        for token in tokens:
+            try:
+                if token == "lastinj":
+                    kwargs["inject_last_in_training"] = True
+                elif token.startswith("bw"):
+                    kwargs["bw"] = int(token[2:])
+                elif token.startswith("bx"):
+                    kwargs["bx"] = int(token[2:])
+                elif token.startswith("e"):
+                    kwargs["enob"] = float(token[1:])
+                elif token.startswith("n"):
+                    kwargs["nmult"] = int(token[1:])
+                elif token.startswith("f") and len(token) > 1:
+                    freeze.append(token[1:])
+                else:
+                    raise ConfigError(
+                        f"unknown spec token {token!r} in {text!r}; "
+                        "expected e<enob>, n<nmult>, bw<bits>, bx<bits>, "
+                        "f<layer> or lastinj"
+                    )
+            except ValueError:
+                raise ConfigError(
+                    f"malformed spec token {token!r} in {text!r}"
+                ) from None
+        if freeze:
+            kwargs["freeze"] = tuple(freeze)
+        return cls(variant, **kwargs)
+
+    def token(self) -> str:
+        """The ``parse``-able string form of this spec."""
+        parts = [self.variant]
+        if self.enob is not None:
+            parts.append(f"e{self.enob}")
+        if self.nmult is not None:
+            parts.append(f"n{self.nmult}")
+        if (self.bw, self.bx) != (8, 8):
+            parts.append(f"bw{self.bw}")
+            parts.append(f"bx{self.bx}")
+        parts.extend(f"f{layer}" for layer in self.freeze)
+        if self.inject_last_in_training:
+            parts.append("lastinj")
+        return ":".join(parts)
+
+    def __str__(self) -> str:
+        return self.token()
+
+
+def _did_you_mean(value: str, options: Sequence[str]) -> str:
+    close = difflib.get_close_matches(value, options, n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""

@@ -1,0 +1,128 @@
+"""Serving telemetry: per-spec request counts, batch sizes, latencies.
+
+:class:`EngineStats` is the engine's always-on counter set — cheap
+enough to leave enabled (one lock acquire per executed batch).  It
+answers the operational questions the paper's offline protocol never
+asks: how full are the coalesced batches, and what latency distribution
+do callers see?  The op-level profiler
+(:mod:`repro.utils.profiler`) remains the tool for *where the time
+goes* inside a forward pass; the engine brackets each batch with the
+``serve.batch`` op so both views line up.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.tabulate import format_table
+
+#: Latency samples kept per spec; older samples are dropped FIFO so a
+#: long-running service reports recent behaviour, bounded in memory.
+MAX_LATENCY_SAMPLES = 100_000
+
+
+@dataclass
+class SpecStats:
+    """Counters for one model spec."""
+
+    requests: int = 0
+    batches: int = 0
+    degraded: int = 0
+    batch_hist: Dict[int, int] = field(default_factory=dict)
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return 1e3 * float(np.percentile(self.latencies_s, q))
+
+
+class EngineStats:
+    """Thread-safe accumulator for the serving engine."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._specs: Dict[str, SpecStats] = {}
+        self._started = perf_counter()
+
+    def record_batch(
+        self,
+        spec_key: str,
+        latencies_s: Sequence[float],
+        degraded: bool = False,
+    ) -> None:
+        """Record one executed batch and its per-request latencies."""
+        size = len(latencies_s)
+        with self._lock:
+            stats = self._specs.get(spec_key)
+            if stats is None:
+                stats = self._specs[spec_key] = SpecStats()
+            stats.requests += size
+            stats.batches += 1
+            if degraded:
+                stats.degraded += size
+            stats.batch_hist[size] = stats.batch_hist.get(size, 0) + 1
+            stats.latencies_s.extend(latencies_s)
+            overflow = len(stats.latencies_s) - MAX_LATENCY_SAMPLES
+            if overflow > 0:
+                del stats.latencies_s[:overflow]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-able summary of everything recorded so far."""
+        with self._lock:
+            elapsed = perf_counter() - self._started
+            total = sum(s.requests for s in self._specs.values())
+            return {
+                "elapsed_s": elapsed,
+                "requests": total,
+                "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+                "specs": {
+                    key: {
+                        "requests": s.requests,
+                        "batches": s.batches,
+                        "degraded": s.degraded,
+                        "mean_batch": s.mean_batch,
+                        "batch_hist": dict(sorted(s.batch_hist.items())),
+                        "p50_ms": s.percentile_ms(50),
+                        "p95_ms": s.percentile_ms(95),
+                    }
+                    for key, s in self._specs.items()
+                },
+            }
+
+    def report(self) -> str:
+        """Human-readable per-spec table."""
+        snap = self.snapshot()
+        rows = [
+            [
+                key,
+                spec["requests"],
+                spec["batches"],
+                round(spec["mean_batch"], 2),
+                round(spec["p50_ms"], 2),
+                round(spec["p95_ms"], 2),
+                spec["degraded"],
+            ]
+            for key, spec in sorted(snap["specs"].items())
+        ] or [["(no requests)", 0, 0, 0.0, 0.0, 0.0, 0]]
+        table = format_table(
+            ["spec", "requests", "batches", "mean batch", "p50 ms",
+             "p95 ms", "degraded"],
+            rows,
+            title="serving stats",
+        )
+        return (
+            table
+            + f"\n  {snap['requests']} requests in {snap['elapsed_s']:.2f}s"
+            f" ({snap['throughput_rps']:.1f} req/s)"
+        )

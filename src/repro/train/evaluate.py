@@ -71,6 +71,31 @@ class EvalStats:
         return f"{self.mean:.4f} +/- {self.std:.2e}"
 
 
+def ams_injectors(model: Module) -> List:
+    """Every :class:`~repro.ams.injection.AMSErrorInjector` in ``model``.
+
+    Returned in module order, which is the order all reseeding helpers
+    (and the serving engine's per-request noise streams) key their
+    spawned child generators by.
+    """
+    from repro.ams.injection import AMSErrorInjector
+
+    return [m for m in model.modules() if isinstance(m, AMSErrorInjector)]
+
+
+def predict_logits(model: Module, images: np.ndarray) -> np.ndarray:
+    """Eval-mode forward pass returning the raw logits array.
+
+    The shared inference primitive: one gradient-free forward over a
+    stacked NCHW batch.  The caller owns reseeding (per-pass via
+    :func:`reseed_noise`, or per-row via ``AMSErrorInjector.set_row_rngs``
+    as the serving engine does).
+    """
+    model.eval()
+    with no_grad():
+        return model(Tensor(images)).data
+
+
 def reseed_noise(model: Module, seed: int, index: int) -> int:
     """Reseed every AMS injector in ``model`` from ``(seed, index)``.
 
@@ -79,11 +104,7 @@ def reseed_noise(model: Module, seed: int, index: int) -> int:
     drawn afterwards depends on ``(seed, index)`` alone, never on which
     process or in what order the pass runs.  Returns the injector count.
     """
-    from repro.ams.injection import AMSErrorInjector
-
-    injectors = [
-        m for m in model.modules() if isinstance(m, AMSErrorInjector)
-    ]
+    injectors = ams_injectors(model)
     if injectors:
         children = point_seed_sequence(seed, index).spawn(len(injectors))
         for injector, child in zip(injectors, children):

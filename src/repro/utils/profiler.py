@@ -26,6 +26,7 @@ Usage::
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
@@ -57,34 +58,39 @@ class Profiler:
     def __init__(self):
         self._records: Dict[str, OpRecord] = {}
         self._started = perf_counter()
+        # Serving executes batches on several threads at once; record
+        # updates are multi-field and must not interleave.
+        self._lock = threading.Lock()
         stats = default_pool().stats
         self._pool_alloc0 = stats.allocations
         self._pool_hit0 = stats.hits
 
     def add(self, op: str, seconds: float, allocs: int = 0) -> None:
-        record = self._records.get(op)
-        if record is None:
-            record = self._records[op] = OpRecord()
-        record.calls += 1
-        record.total_s += seconds
-        record.allocs += allocs
-        if seconds > record.max_s:
-            record.max_s = seconds
+        with self._lock:
+            record = self._records.get(op)
+            if record is None:
+                record = self._records[op] = OpRecord()
+            record.calls += 1
+            record.total_s += seconds
+            record.allocs += allocs
+            if seconds > record.max_s:
+                record.max_s = seconds
 
     def merge(self, other: "Profiler") -> None:
         """Fold another profiler's records into this one.
 
         Used to aggregate per-worker profiles from a parallel sweep.
         """
-        for op, record in other._records.items():
-            mine = self._records.get(op)
-            if mine is None:
-                mine = self._records[op] = OpRecord()
-            mine.calls += record.calls
-            mine.total_s += record.total_s
-            mine.allocs += record.allocs
-            if record.max_s > mine.max_s:
-                mine.max_s = record.max_s
+        with self._lock:
+            for op, record in other._records.items():
+                mine = self._records.get(op)
+                if mine is None:
+                    mine = self._records[op] = OpRecord()
+                mine.calls += record.calls
+                mine.total_s += record.total_s
+                mine.allocs += record.allocs
+                if record.max_s > mine.max_s:
+                    mine.max_s = record.max_s
 
     def records(self) -> Dict[str, OpRecord]:
         return dict(self._records)
@@ -145,6 +151,21 @@ def op_end(token: Optional[Tuple[float, int]], op: str) -> None:
         perf_counter() - token[0],
         default_pool().stats.allocations - token[1],
     )
+
+
+@contextlib.contextmanager
+def bracket(op: str):
+    """Bracket a block as one op; near-free when profiling is off.
+
+    The with-statement form of :func:`op_start`/:func:`op_end`, for
+    call sites that are not on a kernel hot path (e.g. the serving
+    engine's ``serve.batch``).
+    """
+    token = op_start()
+    try:
+        yield
+    finally:
+        op_end(token, op)
 
 
 # ----------------------------------------------------------------------

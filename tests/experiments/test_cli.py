@@ -35,6 +35,24 @@ class TestCache:
         assert "removed 2" in capsys.readouterr().out
         assert not os.listdir(tmp_path)
 
+    def test_stale_tmp_files_hidden_from_list_removed_by_clear(
+        self, tmp_path, capsys
+    ):
+        """Leftovers of a crashed worker's write-then-rename protocol."""
+        np.savez(str(tmp_path / "quant-bw8-bx8.npz"), w=np.zeros(3))
+        (tmp_path / "quant-bw8-bx8.tmp4242.npz").write_bytes(b"partial")
+        (tmp_path / "quant-bw8-bx8.tmp4242.json").write_text("{")
+        assert main(["cache", "list", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "quant-bw8-bx8.npz" in out
+        assert "tmp4242" not in out
+        assert "2 stale tmp file(s)" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3" in out
+        assert "including 2 stale tmp" in out
+        assert not os.listdir(tmp_path)
+
 
 class TestRun:
     def test_run_fig7_quick(self, tmp_path, capsys, monkeypatch):
@@ -60,3 +78,73 @@ class TestRun:
     def test_bad_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
+
+
+class TestExport:
+    def test_export_smoke(self, tmp_path, capsys, monkeypatch):
+        """run fig7 (no training) then export its record to CSV."""
+        monkeypatch.chdir(tmp_path)
+        results = str(tmp_path / "results")
+        assert (
+            main(["run", "fig7", "--profile", "quick", "--results-dir", results])
+            == 0
+        )
+        capsys.readouterr()
+        out_dir = str(tmp_path / "csv")
+        assert (
+            main(["export", "--results-dir", results, "--out-dir", out_dir])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert any(name.endswith(".csv") for name in os.listdir(out_dir))
+
+
+class TestServe:
+    def test_serve_smoke(self, tmp_path, capsys, monkeypatch):
+        """End-to-end CLI serve at microscopic scale.
+
+        Swaps the CLI's make_config for a micro configuration so the
+        fp32 pretrain the serve path triggers stays in smoke-test
+        territory; everything else is the real code path.
+        """
+        from repro.experiments import cli as cli_mod
+        from repro.experiments.config import make_config
+
+        micro = make_config(
+            profile="quick",
+            seed=7,
+            num_classes=4,
+            image_size=8,
+            train_per_class=24,
+            val_per_class=10,
+            pretrain_epochs=2,
+            retrain_epochs=1,
+            batch_size=32,
+            patience=1,
+            eval_passes=1,
+            cache_dir=str(tmp_path / "cache"),
+            results_dir=str(tmp_path / "results"),
+        )
+        monkeypatch.setattr(cli_mod, "make_config", lambda **kw: micro)
+        assert (
+            main(
+                [
+                    "serve",
+                    "--spec",
+                    "fp32",
+                    "--requests",
+                    "32",
+                    "--max-batch",
+                    "8",
+                    "--profile",
+                    "quick",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "serving stats" in out
+        assert "served 32 requests" in out
+        assert "req/s" in out
+        assert "batch sizes:" in out

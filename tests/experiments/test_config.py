@@ -49,6 +49,22 @@ class TestMakeConfig:
         with pytest.raises(ConfigError):
             ExperimentConfig(eval_passes=0)
 
+    def test_unknown_override_suggests_close_match(self):
+        with pytest.raises(ConfigError, match="did you mean 'num_classes'"):
+            make_config("quick", num_clases=3)
+
+    def test_unknown_override_lists_valid_fields(self):
+        with pytest.raises(ConfigError, match="valid fields") as excinfo:
+            make_config("quick", utterly_bogus_knob=1)
+        assert "seed" in str(excinfo.value)
+
+    def test_multiple_unknown_overrides_all_reported(self):
+        with pytest.raises(ConfigError, match="overrides") as excinfo:
+            make_config("quick", num_clases=3, btach_size=4)
+        message = str(excinfo.value)
+        assert "num_clases" in message
+        assert "btach_size" in message
+
     def test_cache_key_prefix_distinguishes_regimes(self):
         a = make_config("quick", seed=1).cache_key_prefix()
         b = make_config("quick", seed=2).cache_key_prefix()

@@ -1,0 +1,56 @@
+"""Fixtures for serving tests: a micro workbench with warm artifacts.
+
+One session-scoped workbench at microscopic scale (mirroring
+``tests/experiments/conftest.py``) so every serving test reuses the
+same trained quant/AMS baselines from a temp-dir cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import Workbench
+from repro.experiments.config import make_config
+from repro.serve import ModelSpec
+
+
+@pytest.fixture(scope="session")
+def serve_config(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve")
+    config = make_config(profile="quick", seed=99)
+    return replace(
+        config,
+        num_classes=4,
+        image_size=8,
+        train_per_class=24,
+        val_per_class=10,
+        pretrain_epochs=3,
+        retrain_epochs=2,
+        batch_size=32,
+        patience=2,
+        eval_passes=2,
+        enob_sweep=(4.0, 6.0),
+        table2_enob=4.0,
+        fig6_enobs=(4.0, 6.0),
+        cache_dir=str(root / "cache"),
+        results_dir=str(root / "results"),
+    )
+
+
+@pytest.fixture(scope="session")
+def serve_bench(serve_config):
+    return Workbench(serve_config)
+
+
+#: The noisy spec the serving tests exercise (AMS error at eval time).
+AMS_SPEC = ModelSpec("ams_eval", enob=4.0)
+
+#: A cheap fallback spec for degradation tests.
+QUANT_SPEC = ModelSpec("quant", bw=8, bx=8)
+
+
+@pytest.fixture(scope="session")
+def val_images(serve_bench):
+    return serve_bench.data.val.images

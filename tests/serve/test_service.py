@@ -1,0 +1,196 @@
+"""Tests for the serving front end: backpressure, degradation, deadlines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    ServiceOverloadError,
+    ServiceTimeoutError,
+)
+from repro.serve import InferenceEngine, InferenceService
+
+from .conftest import AMS_SPEC, QUANT_SPEC
+
+
+@pytest.fixture()
+def stopped_engine(serve_bench):
+    """A warmed engine that is NOT draining its queue.
+
+    Saturation tests need the admission queue to actually fill; a
+    stopped engine guarantees it, and the test can start() it later to
+    drain.
+    """
+    engine = InferenceEngine(serve_bench, max_batch=8, workers=1)
+    engine.warm(AMS_SPEC, QUANT_SPEC)
+    yield engine
+    engine.stop()
+
+
+class TestValidation:
+    def test_knob_bounds(self, stopped_engine):
+        for kwargs in (
+            dict(queue_size=0),
+            dict(workers=0),
+            dict(timeout_s=0.0),
+        ):
+            with pytest.raises(ConfigError):
+                InferenceService(stopped_engine, **kwargs)
+
+
+class TestBackpressure:
+    def test_saturation_raises_overload_without_deadlock(
+        self, stopped_engine, val_images
+    ):
+        """10 submits into queue_size=1 must overflow, never hang.
+
+        The engine is stopped, so admitted requests sit in the router's
+        queue; by pigeonhole at least one submit sees it full.  After
+        engine.start() everything admitted still completes.
+        """
+        image = val_images[0]
+        with InferenceService(
+            stopped_engine, queue_size=1, workers=1, timeout_s=30.0
+        ) as service:
+            futures = []
+            rejected = 0
+            for i in range(10):
+                try:
+                    futures.append(service.submit(QUANT_SPEC, image, i))
+                except ServiceOverloadError:
+                    rejected += 1
+            assert rejected > 0, "bounded queue never reported saturation"
+            assert futures, "every submit was rejected"
+            stopped_engine.start()
+            predictions = [f.result(timeout=30.0) for f in futures]
+            assert all(not p.degraded for p in predictions)
+
+    def test_blocking_submit_applies_backpressure(
+        self, serve_bench, val_images
+    ):
+        """block=True waits for space instead of raising."""
+        engine = InferenceEngine(serve_bench, max_batch=8, workers=1)
+        engine.warm(QUANT_SPEC)
+        with engine, InferenceService(
+            engine, queue_size=2, workers=1, timeout_s=30.0
+        ) as service:
+            futures = [
+                service.submit(QUANT_SPEC, img, i, block=True)
+                for i, img in enumerate(val_images[:12])
+            ]
+            predictions = [f.result(timeout=30.0) for f in futures]
+        assert len(predictions) == 12
+
+    def test_submit_after_close_is_rejected(self, stopped_engine, val_images):
+        service = InferenceService(stopped_engine, queue_size=4)
+        service.close()
+        with pytest.raises(ServiceOverloadError, match="closed"):
+            service.submit(QUANT_SPEC, val_images[0], 0)
+
+
+class TestDegradation:
+    def test_fallback_serves_degraded_in_caller_thread(
+        self, stopped_engine, val_images
+    ):
+        """With fallback_spec, saturation degrades instead of raising."""
+        image = val_images[0]
+        with InferenceService(
+            stopped_engine,
+            queue_size=1,
+            workers=1,
+            timeout_s=30.0,
+            fallback_spec=QUANT_SPEC,
+        ) as service:
+            futures = [
+                service.submit(AMS_SPEC, image, i) for i in range(10)
+            ]
+            # The engine is stopped, so any *completed* future right now
+            # must have come from the synchronous degradation path.
+            degraded = [f for f in futures if f.done()]
+            assert degraded, "saturation never triggered the fallback"
+            for future in degraded:
+                prediction = future.result(timeout=0)
+                assert prediction.degraded
+                assert prediction.spec == QUANT_SPEC.resolved(
+                    stopped_engine.workbench.config
+                )
+            stopped_engine.start()
+            for future in futures:
+                future.result(timeout=30.0)
+
+    def test_degraded_counted_in_stats(self, stopped_engine, val_images):
+        before = stopped_engine.stats().snapshot()["specs"].get(
+            QUANT_SPEC.token(), {}
+        ).get("degraded", 0)
+        with InferenceService(
+            stopped_engine,
+            queue_size=1,
+            workers=1,
+            fallback_spec=QUANT_SPEC,
+        ) as service:
+            for i in range(10):
+                service.submit(AMS_SPEC, val_images[0], i)
+            stopped_engine.start()
+        after = stopped_engine.stats().snapshot()["specs"][
+            QUANT_SPEC.token()
+        ]["degraded"]
+        assert after > before
+
+
+class TestDeadlines:
+    def test_queued_request_times_out(self, stopped_engine, val_images):
+        """A request stuck behind a stopped engine misses its deadline."""
+        with InferenceService(
+            stopped_engine, queue_size=8, workers=1, timeout_s=0.2
+        ) as service:
+            future = service.submit(QUANT_SPEC, val_images[0], 0)
+            with pytest.raises(ServiceTimeoutError):
+                # Raised either by the router (deadline) or by classify's
+                # own wait; both surface as ServiceTimeoutError.
+                exc = future.exception(timeout=5.0)
+                if exc is not None:
+                    raise exc
+
+    def test_classify_wraps_timeout(self, stopped_engine, val_images):
+        with InferenceService(
+            stopped_engine, queue_size=8, workers=1, timeout_s=0.2
+        ) as service:
+            with pytest.raises(ServiceTimeoutError):
+                service.classify(QUANT_SPEC, val_images[0], 0)
+
+    def test_close_fails_pending_cleanly(self, stopped_engine, val_images):
+        service = InferenceService(
+            stopped_engine, queue_size=8, workers=1, timeout_s=30.0
+        )
+        futures = [
+            service.submit(QUANT_SPEC, val_images[0], i) for i in range(4)
+        ]
+        service.close()
+        for future in futures:
+            exc = future.exception(timeout=5.0)
+            assert isinstance(exc, ServiceTimeoutError)
+
+
+class TestEndToEnd:
+    def test_service_results_match_engine(self, serve_bench, val_images):
+        """Routing through the service changes nothing about answers."""
+        images = val_images[:8]
+        engine = InferenceEngine(
+            serve_bench, max_batch=4, max_wait_ms=5.0, workers=2
+        )
+        engine.warm(AMS_SPEC)
+        direct = [
+            engine.classify_direct(AMS_SPEC, [img], request_ids=[i])[0]
+            for i, img in enumerate(images)
+        ]
+        with engine, InferenceService(
+            engine, queue_size=32, workers=2, timeout_s=30.0
+        ) as service:
+            futures = [
+                service.submit(AMS_SPEC, img, i, block=True)
+                for i, img in enumerate(images)
+            ]
+            served = [f.result(timeout=30.0) for f in futures]
+        assert [p.label for p in served] == [p.label for p in direct]
+        for a, b in zip(served, direct):
+            assert np.allclose(a.logits, b.logits, rtol=1e-5, atol=1e-6)

@@ -1,0 +1,119 @@
+"""Tests for the ModelSpec public API surface."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve import ModelSpec
+
+
+class TestValidation:
+    def test_unknown_variant_suggests(self):
+        with pytest.raises(ConfigError, match="did you mean 'ams'"):
+            ModelSpec("amss", enob=5.0)
+
+    def test_ams_requires_enob(self):
+        with pytest.raises(ConfigError, match="requires enob"):
+            ModelSpec("ams")
+
+    def test_fp32_rejects_enob(self):
+        with pytest.raises(ConfigError, match="takes no enob"):
+            ModelSpec("fp32", enob=5.0)
+
+    def test_fp32_rejects_bit_widths(self):
+        with pytest.raises(ConfigError, match="unquantized"):
+            ModelSpec("fp32", bw=4)
+
+    def test_quant_rejects_freeze(self):
+        with pytest.raises(ConfigError, match="freeze"):
+            ModelSpec("quant", freeze=("fc",))
+
+    def test_eval_rejects_inject_last(self):
+        with pytest.raises(ConfigError, match="inject_last_in_training"):
+            ModelSpec("ams_eval", enob=5.0, inject_last_in_training=True)
+
+    def test_bad_enob(self):
+        with pytest.raises(ConfigError, match="enob must be > 0"):
+            ModelSpec("ams", enob=0.0)
+
+    def test_freeze_is_canonicalized(self):
+        a = ModelSpec("ams", enob=5.0, freeze=("fc", "conv1"))
+        b = ModelSpec("ams", enob=5.0, freeze=("conv1", "fc"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestCacheNames:
+    """Spec cache names must equal the legacy keyword-method names."""
+
+    def test_fp32(self):
+        assert ModelSpec("fp32").cache_name() == "fp32"
+
+    def test_quant(self):
+        assert ModelSpec("quant", bw=6, bx=4).cache_name() == "quant-bw6-bx4"
+
+    def test_ams_matches_legacy_format(self):
+        spec = ModelSpec("ams", enob=5.5, nmult=8)
+        assert spec.cache_name() == "ams-e5.5-n8-bw8-bx8-fnone"
+
+    def test_ams_freeze_and_lastinj(self):
+        spec = ModelSpec(
+            "ams",
+            enob=4.0,
+            nmult=8,
+            freeze=("fc", "conv1"),
+            inject_last_in_training=True,
+        )
+        assert spec.cache_name() == "ams-e4.0-n8-bw8-bx8-fconv1fc-lastinj"
+
+    def test_ams_eval_names_its_baseline(self):
+        assert (
+            ModelSpec("ams_eval", enob=4.0, bw=6, bx=6).cache_name()
+            == "quant-bw6-bx6"
+        )
+
+    def test_unresolved_nmult_rejected(self):
+        with pytest.raises(ConfigError, match="resolved"):
+            ModelSpec("ams", enob=5.0).cache_name()
+
+    def test_resolved_fills_nmult(self, serve_config):
+        spec = ModelSpec("ams", enob=5.0).resolved(serve_config)
+        assert spec.nmult == serve_config.nmult
+
+
+class TestBaseline:
+    def test_chain(self):
+        ams = ModelSpec("ams", enob=5.0, bw=6, bx=6)
+        assert ams.baseline() == ModelSpec("quant", bw=6, bx=6)
+        assert ams.baseline().baseline() == ModelSpec("fp32")
+        assert ModelSpec("fp32").baseline() is None
+
+
+class TestParse:
+    def test_round_trip(self):
+        for text in (
+            "fp32",
+            "quant:bw6:bx4",
+            "ams:e5.5:n8",
+            "ams:e4.0:n8:ffc:lastinj",
+            "ams_eval:e4.5",
+        ):
+            spec = ModelSpec.parse(text)
+            assert ModelSpec.parse(spec.token()) == spec
+
+    def test_parse_fields(self):
+        spec = ModelSpec.parse("ams:e5.5:n8:bw6:bx4:ffc")
+        assert spec == ModelSpec(
+            "ams", enob=5.5, nmult=8, bw=6, bx=4, freeze=("fc",)
+        )
+
+    def test_unknown_token(self):
+        with pytest.raises(ConfigError, match="unknown spec token"):
+            ModelSpec.parse("ams:e5:q9")
+
+    def test_malformed_number(self):
+        with pytest.raises(ConfigError, match="malformed"):
+            ModelSpec.parse("ams:exyz")
+
+    def test_empty(self):
+        with pytest.raises(ConfigError):
+            ModelSpec.parse("")

@@ -1,0 +1,126 @@
+"""Tests for the public-API snapshot checker and the deprecation shims."""
+
+import importlib.util
+import os
+import warnings
+
+import pytest
+
+from repro.experiments import common as common_mod
+from repro.experiments.config import make_config
+
+_SPEC = importlib.util.spec_from_file_location(
+    "apicheck",
+    os.path.join(
+        os.path.dirname(__file__), "..", "..", "tools", "apicheck.py"
+    ),
+)
+apicheck = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(apicheck)
+
+
+class TestSurface:
+    def test_surface_is_sorted_and_nonempty(self):
+        lines = apicheck.public_surface()
+        assert len(lines) > 100
+        assert any(line.startswith("repro.serve.ModelSpec ") for line in lines)
+        assert any(
+            line.startswith("repro.serve.InferenceEngine ") for line in lines
+        )
+
+    def test_every_package_contributes(self):
+        lines = apicheck.public_surface()
+        for package in apicheck.PACKAGES:
+            assert any(
+                line.startswith(package + ".") for line in lines
+            ), f"{package} exports nothing — missing __all__?"
+
+
+class TestSnapshot:
+    def test_live_surface_matches_checked_in_snapshot(self):
+        """THE gate: an API change without a snapshot update fails here.
+
+        If this fails and the change was intentional, run
+        ``python tools/apicheck.py --write`` and commit the diff.
+        """
+        recorded = apicheck.load_snapshot()
+        assert recorded is not None, (
+            "docs/public_api.txt is missing; run "
+            "'python tools/apicheck.py --write'"
+        )
+        assert recorded == apicheck.render(), (
+            "public API drifted from docs/public_api.txt; if intentional "
+            "run 'python tools/apicheck.py --write' and commit the diff"
+        )
+
+
+class TestMain:
+    def test_write_then_check_round_trips(self, tmp_path, capsys):
+        snapshot = str(tmp_path / "api.txt")
+        assert apicheck.main(["--write", "--snapshot", snapshot]) == 0
+        assert apicheck.main(["--snapshot", snapshot]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_drift_exits_nonzero_with_diff(self, tmp_path, capsys):
+        snapshot = tmp_path / "api.txt"
+        assert apicheck.main(["--write", "--snapshot", str(snapshot)]) == 0
+        doctored = snapshot.read_text().replace(
+            "repro.serve.ModelSpec class",
+            "repro.serve.ModelSpec class\nrepro.serve.Ghost class",
+        )
+        snapshot.write_text(doctored)
+        assert apicheck.main(["--snapshot", str(snapshot)]) == 1
+        out = capsys.readouterr().out
+        assert "-repro.serve.Ghost class" in out
+        assert "drifted" in out
+
+    def test_missing_snapshot_exits_nonzero(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.txt")
+        assert apicheck.main(["--snapshot", missing]) == 1
+        assert "no snapshot" in capsys.readouterr().out
+
+
+class TestDeprecationShims:
+    @pytest.fixture()
+    def micro_bench(self, tmp_path):
+        config = make_config(
+            profile="quick",
+            seed=11,
+            num_classes=3,
+            image_size=8,
+            train_per_class=12,
+            val_per_class=6,
+            pretrain_epochs=1,
+            retrain_epochs=1,
+            batch_size=16,
+            patience=1,
+            eval_passes=1,
+            cache_dir=str(tmp_path / "cache"),
+            results_dir=str(tmp_path / "results"),
+        )
+        return common_mod.Workbench(config)
+
+    def test_legacy_methods_warn_exactly_once(self, micro_bench, monkeypatch):
+        monkeypatch.setattr(common_mod, "_DEPRECATION_WARNED", set())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            micro_bench.build_fp32()
+            micro_bench.build_fp32()
+            micro_bench.build_quantized(8, 8)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        messages = [str(w.message) for w in deprecations]
+        assert sum("build_fp32" in m for m in messages) == 1
+        assert sum("build_quantized" in m for m in messages) == 1
+
+    def test_shim_and_spec_api_share_artifacts(self, micro_bench):
+        """The shim trains; the spec API must load, not retrain."""
+        from repro.serve import ModelSpec
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_model, legacy_meta = micro_bench.fp32_model()
+        spec_model, spec_meta = micro_bench.model(ModelSpec("fp32"))
+        assert spec_meta["best_accuracy"] == legacy_meta["best_accuracy"]
+        assert spec_meta["name"] == "fp32"

@@ -117,3 +117,57 @@ class TestMain:
                 ["--baseline", str(tmp_path / "nope.json"),
                  "--current", current]
             )
+
+
+def _write_recorded(path, medians):
+    with open(path, "w") as fh:
+        json.dump({"median_seconds": medians}, fh)
+    return str(path)
+
+
+class TestRecorded:
+    """Hand-recorded median files (BENCH_serve.json etc.) share the gate."""
+
+    def test_load_recorded_medians(self, tmp_path):
+        path = _write_recorded(tmp_path / "rec.json", {"test_x": 0.25})
+        assert bench_compare.load_recorded_medians(path) == {"test_x": 0.25}
+
+    def test_bare_medians_strips_file_prefix(self):
+        assert bench_compare.bare_medians(
+            {"benchmarks/test_bench_serve.py::test_serve_direct": 1.0}
+        ) == {"test_serve_direct": 1.0}
+
+    def test_recorded_regression_exits_nonzero(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"x.py::test_a": 1.0})
+        current = _write(tmp_path / "cur.json", {"x.py::test_a": 1.0})
+        recorded = _write_recorded(tmp_path / "rec.json", {"test_a": 0.5})
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--recorded", recorded]
+        )
+        assert code == 1
+        assert "REGRESSED test_a" in capsys.readouterr().out
+
+    def test_recorded_within_budget_passes(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"x.py::test_a": 1.0})
+        current = _write(tmp_path / "cur.json", {"x.py::test_a": 1.0})
+        recorded = _write_recorded(tmp_path / "rec.json", {"test_a": 1.1})
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--recorded", recorded]
+        )
+        assert code == 0
+        assert "1 recorded benches compared" in capsys.readouterr().out
+
+    def test_recorded_without_matches_is_skipped(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"x.py::test_a": 1.0})
+        current = _write(tmp_path / "cur.json", {"x.py::test_a": 1.0})
+        recorded = _write_recorded(
+            tmp_path / "rec.json", {"test_unrelated": 9.0}
+        )
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--recorded", recorded]
+        )
+        assert code == 0
+        assert "no matching benches" in capsys.readouterr().out

@@ -13,6 +13,35 @@ class TestBrackets:
         assert token is None
         profiler.op_end(token, "noop")  # must not raise
 
+    def test_bracket_context_manager(self):
+        with profiler.profiled() as prof:
+            with profiler.bracket("ctx.op"):
+                pass
+            with profiler.bracket("ctx.op"):
+                pass
+        assert prof.records()["ctx.op"].calls == 2
+
+    def test_bracket_disabled_is_inert(self):
+        profiler.disable()
+        with profiler.bracket("noop"):
+            pass  # must not raise or record
+
+    def test_add_is_thread_safe(self):
+        import threading
+
+        prof = profiler.Profiler()
+
+        def hammer():
+            for _ in range(500):
+                prof.add("contested.op", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert prof.records()["contested.op"].calls == 2000
+
     def test_records_calls_and_time(self):
         with profiler.profiled() as prof:
             for _ in range(3):

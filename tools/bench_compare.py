@@ -17,6 +17,12 @@ Benchmarks present only on one side are reported but never fail the
 run, so adding or retiring a bench does not require touching the
 baseline in the same change.  Speedups beyond the threshold are flagged
 as a hint to refresh the baseline with ``--update``.
+
+Hand-recorded medians (``BENCH_serve.json``, ``BENCH_parallel_sweep
+.json``) are diffed too: their ``median_seconds`` entries are matched
+against the current run by bare test name and gated by the same
+threshold.  ``--update`` never rewrites them — re-record by hand (see
+docs/performance.md for the multicore caveat).
 """
 
 from __future__ import annotations
@@ -30,6 +36,13 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_baseline.json")
+
+#: Hand-recorded median files compared (when present) in addition to
+#: the pytest-benchmark baseline.
+DEFAULT_RECORDED = (
+    os.path.join(REPO_ROOT, "BENCH_serve.json"),
+    os.path.join(REPO_ROOT, "BENCH_parallel_sweep.json"),
+)
 
 
 def run_benchmarks(json_path: str, pytest_args=()) -> None:
@@ -61,6 +74,23 @@ def load_medians(path: str) -> dict:
         bench["fullname"]: bench["stats"]["median"]
         for bench in payload.get("benchmarks", [])
     }
+
+
+def load_recorded_medians(path: str) -> dict:
+    """``{bare test name: median seconds}`` from a hand-recorded file."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return dict(payload.get("median_seconds", {}))
+
+
+def bare_medians(medians: dict) -> dict:
+    """Re-key pytest-benchmark fullnames by bare test name.
+
+    Hand-recorded files use bare names so they stay valid when a bench
+    file moves; ``benchmarks/test_bench_serve.py::test_serve_direct``
+    matches the recorded ``test_serve_direct``.
+    """
+    return {name.split("::")[-1]: median for name, median in medians.items()}
 
 
 def compare(baseline: dict, current: dict, threshold: float):
@@ -102,6 +132,16 @@ def main(argv=None) -> int:
         "--update",
         action="store_true",
         help="write the current run over the baseline instead of comparing",
+    )
+    parser.add_argument(
+        "--recorded",
+        action="append",
+        default=None,
+        help=(
+            "hand-recorded median_seconds JSON to diff against the "
+            "current run (repeatable; default: BENCH_serve.json and "
+            "BENCH_parallel_sweep.json when present)"
+        ),
     )
     parser.add_argument(
         "pytest_args",
@@ -158,7 +198,40 @@ def main(argv=None) -> int:
         f"\n{compared} benches compared: {len(regressions)} regressed, "
         f"{len(improvements)} faster, {len(added)} new, {len(removed)} gone"
     )
-    return 1 if regressions else 0
+
+    recorded_paths = (
+        args.recorded
+        if args.recorded is not None
+        else [p for p in DEFAULT_RECORDED if os.path.exists(p)]
+    )
+    recorded_regressions = 0
+    bare = bare_medians(current)
+    for path in recorded_paths:
+        recorded = load_recorded_medians(path)
+        shared = sorted(set(recorded) & set(bare))
+        label = os.path.basename(path)
+        if not shared:
+            print(f"\n{label}: no matching benches in this run, skipped")
+            continue
+        reg, imp, _, _ = compare(
+            {name: recorded[name] for name in shared},
+            {name: bare[name] for name in shared},
+            args.threshold,
+        )
+        print(f"\n{label}: {len(shared)} recorded benches compared")
+        for name, old, new, ratio in imp:
+            print(
+                f"FASTER    {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
+                f"({ratio:.2f}x) — consider re-recording {label}"
+            )
+        for name, old, new, ratio in reg:
+            print(
+                f"REGRESSED {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
+                f"({ratio:.2f}x > 1.{int(args.threshold * 100):02d}x budget)"
+            )
+        recorded_regressions += len(reg)
+
+    return 1 if (regressions or recorded_regressions) else 0
 
 
 if __name__ == "__main__":
