@@ -119,33 +119,46 @@ class AMSErrorInjector(Module):
         """
         self.row_rngs = list(rngs) if rngs is not None else None
 
-    def forward(self, x: Tensor) -> Tensor:
-        if not self.active or self.error_std == 0.0:
-            return x
-        token = _profiler.op_start()
-        pool = default_pool()
+    def sample_noise(self, shape, dtype, pool=None) -> np.ndarray:
+        """Draw one batch of error samples into a pooled buffer.
+
+        The caller owns the returned buffer and must release it back to
+        ``pool`` (default: the process pool).  This is the single
+        RNG-consuming path shared by the interpreted forward and the
+        compiled executor, which is what keeps their noise streams
+        bit-identical.
+        """
+        if pool is None:
+            pool = default_pool()
         # Draw into a pooled float64 buffer and scale in place; this is
         # bit-identical to ``rng.normal(0.0, std, size=shape)`` (the
         # same ziggurat draws, then loc + scale * z with loc = 0).
-        draw = pool.get(x.shape, np.float64)
+        draw = pool.get(shape, np.float64)
         if self.row_rngs is not None:
-            if len(self.row_rngs) != x.shape[0]:
+            if len(self.row_rngs) != shape[0]:
                 raise ConfigError(
                     f"{len(self.row_rngs)} row generators for a batch "
-                    f"of {x.shape[0]}"
+                    f"of {shape[0]}"
                 )
             for row, row_rng in zip(draw, self.row_rngs):
                 row_rng.standard_normal(out=row)
         else:
             self.rng.standard_normal(out=draw)
         draw *= self.error_std
-        if x.dtype == np.float64:
-            noise = draw
-        else:
-            # Pooled equivalent of ``.astype(x.dtype)``.
-            noise = pool.get(x.shape, x.dtype)
-            np.copyto(noise, draw, casting="unsafe")
-            pool.release(draw)
+        if np.dtype(dtype) == np.float64:
+            return draw
+        # Pooled equivalent of ``.astype(dtype)``.
+        noise = pool.get(shape, dtype)
+        np.copyto(noise, draw, casting="unsafe")
+        pool.release(draw)
+        return noise
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.active or self.error_std == 0.0:
+            return x
+        token = _profiler.op_start()
+        pool = default_pool()
+        noise = self.sample_noise(x.shape, x.dtype)
         out = add_forward_noise(x, noise)
         # add_forward_noise stores x + noise in a fresh array; the
         # sample buffer itself is not referenced by the graph.

@@ -1,0 +1,120 @@
+"""Compiled tape-free inference executor.
+
+One-pass compiler that lowers a trained model (any ModelSpec variant:
+fp32 / quant / ams / ams_eval) to a flat list of fused numpy kernels:
+conv + BN + activation(+quant) fused per block, weights DoReFa-quantized
+once at compile time, im2col gather indices precomputed and cached per
+layer geometry, every intermediate drawn from the shared buffer pool.
+Predictions are bit-identical to the interpreted ``Module.forward``
+path, including per-request AMS noise streams (see
+:mod:`repro.compile.kernels` for the bit-identity contract).
+
+Entry points
+------------
+- :func:`compile_model` — lower explicitly; raises
+  :class:`~repro.errors.CompileError` on unsupported models.
+- :func:`maybe_compiled` — the wiring the eval loops and the serving
+  engine use: returns a cached-or-fresh :class:`CompiledModel`, or
+  ``None`` when compilation is globally disabled or the model has no
+  lowering (silent fallback to the interpreter).  The cache key is a
+  *fingerprint* (per-parameter version counters + the model's train-mode
+  generation counter), so optimizer steps, ``load_state_dict`` and
+  batch-norm statistics updates all trigger recompilation.
+- :func:`set_enabled` / :func:`disabled` — global escape hatches (the
+  experiment CLIs expose ``--no-compile``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional
+
+from repro.compile.compiler import compile_model
+from repro.compile.kernels import CompiledModel
+from repro.compile.plan import (
+    Im2colPlan,
+    clear_plan_cache,
+    get_plan,
+    plan_cache_stats,
+)
+from repro.errors import CompileError
+from repro.nn.module import Module
+
+__all__ = [
+    "CompileError",
+    "CompiledModel",
+    "Im2colPlan",
+    "clear_plan_cache",
+    "compile_model",
+    "disabled",
+    "enabled",
+    "get_plan",
+    "maybe_compiled",
+    "model_fingerprint",
+    "plan_cache_stats",
+    "set_enabled",
+]
+
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """Whether :func:`maybe_compiled` currently hands out compiled models."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable/disable the compiled executor (``--no-compile``)."""
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+@contextlib.contextmanager
+def disabled():
+    """Force the interpreted path within the block (for comparisons)."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def model_fingerprint(model: Module):
+    """A cheap token that changes whenever a compiled model would go stale.
+
+    Combines every parameter's version counter (bumped by optimizer
+    steps and ``load_state_dict``) with the model's train-mode
+    generation counter (bumped by ``train(True)`` and
+    ``load_state_dict``, catching in-place batch-norm running-stat
+    updates that touch no parameter).
+    """
+    versions = tuple(
+        getattr(param, "version", 0) for _, param in model.named_parameters()
+    )
+    return (versions, getattr(model, "_generation", 0))
+
+
+def maybe_compiled(model: Module) -> Optional[CompiledModel]:
+    """The compiled executor for ``model``, or ``None`` to interpret.
+
+    Caches the compiled model on the module keyed by
+    :func:`model_fingerprint`; models without a lowering cache the
+    failure too, so the interpreter fallback costs one attribute read
+    per call instead of a raised exception per batch.
+    """
+    if not _ENABLED or not isinstance(model, Module):
+        # Duck-typed stand-ins (test doubles with just __call__/eval)
+        # simply stay on the interpreted path.
+        return None
+    fingerprint = model_fingerprint(model)
+    cached = getattr(model, "_compiled_cache", None)
+    if cached is not None and cached[0] == fingerprint:
+        return cached[1]
+    try:
+        compiled = compile_model(model)
+    except CompileError:
+        compiled = None
+    object.__setattr__(model, "_compiled_cache", (fingerprint, compiled))
+    return compiled

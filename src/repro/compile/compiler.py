@@ -1,0 +1,276 @@
+"""Lowering: walk a trained model, emit the fused kernel list.
+
+``compile_model`` understands the three architectures the repo builds
+(:class:`~repro.models.resnet.ResNet`,
+:class:`~repro.models.simple.SimpleCNN`,
+:class:`~repro.models.simple.MLP`) across all four hardware variants
+(fp32 / quant / ams / ams_eval): the factory-produced compute units are
+``Sequential(conv-or-linear, *probes, [injector])`` and the compiler
+peels them apart, fusing each convolution with its batch norm and
+activation into one :class:`~repro.compile.kernels.FusedConvStep`.
+
+Weights are DoReFa-quantized exactly once here (under ``no_grad``, via
+the layer's own ``quantized_weight`` so the eval-mode memo cache warms
+too).  Anything the compiler does not recognize raises
+:class:`~repro.errors.CompileError`; callers that want a silent
+fallback to the interpreter use :func:`repro.compile.maybe_compiled`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.ams.injection import AMSErrorInjector
+from repro.compile.kernels import (
+    ActStep,
+    BNApply,
+    ClipApply,
+    CompiledModel,
+    FlattenStep,
+    FusedConvStep,
+    FusedLinearStep,
+    GlobalPoolStep,
+    InputQuantStep,
+    ModuleFallbackStep,
+    QuantClipApply,
+    ReLUApply,
+    ResidualBlockStep,
+    run_steps,  # noqa: F401  (re-exported for tests/debugging)
+)
+from repro.errors import CompileError
+from repro.models.resnet import BasicBlock, Bottleneck, ResNet, _Downsample
+from repro.models.simple import MLP, SimpleCNN
+from repro.nn.activation import ClippedReLU, Dropout, Identity, ReLU
+from repro.nn.batchnorm import BatchNorm2d
+from repro.nn.container import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.quant.qmodules import (
+    InputQuantizer,
+    QuantClippedReLU,
+    QuantConv2d,
+    QuantLinear,
+)
+from repro.tensor.tensor import no_grad
+from repro.train.hooks import Probe
+
+_ACT_TYPES = (ReLU, ClippedReLU, QuantClippedReLU, Identity)
+
+
+def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+def _lower_act(module: Optional[Module]):
+    """An in-place applier replaying ``module``'s activation, or None."""
+    if module is None or isinstance(module, Identity):
+        return None
+    if isinstance(module, QuantClippedReLU):
+        return QuantClipApply(module.bx, module.ceiling)
+    if isinstance(module, ClippedReLU):
+        return ClipApply(module.ceiling)
+    if isinstance(module, ReLU):
+        return ReLUApply()
+    raise CompileError(f"no fused kernel for activation {module!r}")
+
+
+def _parse_unit(unit: Module, leaf_type) -> Tuple[Module, List[Probe], Optional[AMSErrorInjector]]:
+    """Split a factory compute unit into (layer, probes, injector)."""
+    if not isinstance(unit, Sequential):
+        raise CompileError(
+            f"expected a Sequential compute unit, got {type(unit).__name__}"
+        )
+    children = list(unit)
+    if not children or not isinstance(children[0], leaf_type):
+        raise CompileError(
+            f"compute unit does not start with a {leaf_type.__name__}"
+        )
+    probes: List[Probe] = []
+    injector: Optional[AMSErrorInjector] = None
+    for child in children[1:]:
+        if isinstance(child, Probe) and injector is None:
+            probes.append(child)
+        elif isinstance(child, AMSErrorInjector) and injector is None:
+            injector = child
+        else:
+            raise CompileError(
+                f"unexpected module {type(child).__name__} in compute unit"
+            )
+    return children[0], probes, injector
+
+
+def _conv_weight(conv: Conv2d) -> np.ndarray:
+    if isinstance(conv, QuantConv2d):
+        return conv.quantized_weight().data
+    return conv.weight.data
+
+
+def _linear_weight(layer: Linear) -> np.ndarray:
+    if isinstance(layer, QuantLinear):
+        return layer.quantized_weight().data
+    return layer.weight.data
+
+
+def _conv_step(
+    unit: Module, bn: Optional[BatchNorm2d], act: Optional[Module]
+) -> FusedConvStep:
+    conv, probes, injector = _parse_unit(unit, Conv2d)
+    if bn is not None and not isinstance(bn, BatchNorm2d):
+        raise CompileError(f"cannot fuse {type(bn).__name__} after a conv")
+    w_mat = _conv_weight(conv).reshape(conv.out_channels, -1)
+    return FusedConvStep(
+        w_mat,
+        conv.bias,
+        conv.kernel_size,
+        _pair(conv.stride),
+        _pair(conv.padding),
+        probes,
+        injector,
+        BNApply(bn) if bn is not None else None,
+        _lower_act(act),
+    )
+
+
+def _linear_step(unit: Module) -> FusedLinearStep:
+    layer, probes, injector = _parse_unit(unit, Linear)
+    return FusedLinearStep(_linear_weight(layer), layer.bias, probes, injector)
+
+
+def _lower_adapter(adapter: Module) -> List:
+    if isinstance(adapter, InputQuantizer):
+        return [InputQuantStep(adapter)]
+    if isinstance(adapter, Identity):
+        return []
+    raise CompileError(
+        f"no fused kernel for input adapter {type(adapter).__name__}"
+    )
+
+
+def _lower_block(block: Module) -> ResidualBlockStep:
+    if isinstance(block, BasicBlock):
+        main = [
+            _conv_step(block.conv1, block.bn1, block.act1),
+            _conv_step(block.conv2, block.bn2, None),
+        ]
+        final_act = block.act2
+    elif isinstance(block, Bottleneck):
+        main = [
+            _conv_step(block.conv1, block.bn1, block.act1),
+            _conv_step(block.conv2, block.bn2, block.act2),
+            _conv_step(block.conv3, block.bn3, None),
+        ]
+        final_act = block.act3
+    else:
+        raise CompileError(f"unknown residual block {type(block).__name__}")
+    downsample = None
+    if block.downsample is not None:
+        if not isinstance(block.downsample, _Downsample):
+            raise CompileError(
+                f"unknown downsample {type(block.downsample).__name__}"
+            )
+        downsample = [
+            _conv_step(block.downsample.conv, block.downsample.bn, None)
+        ]
+    return ResidualBlockStep(main, downsample, _lower_act(final_act))
+
+
+def _lower_head(pool: Module, fc: Module) -> List:
+    """The shared GAP -> flatten -> classifier tail of the conv nets."""
+    if not isinstance(pool, GlobalAvgPool2d):
+        raise CompileError(f"no fused kernel for pool {type(pool).__name__}")
+    # Flatten after global pooling is an identity reshape of (N, C).
+    return [GlobalPoolStep(), _linear_step(fc)]
+
+
+def _lower_resnet(model: ResNet) -> List:
+    steps = _lower_adapter(model.input_adapter)
+    steps.append(_conv_step(model.stem_conv, model.stem_bn, model.stem_act))
+    if model.stem_pool is not None:
+        steps.append(ModuleFallbackStep(model.stem_pool))
+    for block in model.blocks:
+        steps.append(_lower_block(block))
+    steps += _lower_head(model.pool, model.fc)
+    return steps
+
+
+def _lower_simple_cnn(model: SimpleCNN) -> List:
+    steps = _lower_adapter(model.input_adapter)
+    children = list(model.features)
+    i = 0
+    while i < len(children):
+        child = children[i]
+        if isinstance(child, Sequential) and len(child) and isinstance(
+            child[0], Conv2d
+        ):
+            bn = None
+            act = None
+            j = i + 1
+            if j < len(children) and isinstance(children[j], BatchNorm2d):
+                bn = children[j]
+                j += 1
+            if j < len(children) and isinstance(children[j], _ACT_TYPES):
+                act = children[j]
+                j += 1
+            steps.append(_conv_step(child, bn, act))
+            i = j
+        elif isinstance(child, (MaxPool2d, AvgPool2d)):
+            steps.append(ModuleFallbackStep(child))
+            i += 1
+        elif isinstance(child, (Dropout, Identity)):
+            i += 1  # identity in eval mode
+        else:
+            raise CompileError(
+                f"no fused kernel for feature layer {type(child).__name__}"
+            )
+    steps += _lower_head(model.pool, model.fc)
+    return steps
+
+
+def _lower_mlp(model: MLP) -> List:
+    steps: List = [FlattenStep()]
+    for child in model.hidden:
+        if isinstance(child, Sequential):
+            steps.append(_linear_step(child))
+        elif isinstance(child, _ACT_TYPES):
+            act = _lower_act(child)
+            if act is not None:
+                steps.append(ActStep(act))
+        elif isinstance(child, Dropout):
+            continue  # identity in eval mode
+        else:
+            raise CompileError(
+                f"no fused kernel for hidden layer {type(child).__name__}"
+            )
+    steps.append(_linear_step(model.fc))
+    return steps
+
+
+def compile_model(model: Module) -> CompiledModel:
+    """Lower ``model`` to a :class:`CompiledModel` of fused kernels.
+
+    The model is put in eval mode first — compiled semantics are
+    inference semantics (batch-norm running statistics, eval-time
+    injection policies).  Raises :class:`~repro.errors.CompileError`
+    for architectures or layers without a fused lowering.
+    """
+    model.eval()
+    from repro.compile import model_fingerprint
+
+    with no_grad():
+        if isinstance(model, ResNet):
+            steps = _lower_resnet(model)
+        elif isinstance(model, SimpleCNN):
+            steps = _lower_simple_cnn(model)
+        elif isinstance(model, MLP):
+            steps = _lower_mlp(model)
+        else:
+            raise CompileError(
+                f"no lowering for architecture {type(model).__name__}"
+            )
+    return CompiledModel(steps, model_fingerprint(model))

@@ -1,0 +1,551 @@
+"""Fused, tape-free inference kernels emitted by the compiler.
+
+Each step consumes a raw numpy activation array and produces the next
+one, drawing every intermediate from the shared :class:`BufferPool` and
+releasing its input as soon as it is consumed.  No autograd tensors, no
+backward closures, no per-batch weight quantization — those costs were
+paid once, at compile time.
+
+Bit-identity contract
+---------------------
+Every step replays the *exact* float operation sequence of the
+interpreted forward pass, only in place on pooled buffers (elementwise
+IEEE arithmetic is identical in and out of place):
+
+- convolution keeps the interpreter's ``cols @ w_mat.T`` operand
+  layouts so the same BLAS sgemm runs on the same values;
+- batch norm is NOT algebraically folded into the weights (that would
+  change rounding) — the eval-branch op chain ``(x - mean) / std *
+  gamma + beta`` is replayed with only ``std = sqrt(var + eps)``
+  precomputed;
+- ReLU uses the interpreter's mask-multiply (``x * (x > 0)``), not
+  ``np.maximum``, preserving ``-0.0`` outputs for negative inputs;
+- global average pooling is ``sum * float32(1/count)``, matching
+  ``Tensor.mean``, not ``np.mean``;
+- AMS noise is drawn through the injector's own
+  :meth:`~repro.ams.injection.AMSErrorInjector.sample_noise`, reading
+  its live ``rng`` / ``row_rngs`` state, so per-request noise streams
+  match the interpreted serving path draw for draw.
+
+Residual blocks run the main path *before* the downsample projection,
+matching the interpreter's execution order — injector RNG streams are
+sequential, so noise draw order is part of the contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compile.plan import get_plan
+from repro.tensor.pool import BufferPool, default_pool
+from repro.tensor.tensor import Tensor, no_grad
+from repro.utils import profiler as _profiler
+
+#: Distinct batch shapes a CompiledModel keeps bound buffer tapes for.
+_MAX_BINDINGS = 8
+
+
+class _TapePool:
+    """Pool facade that binds one batch shape's buffer sequence.
+
+    The step kernels request and release intermediates in a sequence
+    that is a pure function of the step list and the input shape.  The
+    first run at a given batch shape *records* that sequence: every
+    ``get`` is served through a simulated free list (reproducing the
+    real pool's intra-run recycling, so peak memory matches pooled
+    execution) with misses drawn from the real pool, and the handed-out
+    array is appended to a tape.  The drawn buffers are never returned
+    to the real pool — they stay bound to the tape.
+
+    Every later run *replays* the tape: ``get`` pops the next bound
+    buffer and ``release`` is a no-op, so a steady-state forward pass
+    does zero pool bookkeeping (no locks, no key hashing, no free-list
+    scans).  Replay is valid because recording reproduced the exact
+    aliasing the real pool would have produced.
+
+    Buffers whose shape drifts out of sync with the tape (a mutated
+    model, a toggled injector) raise rather than corrupt — the caller
+    is expected to recompile via the model fingerprint instead.
+    """
+
+    __slots__ = ("pool", "tape", "recording", "cursor", "_free")
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self.tape: List[np.ndarray] = []
+        self.recording = True
+        self.cursor = 0
+        self._free: Dict[Tuple, List[np.ndarray]] = {}
+
+    def get(self, shape, dtype=np.float32) -> np.ndarray:
+        if self.recording:
+            key = (tuple(shape), np.dtype(dtype))
+            bucket = self._free.get(key)
+            arr = bucket.pop() if bucket else self.pool.get(shape, dtype)
+            self.tape.append(arr)
+            return arr
+        cursor = self.cursor
+        if cursor >= len(self.tape):
+            raise RuntimeError(
+                "compiled buffer tape out of sync (model mutated after "
+                "compile?); recompile via maybe_compiled"
+            )
+        arr = self.tape[cursor]
+        if arr.shape != tuple(shape):
+            raise RuntimeError(
+                f"compiled buffer tape out of sync: expected "
+                f"{arr.shape}, got {tuple(shape)}; recompile"
+            )
+        self.cursor = cursor + 1
+        return arr
+
+    def release(self, arr: np.ndarray) -> None:
+        if self.recording and isinstance(arr, np.ndarray):
+            self._free.setdefault(
+                (arr.shape, arr.dtype), []
+            ).append(arr)
+
+    def finish(self) -> None:
+        """Seal the tape after the recording run."""
+        self.recording = False
+        self._free.clear()
+
+    def unbind(self) -> None:
+        """Hand every bound buffer back to the real pool (eviction)."""
+        seen = set()
+        for arr in self.tape:
+            if id(arr) not in seen:
+                seen.add(id(arr))
+                self.pool.release(arr)
+        self.tape = []
+
+
+class _Ctx:
+    """Tracks which live activation arrays own a releasable pool buffer.
+
+    Steps may hand views (reshapes, transposes) downstream; the context
+    maps each such array to the whole backing buffer the pool can
+    accept, keeping a reference so ``id`` keys can never be recycled
+    while an entry is live.
+    """
+
+    __slots__ = ("pool", "_owned")
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._owned: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def own(self, arr: np.ndarray, backing: Optional[np.ndarray] = None) -> np.ndarray:
+        """Register ``arr`` (backed by ``backing``, default itself)."""
+        self._owned[id(arr)] = (arr, arr if backing is None else backing)
+        return arr
+
+    def disown(self, arr: np.ndarray) -> Optional[np.ndarray]:
+        """Forget ``arr``; returns its backing buffer if it was owned."""
+        entry = self._owned.pop(id(arr), None)
+        return None if entry is None else entry[1]
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return ``arr``'s backing buffer to the pool (no-op if unowned)."""
+        entry = self._owned.pop(id(arr), None)
+        if entry is not None:
+            self.pool.release(entry[1])
+
+    def pop_result(self, arr: np.ndarray) -> np.ndarray:
+        """Transfer ownership of the final output to the caller."""
+        self._owned.pop(id(arr), None)
+        return arr
+
+
+def run_steps(steps, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+    """Run a step list with a profiler bracket per step."""
+    for step in steps:
+        token = _profiler.op_start()
+        x = step.run(x, ctx)
+        _profiler.op_end(token, step.op)
+    return x
+
+
+# ----------------------------------------------------------------------
+# in-place activation appliers
+# ----------------------------------------------------------------------
+class ReLUApply:
+    """``x * (x > 0)`` in place — the interpreter's mask-multiply."""
+
+    def apply(self, dst: np.ndarray, pool: BufferPool) -> None:
+        mask = pool.get(dst.shape, dst.dtype)
+        np.greater(dst, 0, out=mask)
+        dst *= mask
+        pool.release(mask)
+
+
+class ClipApply:
+    """Clipped ReLU: clamp to ``[0, ceiling]`` in place."""
+
+    def __init__(self, ceiling: float):
+        self.ceiling = ceiling
+
+    def apply(self, dst: np.ndarray, pool: BufferPool) -> None:
+        dst.clip(0.0, self.ceiling, out=dst)
+
+
+class QuantClipApply:
+    """DoReFa quantized ReLU: clip to [0, ceiling], round to ``bx`` bits."""
+
+    def __init__(self, bx: int, ceiling: float):
+        self.bx = bx
+        self.ceiling = ceiling
+        self.levels = (1 << bx) - 1 if bx < 32 else 0
+        self.inv_ceiling = np.float32(1.0 / ceiling)
+        self.ceiling_f32 = np.float32(ceiling)
+
+    def apply(self, dst: np.ndarray, pool: BufferPool) -> None:
+        dst.clip(0.0, self.ceiling, out=dst)
+        if self.bx >= 32:
+            return
+        if self.ceiling != 1.0:
+            dst *= self.inv_ceiling
+        dst *= self.levels
+        dst.round(out=dst)
+        dst /= self.levels
+        if self.ceiling != 1.0:
+            dst *= self.ceiling_f32
+
+
+class BNApply:
+    """Eval-mode batch norm replayed in place on an NCHW buffer.
+
+    Only ``std = sqrt(running_var + eps)`` is precomputed (it is the
+    single non-trivial derived quantity); mean/gamma/beta are broadcast
+    *views* of the live module's arrays, so in-place mutation of the
+    running stats or parameters flows through.  Rebinding ``.data`` to
+    a new array (``load_state_dict``) leaves the views stale — which is
+    exactly what the model fingerprint that keys the compiled-model
+    cache detects, forcing a recompile.
+    """
+
+    VIEW = (1, -1, 1, 1)
+
+    def __init__(self, bn):
+        self.bn = bn
+        self.std = np.sqrt(bn.running_var.reshape(self.VIEW) + bn.eps)
+        self.mean = bn.running_mean.reshape(self.VIEW)
+        self.gamma = bn.weight.data.reshape(self.VIEW)
+        self.beta = bn.bias.data.reshape(self.VIEW)
+
+    def mean_view(self) -> np.ndarray:
+        return self.mean
+
+    def apply(self, dst: np.ndarray, subtract_mean: bool) -> None:
+        if subtract_mean:
+            dst -= self.mean
+        dst /= self.std
+        dst *= self.gamma
+        dst += self.beta
+
+
+# ----------------------------------------------------------------------
+# steps
+# ----------------------------------------------------------------------
+class InputQuantStep:
+    """First-layer input treatment (``InputQuantizer.forward``)."""
+
+    op = "compiled.input_quant"
+
+    def __init__(self, module):
+        self.module = module
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        m = self.module
+        scale = m.max_abs
+        if scale is None:
+            scale = float(np.abs(x).max())
+        if scale == 0.0:
+            scale = 1.0
+        buf = ctx.pool.get(x.shape, x.dtype)
+        np.multiply(x, np.float32(1.0 / scale), out=buf)
+        buf.clip(-1.0, 1.0, out=buf)
+        if m.bx < 32:
+            steps = (1 << (m.bx - 1)) - 1
+            buf *= steps
+            buf.round(out=buf)
+            buf /= steps
+        ctx.release(x)
+        return ctx.own(buf)
+
+
+class FusedConvStep:
+    """conv (pre-quantized weights) + probes + AMS noise + BN + act."""
+
+    op = "compiled.conv"
+
+    def __init__(
+        self,
+        w_mat: np.ndarray,
+        bias,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+        probes: List,
+        injector,
+        bn: Optional[BNApply],
+        act,
+    ):
+        self.w_mat = w_mat  # (c_out, c_in*kh*kw), quantized at compile
+        self.bias = bias
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.probes = probes
+        self.injector = injector
+        self.bn = bn
+        self.act = act
+        self._plan = None
+        self._plan_src = None
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        pool = ctx.pool
+        n, c, h, w = x.shape
+        if self._plan_src != (c, h, w):
+            self._plan = get_plan(
+                c, h, w, self.kernel, self.stride, self.padding
+            )
+            self._plan_src = (c, h, w)
+        plan = self._plan
+        cols = plan.gather(x, pool)
+        ctx.release(x)
+        c_out = self.w_mat.shape[0]
+        out_mat = pool.get((cols.shape[0], c_out), cols.dtype)
+        np.matmul(cols, self.w_mat.T, out=out_mat)
+        pool.release(cols)
+        if self.bias is not None:
+            out_mat += self.bias.data
+        # The interpreter's NCHW result is exactly this transpose view.
+        view = out_mat.reshape(n, plan.out_h, plan.out_w, c_out).transpose(
+            0, 3, 1, 2
+        )
+        for probe in self.probes:
+            probe.observe(view)
+        dst = pool.get(view.shape, view.dtype)
+        inj = self.injector
+        if inj is not None and inj.active and inj.error_std != 0.0:
+            noise = inj.sample_noise(view.shape, view.dtype, pool)
+            np.add(view, noise, out=dst)
+            pool.release(noise)
+            if self.bn is not None:
+                self.bn.apply(dst, subtract_mean=True)
+        elif self.bn is not None:
+            np.subtract(view, self.bn.mean_view(), out=dst)
+            self.bn.apply(dst, subtract_mean=False)
+        else:
+            np.copyto(dst, view)
+        pool.release(out_mat)
+        if self.act is not None:
+            self.act.apply(dst, pool)
+        return ctx.own(dst)
+
+
+class FusedLinearStep:
+    """linear (pre-quantized weights) + probes + AMS noise."""
+
+    op = "compiled.linear"
+
+    def __init__(self, w: np.ndarray, bias, probes: List, injector):
+        self.w = w  # (out_features, in_features)
+        self.bias = bias
+        self.probes = probes
+        self.injector = injector
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        pool = ctx.pool
+        out = pool.get((x.shape[0], self.w.shape[0]), x.dtype)
+        np.matmul(x, self.w.T, out=out)
+        if self.bias is not None:
+            out += self.bias.data
+        for probe in self.probes:
+            probe.observe(out)
+        inj = self.injector
+        if inj is not None and inj.active and inj.error_std != 0.0:
+            noise = inj.sample_noise(out.shape, out.dtype, pool)
+            out += noise
+            pool.release(noise)
+        ctx.release(x)
+        return ctx.own(out)
+
+
+class ResidualBlockStep:
+    """A residual block: main path, optional projection shortcut, add, act.
+
+    The block input's buffer is disowned up front so the main path's
+    first conv cannot recycle it while the shortcut still needs it; it
+    is released only after the residual add consumed it.  Main runs
+    before downsample — the interpreter's (and therefore the noise
+    streams') order.
+    """
+
+    op = "compiled.block"
+
+    def __init__(self, main: List, downsample: Optional[List], act):
+        self.main = main
+        self.downsample = downsample
+        self.act = act
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        backing = ctx.disown(x)
+        out = run_steps(self.main, x, ctx)
+        if self.downsample is not None:
+            shortcut = run_steps(self.downsample, x, ctx)
+        else:
+            shortcut = x
+        out += shortcut
+        if shortcut is not x:
+            ctx.release(shortcut)
+        if backing is not None:
+            ctx.pool.release(backing)
+        if self.act is not None:
+            self.act.apply(out, ctx.pool)
+        return out
+
+
+class GlobalPoolStep:
+    """Global average pooling, replaying ``Tensor.mean``'s arithmetic."""
+
+    op = "compiled.gap"
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        n, c, h, w = x.shape
+        out = ctx.pool.get((n, c), x.dtype)
+        np.sum(x, axis=(2, 3), out=out)
+        out *= np.float32(1.0 / (h * w))
+        ctx.release(x)
+        return ctx.own(out)
+
+
+class FlattenStep:
+    """Flatten trailing dims; a pure view when input is contiguous."""
+
+    op = "compiled.flatten"
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        if x.ndim == 2:
+            return x
+        out = x.reshape(x.shape[0], -1)
+        backing = ctx.disown(x)
+        if backing is not None:
+            ctx.own(out, backing)
+        return out
+
+
+class ActStep:
+    """Standalone activation (between un-fusable layers, e.g. MLP)."""
+
+    op = "compiled.act"
+
+    def __init__(self, act):
+        self.act = act
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        backing = ctx.disown(x)
+        if backing is None:
+            # Caller-owned input: copy before mutating in place.
+            buf = ctx.pool.get(x.shape, x.dtype)
+            np.copyto(buf, x)
+            x = backing = buf
+        self.act.apply(x, ctx.pool)
+        return ctx.own(x, backing)
+
+
+class ModuleFallbackStep:
+    """Run an un-fused module through the interpreter under ``no_grad``.
+
+    Used for the rare layers with no fused kernel (the ImageNet stem's
+    max pool); identical output by construction since it *is* the
+    interpreted op.
+    """
+
+    op = "compiled.fallback"
+
+    def __init__(self, module):
+        self.module = module
+
+    def run(self, x: np.ndarray, ctx: _Ctx) -> np.ndarray:
+        with no_grad():
+            out = self.module(Tensor(x)).data
+        ctx.release(x)
+        return ctx.own(out)
+
+
+# ----------------------------------------------------------------------
+# the executable
+# ----------------------------------------------------------------------
+class CompiledModel:
+    """A flat list of fused kernels lowered from a trained model.
+
+    ``run`` returns the logits in a pool-backed buffer the *caller*
+    owns — hand it back via ``default_pool().release(logits)`` once
+    consumed to keep steady-state inference allocation-free, or use
+    :meth:`predict` for a detached copy.
+
+    The first run at each input shape records a buffer tape (see
+    :class:`_TapePool`); later runs at that shape replay it and touch
+    the shared pool exactly once, for the caller's logits buffer.  At
+    most ``_MAX_BINDINGS`` shapes stay bound (LRU); evicted tapes hand
+    their buffers back to the pool.  Runs are serialized by an internal
+    lock — concurrent callers share one executor safely, as the serving
+    engine's per-model lock already assumes.
+    """
+
+    def __init__(self, steps: List, fingerprint=None):
+        self.steps = steps
+        self.fingerprint = fingerprint
+        self._bindings: "OrderedDict[Tuple, _TapePool]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def run(self, images) -> np.ndarray:
+        """One forward pass; returns a pooled logits buffer (caller owns)."""
+        x = np.asarray(images, dtype=np.float32)
+        if not x.flags.c_contiguous:
+            x = np.ascontiguousarray(x)
+        pool = default_pool()
+        with self._lock:
+            tape = self._bindings.get(x.shape)
+            if tape is None:
+                while len(self._bindings) >= _MAX_BINDINGS:
+                    _, evicted = self._bindings.popitem(last=False)
+                    evicted.unbind()
+                tape = _TapePool(pool)
+                self._bindings[x.shape] = tape
+            else:
+                self._bindings.move_to_end(x.shape)
+                tape.cursor = 0
+            try:
+                out = run_steps(self.steps, x, _Ctx(tape))
+            except BaseException:
+                # A half-recorded (or desynced) tape must not survive.
+                self._bindings.pop(x.shape, None)
+                tape.unbind()
+                raise
+            if tape.recording:
+                tape.finish()
+            # The logits live in a bound tape buffer; hand the caller a
+            # pooled copy so tape buffers never escape the binding.
+            result = pool.get(out.shape, out.dtype)
+            np.copyto(result, out)
+            return result
+
+    def predict(self, images) -> np.ndarray:
+        """One forward pass; returns a fresh logits array (pool recycled)."""
+        out = self.run(images)
+        logits = np.array(out, copy=True)
+        default_pool().release(out)
+        return logits
+
+    __call__ = run
+
+    def describe(self) -> str:
+        """One line per step, for debugging and the docs."""
+        return "\n".join(f"{i}: {type(s).__name__}" for i, s in enumerate(self.steps))

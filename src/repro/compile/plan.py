@@ -1,0 +1,162 @@
+"""Precomputed im2col gather plans, cached per layer geometry.
+
+The interpreted :func:`repro.tensor.im2col.im2col` rebuilds its strided
+patch view on every call.  A compiled model instead looks up an
+:class:`Im2colPlan` — a flat gather-index table mapping each patch
+element of one *sample* to its source position in the (padded) input —
+and replays it with a single ``np.take``.  The index table depends only
+on the per-sample geometry ``(C, H, W, kernel, stride, padding)``, so
+one plan serves every batch size that flows through the layer, and the
+process-global cache makes plan construction a one-time cost per layer
+shape.
+
+The gather produces exactly the patch-column layout ``im2col`` emits
+(rows ordered ``(n, out_h, out_w)``, columns ordered ``(c, kh, kw)``),
+copied element for element — the compiled convolution is therefore
+bit-identical to the interpreted one by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.tensor.im2col import conv_output_size
+from repro.tensor.pool import BufferPool
+from repro.utils import profiler as _profiler
+
+
+class Im2colPlan:
+    """Gather indices for one convolution geometry (batch-size free)."""
+
+    __slots__ = (
+        "channels",
+        "height",
+        "width",
+        "kernel",
+        "stride",
+        "padding",
+        "out_h",
+        "out_w",
+        "patch_len",
+        "index",
+    )
+
+    def __init__(
+        self,
+        channels: int,
+        height: int,
+        width: int,
+        kernel: Tuple[int, int],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ):
+        self.channels = channels
+        self.height = height
+        self.width = width
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        kh, kw = kernel
+        sh, sw = stride
+        ph, pw = padding
+        self.out_h = conv_output_size(height, kh, sh, ph)
+        self.out_w = conv_output_size(width, kw, sw, pw)
+        self.patch_len = channels * kh * kw
+
+        padded_h = height + 2 * ph
+        padded_w = width + 2 * pw
+        # Flat offsets of one patch's elements within a flattened
+        # (C, padded_h, padded_w) sample, column order (c, kh, kw).
+        element = (
+            np.arange(channels, dtype=np.intp)[:, None, None] * (padded_h * padded_w)
+            + np.arange(kh, dtype=np.intp)[None, :, None] * padded_w
+            + np.arange(kw, dtype=np.intp)[None, None, :]
+        ).reshape(-1)
+        # Flat offset of each patch's top-left corner, row order (oh, ow).
+        origin = (
+            np.arange(self.out_h, dtype=np.intp)[:, None] * sh * padded_w
+            + np.arange(self.out_w, dtype=np.intp)[None, :] * sw
+        ).reshape(-1)
+        self.index = origin[:, None] + element[None, :]
+
+    def gather(self, x: np.ndarray, pool: BufferPool) -> np.ndarray:
+        """Unfold a C-contiguous NCHW batch into pooled patch columns.
+
+        Returns a pooled ``(N * out_h * out_w, C * kh * kw)`` buffer with
+        exactly the values :func:`repro.tensor.im2col.im2col` produces;
+        the caller releases it when the matmul has consumed it.
+        """
+        token = _profiler.op_start()
+        n = x.shape[0]
+        ph, pw = self.padding
+        if ph or pw:
+            pad_buf = pool.get(
+                (n, self.channels, self.height + 2 * ph, self.width + 2 * pw),
+                x.dtype,
+            )
+            pad_buf.fill(0)
+            pad_buf[:, :, ph : ph + self.height, pw : pw + self.width] = x
+            src = pad_buf
+        else:
+            pad_buf = None
+            src = x
+        cols = pool.get((n * self.out_h * self.out_w, self.patch_len), x.dtype)
+        src.reshape(n, -1).take(
+            self.index,
+            axis=1,
+            out=cols.reshape(n, self.out_h * self.out_w, self.patch_len),
+        )
+        if pad_buf is not None:
+            pool.release(pad_buf)
+        _profiler.op_end(token, "compiled.im2col")
+        return cols
+
+
+_PlanKey = Tuple[int, int, int, int, int, int, int, int, int]
+
+_CACHE: Dict[_PlanKey, Im2colPlan] = {}
+_LOCK = threading.Lock()
+_HITS = 0
+_MISSES = 0
+
+
+def get_plan(
+    channels: int,
+    height: int,
+    width: int,
+    kernel: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Im2colPlan:
+    """The cached plan for one per-sample geometry (thread-safe)."""
+    global _HITS, _MISSES
+    key = (channels, height, width, *kernel, *stride, *padding)
+    with _LOCK:
+        plan = _CACHE.get(key)
+        if plan is not None:
+            _HITS += 1
+            return plan
+        _MISSES += 1
+    # Build outside the lock (construction can be non-trivial for large
+    # geometries); a racing duplicate is discarded harmlessly.
+    plan = Im2colPlan(channels, height, width, kernel, stride, padding)
+    with _LOCK:
+        return _CACHE.setdefault(key, plan)
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """``{"size", "hits", "misses"}`` counters of the global plan cache."""
+    with _LOCK:
+        return {"size": len(_CACHE), "hits": _HITS, "misses": _MISSES}
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    global _HITS, _MISSES
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0

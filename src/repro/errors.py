@@ -28,6 +28,15 @@ class ConvergenceError(ReproError):
     """A training run failed to make progress when it was required to."""
 
 
+class CompileError(ReproError):
+    """A model could not be lowered to the compiled inference executor.
+
+    Raised by :func:`repro.compile.compile_model` for architectures or
+    layers without a fused kernel; :func:`repro.compile.maybe_compiled`
+    catches it and falls back to the interpreted forward pass.
+    """
+
+
 class ServiceOverloadError(ReproError):
     """The inference service's bounded queue is saturated.
 

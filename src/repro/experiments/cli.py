@@ -125,6 +125,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="record per-op wall time / allocations and print a table",
     )
+    parser.add_argument(
+        "--no-compile",
+        action="store_true",
+        help=(
+            "evaluate through the interpreted forward pass instead of "
+            "the fused compiled executor (results are bit-identical; "
+            "this is a speed/debugging knob)"
+        ),
+    )
 
 
 def _run_one(
@@ -267,6 +276,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 1) < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if getattr(args, "no_compile", False):
+        from repro import compile as repro_compile
+
+        repro_compile.set_enabled(False)
     if args.command == "list":
         for name in DEFAULT_ORDER:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]

@@ -142,6 +142,13 @@ class Module:
         """Set training mode recursively (affects batch norm, dropout)."""
         for module in self.modules():
             object.__setattr__(module, "training", mode)
+        if mode:
+            # Training mutates batch-norm running stats in place, which
+            # no parameter version counter observes; bump a generation
+            # counter so compiled-model fingerprints go stale.
+            object.__setattr__(
+                self, "_generation", getattr(self, "_generation", 0) + 1
+            )
         return self
 
     def eval(self) -> "Module":
@@ -207,6 +214,7 @@ class Module:
                         f"{param.data.shape} vs {value.shape}"
                     )
                 param.data = value.astype(param.data.dtype, copy=True)
+                param.version = getattr(param, "version", 0) + 1
             elif name in own_buffers:
                 module, local = own_buffers[name]
                 current = module._buffers[local]
@@ -219,6 +227,10 @@ class Module:
                 current[...] = value
             elif strict:
                 raise ConfigError(f"unexpected key {name}")
+        # Buffers were overwritten in place; invalidate value-keyed caches.
+        object.__setattr__(
+            self, "_generation", getattr(self, "_generation", 0) + 1
+        )
 
     def _iter_buffer_slots(self):
         for module_name, module in self.named_modules():

@@ -11,12 +11,18 @@ class Parameter(Tensor):
     Unlike ordinary tensors, a Parameter requires grad even when created
     inside a ``no_grad`` block, so module construction is insensitive to
     the surrounding grad mode.
+
+    ``version`` counts value updates (optimizer steps,
+    ``load_state_dict``); caches keyed on parameter values — the
+    quantized-weight memo, the compiled-model fingerprint — use it to
+    detect staleness without hashing the data.
     """
 
-    __slots__ = ()
+    __slots__ = ("version",)
 
     def __init__(self, data, name: str = ""):
         super().__init__(data, requires_grad=True, name=name)
         # Tensor.__init__ masks requires_grad with the global grad mode;
         # parameters must stay trainable regardless.
         self.requires_grad = True
+        self.version = 0

@@ -76,6 +76,7 @@ class Adam(Optimizer):
             s1 *= self.lr
             s1 /= s2
             p.data -= s1
+            p.version = getattr(p, "version", 0) + 1
             if self.weight_decay:
                 pool.release(grad)
             pool.release(s1)

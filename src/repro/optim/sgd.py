@@ -78,5 +78,6 @@ class SGD(Optimizer):
             else:
                 scratch *= self.lr
             p.data -= scratch
+            p.version = getattr(p, "version", 0) + 1
             pool.release(scratch)
         _profiler.op_end(token, "optim.step")

@@ -31,7 +31,7 @@ from repro.quant.dorefa import (
     quantize_symmetric,
 )
 from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, is_grad_enabled
 
 
 @dataclass(frozen=True)
@@ -54,6 +54,30 @@ class QuantConfig:
         return self.bw >= 32 and self.bx >= 32
 
 
+def _memoized_quantized_weight(layer) -> Tensor:
+    """DoReFa-quantize ``layer.weight``, memoized at inference time.
+
+    Under grad mode the quantizer must run through the STE graph every
+    forward, so memoization only applies inside ``no_grad()``.  The memo
+    is keyed on the parameter's version counter plus the identity of its
+    backing array, so optimizer steps, ``load_state_dict`` and direct
+    ``weight.data`` reassignment all invalidate it.
+    """
+    if is_grad_enabled():
+        return dorefa_quantize_weight(layer.weight, layer.bw)
+    key = (getattr(layer.weight, "version", 0), layer.bw)
+    cached = getattr(layer, "_qw_cache", None)
+    if (
+        cached is not None
+        and cached[0] == key
+        and cached[1] is layer.weight.data
+    ):
+        return cached[2]
+    qw = dorefa_quantize_weight(layer.weight, layer.bw)
+    object.__setattr__(layer, "_qw_cache", (key, layer.weight.data, qw))
+    return qw
+
+
 class QuantConv2d(Conv2d):
     """Conv2d whose weights are DoReFa-quantized to ``bw`` bits per forward.
 
@@ -66,7 +90,7 @@ class QuantConv2d(Conv2d):
         self.bw = bw
 
     def quantized_weight(self) -> Tensor:
-        return dorefa_quantize_weight(self.weight, self.bw)
+        return _memoized_quantized_weight(self)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(
@@ -89,7 +113,7 @@ class QuantLinear(Linear):
         self.bw = bw
 
     def quantized_weight(self) -> Tensor:
-        return dorefa_quantize_weight(self.weight, self.bw)
+        return _memoized_quantized_weight(self)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.quantized_weight(), self.bias)

@@ -85,6 +85,12 @@ class InferenceEngine:
     workers:
         Batch-executor threads.  More workers overlap queue handling
         with compute; determinism per request is unaffected.
+    compile_models:
+        Lower cached models to the fused tape-free executor
+        (:mod:`repro.compile`) when they load, and serve batches
+        through it.  Predictions are bit-identical either way —
+        including per-request AMS noise — so this is purely a speed
+        knob; pass ``False`` to force the interpreted forward.
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class InferenceEngine:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         workers: int = 1,
+        compile_models: bool = True,
     ):
         if max_models < 1:
             raise ConfigError(f"max_models must be >= 1, got {max_models}")
@@ -111,6 +118,7 @@ class InferenceEngine:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.workers = workers
+        self.compile_models = compile_models
         self._queue: "queue.Queue[_Request]" = queue.Queue()
         self._models: "OrderedDict[ModelSpec, Tuple[object, threading.Lock]]" = (
             OrderedDict()
@@ -250,6 +258,12 @@ class InferenceEngine:
         # Concurrent builders of the same spec are safe — the cache on
         # disk is write-then-rename — and the duplicate is discarded.
         model, _meta = self.workbench.model(spec)
+        if self.compile_models:
+            # Compile once at cache-load time, off the hot path; the
+            # compiled executor is cached on the model itself.
+            from repro.compile import maybe_compiled
+
+            maybe_compiled(model)
         with self._models_lock:
             if spec not in self._models:
                 self._models[spec] = (model, threading.Lock())
@@ -345,7 +359,20 @@ class InferenceEngine:
                         ]
                     )
             try:
-                return np.array(predict_logits(model, images), copy=True)
+                if self.compile_models:
+                    from repro.compile import maybe_compiled
+
+                    compiled = maybe_compiled(model)
+                    if compiled is not None:
+                        # predict() copies out of the pooled buffer.
+                        return compiled.predict(images)
+                    return np.array(predict_logits(model, images), copy=True)
+                # Engine-level opt-out must hold even when compilation
+                # is globally enabled: predict_logits would compile.
+                from repro.compile import disabled
+
+                with disabled():
+                    return np.array(predict_logits(model, images), copy=True)
             finally:
                 for injector in injectors:
                     injector.set_row_rngs(None)

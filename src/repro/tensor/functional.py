@@ -78,6 +78,14 @@ def conv2d(
         out = out + bias.data
     out = out.reshape(n, out_h, out_w, c_out).transpose(0, 3, 1, 2)
 
+    if not is_grad_enabled():
+        # Inference: skip the backward-closure construction entirely;
+        # the patch-column workspace is immediately reusable.
+        result = Tensor(out)
+        default_pool().release(cols)
+        _profiler.op_end(token, "conv2d.forward")
+        return result
+
     x_shape = x.shape
 
     def grad_x(g: np.ndarray) -> np.ndarray:
@@ -104,10 +112,6 @@ def conv2d(
     if bias is not None:
         parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
     result = Tensor._result(out, parents)
-    if not is_grad_enabled():
-        # Inference: the backward closures were dropped by _result, so
-        # the patch-column workspace is immediately reusable.
-        default_pool().release(cols)
     _profiler.op_end(token, "conv2d.forward")
     return result
 

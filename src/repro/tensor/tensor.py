@@ -172,9 +172,11 @@ class Tensor:
         parents: Sequence[Tuple["Tensor", GradFn]],
     ) -> "Tensor":
         """Create an op result, wiring parents only if grad is enabled."""
-        tracked = [
-            (p, fn) for p, fn in parents if p.requires_grad
-        ] if is_grad_enabled() else []
+        if not is_grad_enabled():
+            # Inference fast path: no parent filtering, no closure
+            # bookkeeping — just wrap the data.
+            return Tensor(data)
+        tracked = [(p, fn) for p, fn in parents if p.requires_grad]
         out = Tensor(data, requires_grad=bool(tracked))
         out._parents = tuple(tracked)
         return out

@@ -43,11 +43,18 @@ def evaluate_accuracy(
         else DataLoader(data, batch_size=batch_size)
     )
     model.eval()
+    from repro.compile import maybe_compiled
+    from repro.tensor.pool import default_pool
+
+    compiled = maybe_compiled(model)
     correct = 0
     total = 0
     with no_grad():
         for images, labels in loader:
-            logits = model(Tensor(images)).data
+            if compiled is not None:
+                logits = compiled.run(images)
+            else:
+                logits = model(Tensor(images)).data
             if k == 1:
                 hits = logits.argmax(axis=1) == labels
             else:
@@ -56,6 +63,10 @@ def evaluate_accuracy(
                 hits = (top == labels[:, None]).any(axis=1)
             correct += int(hits.sum())
             total += len(labels)
+            if compiled is not None:
+                # compiled.run hands out a pooled buffer; we are done
+                # with it once the hits are counted.
+                default_pool().release(logits)
     return correct / total
 
 
@@ -92,6 +103,11 @@ def predict_logits(model: Module, images: np.ndarray) -> np.ndarray:
     as the serving engine does).
     """
     model.eval()
+    from repro.compile import maybe_compiled
+
+    compiled = maybe_compiled(model)
+    if compiled is not None:
+        return compiled.predict(images)
     with no_grad():
         return model(Tensor(images)).data
 

@@ -35,12 +35,19 @@ class Probe(Module):
         self._total = 0.0
         self._total_sq = 0.0
 
-    def forward(self, x: Tensor) -> Tensor:
+    def observe(self, data) -> None:
+        """Accumulate statistics over one array (no-op while disabled).
+
+        Shared by :meth:`forward` and the compiled executor, which calls
+        it directly on the fused layer output.
+        """
         if self.enabled:
-            data = x.data
             self._count += data.size
             self._total += float(data.sum(dtype="float64"))
             self._total_sq += float((data.astype("float64") ** 2).sum())
+
+    def forward(self, x: Tensor) -> Tensor:
+        self.observe(x.data)
         return x
 
     @property

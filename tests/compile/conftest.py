@@ -1,0 +1,46 @@
+"""Fixtures for compiled-executor tests: a micro workbench.
+
+Bit-identity tests build *untrained* (but input-calibrated) models,
+which exercise every kernel without paying for training; the serving
+determinism test trains through the same microscopic configuration the
+serve tests use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import Workbench
+from repro.experiments.config import make_config
+
+
+@pytest.fixture(scope="session")
+def compile_config(tmp_path_factory):
+    root = tmp_path_factory.mktemp("compile")
+    config = make_config(profile="quick", seed=55)
+    return replace(
+        config,
+        num_classes=4,
+        image_size=8,
+        train_per_class=24,
+        val_per_class=10,
+        pretrain_epochs=3,
+        retrain_epochs=2,
+        batch_size=32,
+        patience=2,
+        eval_passes=2,
+        cache_dir=str(root / "cache"),
+        results_dir=str(root / "results"),
+    )
+
+
+@pytest.fixture(scope="session")
+def compile_bench(compile_config):
+    return Workbench(compile_config)
+
+
+@pytest.fixture(scope="session")
+def batch(compile_bench):
+    return compile_bench.data.val.images[:8]

@@ -1,0 +1,112 @@
+"""Staleness handling: fingerprints, memoized weights, cached compiles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compile import disabled, maybe_compiled, model_fingerprint
+from repro.optim.sgd import SGD
+from repro.quant.qmodules import QuantConv2d
+from repro.serve import ModelSpec
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def _fit_one_step(model, images):
+    model.train()
+    logits = model(Tensor(images))
+    loss = (logits * logits).sum() * (1.0 / logits.size)
+    loss.backward()
+    optimizer = SGD(model.parameters(), lr=1e-3)
+    optimizer.step()
+    model.zero_grad()
+
+
+class TestQuantizedWeightMemo:
+    def test_memoized_under_no_grad(self):
+        layer = QuantConv2d(3, 4, 3, bw=8)
+        with no_grad():
+            first = layer.quantized_weight()
+            second = layer.quantized_weight()
+        assert first is second
+
+    def test_fresh_under_grad_mode(self):
+        layer = QuantConv2d(3, 4, 3, bw=8)
+        first = layer.quantized_weight()
+        second = layer.quantized_weight()
+        assert first is not second
+        # The STE graph must survive for training.
+        assert first._parents
+
+    def test_version_bump_invalidates(self):
+        layer = QuantConv2d(3, 4, 3, bw=8)
+        with no_grad():
+            first = layer.quantized_weight()
+            layer.weight.version += 1
+            second = layer.quantized_weight()
+        assert first is not second
+
+    def test_data_reassignment_invalidates(self):
+        layer = QuantConv2d(3, 4, 3, bw=8)
+        with no_grad():
+            first = layer.quantized_weight()
+            layer.weight.data = layer.weight.data * np.float32(2.0)
+            second = layer.quantized_weight()
+        assert first is not second
+        assert not np.array_equal(first.data, second.data)
+
+
+class TestCompiledCacheInvalidation:
+    def test_cached_until_weights_move(self, compile_bench, batch):
+        spec = ModelSpec("quant", bw=8, bx=8).resolved(
+            compile_bench.config
+        )
+        model = compile_bench.build(spec)
+        model.eval()
+        compiled = maybe_compiled(model)
+        assert compiled is not None
+        assert maybe_compiled(model) is compiled  # fingerprint hit
+
+        before = model_fingerprint(model)
+        _fit_one_step(model, batch)
+        model.eval()
+        assert model_fingerprint(model) != before
+        recompiled = maybe_compiled(model)
+        assert recompiled is not None and recompiled is not compiled
+        # The recompiled executor tracks the updated weights.
+        with no_grad():
+            expected = np.array(model(Tensor(batch)).data, copy=True)
+        assert np.array_equal(expected, recompiled.predict(batch))
+
+    def test_train_mode_bumps_generation(self, compile_bench):
+        spec = ModelSpec("fp32").resolved(compile_bench.config)
+        model = compile_bench.build(spec)
+        before = model_fingerprint(model)
+        model.train()
+        assert model_fingerprint(model) != before
+
+    def test_load_state_dict_invalidates(self, compile_bench):
+        spec = ModelSpec("fp32").resolved(compile_bench.config)
+        model = compile_bench.build(spec)
+        before = model_fingerprint(model)
+        model.load_state_dict(model.state_dict())
+        assert model_fingerprint(model) != before
+
+    def test_disabled_returns_none(self, compile_bench):
+        spec = ModelSpec("fp32").resolved(compile_bench.config)
+        model = compile_bench.build(spec)
+        with disabled():
+            assert maybe_compiled(model) is None
+        assert maybe_compiled(model) is not None
+
+
+class TestNoGradFastPath:
+    def test_result_skips_graph_bookkeeping(self):
+        a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        tracked = a + b
+        assert tracked._parents
+        with no_grad():
+            untracked = a + b
+        assert untracked._parents == ()
+        assert not untracked.requires_grad
+        assert np.array_equal(tracked.data, untracked.data)

@@ -1,0 +1,45 @@
+"""Compiled runs allocate nothing at steady state.
+
+After one warm-up run every intermediate — im2col columns, matmul
+output, activation masks, noise draws — comes out of the buffer pool,
+and every release is accepted (no stray views, no double releases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compile import compile_model
+from repro.serve import ModelSpec
+from repro.tensor.pool import default_pool
+
+
+class TestPoolSteadyState:
+    def test_second_run_allocates_nothing(self, compile_bench, batch):
+        spec = ModelSpec("ams_eval", enob=4.0).resolved(
+            compile_bench.config
+        )
+        compiled = compile_model(compile_bench.build(spec))
+        pool = default_pool()
+        pool.release(compiled.run(batch))  # warm-up populates the pool
+        pool.reset_stats()
+        logits = compiled.run(batch)
+        assert isinstance(logits, np.ndarray)
+        pool.release(logits)
+        stats = pool.stats
+        assert stats.allocations == 0
+        assert stats.bytes_allocated == 0
+        assert stats.rejected == 0
+        # Every pooled get was matched by an accepted release.
+        assert stats.hits == stats.releases
+
+    def test_predict_copies_out_of_the_pool(self, compile_bench, batch):
+        spec = ModelSpec("fp32").resolved(compile_bench.config)
+        compiled = compile_model(compile_bench.build(spec))
+        first = compiled.predict(batch)
+        second = compiled.predict(batch)
+        # predict() returns fresh caller-owned arrays, not pool buffers,
+        # so consecutive calls cannot alias each other.
+        assert first is not second
+        assert first.base is None
+        assert np.array_equal(first, second)  # noise-free spec

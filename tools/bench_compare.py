@@ -19,8 +19,9 @@ baseline in the same change.  Speedups beyond the threshold are flagged
 as a hint to refresh the baseline with ``--update``.
 
 Hand-recorded medians (``BENCH_serve.json``, ``BENCH_parallel_sweep
-.json``) are diffed too: their ``median_seconds`` entries are matched
-against the current run by bare test name and gated by the same
+.json``, ``BENCH_compiled.json``) are diffed too: their
+``median_seconds`` entries are matched against the current run by
+bare test name and gated by the same
 threshold.  ``--update`` never rewrites them — re-record by hand (see
 docs/performance.md for the multicore caveat).
 """
@@ -42,6 +43,7 @@ DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_baseline.json")
 DEFAULT_RECORDED = (
     os.path.join(REPO_ROOT, "BENCH_serve.json"),
     os.path.join(REPO_ROOT, "BENCH_parallel_sweep.json"),
+    os.path.join(REPO_ROOT, "BENCH_compiled.json"),
 )
 
 
