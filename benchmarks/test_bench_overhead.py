@@ -170,3 +170,53 @@ def _timed(fn):
     start = perf_counter()
     fn()
     return perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# observability-layer inactive overhead
+# ----------------------------------------------------------------------
+def test_inactive_journal_event_is_cheap():
+    """journal_event with no open run must stay near-free.
+
+    Library code (trainer, sweep engine, compile cache) journals
+    unconditionally; the promise is that the inactive path is one
+    global read and a None check.  Bound it loosely enough to never
+    flake, tightly enough to catch an accidental dict build or
+    validation on the disabled path.
+    """
+    from time import perf_counter
+
+    from repro.obs.journal import current_journal, journal_event
+
+    assert current_journal() is None, "bench requires no active run"
+    calls = 100_000
+    journal_event("note", message="warmup")
+    start = perf_counter()
+    for _ in range(calls):
+        journal_event("note", message="dropped")
+    unit_s = (perf_counter() - start) / calls
+    assert unit_s < 10e-6, f"inactive journal_event: {unit_s * 1e9:.0f} ns"
+
+
+def test_bare_span_is_cheap():
+    """A span with no profiler and no capture buffer stays micro-cheap.
+
+    Spans bracket per-epoch / per-point / per-batch blocks (tens of
+    milliseconds each), so tens of microseconds of bracket cost would
+    already be invisible; assert an order of magnitude under that.
+    """
+    from time import perf_counter
+
+    from repro.obs.trace import span
+    from repro.utils import profiler
+
+    profiler.disable()
+    calls = 20_000
+    with span("bench.span_overhead"):
+        pass  # warm the thread-local stack
+    start = perf_counter()
+    for _ in range(calls):
+        with span("bench.span_overhead"):
+            pass
+    unit_s = (perf_counter() - start) / calls
+    assert unit_s < 50e-6, f"bare span: {unit_s * 1e9:.0f} ns"

@@ -103,18 +103,37 @@ def maybe_compiled(model: Module) -> Optional[CompiledModel]:
     :func:`model_fingerprint`; models without a lowering cache the
     failure too, so the interpreter fallback costs one attribute read
     per call instead of a raised exception per batch.
+
+    Cache behaviour is published to the default metric registry:
+    ``compile.cache_hit`` / ``compile.recompiled`` (a stale fingerprint
+    forced a fresh lowering) / ``compile.models_compiled`` /
+    ``compile.compile_failed`` counters and the ``compile.seconds``
+    histogram over lowering times.
     """
     if not _ENABLED or not isinstance(model, Module):
         # Duck-typed stand-ins (test doubles with just __call__/eval)
         # simply stay on the interpreted path.
         return None
+    from repro.obs.metrics import default_registry
+    from repro.obs.trace import span
+
+    registry = default_registry()
     fingerprint = model_fingerprint(model)
     cached = getattr(model, "_compiled_cache", None)
     if cached is not None and cached[0] == fingerprint:
+        registry.counter("compile.cache_hit").inc()
         return cached[1]
-    try:
-        compiled = compile_model(model)
-    except CompileError:
-        compiled = None
+    if cached is not None:
+        registry.counter("compile.recompiled").inc()
+    with span("compile.model") as compile_span:
+        try:
+            compiled = compile_model(model)
+        except CompileError:
+            compiled = None
+    registry.histogram("compile.seconds").observe(compile_span.duration_s)
+    if compiled is None:
+        registry.counter("compile.compile_failed").inc()
+    else:
+        registry.counter("compile.models_compiled").inc()
     object.__setattr__(model, "_compiled_cache", (fingerprint, compiled))
     return compiled

@@ -517,6 +517,9 @@ class CompiledModel:
                 while len(self._bindings) >= _MAX_BINDINGS:
                     _, evicted = self._bindings.popitem(last=False)
                     evicted.unbind()
+                    from repro.obs.metrics import default_registry
+
+                    default_registry().counter("compile.tapes_evicted").inc()
                 tape = _TapePool(pool)
                 self._bindings[x.shape] = tape
             else:

@@ -48,3 +48,27 @@ class ServiceOverloadError(ReproError):
 
 class ServiceTimeoutError(ReproError):
     """An inference request missed its deadline before completing."""
+
+
+class SweepError(ReproError):
+    """One or more grid points of a sweep failed.
+
+    Raised by :func:`repro.parallel.sweep_map` *after* every point has
+    run and every failure has been journaled as a ``sweep.point_failed``
+    event, so a partial sweep is never silently reported as success.
+    The CLI converts this into a non-zero exit code.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        #: ``(point_key, traceback_text)`` pairs, in point order.
+        self.failures = tuple(failures)
+
+
+class JournalError(ReproError):
+    """A run journal is corrupt beyond the tolerated torn final line.
+
+    A truncated *final* JSONL line is expected after a crash and is
+    skipped by the reader; an undecodable line anywhere else means the
+    stream was damaged and is reported as this error.
+    """

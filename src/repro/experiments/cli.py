@@ -7,6 +7,13 @@ Examples::
     python -m repro.experiments run fig8 --profile quick --seed 7
     python -m repro.experiments all --profile quick
     python -m repro.experiments serve --spec ams:e5.5:n8 --requests 256
+    python -m repro.experiments obs list
+    python -m repro.experiments obs summary <run_id>
+    python -m repro.experiments obs diff <runA> <runB>
+
+Every ``run`` / ``all`` / ``serve`` invocation records a run journal
+under ``<results_dir>/runs/<run_id>/`` (manifest, JSONL event stream,
+summary); the ``obs`` subcommands render those journals afterwards.
 """
 
 from __future__ import annotations
@@ -95,6 +102,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="cheaper spec served when the queue saturates (degradation)",
     )
     _add_common(serve)
+
+    obs = sub.add_parser("obs", help="inspect recorded run journals")
+    obs_sub = obs.add_subparsers(dest="action", required=True)
+    obs_list = obs_sub.add_parser("list", help="list recorded runs")
+    obs_tail = obs_sub.add_parser("tail", help="last events of one run")
+    obs_tail.add_argument("run", help="run id or run directory")
+    obs_tail.add_argument("-n", "--lines", type=int, default=20)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="reconstruct a run's tables from its journal"
+    )
+    obs_summary.add_argument("run", help="run id or run directory")
+    obs_diff = obs_sub.add_parser(
+        "diff", help="compare two runs' manifests, sweeps and metrics"
+    )
+    obs_diff.add_argument("run", help="first run id or directory")
+    obs_diff.add_argument("run_b", help="second run id or directory")
+    for obs_cmd in (obs_list, obs_tail, obs_summary, obs_diff):
+        obs_cmd.add_argument("--results-dir", default="results")
     return parser
 
 
@@ -132,6 +157,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "evaluate through the interpreted forward pass instead of "
             "the fused compiled executor (results are bit-identical; "
             "this is a speed/debugging knob)"
+        ),
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        help=(
+            "journal run id under <results-dir>/runs/ (default: a "
+            "timestamp-pid id)"
         ),
     )
 
@@ -202,14 +235,82 @@ def _handle_cache(action: str, cache_dir: str) -> int:
     return 0
 
 
-def _handle_serve(args) -> int:
+def _handle_obs(args) -> int:
+    """Render recorded run journals (list / tail / summary / diff)."""
+    from repro.errors import ReproError
+    from repro.obs.summary import (
+        diff_runs,
+        render_run_list,
+        summarize_run,
+        tail_run,
+    )
+
+    try:
+        if args.action == "list":
+            print(render_run_list(args.results_dir))
+        elif args.action == "tail":
+            print(tail_run(args.run, args.results_dir, n=args.lines))
+        elif args.action == "summary":
+            print(summarize_run(args.run, args.results_dir))
+        else:
+            print(diff_runs(args.run, args.run_b, args.results_dir))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _journaled(args, config, argv: List[str], body) -> int:
+    """Run ``body()`` under a run journal; non-zero exit on SweepError.
+
+    The journal opens before and closes after the command: manifest at
+    start, a final default-registry metrics snapshot, and a run_end
+    whose status reflects how the command finished.  A
+    :class:`~repro.errors.SweepError` (grid points failed — they were
+    all journaled as ``sweep.point_failed`` already) becomes exit code
+    1 instead of a traceback.
+    """
+    from repro.errors import SweepError
+    from repro.obs.journal import end_run, start_run
+    from repro.obs.metrics import default_registry
+
+    journal = start_run(
+        results_dir=config.results_dir,
+        run_id=getattr(args, "run_id", None),
+        argv=argv,
+        config=config,
+        seed=args.seed,
+    )
+    print(f"[journal] run {journal.run_id} -> {journal.run_dir}")
+    try:
+        code = body()
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        journal.metrics_snapshot(default_registry(), scope="default")
+        end_run(status="failed", error=str(exc))
+        return 1
+    except BaseException:
+        end_run(status="failed")
+        raise
+    journal.metrics_snapshot(default_registry(), scope="default")
+    end_run(status="ok" if code == 0 else "failed")
+    return code
+
+
+def _handle_serve(args, argv: List[str]) -> int:
     """Drive the batched inference service end to end from the CLI."""
+    config = make_config(
+        profile=args.profile, seed=args.seed, results_dir=args.results_dir
+    )
+    return _journaled(args, config, argv, lambda: _serve_body(args, config))
+
+
+def _serve_body(args, config) -> int:
     import numpy as np
 
     from repro.serve import InferenceEngine, InferenceService, ModelSpec
     from repro.utils import profiler
 
-    config = make_config(profile=args.profile, seed=args.seed)
     bench = Workbench(config, jobs=args.jobs)
     spec = ModelSpec.parse(args.spec)
     fallback = (
@@ -250,14 +351,25 @@ def _handle_serve(args) -> int:
         if prof_ctx:
             prof_ctx.__exit__(None, None, None)
 
-    hits = sum(
-        p.label == labels[i % len(labels)] for i, p in enumerate(predictions)
+    from repro.obs.journal import current_journal, journal_event
+    from repro.obs.result import EvalResult
+
+    result = EvalResult.from_predictions(
+        predictions,
+        [labels[i % len(labels)] for i in range(count)],
+        wall_time_s=elapsed,
+        noise_seed=args.seed,
     )
     degraded = sum(p.degraded for p in predictions)
+    journal_event("serve.stats", stats=engine.stats().snapshot())
+    journal_event("note", message=f"serve eval result: {result!r}")
+    journal = current_journal()
+    if journal is not None:
+        journal.metrics_snapshot(engine.stats().registry, scope="serve")
     print(engine.stats().report())
     print(
         f"\nserved {count} requests in {elapsed:.2f}s "
-        f"({count / elapsed:.1f} req/s), accuracy {hits / count:.4f}"
+        f"({count / elapsed:.1f} req/s), accuracy {result:.4f}"
         + (f", {degraded} degraded" if degraded else "")
     )
     if prof is not None:
@@ -273,6 +385,7 @@ def _handle_serve(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
+    cli_argv = list(sys.argv[1:] if argv is None else argv)
     args = parser.parse_args(argv)
     if getattr(args, "jobs", 1) < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -287,8 +400,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "cache":
         return _handle_cache(args.action, args.cache_dir)
+    if args.command == "obs":
+        return _handle_obs(args)
     if args.command == "serve":
-        return _handle_serve(args)
+        return _handle_serve(args, cli_argv)
     if args.command == "export":
         from repro.experiments.export import export_all
 
@@ -296,14 +411,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(path)
         return 0
 
-    config = make_config(profile=args.profile, seed=args.seed)
+    config = make_config(
+        profile=args.profile, seed=args.seed, results_dir=args.results_dir
+    )
     bench = Workbench(config, jobs=args.jobs)
-    if args.command == "run":
-        _run_one(args.experiment, bench, args.results_dir, args.profile_ops)
-    else:
-        for name in DEFAULT_ORDER:
-            _run_one(name, bench, args.results_dir, args.profile_ops)
-    return 0
+
+    def _body() -> int:
+        if args.command == "run":
+            _run_one(
+                args.experiment, bench, args.results_dir, args.profile_ops
+            )
+        else:
+            for name in DEFAULT_ORDER:
+                _run_one(name, bench, args.results_dir, args.profile_ops)
+        return 0
+
+    return _journaled(args, config, cli_argv, _body)
 
 
 if __name__ == "__main__":

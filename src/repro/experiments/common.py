@@ -207,6 +207,8 @@ class Workbench:
         Returns ``(model_with_best_weights, metadata)`` where metadata
         records the best validation accuracy and training history.
         """
+        from repro.obs.journal import journal_event
+
         base = self._cache_base(name)
         state_path = base + ".npz"
         meta_path = base + ".json"
@@ -215,6 +217,7 @@ class Workbench:
             model.load_state_dict(load_state(state_path))
             with open(meta_path) as fh:
                 meta = json.load(fh)
+            journal_event("bench.artifact", name=name, source="cache")
             return model, meta
 
         if init_state is not None:
@@ -243,6 +246,7 @@ class Workbench:
             json.dump(meta, fh, indent=2)
         os.replace(tmp_state, state_path)
         os.replace(tmp_meta, meta_path)
+        journal_event("bench.artifact", name=name, source="trained")
         return model, meta
 
     def _pretrain_config(self) -> TrainConfig:

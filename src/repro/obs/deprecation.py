@@ -1,0 +1,34 @@
+"""Warn-once deprecation helper shared by the telemetry shims.
+
+The same pattern the Workbench keyword shims use: the first use of a
+deprecated entry point emits one :class:`DeprecationWarning` per
+process, later uses are silent.  Tests reset the registry via
+:func:`reset` to assert the exactly-once contract.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Keys whose warning already fired this process.
+_WARNED: set = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``message`` as a DeprecationWarning once per ``key``.
+
+    Returns True when the warning fired (first use), False on repeats.
+    """
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset(key: str = None) -> None:
+    """Forget fired warnings (all, or one key) — for tests."""
+    if key is None:
+        _WARNED.clear()
+    else:
+        _WARNED.discard(key)

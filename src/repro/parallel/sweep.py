@@ -20,15 +20,31 @@ grid of independent points (ENOB values, freeze groups, layer indices):
 
 Point functions must be module-level functions of signature
 ``fn(bench, *args, **kwargs)`` returning picklable values.
+
+**Failure contract.**  A point that raises does not abort the sweep
+mid-grid (the old behaviour: ``pool.map`` re-raised the first worker
+exception and every other point's outcome — done or not — was thrown
+away).  Instead each point's exception is captured with its traceback,
+every remaining point still runs, the failures are journaled as
+``sweep.point_failed`` events, and :func:`sweep_map` then raises
+:class:`~repro.errors.SweepError` carrying all ``(key, traceback)``
+pairs — which the CLI turns into a non-zero exit.  Completed points
+are journaled as ``sweep.point_done`` with their result payloads, so a
+partially-failed sweep is fully reconstructible from its run journal.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Mapping, Optional, Sequence
+import traceback as _traceback
+from time import perf_counter
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.errors import SweepError
+from repro.obs.journal import journal_event, to_jsonable
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from repro.parallel.runner import SweepRunner
 from repro.parallel.scheduler import Artifact, SweepPoint, plan
-from repro.utils import profiler as _profiler
 
 #: Worker-process-local workbench, built once by :func:`_init_worker`.
 _WORKER_BENCH = None
@@ -41,9 +57,32 @@ def _init_worker(config) -> None:
     _WORKER_BENCH = Workbench(config)
 
 
+def _call_point(fn, bench, point: SweepPoint, index: int) -> Tuple:
+    """Run one point, capturing any exception as a status tuple.
+
+    Returns ``(status, index, key, value, seconds, traceback_text)``
+    with ``status`` in ``{"ok", "failed"}`` — picklable either way, so
+    a worker failure travels back to the parent instead of poisoning
+    the pool.
+    """
+    started = perf_counter()
+    try:
+        value = fn(bench, *point.args, **point.kwargs)
+    except Exception:  # noqa: BLE001 - the parent re-raises as SweepError
+        return (
+            "failed",
+            index,
+            point.key,
+            None,
+            perf_counter() - started,
+            _traceback.format_exc(),
+        )
+    return ("ok", index, point.key, value, perf_counter() - started, None)
+
+
 def _run_point(task):
-    fn, args, kwargs = task
-    return fn(_WORKER_BENCH, *args, **kwargs)
+    fn, point, index = task
+    return _call_point(fn, _WORKER_BENCH, point, index)
 
 
 def sweep_map(
@@ -55,25 +94,69 @@ def sweep_map(
     """Evaluate ``fn(bench, *point.args, **point.kwargs)`` per point.
 
     Results are returned in point order.  See the module docstring for
-    the serial/parallel execution contract.
+    the serial/parallel execution contract and the failure contract
+    (all points always run; any failures surface afterwards as one
+    :class:`~repro.errors.SweepError`).
     """
     schedule = plan(points, artifacts or {})
-    token = _profiler.op_start()
-    for name in schedule.prelude:
-        artifacts[name].build(bench)
-    _profiler.op_end(token, "sweep.prelude")
+    with span("sweep.prelude"):
+        for name in schedule.prelude:
+            artifacts[name].build(bench)
 
-    token = _profiler.op_start()
     jobs = getattr(bench, "jobs", 1)
-    if jobs <= 1:
-        results = [
-            fn(bench, *p.args, **p.kwargs) for p in schedule.points
-        ]
-    else:
-        runner = SweepRunner(
-            jobs=jobs, initializer=_init_worker, initargs=(bench.config,)
+    registry = default_registry()
+    journal_event("sweep.start", points=len(schedule.points))
+    registry.gauge("sweep.jobs").set(max(jobs, 1))
+    with span("sweep.points"):
+        if jobs <= 1:
+            outcomes = [
+                _call_point(fn, bench, point, index)
+                for index, point in enumerate(schedule.points)
+            ]
+        else:
+            runner = SweepRunner(
+                jobs=jobs, initializer=_init_worker, initargs=(bench.config,)
+            )
+            tasks = [
+                (fn, point, index)
+                for index, point in enumerate(schedule.points)
+            ]
+            outcomes = runner.map(_run_point, tasks)
+
+    results: List = [None] * len(schedule.points)
+    failures: List[Tuple[str, str]] = []
+    for status, index, key, value, seconds, tb_text in outcomes:
+        if status == "ok":
+            results[index] = value
+            registry.counter("sweep.points_completed").inc()
+            registry.histogram("sweep.point_seconds").observe(seconds)
+            journal_event(
+                "sweep.point_done",
+                index=index,
+                key=to_jsonable(key),
+                seconds=seconds,
+                result=to_jsonable(value),
+            )
+        else:
+            failures.append((str(key), tb_text))
+            registry.counter("sweep.points_failed").inc()
+            error_line = tb_text.strip().splitlines()[-1]
+            journal_event(
+                "sweep.point_failed",
+                index=index,
+                key=to_jsonable(key),
+                error=error_line,
+                traceback=tb_text,
+            )
+    journal_event(
+        "sweep.end",
+        completed=len(schedule.points) - len(failures),
+        failed=len(failures),
+    )
+    if failures:
+        raise SweepError(
+            f"{len(failures)} of {len(schedule.points)} sweep points "
+            f"failed: {', '.join(key for key, _ in failures)}",
+            failures=failures,
         )
-        tasks = [(fn, p.args, p.kwargs) for p in schedule.points]
-        results = runner.map(_run_point, tasks)
-    _profiler.op_end(token, "sweep.points")
     return results

@@ -20,7 +20,7 @@ See ``docs/serving.md`` for the architecture and the knobs.
 from repro.serve.engine import InferenceEngine, Prediction
 from repro.serve.service import InferenceService
 from repro.serve.spec import VARIANTS, ModelSpec
-from repro.serve.stats import EngineStats
+from repro.serve.stats import EngineStats, EngineStatsView
 
 __all__ = [
     "ModelSpec",
@@ -29,4 +29,5 @@ __all__ = [
     "InferenceService",
     "Prediction",
     "EngineStats",
+    "EngineStatsView",
 ]

@@ -16,10 +16,14 @@ things the offline experiment harness never needed:
   other requests happened to share its batch.  Identical requests are
   therefore reproducible at any concurrency and any batch composition.
 
-Each executed batch is bracketed with the ``serve.batch`` profiler op,
-so ``--profile-ops`` decomposes serving time with the same tooling the
-training paths use; request-level telemetry lives in
-:meth:`InferenceEngine.stats`.
+Each executed batch runs under an ``obs.span("serve.batch")`` trace
+span, which forwards into the op profiler, so ``--profile-ops``
+decomposes serving time with the same tooling the training paths use.
+Request-level telemetry lives in :meth:`InferenceEngine.stats` — an
+:class:`~repro.serve.stats.EngineStatsView` over the engine's own
+:class:`~repro.obs.MetricRegistry` (``serve.*`` metrics: executed /
+degraded request counters, exact batch-size histogram, queue-depth
+gauge, compiled-vs-interpreted batch counters).
 """
 
 from __future__ import annotations
@@ -35,10 +39,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.trace import span
 from repro.serve.spec import ModelSpec
-from repro.serve.stats import EngineStats
+from repro.serve.stats import EngineStatsView
 from repro.train.evaluate import ams_injectors, predict_logits
-from repro.utils import profiler as _profiler
 from repro.utils.rng import point_seed_sequence
 
 
@@ -124,7 +128,8 @@ class InferenceEngine:
             OrderedDict()
         )
         self._models_lock = threading.Lock()
-        self._stats = EngineStats()
+        self._stats = EngineStatsView()
+        self._queue_depth = self._stats.registry.gauge("serve.queue_depth")
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
 
@@ -178,6 +183,7 @@ class InferenceEngine:
                 enqueued_s=perf_counter(),
             )
         )
+        self._queue_depth.inc()
         return future
 
     def classify(
@@ -235,8 +241,8 @@ class InferenceEngine:
             self._model_entry(spec.resolved(self.workbench.config))
         return self
 
-    def stats(self) -> EngineStats:
-        """The engine's live telemetry accumulator."""
+    def stats(self) -> EngineStatsView:
+        """The engine's live telemetry view (and its metric registry)."""
         return self._stats
 
     def cached_specs(self) -> List[ModelSpec]:
@@ -278,6 +284,7 @@ class InferenceEngine:
                 first = self._queue.get(timeout=0.05)
             except queue.Empty:
                 continue
+            self._queue_depth.dec()
             batch = [first]
             deadline = monotonic() + self.max_wait_ms / 1e3
             requeue = None
@@ -292,6 +299,7 @@ class InferenceEngine:
                     if remaining <= 0:
                         break
                     continue
+                self._queue_depth.dec()
                 if nxt.spec == batch[0].spec:
                     batch.append(nxt)
                 else:
@@ -302,6 +310,7 @@ class InferenceEngine:
                     break
             if requeue is not None:
                 self._queue.put(requeue)
+                self._queue_depth.inc()
             try:
                 predictions = self._execute(batch)
             except BaseException as exc:  # noqa: BLE001 - fail the requests
@@ -342,7 +351,8 @@ class InferenceEngine:
         self, model, images: np.ndarray, request_ids: List[int]
     ) -> np.ndarray:
         injectors = ams_injectors(model)
-        with _profiler.bracket("serve.batch"):
+        registry = self._stats.registry
+        with span("serve.batch"):
             if injectors:
                 # Row r of every injector draws from a child stream of
                 # request r's seed sequence, keyed by injector order —
@@ -364,13 +374,16 @@ class InferenceEngine:
 
                     compiled = maybe_compiled(model)
                     if compiled is not None:
+                        registry.counter("serve.batches_compiled").inc()
                         # predict() copies out of the pooled buffer.
                         return compiled.predict(images)
+                    registry.counter("serve.batches_interpreted").inc()
                     return np.array(predict_logits(model, images), copy=True)
                 # Engine-level opt-out must hold even when compilation
                 # is globally enabled: predict_logits would compile.
                 from repro.compile import disabled
 
+                registry.counter("serve.batches_interpreted").inc()
                 with disabled():
                     return np.array(predict_logits(model, images), copy=True)
             finally:

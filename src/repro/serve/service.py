@@ -15,8 +15,12 @@ behaviours a production front end needs:
   thread* from a cheaper cached model instead of rejecting it — the
   returned prediction is marked ``degraded=True``.
 
-The service owns only routing; all model state, batching and telemetry
-live in the engine.
+The service owns only routing; all model state and batching live in
+the engine, and the service records its admission decisions into the
+engine's metric registry (``serve.requests_rejected`` /
+``serve.requests_fallback`` / ``serve.deadline_missed`` counters and
+the ``serve.router_depth`` gauge), so one registry snapshot covers the
+whole serving stack.
 """
 
 from __future__ import annotations
@@ -86,6 +90,11 @@ class InferenceService:
         self.queue_size = queue_size
         self.timeout_s = timeout_s
         self.fallback_spec = fallback_spec
+        registry = engine.stats().registry
+        self._rejected = registry.counter("serve.requests_rejected")
+        self._fallbacks = registry.counter("serve.requests_fallback")
+        self._deadline_missed = registry.counter("serve.deadline_missed")
+        self._router_depth = registry.gauge("serve.router_depth")
         self._queue: "queue.Queue[_Item]" = queue.Queue(maxsize=queue_size)
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -120,9 +129,12 @@ class InferenceService:
                 self._queue.put(item, timeout=self.timeout_s)
             else:
                 self._queue.put_nowait(item)
+            self._router_depth.inc()
         except queue.Full:
             if self.fallback_spec is not None:
+                self._fallbacks.inc()
                 return self._degrade(image, request_id)
+            self._rejected.inc()
             raise ServiceOverloadError(
                 f"request queue full ({self.queue_size} pending); back "
                 "off and retry, or configure fallback_spec for "
@@ -156,6 +168,7 @@ class InferenceService:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
+            self._router_depth.dec()
             if not item.future.done():
                 item.future.set_exception(
                     ServiceTimeoutError("service closed before dispatch")
@@ -186,8 +199,10 @@ class InferenceService:
                 item = self._queue.get(timeout=_POLL_S)
             except queue.Empty:
                 continue
+            self._router_depth.dec()
             remaining = item.deadline - monotonic()
             if remaining <= 0:
+                self._deadline_missed.inc()
                 item.future.set_exception(
                     ServiceTimeoutError(
                         f"request {item.request_id} expired after "
@@ -206,6 +221,7 @@ class InferenceService:
                 return
             except _FutureTimeout:
                 if monotonic() >= item.deadline:
+                    self._deadline_missed.inc()
                     item.future.set_exception(
                         ServiceTimeoutError(
                             f"request {item.request_id} missed its "

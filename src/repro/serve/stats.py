@@ -1,59 +1,81 @@
-"""Serving telemetry: per-spec request counts, batch sizes, latencies.
+"""Serving telemetry as a view over the observability metric registry.
 
-:class:`EngineStats` is the engine's always-on counter set — cheap
-enough to leave enabled (one lock acquire per executed batch).  It
-answers the operational questions the paper's offline protocol never
-asks: how full are the coalesced batches, and what latency distribution
-do callers see?  The op-level profiler
-(:mod:`repro.utils.profiler`) remains the tool for *where the time
-goes* inside a forward pass; the engine brackets each batch with the
-``serve.batch`` op so both views line up.
+:class:`EngineStatsView` is the engine's always-on telemetry.  Since
+the ``repro.obs`` redesign it no longer owns its counters: every batch
+is recorded into a :class:`~repro.obs.MetricRegistry` (one registry
+per engine, so snapshots stay per-engine) under the ``serve.*`` metric
+names documented in ``docs/observability.md``:
+
+- ``serve.requests_executed{spec}`` / ``serve.batches_executed{spec}``
+  / ``serve.requests_degraded{spec}`` — counters;
+- ``serve.batch_size{spec,size}`` — one counter per exact batch size
+  (the batch-size histogram, reconstructible bit-for-bit from a
+  journal metrics snapshot);
+- ``serve.latency_ms{spec}`` — a fixed-bucket histogram.
+
+The view itself keeps only a bounded reservoir of raw latency samples
+per spec, because exact p50/p95 cannot be recovered from fixed
+buckets; everything else in :meth:`snapshot` is read back from the
+registry.  ``snapshot()`` / ``report()`` output is shape-compatible
+with the pre-redesign ``EngineStats``.
+
+Constructing :class:`EngineStats` directly is deprecated (one warning
+per process); engines build an :class:`EngineStatsView`, and the op
+profiler (:mod:`repro.utils.profiler`) remains the tool for *where
+the time goes* inside a forward pass.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.utils.tabulate import format_table
+from repro.obs.deprecation import warn_once
+from repro.obs.metrics import MetricRegistry
 
 #: Latency samples kept per spec; older samples are dropped FIFO so a
 #: long-running service reports recent behaviour, bounded in memory.
 MAX_LATENCY_SAMPLES = 100_000
 
-
-@dataclass
-class SpecStats:
-    """Counters for one model spec."""
-
-    requests: int = 0
-    batches: int = 0
-    degraded: int = 0
-    batch_hist: Dict[int, int] = field(default_factory=dict)
-    latencies_s: List[float] = field(default_factory=list)
-
-    @property
-    def mean_batch(self) -> float:
-        return self.requests / self.batches if self.batches else 0.0
-
-    def percentile_ms(self, q: float) -> float:
-        if not self.latencies_s:
-            return 0.0
-        return 1e3 * float(np.percentile(self.latencies_s, q))
+#: Bucket bounds (milliseconds) for the registry latency histogram.
+LATENCY_MS_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                      250.0, 1000.0, 5000.0)
 
 
-class EngineStats:
-    """Thread-safe accumulator for the serving engine."""
+def _percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolated percentile, matching numpy's default."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= len(ordered):
+        return ordered[-1]
+    return ordered[low] * (1.0 - frac) + ordered[low + 1] * frac
 
-    def __init__(self):
+
+class EngineStatsView:
+    """Per-engine serving telemetry over a metric registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.MetricRegistry` to record into.  By
+        default each view creates its own, so two engines in one
+        process never mix counts; pass a shared registry to aggregate.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None):
+        self.registry = registry if registry is not None else MetricRegistry()
         self._lock = threading.Lock()
-        self._specs: Dict[str, SpecStats] = {}
+        self._latencies: Dict[str, List[float]] = {}
         self._started = perf_counter()
 
+    # ------------------------------------------------------------------
     def record_batch(
         self,
         spec_key: str,
@@ -62,46 +84,95 @@ class EngineStats:
     ) -> None:
         """Record one executed batch and its per-request latencies."""
         size = len(latencies_s)
+        registry = self.registry
+        registry.counter("serve.requests_executed", spec=spec_key).inc(size)
+        registry.counter("serve.batches_executed", spec=spec_key).inc()
+        if degraded:
+            registry.counter(
+                "serve.requests_degraded", spec=spec_key
+            ).inc(size)
+        registry.counter(
+            "serve.batch_size", spec=spec_key, size=str(size)
+        ).inc()
+        latency_hist = registry.histogram(
+            "serve.latency_ms", buckets=LATENCY_MS_BUCKETS, spec=spec_key
+        )
+        for latency in latencies_s:
+            latency_hist.observe(1e3 * latency)
         with self._lock:
-            stats = self._specs.get(spec_key)
-            if stats is None:
-                stats = self._specs[spec_key] = SpecStats()
-            stats.requests += size
-            stats.batches += 1
-            if degraded:
-                stats.degraded += size
-            stats.batch_hist[size] = stats.batch_hist.get(size, 0) + 1
-            stats.latencies_s.extend(latencies_s)
-            overflow = len(stats.latencies_s) - MAX_LATENCY_SAMPLES
+            samples = self._latencies.setdefault(spec_key, [])
+            samples.extend(latencies_s)
+            overflow = len(samples) - MAX_LATENCY_SAMPLES
             if overflow > 0:
-                del stats.latencies_s[:overflow]
+                del samples[:overflow]
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """A JSON-able summary of everything recorded so far."""
+    def _spec_keys(self) -> List[str]:
+        keys = {
+            dict(labels).get("spec")
+            for labels in self.registry.children("serve.requests_executed")
+        }
+        keys.discard(None)
+        return sorted(keys)
+
+    def batch_hist(self, spec_key: str) -> Dict[int, int]:
+        """Exact ``{batch size: count}`` read back from the registry."""
+        hist: Dict[int, int] = {}
+        for labels, metric in self.registry.children(
+            "serve.batch_size"
+        ).items():
+            label_map = dict(labels)
+            if label_map.get("spec") == spec_key:
+                hist[int(label_map["size"])] = metric.value
+        return dict(sorted(hist.items()))
+
+    def percentile_ms(self, spec_key: str, q: float) -> float:
+        """Exact latency percentile from the bounded sample reservoir."""
         with self._lock:
-            elapsed = perf_counter() - self._started
-            total = sum(s.requests for s in self._specs.values())
-            return {
-                "elapsed_s": elapsed,
-                "requests": total,
-                "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
-                "specs": {
-                    key: {
-                        "requests": s.requests,
-                        "batches": s.batches,
-                        "degraded": s.degraded,
-                        "mean_batch": s.mean_batch,
-                        "batch_hist": dict(sorted(s.batch_hist.items())),
-                        "p50_ms": s.percentile_ms(50),
-                        "p95_ms": s.percentile_ms(95),
-                    }
-                    for key, s in self._specs.items()
-                },
+            samples = list(self._latencies.get(spec_key, ()))
+        return 1e3 * _percentile(samples, q)
+
+    def snapshot(self) -> dict:
+        """A JSON-able summary of everything recorded so far.
+
+        Same shape as the pre-``repro.obs`` ``EngineStats.snapshot``:
+        counts come from the registry, percentiles from the reservoir.
+        """
+        registry = self.registry
+        elapsed = perf_counter() - self._started
+        specs = {}
+        total = 0
+        for key in self._spec_keys():
+            requests = registry.counter(
+                "serve.requests_executed", spec=key
+            ).value
+            batches = registry.counter(
+                "serve.batches_executed", spec=key
+            ).value
+            degraded = registry.counter(
+                "serve.requests_degraded", spec=key
+            ).value
+            total += requests
+            specs[key] = {
+                "requests": requests,
+                "batches": batches,
+                "degraded": degraded,
+                "mean_batch": requests / batches if batches else 0.0,
+                "batch_hist": self.batch_hist(key),
+                "p50_ms": self.percentile_ms(key, 50),
+                "p95_ms": self.percentile_ms(key, 95),
             }
+        return {
+            "elapsed_s": elapsed,
+            "requests": total,
+            "throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+            "specs": specs,
+        }
 
     def report(self) -> str:
         """Human-readable per-spec table."""
+        from repro.utils.tabulate import format_table
+
         snap = self.snapshot()
         rows = [
             [
@@ -126,3 +197,21 @@ class EngineStats:
             + f"\n  {snap['requests']} requests in {snap['elapsed_s']:.2f}s"
             f" ({snap['throughput_rps']:.1f} req/s)"
         )
+
+
+class EngineStats(EngineStatsView):
+    """Deprecated: construct :class:`EngineStatsView` instead.
+
+    Kept so pre-``repro.obs`` call sites keep working; the first
+    direct construction per process emits a DeprecationWarning.  The
+    engine itself builds an :class:`EngineStatsView`.
+    """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None):
+        warn_once(
+            "serve.EngineStats",
+            "constructing EngineStats directly is deprecated; use "
+            "EngineStatsView (a view over a repro.obs.MetricRegistry) "
+            "— snapshot()/report() are shape-identical",
+        )
+        super().__init__(registry)

@@ -7,6 +7,7 @@ repeated validation passes for mean +/- sample std, selective layer
 freezing (Table 2), and activation-mean instrumentation (Fig. 6).
 """
 
+from repro.obs.result import EvalResult
 from repro.train.trainer import Trainer, TrainConfig, TrainResult
 from repro.train.evaluate import evaluate_accuracy, repeated_evaluate, EvalStats
 from repro.train.freeze import freeze_layers, FREEZE_GROUPS
@@ -20,6 +21,7 @@ __all__ = [
     "TrainResult",
     "evaluate_accuracy",
     "repeated_evaluate",
+    "EvalResult",
     "EvalStats",
     "freeze_layers",
     "FREEZE_GROUPS",

@@ -18,6 +18,7 @@ from repro.data.dataloader import DataLoader
 from repro.data.dataset import ArrayDataset
 from repro.errors import ConfigError
 from repro.nn.module import Module
+from repro.obs.result import EvalResult, hash_logits
 from repro.tensor.tensor import Tensor, no_grad
 from repro.utils import profiler as _profiler
 from repro.utils.rng import point_seed_sequence
@@ -28,12 +29,19 @@ def evaluate_accuracy(
     data: Union[ArrayDataset, DataLoader],
     batch_size: int = 256,
     k: int = 1,
-) -> float:
+    noise_seed: Optional[int] = None,
+) -> EvalResult:
     """Top-k accuracy of ``model`` on ``data`` (model left in eval mode).
 
     The paper reports top-1 throughout and notes "top-5 accuracies
     generally tracked top-1 accuracies"; pass ``k=5`` to check the same
     property here.
+
+    Returns an :class:`~repro.obs.EvalResult` — a float (the accuracy,
+    so every existing call site is unchanged) that also carries the
+    chained logits hash, the pass wall time, and ``noise_seed`` (pure
+    provenance: pass the seed the caller reseeded the injectors with;
+    this function never reseeds).
     """
     if k < 1:
         raise ConfigError(f"k must be >= 1, got {k}")
@@ -45,16 +53,22 @@ def evaluate_accuracy(
     model.eval()
     from repro.compile import maybe_compiled
     from repro.tensor.pool import default_pool
+    from time import perf_counter
 
     compiled = maybe_compiled(model)
     correct = 0
     total = 0
+    logits_hash = 0
+    started = perf_counter()
     with no_grad():
         for images, labels in loader:
             if compiled is not None:
                 logits = compiled.run(images)
             else:
                 logits = model(Tensor(images)).data
+            # Hash before any buffer release: the compiled path's
+            # logits live in a pooled buffer reused by the next batch.
+            logits_hash = hash_logits(logits, logits_hash)
             if k == 1:
                 hits = logits.argmax(axis=1) == labels
             else:
@@ -67,7 +81,12 @@ def evaluate_accuracy(
                 # compiled.run hands out a pooled buffer; we are done
                 # with it once the hits are counted.
                 default_pool().release(logits)
-    return correct / total
+    return EvalResult(
+        correct / total,
+        logits_hash=f"{logits_hash:08x}",
+        wall_time_s=perf_counter() - started,
+        noise_seed=noise_seed,
+    )
 
 
 @dataclass(frozen=True)
@@ -141,7 +160,7 @@ def _init_eval_worker(model, dataset, batch_size, seed) -> None:
 def _eval_pass(pass_index: int) -> float:
     model, dataset, batch_size, seed = _EVAL_STATE
     reseed_noise(model, seed, pass_index)
-    return evaluate_accuracy(model, dataset, batch_size)
+    return evaluate_accuracy(model, dataset, batch_size, noise_seed=seed)
 
 
 def repeated_evaluate(

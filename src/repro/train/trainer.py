@@ -10,6 +10,12 @@ is reported."
 validation, patience-based stopping when accuracy declines, and
 restoration of the best-epoch weights ("the best epoch of the quantized
 retrained network ... was used").
+
+Every epoch runs under an ``obs.span("train.epoch")`` trace span (which
+also feeds ``--profile-ops``) and, when a run journal is active, emits
+one ``train.epoch`` event (loss, validation accuracy, LR, wall time,
+batch count) plus a closing ``train.fit`` event — the journal is the
+durable form of :class:`TrainResult.history`.
 """
 
 from __future__ import annotations
@@ -21,11 +27,13 @@ from repro.data.dataloader import DataLoader
 from repro.data.dataset import ArrayDataset
 from repro.errors import ConfigError
 from repro.nn.module import Module
+from repro.obs.journal import journal_event
+from repro.obs.metrics import default_registry
+from repro.obs.trace import span
 from repro.optim.sgd import SGD
 from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 from repro.train.evaluate import evaluate_accuracy
-from repro.utils import profiler as _profiler
 from repro.utils.rng import new_rng
 
 
@@ -121,11 +129,25 @@ class Trainer:
         result = TrainResult(best_accuracy=-1.0, best_epoch=-1)
         best_state = None
         epochs_since_best = 0
+        registry = default_registry()
         for epoch in range(cfg.epochs):
-            loss = self._run_epoch(model, loader, optimizer)
+            loss, batches, epoch_seconds = self._run_epoch(
+                model, loader, optimizer
+            )
             accuracy = evaluate_accuracy(model, val_data, cfg.batch_size)
             result.history.append(
                 {"epoch": epoch, "train_loss": loss, "val_accuracy": accuracy}
+            )
+            registry.counter("train.epochs_completed").inc()
+            registry.histogram("train.epoch_seconds").observe(epoch_seconds)
+            journal_event(
+                "train.epoch",
+                epoch=epoch,
+                train_loss=loss,
+                val_accuracy=float(accuracy),
+                lr=cfg.lr,
+                epoch_seconds=epoch_seconds,
+                batches=batches,
             )
             self._log(
                 f"epoch {epoch}: loss={loss:.4f} val_acc={accuracy:.4f}"
@@ -145,27 +167,34 @@ class Trainer:
                     break
         if best_state is not None:
             model.load_state_dict(best_state)
+        journal_event(
+            "train.fit",
+            best_accuracy=float(result.best_accuracy),
+            best_epoch=result.best_epoch,
+            epochs_run=result.epochs_run,
+            stopped_early=result.stopped_early,
+        )
         return result
 
     def _run_epoch(
         self, model: Module, loader: DataLoader, optimizer: SGD
-    ) -> float:
+    ) -> tuple:
+        """One pass over the loader: ``(mean loss, batches, seconds)``."""
         model.train()
-        token = _profiler.op_start()
         total_loss = 0.0
         batches = 0
-        for images, labels in loader:
-            optimizer.zero_grad()
-            logits = model(Tensor(images))
-            loss = F.cross_entropy(logits, labels)
-            loss.backward()
-            optimizer.step()
-            total_loss += loss.item()
-            batches += 1
-        _profiler.op_end(token, "train.epoch")
+        with span("train.epoch") as epoch_span:
+            for images, labels in loader:
+                optimizer.zero_grad()
+                logits = model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                loss.backward()
+                optimizer.step()
+                total_loss += loss.item()
+                batches += 1
         if batches == 0:
             raise ConfigError(
                 "no training batches; dataset smaller than batch_size "
                 "with drop_last"
             )
-        return total_loss / batches
+        return total_loss / batches, batches, epoch_span.duration_s

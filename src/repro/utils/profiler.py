@@ -21,6 +21,12 @@ Usage::
     with profiler.profiled() as prof:
         run_experiment(...)
     print(prof.report())
+
+Block-level bracketing now lives in :func:`repro.obs.span`, which
+forwards into the active profiler (so span names keep appearing as op
+records); the old :func:`bracket` helper is a deprecated alias of it.
+The raw ``op_start``/``op_end`` pair remains the supported primitive
+for kernel-grade hot paths.
 """
 
 from __future__ import annotations
@@ -153,19 +159,25 @@ def op_end(token: Optional[Tuple[float, int]], op: str) -> None:
     )
 
 
-@contextlib.contextmanager
 def bracket(op: str):
-    """Bracket a block as one op; near-free when profiling is off.
+    """Deprecated: use :func:`repro.obs.span` instead.
 
-    The with-statement form of :func:`op_start`/:func:`op_end`, for
-    call sites that are not on a kernel hot path (e.g. the serving
-    engine's ``serve.batch``).
+    ``bracket`` was the with-statement form of
+    :func:`op_start`/:func:`op_end`; trace spans subsume it (same op
+    records under ``--profile-ops``, plus nesting and thread
+    awareness).  This alias delegates to ``obs.span`` and emits one
+    DeprecationWarning per process.
     """
-    token = op_start()
-    try:
-        yield
-    finally:
-        op_end(token, op)
+    from repro.obs.deprecation import warn_once
+    from repro.obs.trace import span
+
+    warn_once(
+        "profiler.bracket",
+        "repro.utils.profiler.bracket() is deprecated; use "
+        "repro.obs.span() — same profiler op records, plus trace "
+        "nesting",
+    )
+    return span(op)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,115 @@
+"""The ``obs`` CLI subcommands against recorded journals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import cli as cli_mod
+from repro.obs.journal import RunJournal
+
+
+@pytest.fixture()
+def recorded_runs(tmp_path):
+    """Two closed runs under one results dir, ready to render."""
+    results_dir = str(tmp_path)
+    journal = RunJournal.start(
+        results_dir=results_dir,
+        run_id="runa",
+        argv=["run", "fig4"],
+        config={"seed": 1},
+        seed=1,
+    )
+    journal.event("note", message="hello from runa")
+    journal.event(
+        "sweep.point_done", index=0, key=4.0, seconds=0.5,
+        result={"accuracy": 0.75},
+    )
+    journal.close(status="ok")
+
+    journal = RunJournal.start(
+        results_dir=results_dir,
+        run_id="runb",
+        argv=["run", "fig4"],
+        config={"seed": 2},
+        seed=2,
+    )
+    journal.event(
+        "sweep.point_done", index=0, key=4.0, seconds=0.4,
+        result={"accuracy": 0.5},
+    )
+    journal.close(status="ok")
+    return results_dir
+
+
+class TestObsList:
+    def test_lists_runs_with_status(self, recorded_runs, capsys):
+        code = cli_mod.main(["obs", "list", "--results-dir", recorded_runs])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "runa" in out
+        assert "runb" in out
+        assert "ok" in out
+
+    def test_empty_results_dir(self, tmp_path, capsys):
+        code = cli_mod.main(["obs", "list", "--results-dir", str(tmp_path)])
+        assert code == 0
+        assert "(no runs recorded)" in capsys.readouterr().out
+
+
+class TestObsTail:
+    def test_shows_recent_events(self, recorded_runs, capsys):
+        code = cli_mod.main(
+            ["obs", "tail", "runa", "--results-dir", recorded_runs]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hello from runa" in out
+        assert "run_end" in out
+
+    def test_line_limit(self, recorded_runs, capsys):
+        code = cli_mod.main(
+            ["obs", "tail", "runa", "-n", "1", "--results-dir",
+             recorded_runs]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "earlier events" in out
+        assert "hello from runa" not in out  # only the last line shows
+
+
+class TestObsSummary:
+    def test_reconstructs_the_run(self, recorded_runs, capsys):
+        code = cli_mod.main(
+            ["obs", "summary", "runa", "--results-dir", recorded_runs]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run runa" in out
+        assert "sweep (from sweep.point_done events)" in out
+        assert "0.75" in out
+        assert "status: ok" in out
+
+
+class TestObsDiff:
+    def test_compares_manifests_and_sweeps(self, recorded_runs, capsys):
+        code = cli_mod.main(
+            ["obs", "diff", "runa", "runb", "--results-dir", recorded_runs]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "manifest: runa vs runb" in out
+        # same git sha, different config hash and seed
+        assert "DIFFERS" in out
+        assert "sweep accuracy" in out
+        assert "-0.25" in out  # 0.5 - 0.75 accuracy delta
+
+
+class TestObsErrors:
+    def test_unknown_run_exits_1(self, tmp_path, capsys):
+        code = cli_mod.main(
+            ["obs", "summary", "missing", "--results-dir", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+        assert "missing" in captured.err

@@ -1,0 +1,326 @@
+"""RunJournal: lifecycle, schema round-trip, crash safety."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, JournalError
+from repro.obs.journal import (
+    EVENT_SCHEMAS,
+    RunJournal,
+    atomic_write_json,
+    config_hash,
+    current_journal,
+    end_run,
+    journal_event,
+    list_runs,
+    read_events,
+    resolve_run_dir,
+    start_run,
+    to_jsonable,
+    validate_event,
+)
+from repro.obs.result import EvalResult
+
+
+def _events_path(journal: RunJournal) -> str:
+    return journal.events_path
+
+
+class TestLifecycle:
+    def test_start_writes_manifest_and_run_start(self, tmp_path):
+        journal = RunJournal.start(
+            results_dir=str(tmp_path),
+            run_id="r1",
+            argv=["run", "fig4"],
+            config={"seed": 7},
+            seed=7,
+        )
+        manifest_path = os.path.join(journal.run_dir, "manifest.json")
+        assert os.path.exists(manifest_path)
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+        assert manifest["run_id"] == "r1"
+        assert manifest["argv"] == ["run", "fig4"]
+        assert manifest["seed"] == 7
+        assert manifest["config_hash"] == config_hash({"seed": 7})
+        journal.close()
+
+        events = read_events("r1", str(tmp_path), validate=True)
+        assert events[0]["event"] == "run_start"
+        assert events[0]["seq"] == 0
+        assert events[-1]["event"] == "run_end"
+
+    def test_close_is_idempotent_and_writes_summary(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        journal.close(status="ok", best=0.5)
+        journal.close(status="failed")  # ignored: already closed
+        with open(os.path.join(journal.run_dir, "summary.json")) as fh:
+            summary = json.load(fh)
+        assert summary == {"run_id": "r1", "status": "ok", "best": 0.5}
+        assert journal.closed
+
+    def test_event_after_close_raises(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        journal.close()
+        with pytest.raises(ConfigError, match="closed"):
+            journal.event("note", message="too late")
+
+    def test_context_manager_records_failure_status(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with RunJournal.start(results_dir=str(tmp_path), run_id="r1"):
+                raise RuntimeError("boom")
+        events = read_events("r1", str(tmp_path))
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["status"] == "failed"
+
+    def test_seq_is_monotone(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        for i in range(5):
+            journal.event("note", message=str(i))
+        journal.close()
+        events = read_events("r1", str(tmp_path))
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_rejects_path_like_run_ids(self, tmp_path):
+        for bad in ("a/b", "..", "."):
+            with pytest.raises(ConfigError, match="run_id"):
+                RunJournal.start(results_dir=str(tmp_path), run_id=bad)
+
+
+class TestValidation:
+    def test_every_schema_field_is_required(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        with pytest.raises(ConfigError, match="missing required"):
+            journal.event("train.epoch", epoch=1)  # most fields absent
+        with pytest.raises(ConfigError, match="unknown journal event"):
+            journal.event("not.registered")
+        journal.close()
+
+    def test_extra_fields_are_allowed(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        journal.event("note", message="x", extra_field=[1, 2])
+        journal.close()
+        events = read_events("r1", str(tmp_path), validate=True)
+        assert events[1]["extra_field"] == [1, 2]
+
+    def test_validate_event_needs_ts_and_seq(self):
+        with pytest.raises(ConfigError, match="'ts'"):
+            validate_event({"event": "note", "message": "x", "seq": 0})
+        with pytest.raises(ConfigError, match="'event'"):
+            validate_event({"message": "x"})
+
+    def test_all_registered_events_round_trip(self, tmp_path):
+        """Writing a minimal instance of every schema validates on read."""
+        journal = RunJournal.start(
+            results_dir=str(tmp_path), run_id="r1", seed=0
+        )
+        payloads = {
+            "run_end": {"status": "ok"},
+            "metrics": {"scope": "default", "metrics": {}},
+            "train.epoch": {
+                "epoch": 1, "train_loss": 0.5, "val_accuracy": 0.9,
+                "lr": 0.01, "epoch_seconds": 1.0, "batches": 4,
+            },
+            "train.fit": {
+                "best_accuracy": 0.9, "best_epoch": 1,
+                "epochs_run": 2, "stopped_early": False,
+            },
+            "sweep.start": {"points": 3},
+            "sweep.point_done": {"index": 0, "key": 4.0, "seconds": 0.1},
+            "sweep.point_failed": {
+                "index": 1, "key": 5.0, "error": "ValueError: x",
+                "traceback": "Traceback...",
+            },
+            "sweep.end": {"completed": 2, "failed": 1},
+            "serve.stats": {"stats": {"requests": 0}},
+            "bench.artifact": {"name": "fp32", "source": "cache"},
+            "note": {"message": "hello"},
+        }
+        assert set(payloads) | {"run_start"} == set(EVENT_SCHEMAS)
+        for event_type, payload in payloads.items():
+            if event_type != "run_end":
+                journal.event(event_type, **payload)
+        journal.close()
+        events = read_events("r1", str(tmp_path), validate=True)
+        assert len(events) == len(payloads) + 1  # + run_start
+
+    def test_floats_round_trip_bit_exactly(self, tmp_path):
+        values = [0.1 + 0.2, 1 / 3, 1e-17, 123456.789012345]
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        journal.event("note", message="floats", values=values)
+        journal.close()
+        events = read_events("r1", str(tmp_path))
+        assert events[1]["values"] == values  # bit-exact, not approx
+
+
+class TestCrashSafety:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        journal.event("note", message="survives")
+        path = _events_path(journal)
+        journal._fh.close()  # abandon without run_end: simulated crash
+        with open(path, "a") as fh:
+            fh.write('{"event": "note", "mess')  # torn mid-append
+        events = read_events("r1", str(tmp_path), validate=True)
+        assert [e["event"] for e in events] == ["run_start", "note"]
+
+    def test_torn_line_with_newline_is_also_skipped(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        path = _events_path(journal)
+        journal._fh.close()
+        with open(path, "a") as fh:
+            fh.write("{broken\n")
+        events = read_events("r1", str(tmp_path))
+        assert [e["event"] for e in events] == ["run_start"]
+
+    def test_corruption_before_the_end_raises(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        journal.event("note", message="after")
+        path = _events_path(journal)
+        journal._fh.close()
+        lines = open(path).read().splitlines()
+        lines[0] = "{corrupt"
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 1"):
+            read_events("r1", str(tmp_path))
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"a": 1})
+        assert json.load(open(path)) == {"a": 1}
+        assert os.listdir(tmp_path) == ["out.json"]
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 0.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_numpy_scalars_and_arrays(self):
+        assert to_jsonable(np.float64(0.5)) == 0.5
+        assert to_jsonable(np.int32(7)) == 7
+        assert to_jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_dataclasses(self):
+        @dataclasses.dataclass
+        class Stats:
+            mean: float
+            values: tuple
+
+        assert to_jsonable(Stats(0.5, (1, 2))) == {
+            "mean": 0.5, "values": [1, 2],
+        }
+
+    def test_eval_result_keeps_its_fields(self):
+        result = EvalResult(0.75, logits_hash="ab", noise_seed=3)
+        assert to_jsonable(result) == {
+            "accuracy": 0.75,
+            "logits_hash": "ab",
+            "wall_time_s": 0.0,
+            "noise_seed": 3,
+        }
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Exotic:
+            def __repr__(self):
+                return "<exotic>"
+
+        assert to_jsonable(Exotic()) == "<exotic>"
+        assert to_jsonable({1: Exotic()}) == {"1": "<exotic>"}
+
+
+class TestConfigHash:
+    def test_stable_and_sensitive(self):
+        assert config_hash({"a": 1}) == config_hash({"a": 1})
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+        assert config_hash(None) is None
+
+    def test_dataclass_hash_matches_dict_of_fields(self):
+        @dataclasses.dataclass
+        class Cfg:
+            seed: int = 3
+
+        assert config_hash(Cfg()) == config_hash({"seed": 3})
+
+
+class TestReaders:
+    def test_resolve_run_dir_accepts_id_or_path(self, tmp_path):
+        journal = RunJournal.start(results_dir=str(tmp_path), run_id="r1")
+        journal.close()
+        assert resolve_run_dir("r1", str(tmp_path)) == journal.run_dir
+        assert resolve_run_dir(journal.run_dir) == journal.run_dir
+        with pytest.raises(ConfigError, match="no run"):
+            resolve_run_dir("missing", str(tmp_path))
+
+    def test_read_events_requires_a_stream(self, tmp_path):
+        os.makedirs(tmp_path / "runs" / "empty")
+        with pytest.raises(ConfigError, match="events.jsonl"):
+            read_events("empty", str(tmp_path))
+
+    def test_list_runs(self, tmp_path):
+        assert list_runs(str(tmp_path)) == []
+        for run_id in ("b", "a"):
+            RunJournal.start(results_dir=str(tmp_path), run_id=run_id).close()
+        assert list_runs(str(tmp_path)) == ["a", "b"]
+
+
+class TestCurrentRun:
+    def test_start_run_installs_the_current_journal(self, tmp_path):
+        assert current_journal() is None
+        assert journal_event("note", message="dropped") is False
+
+        journal = start_run(results_dir=str(tmp_path), run_id="r1")
+        assert current_journal() is journal
+        assert journal_event("note", message="kept") is True
+
+        end_run(status="ok")
+        assert current_journal() is None
+        assert journal_event("note", message="dropped") is False
+        end_run()  # idempotent
+
+        events = read_events("r1", str(tmp_path))
+        notes = [e for e in events if e["event"] == "note"]
+        assert [n["message"] for n in notes] == ["kept"]
+
+    def test_double_start_raises(self, tmp_path):
+        start_run(results_dir=str(tmp_path), run_id="r1")
+        with pytest.raises(ConfigError, match="already active"):
+            start_run(results_dir=str(tmp_path), run_id="r2")
+        end_run()
+
+    def test_metrics_snapshot_event(self, tmp_path):
+        from repro.obs.metrics import MetricRegistry
+
+        registry = MetricRegistry()
+        registry.counter("sub.events").inc(4)
+        journal = start_run(results_dir=str(tmp_path), run_id="r1")
+        journal.metrics_snapshot(registry, scope="test")
+        end_run()
+        events = read_events("r1", str(tmp_path), validate=True)
+        metrics = [e for e in events if e["event"] == "metrics"]
+        assert metrics[0]["scope"] == "test"
+        assert metrics[0]["metrics"]["counters"] == {"sub.events": 4}
+
+
+def test_run_journal_is_not_picklable_across_sweep_workers():
+    """Sanity: journals stay in the parent; workers just compute.
+
+    The sweep engine journals from the parent process only (point
+    outcomes travel back as plain tuples), so nothing ever needs to
+    pickle a RunJournal — and an open file handle can't be.
+    """
+    journal = RunJournal.__new__(RunJournal)
+    journal._fh = open(os.devnull, "a")
+    try:
+        with pytest.raises(TypeError):
+            pickle.dumps(journal)
+    finally:
+        journal._fh.close()

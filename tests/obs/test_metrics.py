@@ -1,0 +1,214 @@
+"""MetricRegistry: counters, gauges, histograms, labels, threads."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    counter,
+    default_registry,
+    gauge,
+    histogram,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("test.counter")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        assert c.snapshot() == 6
+
+    def test_rejects_negative_increments(self):
+        c = Counter("test.counter")
+        with pytest.raises(ConfigError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("test.gauge")
+        g.set(10.0)
+        g.inc()
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 13.0
+        assert g.snapshot() == 13.0
+
+
+class TestHistogram:
+    def test_buckets_are_inclusive_upper_bounds(self):
+        h = Histogram("test.hist", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 5.0, 99.0):
+            h.observe(value)
+        # counts: <=1 (0.5, 1.0), <=2 (1.5), <=5 (5.0 inclusive), overflow
+        assert h.counts() == [2, 1, 1, 1]
+
+    def test_count_sum_mean(self):
+        h = Histogram("test.hist", buckets=(1.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.count == 2
+        assert h.sum == 6.0
+        assert h.mean == 3.0
+
+    def test_snapshot_shape(self):
+        h = Histogram("test.hist", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        snap = h.snapshot()
+        assert snap == {
+            "buckets": [1.0, 2.0],
+            "counts": [0, 1, 0],
+            "sum": 1.5,
+            "count": 1,
+        }
+
+    def test_rejects_non_ascending_buckets(self):
+        with pytest.raises(ConfigError, match="ascending"):
+            Histogram("test.hist", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigError, match="ascending"):
+            Histogram("test.hist", buckets=())
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricRegistry()
+        assert reg.counter("sub.events") is reg.counter("sub.events")
+        assert reg.gauge("sub.depth") is reg.gauge("sub.depth")
+        assert reg.histogram("sub.seconds") is reg.histogram("sub.seconds")
+
+    def test_labels_fan_out_children(self):
+        reg = MetricRegistry()
+        a = reg.counter("sub.events", spec="a")
+        b = reg.counter("sub.events", spec="b")
+        assert a is not b
+        a.inc(3)
+        b.inc(1)
+        children = reg.children("sub.events")
+        assert children[(("spec", "a"),)].value == 3
+        assert children[(("spec", "b"),)].value == 1
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricRegistry()
+        a = reg.counter("sub.events", spec="x", size="4")
+        b = reg.counter("sub.events", size="4", spec="x")
+        assert a is b
+
+    def test_rejects_bad_names(self):
+        reg = MetricRegistry()
+        for bad in ("noprefix", "Upper.case", "sub.", "1sub.x", "sub.x-y"):
+            with pytest.raises(ConfigError, match="subsystem.noun_verb"):
+                reg.counter(bad)
+
+    def test_rejects_kind_conflicts(self):
+        reg = MetricRegistry()
+        reg.counter("sub.events")
+        # same child, different kind
+        with pytest.raises(ConfigError, match="not a gauge"):
+            reg.gauge("sub.events")
+        # same name, different labels, different kind: still a conflict
+        with pytest.raises(ConfigError, match="already registered"):
+            reg.histogram("sub.events", spec="a")
+
+    def test_rejects_histogram_bucket_mismatch(self):
+        reg = MetricRegistry()
+        reg.histogram("sub.seconds", buckets=(1.0, 2.0))
+        # same buckets is fine; different buckets for the same child is not
+        reg.histogram("sub.seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigError, match="buckets"):
+            reg.histogram("sub.seconds", buckets=(3.0, 4.0))
+
+    def test_names_and_clear(self):
+        reg = MetricRegistry()
+        reg.counter("sub.events")
+        reg.gauge("sub.depth")
+        assert reg.names() == ["sub.depth", "sub.events"]
+        reg.clear()
+        assert reg.names() == []
+        # a cleared name can come back as a different kind
+        reg.gauge("sub.events")
+
+    def test_snapshot_keys_and_sections(self):
+        reg = MetricRegistry()
+        reg.counter("sub.events", spec="a", size="4").inc(2)
+        reg.gauge("sub.depth").set(1.5)
+        reg.histogram("sub.seconds", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"sub.events{size=4,spec=a}": 2}
+        assert snap["gauges"] == {"sub.depth": 1.5}
+        hist = snap["histograms"]["sub.seconds"]
+        assert hist["count"] == 1 and hist["sum"] == 0.5
+
+    def test_report_mentions_every_metric(self):
+        reg = MetricRegistry()
+        reg.counter("sub.events").inc()
+        reg.histogram("sub.seconds").observe(2.0)
+        report = reg.report()
+        assert "metric registry" in report
+        assert "sub.events" in report
+        assert "n=1 mean=2" in report
+
+    def test_empty_report(self):
+        assert "(no metrics)" in MetricRegistry().report()
+
+
+class TestThreadSafety:
+    def test_eight_writer_threads(self):
+        """Concurrent inc/observe from 8 threads loses no updates."""
+        reg = MetricRegistry()
+        per_thread = 2000
+        threads = 8
+
+        def writer(index: int):
+            for _ in range(per_thread):
+                reg.counter("sub.events").inc()
+                reg.counter("sub.events_labeled", worker=str(index)).inc()
+                reg.gauge("sub.depth").inc()
+                reg.histogram("sub.seconds", buckets=(0.5,)).observe(
+                    index / threads
+                )
+
+        pool = [
+            threading.Thread(target=writer, args=(i,)) for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+
+        total = threads * per_thread
+        assert reg.counter("sub.events").value == total
+        assert reg.gauge("sub.depth").value == total
+        assert reg.histogram("sub.seconds", buckets=(0.5,)).count == total
+        children = reg.children("sub.events_labeled")
+        assert len(children) == threads
+        assert all(c.value == per_thread for c in children.values())
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_write_to_default(self):
+        name = "obstest.module_helpers"
+        assert counter(name) is default_registry().counter(name)
+        assert gauge(name + "_g") is default_registry().gauge(name + "_g")
+        assert (
+            histogram(name + "_h")
+            is default_registry().histogram(name + "_h")
+        )
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()

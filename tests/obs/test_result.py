@@ -1,0 +1,152 @@
+"""EvalResult: a float with provenance, backward compatible everywhere."""
+
+from __future__ import annotations
+
+import json
+import pickle
+from collections import namedtuple
+
+import numpy as np
+import pytest
+
+from repro.obs.result import FIELDS, EvalResult, hash_logits
+
+
+class TestFloatCompat:
+    """Every pre-EvalResult call site treated the result as a float."""
+
+    def test_is_a_float_equal_to_its_accuracy(self):
+        result = EvalResult(0.75)
+        assert isinstance(result, float)
+        assert result == 0.75
+        assert float(result) == 0.75
+        assert result.accuracy == 0.75
+
+    def test_arithmetic_and_comparison(self):
+        result = EvalResult(0.5)
+        assert result + 0.25 == 0.75
+        assert result * 2 == 1.0
+        assert result < 0.6 < EvalResult(0.7)
+        assert max(EvalResult(0.3), EvalResult(0.4)) == 0.4
+
+    def test_formatting(self):
+        result = EvalResult(0.123456)
+        assert f"{result:.4f}" == "0.1235"
+        assert f"{result:.1%}" == "12.3%"
+        assert str(result) == str(0.123456)
+
+    def test_numpy_aggregation(self):
+        results = [EvalResult(0.2), EvalResult(0.4)]
+        assert np.mean(results) == pytest.approx(0.3)
+
+    def test_json_serialization(self):
+        assert json.dumps(EvalResult(0.5)) == "0.5"
+
+
+class TestProvenance:
+    def test_field_order_matches_FIELDS(self):
+        result = EvalResult(0.5, logits_hash="ab12", wall_time_s=1.5,
+                            noise_seed=7)
+        accuracy, logits_hash, wall_time_s, noise_seed = result
+        assert (accuracy, logits_hash, wall_time_s, noise_seed) == (
+            0.5, "ab12", 1.5, 7,
+        )
+        assert FIELDS == ("accuracy", "logits_hash", "wall_time_s",
+                          "noise_seed")
+
+    def test_as_dict_round_trips_through_json(self):
+        result = EvalResult(1 / 3, logits_hash="deadbeef", wall_time_s=0.25,
+                            noise_seed=None)
+        loaded = json.loads(json.dumps(result.as_dict()))
+        assert loaded["accuracy"] == float(result)  # bit-exact
+        assert EvalResult(**loaded) == result
+
+    def test_repr_names_every_field(self):
+        text = repr(EvalResult(0.5, logits_hash="ab", noise_seed=3))
+        assert text == (
+            "EvalResult(accuracy=0.5, logits_hash='ab', "
+            "wall_time_s=0.0, noise_seed=3)"
+        )
+
+    def test_pickle_round_trip_keeps_fields(self):
+        """Results cross the sweep runner's process boundary intact."""
+        result = EvalResult(0.5, logits_hash="ab12", wall_time_s=1.5,
+                            noise_seed=7)
+        clone = pickle.loads(pickle.dumps(result))
+        assert isinstance(clone, EvalResult)
+        assert tuple(clone) == tuple(result)
+
+
+class TestHashLogits:
+    def test_deterministic_and_sensitive(self):
+        logits = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert hash_logits(logits) == hash_logits(logits.copy())
+        changed = logits.copy()
+        changed[0, 0] += 1e-6
+        assert hash_logits(changed) != hash_logits(logits)
+
+    def test_chaining_equals_hashing_the_concatenation(self):
+        a = np.ones((2, 3), np.float32)
+        b = np.full((1, 3), 2.0, np.float32)
+        chained = hash_logits(b, hash_logits(a))
+        both = np.concatenate([a, b])
+        assert chained == hash_logits(both)
+
+
+class TestConstructors:
+    def test_from_logits(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2], [0.3, 0.7]])
+        labels = np.array([1, 0, 0])
+        result = EvalResult.from_logits(logits, labels, wall_time_s=2.0,
+                                        noise_seed=5)
+        assert result == pytest.approx(2 / 3)
+        assert result.logits_hash == f"{hash_logits(logits):08x}"
+        assert result.wall_time_s == 2.0
+        assert result.noise_seed == 5
+
+    def test_from_logits_empty(self):
+        result = EvalResult.from_logits(np.zeros((0, 2)), np.zeros(0, int))
+        assert result == 0.0
+
+    def test_from_predictions_chains_in_request_order(self):
+        Prediction = namedtuple("Prediction", ("label", "logits"))
+        predictions = [
+            Prediction(1, np.array([0.1, 0.9], np.float32)),
+            Prediction(0, np.array([0.8, 0.2], np.float32)),
+        ]
+        result = EvalResult.from_predictions(predictions, [1, 1])
+        assert result == 0.5  # first correct, second wrong
+
+        running = hash_logits(predictions[0].logits)
+        running = hash_logits(predictions[1].logits, running)
+        assert result.logits_hash == f"{running:08x}"
+
+        # order matters: the hash is an audit of the exact sequence
+        swapped = EvalResult.from_predictions(predictions[::-1], [1, 1])
+        assert swapped.logits_hash != result.logits_hash
+
+    def test_from_predictions_empty(self):
+        assert EvalResult.from_predictions([], []) == 0.0
+
+
+class TestEvaluateAccuracyIntegration:
+    def test_evaluate_accuracy_returns_an_eval_result(self, tiny_data):
+        from repro.models import FP32Factory, resnet_small
+        from repro.train import evaluate_accuracy
+
+        model = resnet_small(
+            FP32Factory(seed=0),
+            num_classes=tiny_data.config.num_classes,
+        )
+        model.eval()
+        result = evaluate_accuracy(model, tiny_data.val, noise_seed=11)
+        assert isinstance(result, EvalResult)
+        assert 0.0 <= result <= 1.0
+        assert result.noise_seed == 11
+        assert result.wall_time_s > 0.0
+        int(result.logits_hash, 16)  # a hex crc32
+
+        # determinism: the same eval hashes identically
+        again = evaluate_accuracy(model, tiny_data.val, noise_seed=11)
+        assert again.logits_hash == result.logits_hash
+        assert float(again) == float(result)

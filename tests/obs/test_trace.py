@@ -1,0 +1,142 @@
+"""Trace spans: nesting, thread isolation, profiler forwarding."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.trace import Span, capture_spans, current_span, span
+from repro.utils import profiler
+
+
+class TestSpanBasics:
+    def test_yields_a_span_and_fills_duration(self):
+        with span("test.block") as record:
+            assert isinstance(record, Span)
+            assert record.name == "test.block"
+            assert record.path == "test.block"
+            assert record.depth == 0
+            assert record.duration_s == 0.0
+        assert record.duration_s > 0.0
+
+    def test_records_the_thread_name(self):
+        with span("test.block") as record:
+            assert record.thread == threading.current_thread().name
+
+    def test_current_span_tracks_the_stack(self):
+        assert current_span() is None
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+
+class TestNesting:
+    def test_path_and_depth(self):
+        with span("outer"):
+            with span("mid") as mid:
+                with span("inner") as inner:
+                    pass
+        assert mid.path == "outer/mid"
+        assert mid.depth == 1
+        assert inner.path == "outer/mid/inner"
+        assert inner.depth == 2
+
+    def test_siblings_share_the_parent_path(self):
+        with span("outer"):
+            with span("a") as a:
+                pass
+            with span("b") as b:
+                pass
+        assert a.path == "outer/a"
+        assert b.path == "outer/b"
+        assert a.depth == b.depth == 1
+
+    def test_stack_recovers_from_an_exception(self):
+        try:
+            with span("outer"):
+                with span("inner"):
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        assert current_span() is None
+        with span("after") as after:
+            pass
+        assert after.depth == 0
+
+
+class TestCapture:
+    def test_collects_in_completion_order(self):
+        with capture_spans() as spans:
+            with span("outer"):
+                with span("inner"):
+                    pass
+        assert [s.name for s in spans] == ["inner", "outer"]
+
+    def test_capture_scopes_do_not_leak(self):
+        with capture_spans() as spans:
+            pass
+        with span("outside"):
+            pass
+        assert spans == []
+
+    def test_nested_captures_restore_the_outer_buffer(self):
+        with capture_spans() as outer_buf:
+            with capture_spans() as inner_buf:
+                with span("a"):
+                    pass
+            with span("b"):
+                pass
+        assert [s.name for s in inner_buf] == ["a"]
+        assert [s.name for s in outer_buf] == ["b"]
+
+
+class TestThreads:
+    def test_each_thread_has_its_own_stack(self):
+        """Worker-pool spans never see another thread's ancestry.
+
+        This is the serve-engine situation: several executor threads
+        bracket batches concurrently while the main thread holds its
+        own open span.
+        """
+        barrier = threading.Barrier(4)
+
+        def worker(index: int) -> Span:
+            with span(f"worker.batch_{index}") as record:
+                barrier.wait(timeout=10)  # all spans open at once
+            return record
+
+        with span("main.outer"), capture_spans() as spans:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                futures = [pool.submit(worker, i) for i in range(3)]
+                barrier.wait(timeout=10)
+                records = [f.result(timeout=10) for f in futures]
+
+        for record in records:
+            # depth 0 in its own thread, despite main.outer being open
+            assert record.depth == 0
+            assert record.path == record.name
+            assert record.thread != threading.current_thread().name
+        assert {s.name for s in spans} >= {r.name for r in records}
+
+
+class TestProfilerForwarding:
+    def test_spans_appear_as_op_records(self):
+        with profiler.profiled() as prof:
+            with span("test.forwarded"):
+                pass
+            with span("test.forwarded"):
+                pass
+        record = prof.records()["test.forwarded"]
+        assert record.calls == 2
+        assert record.total_s > 0.0
+
+    def test_no_records_without_an_active_profiler(self):
+        profiler.disable()
+        with span("test.unprofiled"):
+            pass
+        with profiler.profiled() as prof:
+            pass
+        assert "test.unprofiled" not in prof.records()

@@ -1,0 +1,177 @@
+"""The sweep failure contract: no point is silently swallowed.
+
+Historically ``pool.map`` re-raised the first worker exception and
+threw away every other point's outcome.  Now every point runs, each
+failure is journaled as ``sweep.point_failed`` with its traceback, and
+``sweep_map`` raises one :class:`~repro.errors.SweepError` afterwards
+— which the CLI converts into exit code 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import SweepError
+from repro.obs.journal import end_run, read_events, start_run
+from repro.parallel.scheduler import SweepPoint
+from repro.parallel.sweep import sweep_map
+
+
+class FakeBench:
+    def __init__(self, jobs=1):
+        self.config = None
+        self.jobs = jobs
+
+
+def _fail_on_three(bench, value):
+    if value == 3:
+        raise ValueError(f"boom at {value}")
+    return 10 * value
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_run():
+    end_run()
+    yield
+    end_run()
+
+
+def _points(values):
+    return [SweepPoint(key=v, args=(v,)) for v in values]
+
+
+class TestSweepMapFailures:
+    def test_all_points_run_and_failures_surface_after(self):
+        with pytest.raises(SweepError) as excinfo:
+            sweep_map(FakeBench(), _fail_on_three, _points([1, 2, 3, 4]))
+        error = excinfo.value
+        assert "1 of 4 sweep points failed: 3" in str(error)
+        assert len(error.failures) == 1
+        key, traceback_text = error.failures[0]
+        assert key == "3"
+        assert "ValueError: boom at 3" in traceback_text
+        assert "Traceback" in traceback_text
+
+    def test_failures_are_journaled_with_tracebacks(self, tmp_path):
+        start_run(results_dir=str(tmp_path), run_id="sweepfail")
+        with pytest.raises(SweepError):
+            sweep_map(FakeBench(), _fail_on_three, _points([1, 2, 3, 4]))
+        end_run(status="failed")
+
+        events = read_events("sweepfail", str(tmp_path), validate=True)
+        by_type = {}
+        for event in events:
+            by_type.setdefault(event["event"], []).append(event)
+
+        assert by_type["sweep.start"][0]["points"] == 4
+
+        done = by_type["sweep.point_done"]
+        assert [(e["index"], e["key"], e["result"]) for e in done] == [
+            (0, 1, 10), (1, 2, 20), (3, 4, 40),
+        ]
+        for event in done:
+            assert event["seconds"] >= 0.0
+
+        (failed,) = by_type["sweep.point_failed"]
+        assert failed["index"] == 2
+        assert failed["key"] == 3
+        assert failed["error"] == "ValueError: boom at 3"
+        assert "Traceback" in failed["traceback"]
+        assert "boom at 3" in failed["traceback"]
+
+        (swept,) = by_type["sweep.end"]
+        assert swept["completed"] == 3
+        assert swept["failed"] == 1
+
+    def test_success_path_is_unchanged(self, tmp_path):
+        start_run(results_dir=str(tmp_path), run_id="sweepok")
+        results = sweep_map(
+            FakeBench(), _fail_on_three, _points([1, 2, 4])
+        )
+        end_run()
+        assert results == [10, 20, 40]
+        events = read_events("sweepok", str(tmp_path), validate=True)
+        types = [e["event"] for e in events]
+        assert "sweep.point_failed" not in types
+        assert types.count("sweep.point_done") == 3
+
+    def test_works_without_an_active_journal(self):
+        """journal_event is a no-op outside a run; the contract holds."""
+        with pytest.raises(SweepError) as excinfo:
+            sweep_map(FakeBench(), _fail_on_three, _points([3, 3]))
+        assert len(excinfo.value.failures) == 2
+
+
+class TestCliExitCode:
+    def test_sweep_error_becomes_exit_1_with_a_failed_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments import cli as cli_mod
+
+        def fake_run_experiment(name, bench):
+            raise SweepError(
+                "2 of 4 sweep points failed: 4.0, 5.5",
+                failures=[("4.0", "tb-a"), ("5.5", "tb-b")],
+            )
+
+        monkeypatch.setitem(
+            cli_mod.EXPERIMENTS, "faildemo", fake_run_experiment
+        )
+        monkeypatch.setattr(cli_mod, "run_experiment", fake_run_experiment)
+
+        code = cli_mod.main(
+            [
+                "run", "faildemo",
+                "--profile", "quick",
+                "--results-dir", str(tmp_path),
+                "--run-id", "failrun",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "sweep points failed" in captured.err
+
+        # the journal recorded the failure durably
+        events = read_events("failrun", str(tmp_path), validate=True)
+        assert events[-1]["status"] == "failed"
+        with open(
+            os.path.join(str(tmp_path), "runs", "failrun", "summary.json")
+        ) as fh:
+            summary = json.load(fh)
+        assert summary["status"] == "failed"
+        assert "sweep points failed" in summary["error"]
+
+    def test_clean_run_exits_0_with_an_ok_run(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments import cli as cli_mod
+
+        class FakeResult:
+            def table(self):
+                return "fake table"
+
+            def save(self, results_dir):
+                return os.path.join(results_dir, "fake.json")
+
+        monkeypatch.setitem(
+            cli_mod.EXPERIMENTS, "okdemo", lambda bench: FakeResult()
+        )
+        monkeypatch.setattr(
+            cli_mod, "run_experiment", lambda name, bench: FakeResult()
+        )
+
+        code = cli_mod.main(
+            [
+                "run", "okdemo",
+                "--profile", "quick",
+                "--results-dir", str(tmp_path),
+                "--run-id", "okrun",
+            ]
+        )
+        assert code == 0
+        assert "[journal] run okrun" in capsys.readouterr().out
+        events = read_events("okrun", str(tmp_path), validate=True)
+        assert events[-1]["status"] == "ok"

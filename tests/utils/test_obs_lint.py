@@ -1,0 +1,107 @@
+"""The stray-print linter: AST-accurate, and src/ stays clean (tier-1)."""
+
+import importlib.util
+import os
+import textwrap
+
+_SPEC = importlib.util.spec_from_file_location(
+    "obs_lint",
+    os.path.join(
+        os.path.dirname(__file__), "..", "..", "tools", "obs_lint.py"
+    ),
+)
+obs_lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(obs_lint)
+
+SRC_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+class TestFindPrints:
+    def test_catches_a_real_print_call(self):
+        source = "x = 1\nprint(x)\n"
+        assert obs_lint.find_prints(source, "<t>") == [(2, "print(x)")]
+
+    def test_ignores_docstring_examples(self):
+        source = textwrap.dedent(
+            '''
+            def f():
+                """Example::
+
+                    print(prof.report())
+                """
+                return 1
+            '''
+        )
+        assert obs_lint.find_prints(source, "<t>") == []
+
+    def test_ignores_substring_matches(self):
+        # 'model_fingerprint(' contains the substring 'print(' — the
+        # reason this linter is an AST walk and not a grep.
+        source = "fp = model_fingerprint(model)\n"
+        assert obs_lint.find_prints(source, "<t>") == []
+
+    def test_ignores_attribute_calls_named_print(self):
+        assert obs_lint.find_prints("logger.print('x')\n", "<t>") == []
+
+    def test_catches_nested_and_multiple(self):
+        source = "def f():\n    print(1)\n    print(2)\n"
+        assert [line for line, _ in obs_lint.find_prints(source, "<t>")] == [
+            2, 3,
+        ]
+
+
+class TestLintTree:
+    def _tree(self, tmp_path, files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        return str(tmp_path)
+
+    def test_reports_violations_with_relative_paths(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "pkg/clean.py": "x = 1\n",
+                "pkg/dirty.py": "print('hi')\n",
+            },
+        )
+        violations = obs_lint.lint_tree(root, allowlist=())
+        assert violations == ["pkg/dirty.py:1: print('hi')"]
+
+    def test_allowlist_is_respected(self, tmp_path):
+        root = self._tree(
+            tmp_path, {"cli/main.py": "print('intended output')\n"}
+        )
+        assert obs_lint.lint_tree(root, allowlist=("cli/main.py",)) == []
+        assert len(obs_lint.lint_tree(root, allowlist=())) == 1
+
+    def test_non_python_files_are_skipped(self, tmp_path):
+        root = self._tree(tmp_path, {"notes.txt": "print('not code')\n"})
+        assert obs_lint.lint_tree(root, allowlist=()) == []
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        (clean / "a.py").write_text("x = 1\n")
+        assert obs_lint.main(["--root", str(clean)]) == 0
+        assert "no stray print" in capsys.readouterr().out
+
+        dirty = tmp_path / "dirty"
+        dirty.mkdir()
+        (dirty / "b.py").write_text("print('x')\n")
+        assert obs_lint.main(["--root", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "b.py:1" in out
+        assert "repro.obs" in out
+
+
+class TestRepoTreeIsClean:
+    def test_src_has_no_stray_prints(self):
+        """Tier-1 gate: library code publishes via repro.obs, not print."""
+        violations = obs_lint.lint_tree(SRC_ROOT)
+        assert violations == [], "\n".join(violations)

@@ -1,0 +1,103 @@
+"""Stray-print linter: library code must publish via repro.obs.
+
+With the observability layer in place, ``print()`` inside ``src/``
+library code is almost always a mistake — progress belongs in metrics
+and journal events (rendered by ``obs tail`` / ``obs summary``), and
+human-facing output belongs in the CLI layer.  This tool walks every
+module under ``src/`` and fails on ``print`` *calls* outside the
+allowlisted presentation modules.
+
+The check is AST-based, not a grep: ``model_fingerprint(`` contains
+the substring ``print(``, and several docstrings show ``print(...)``
+usage examples — a regex would flag both.  Only real
+``ast.Call`` nodes whose function is the name ``print`` count.
+
+Usage::
+
+    python tools/obs_lint.py            # exit 1 on violations
+    python tools/obs_lint.py --root src/other   # lint another tree
+
+``tests/utils/test_obs_lint.py`` runs this as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import List, Optional, Tuple
+
+#: Modules (relative to the lint root) where print() is the job:
+#: the CLI renders for humans, ascii_plot/tabulate build terminal
+#: output (their docstring examples print), and __main__ shims.
+ALLOWLIST = (
+    "repro/experiments/cli.py",
+    "repro/experiments/__main__.py",
+    "repro/utils/ascii_plot.py",
+)
+
+DEFAULT_ROOT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "src"
+)
+
+
+def find_prints(source: str, filename: str) -> List[Tuple[int, str]]:
+    """``(line, context)`` for every real print() call in ``source``."""
+    tree = ast.parse(source, filename=filename)
+    lines = source.splitlines()
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            context = (
+                lines[node.lineno - 1].strip()
+                if node.lineno <= len(lines)
+                else ""
+            )
+            found.append((node.lineno, context))
+    return found
+
+
+def lint_tree(root: str, allowlist=ALLOWLIST) -> List[str]:
+    """Violation messages for every stray print under ``root``."""
+    violations = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            if rel in allowlist:
+                continue
+            with open(path) as fh:
+                source = fh.read()
+            for lineno, context in find_prints(source, path):
+                violations.append(f"{rel}:{lineno}: {context}")
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=DEFAULT_ROOT,
+        help="directory tree to lint (default: the repo's src/)",
+    )
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    violations = lint_tree(root)
+    if violations:
+        print(f"stray print() calls under {root} (use repro.obs instead):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"no stray print() calls under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
