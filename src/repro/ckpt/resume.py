@@ -1,0 +1,98 @@
+"""Sweep-level resume: replay a run's journal, reuse completed points.
+
+A sweep that dies at point 47/48 — worker crash, OOM kill, preemption —
+already journaled every completed point as ``sweep.point_done``.  This
+module adds the missing half: the point *values* are persisted beside
+the journal (``<run_dir>/sweep/<ordinal>/<index>.pkl``, written
+atomically), and ``run --resume <run_id>`` replays the journal to learn
+which points finished, loads their stored values, and hands
+:func:`repro.parallel.sweep_map` a skip set so only failed or missing
+points re-execute.
+
+A run can contain several ``sweep_map`` calls (and ``all`` runs several
+experiments); sweeps are matched positionally by *ordinal* — the n-th
+``sweep.start`` of the old run pairs with the n-th ``sweep_map`` call
+of the new one, which is deterministic because experiment code is.
+Reused points are re-verified by key: if the grid changed between runs,
+a stored point whose key no longer matches simply re-runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Dict, List, Tuple
+
+from repro.obs.journal import read_events, resolve_run_dir
+from repro.utils.serialization import atomic_write
+
+#: Events that mark a point as not needing re-execution.  A resumed run
+#: journals reused points as ``sweep.point_skipped``, so resuming from
+#: an already-resumed run chains correctly.
+_DONE_EVENTS = ("sweep.point_done", "sweep.point_skipped")
+
+
+def sweep_point_path(run_dir: str, ordinal: int, index: int) -> str:
+    """Where sweep ``ordinal``'s point ``index`` result is persisted."""
+    return os.path.join(run_dir, "sweep", str(ordinal), f"{index:05d}.pkl")
+
+
+def store_sweep_result(
+    run_dir: str, ordinal: int, index: int, key, value
+) -> str:
+    """Atomically persist one completed point's ``(key, value)``."""
+    path = sweep_point_path(run_dir, ordinal, index)
+    with atomic_write(path, "wb") as fh:
+        pickle.dump({"key": key, "value": value}, fh)
+    return path
+
+
+def _sweep_blocks(events: List[dict]) -> List[List[dict]]:
+    """Split a journal's events into per-``sweep.start`` blocks."""
+    blocks: List[List[dict]] = []
+    current: List[dict] = None  # type: ignore[assignment]
+    for event in events:
+        name = event.get("event", "")
+        if name == "sweep.start":
+            current = []
+            blocks.append(current)
+        elif name.startswith("sweep.") and current is not None:
+            current.append(event)
+    return blocks
+
+
+def load_sweep_results(
+    run: str, results_dir: str, ordinal: int
+) -> Dict[int, Tuple[object, object]]:
+    """Completed points of sweep ``ordinal`` in a previous run.
+
+    Returns ``{index: (key_jsonable, value)}`` for every point the old
+    run's journal records as done *and* whose persisted value loads.  A
+    journaled point without a readable value file is treated as missing
+    (it re-runs) rather than an error — the value write and the journal
+    append cannot be made mutually atomic, and re-running is always
+    safe.  An ``ordinal`` beyond what the old run journaled is likewise
+    empty, not an error: a run drained during training (or during an
+    earlier experiment of ``all``) never reached that sweep, so there is
+    simply nothing to reuse.  A genuinely mismatched command is caught
+    per point by the key check below.
+    """
+    run_dir = resolve_run_dir(run, results_dir)
+    blocks = _sweep_blocks(read_events(run_dir, results_dir))
+    if ordinal >= len(blocks):
+        return {}
+    completed: Dict[int, Tuple[object, object]] = {}
+    for event in blocks[ordinal]:
+        if event["event"] not in _DONE_EVENTS:
+            continue
+        index = event["index"]
+        path = sweep_point_path(run_dir, ordinal, index)
+        try:
+            with open(path, "rb") as fh:
+                stored = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            continue  # value lost with the crash: just re-run the point
+        if stored.get("key") != event.get("key"):
+            continue  # journal/value mismatch: distrust, re-run
+        completed[index] = (stored["key"], stored["value"])
+    return completed

@@ -1,0 +1,85 @@
+"""Graceful SIGINT/SIGTERM drain for long training and sweep runs.
+
+The handler never interrupts work mid-flight: it records which signal
+arrived, and the instrumented loops (``Trainer.fit`` epochs, serial
+sweep points) poll :func:`interrupt_requested` at their next safe
+boundary, write a final checkpoint, journal a ``run.interrupted``
+event, and raise :class:`~repro.errors.RunInterrupted` — which the CLI
+turns into exit code 130.  A second signal while draining falls back
+to the ordinary abrupt ``KeyboardInterrupt``, so an impatient operator
+is never locked out.
+
+Handlers can only be installed from the main thread (a Python
+constraint); :func:`graceful_shutdown` silently degrades to a no-op
+context elsewhere, e.g. inside pool workers, where the parent owns
+signal policy anyway.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Optional
+
+_LOCK = threading.Lock()
+_REQUESTED: Optional[str] = None
+_PREVIOUS: dict = {}
+
+#: Signals a graceful drain listens for.
+DRAIN_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+def _handler(signum, frame) -> None:
+    global _REQUESTED
+    if _REQUESTED is not None:
+        # Second request: the operator wants out *now*.
+        raise KeyboardInterrupt
+    _REQUESTED = signal.Signals(signum).name
+
+
+def interrupt_requested() -> Optional[str]:
+    """Name of the pending drain signal (``"SIGTERM"``/...), or None."""
+    return _REQUESTED
+
+
+def clear_interrupt() -> None:
+    """Forget a pending drain request (tests; between CLI commands)."""
+    global _REQUESTED
+    _REQUESTED = None
+
+
+def install_handlers() -> bool:
+    """Install the drain handlers; returns False off the main thread."""
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    with _LOCK:
+        if _PREVIOUS:
+            return True  # already installed
+        for sig in DRAIN_SIGNALS:
+            _PREVIOUS[sig] = signal.signal(sig, _handler)
+    return True
+
+
+def uninstall_handlers() -> None:
+    """Restore the handlers that were active before :func:`install_handlers`."""
+    with _LOCK:
+        for sig, previous in _PREVIOUS.items():
+            signal.signal(sig, previous)
+        _PREVIOUS.clear()
+
+
+@contextlib.contextmanager
+def graceful_shutdown() -> Iterator[None]:
+    """Context that arms the drain handlers and always restores them.
+
+    Any interrupt flag left by the body is cleared on exit, so one
+    drained command never poisons the next.
+    """
+    installed = install_handlers()
+    try:
+        yield
+    finally:
+        if installed:
+            uninstall_handlers()
+        clear_interrupt()

@@ -65,6 +65,40 @@ class SweepError(ReproError):
         self.failures = tuple(failures)
 
 
+class CheckpointError(ReproError):
+    """A training checkpoint is missing, corrupt, or incompatible.
+
+    Raised by :mod:`repro.ckpt` when an archive lacks the checkpoint
+    metadata block, carries an unsupported schema version, or was
+    written for a different training configuration than the one trying
+    to resume from it.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A run was stopped by SIGINT/SIGTERM after a graceful drain.
+
+    Raised at the next epoch/point boundary once
+    :func:`repro.ckpt.interrupt_requested` reports a signal; by then
+    the final checkpoint has been written and a ``run.interrupted``
+    event journaled.  The CLI converts this into exit code 130.
+    """
+
+    def __init__(self, message: str, signal_name: str = ""):
+        super().__init__(message)
+        #: Name of the signal that requested the stop (``SIGINT``/...).
+        self.signal_name = signal_name
+
+
+class WorkerLostError(ReproError):
+    """A parallel task's worker process died and retries are exhausted.
+
+    Raised by :class:`repro.parallel.SweepRunner` when a task still
+    cannot complete after ``retries`` pool rebuilds and no
+    ``on_lost`` fallback was configured to absorb the loss.
+    """
+
+
 class JournalError(ReproError):
     """A run journal is corrupt beyond the tolerated torn final line.
 

@@ -167,6 +167,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
             "timestamp-pid id)"
         ),
     )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help=(
+            "resume a killed/interrupted run: training continues from "
+            "its epoch checkpoints and sweeps reuse RUN_ID's completed "
+            "grid points, re-running only failed/missing ones (see "
+            "docs/fault_tolerance.md)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "extra attempts for a sweep point whose worker process "
+            "died (default 2; the pool is rebuilt between attempts)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=None,
+        help=(
+            "base seconds between such attempts, doubling each time "
+            "(default 0.5)"
+        ),
+    )
 
 
 def _run_one(
@@ -192,10 +221,12 @@ def _run_one(
     print(f"[{name}] done in {elapsed:.1f}s -> {path}\n")
 
 
-#: Leftovers of a crashed sweep worker's write-then-rename: real cache
-#: entries are ``<name>.npz``; a worker that died mid-save leaves
-#: ``<name>.tmp<pid>.npz`` / ``.tmp<pid>.json`` behind.
-_STALE_TMP = re.compile(r"\.tmp\d+\.(npz|json)$")
+#: Leftovers of a crashed worker's atomic write: real cache entries are
+#: ``<name>.npz`` / ``<name>.json`` / ``<name>.ckpt.npz``; a process
+#: that died mid-save leaves ``<name>.<ext>.tmp<pid>`` behind (or, from
+#: builds predating the shared atomic_write helper,
+#: ``<name>.tmp<pid>.<ext>``).
+_STALE_TMP = re.compile(r"(\.tmp\d+\.(npz|json)|\.(npz|json)\.tmp\d+)$")
 
 
 def _handle_cache(action: str, cache_dir: str) -> int:
@@ -225,7 +256,7 @@ def _handle_cache(action: str, cache_dir: str) -> int:
         return 0
     removed = 0
     for name in names:
-        if name.endswith((".npz", ".json")):
+        if name.endswith((".npz", ".json")) or _STALE_TMP.search(name):
             os.remove(os.path.join(cache_dir, name))
             removed += 1
     print(
@@ -269,9 +300,16 @@ def _journaled(args, config, argv: List[str], body) -> int:
     :class:`~repro.errors.SweepError` (grid points failed — they were
     all journaled as ``sweep.point_failed`` already) becomes exit code
     1 instead of a traceback.
+
+    The body runs under :func:`repro.ckpt.graceful_shutdown`: SIGINT/
+    SIGTERM requests a drain, the trainer/sweep engine writes a final
+    checkpoint and journals ``run.interrupted`` at the next boundary,
+    and the resulting :class:`~repro.errors.RunInterrupted` becomes
+    exit code 130 with a resume hint.
     """
-    from repro.errors import SweepError
-    from repro.obs.journal import end_run, start_run
+    from repro.ckpt import graceful_shutdown
+    from repro.errors import RunInterrupted, SweepError
+    from repro.obs.journal import end_run, journal_event, start_run
     from repro.obs.metrics import default_registry
 
     journal = start_run(
@@ -282,13 +320,26 @@ def _journaled(args, config, argv: List[str], body) -> int:
         seed=args.seed,
     )
     print(f"[journal] run {journal.run_id} -> {journal.run_dir}")
+    resume = getattr(args, "resume", None)
+    if resume:
+        journal_event("note", message=f"resuming from run {resume}")
     try:
-        code = body()
+        with graceful_shutdown():
+            code = body()
     except SweepError as exc:
         print(f"error: {exc}", file=sys.stderr)
         journal.metrics_snapshot(default_registry(), scope="default")
         end_run(status="failed", error=str(exc))
         return 1
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print(
+            f"resume with: --resume {journal.run_id}",
+            file=sys.stderr,
+        )
+        journal.metrics_snapshot(default_registry(), scope="default")
+        end_run(status="interrupted", error=str(exc))
+        return 130
     except BaseException:
         end_run(status="failed")
         raise
@@ -414,7 +465,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     config = make_config(
         profile=args.profile, seed=args.seed, results_dir=args.results_dir
     )
-    bench = Workbench(config, jobs=args.jobs)
+    bench = Workbench(
+        config,
+        jobs=args.jobs,
+        resume_run=args.resume,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+    )
 
     def _body() -> int:
         if args.command == "run":

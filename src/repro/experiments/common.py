@@ -30,7 +30,11 @@ from repro.serve.spec import ModelSpec
 from repro.train.evaluate import EvalStats, repeated_evaluate
 from repro.train.freeze import freeze_layers
 from repro.train.trainer import TrainConfig, Trainer
-from repro.utils.serialization import load_state, save_state
+from repro.utils.serialization import (
+    atomic_write_json,
+    load_state,
+    save_state,
+)
 from repro.utils.tabulate import format_table
 
 
@@ -102,11 +106,30 @@ class Workbench:
     (:func:`repro.parallel.sweep_map`) uses when an experiment fans its
     grid points out; ``1`` (the default) keeps every experiment on the
     historical serial path, bit for bit.
+
+    ``resume_run`` (the CLI's ``--resume <run_id>``) enables fault
+    recovery: training loads per-epoch checkpoints written beside the
+    cache entries, and sweeps reuse the named run's completed grid
+    points (see ``docs/fault_tolerance.md``).  ``retries`` /
+    ``retry_backoff`` tune the sweep engine's tolerance for dying
+    worker processes.
     """
 
-    def __init__(self, config: ExperimentConfig, jobs: int = 1):
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        jobs: int = 1,
+        resume_run: Optional[str] = None,
+        retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
+    ):
         self.config = config
         self.jobs = jobs
+        self.resume_run = resume_run
+        if retries is not None:
+            self.retries = retries
+        if retry_backoff is not None:
+            self.retry_backoff = retry_backoff
         self._data: Optional[SynthImageNet] = None
         self._accuracy_cache: Dict[str, dict] = {}
 
@@ -212,6 +235,7 @@ class Workbench:
         base = self._cache_base(name)
         state_path = base + ".npz"
         meta_path = base + ".json"
+        ckpt_path = base + ".ckpt.npz"
         model = build()
         if os.path.exists(state_path) and os.path.exists(meta_path):
             model.load_state_dict(load_state(state_path))
@@ -224,8 +248,17 @@ class Workbench:
             model.load_state_dict(init_state)
         if freeze:
             freeze_layers(model, freeze)
+        # Per-epoch checkpoints make a killed training run resumable
+        # (``--resume``); writing them is cheap next to an epoch, so
+        # they are always on.  Resume is only honored when requested —
+        # a stale checkpoint must never silently shape a fresh run.
+        resume = self.resume_run is not None and os.path.exists(ckpt_path)
         result = Trainer(train_config).fit(
-            model, self.data.train, self.data.val
+            model,
+            self.data.train,
+            self.data.val,
+            checkpoint_path=ckpt_path,
+            resume=resume,
         )
         meta = {
             "name": name,
@@ -235,17 +268,17 @@ class Workbench:
             "stopped_early": result.stopped_early,
             "history": result.history,
         }
-        # Write-then-rename so a cache file is either absent or complete:
-        # sweep workers sharing cache_dir must never load a partial
-        # checkpoint.  The tmp name is pid-unique, so even two processes
-        # redundantly training the same artifact cannot corrupt it.
-        tmp_state = f"{base}.tmp{os.getpid()}.npz"
-        tmp_meta = f"{base}.tmp{os.getpid()}.json"
-        save_state(tmp_state, model.state_dict())
-        with open(tmp_meta, "w") as fh:
-            json.dump(meta, fh, indent=2)
-        os.replace(tmp_state, state_path)
-        os.replace(tmp_meta, meta_path)
+        # save_state / atomic_write_json are crash-safe (tmp + fsync +
+        # rename + dir fsync, pid-unique temporaries): sweep workers
+        # sharing cache_dir never observe a partial artifact, and even
+        # two processes redundantly training the same artifact cannot
+        # corrupt it.
+        save_state(state_path, model.state_dict())
+        atomic_write_json(meta_path, meta)
+        try:
+            os.remove(ckpt_path)  # the cached artifact supersedes it
+        except OSError:
+            pass
         journal_event("bench.artifact", name=name, source="trained")
         return model, meta
 

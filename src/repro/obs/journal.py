@@ -37,6 +37,7 @@ from hashlib import sha256
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError, JournalError
+from repro.utils.serialization import atomic_write_json as _atomic_write_json
 
 #: Journal format version, recorded in the manifest and run_start event.
 SCHEMA_VERSION = 1
@@ -57,10 +58,17 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
                     "epoch_seconds", "batches"),
     "train.fit": ("best_accuracy", "best_epoch", "epochs_run",
                   "stopped_early"),
+    # fault tolerance (see repro.ckpt / docs/fault_tolerance.md)
+    "train.checkpoint": ("epoch", "path"),
+    "train.resume": ("epoch", "checkpoint"),
+    "run.interrupted": ("signal",),
     # sweeps
     "sweep.start": ("points",),
     "sweep.point_done": ("index", "key", "seconds"),
     "sweep.point_failed": ("index", "key", "error", "traceback"),
+    "sweep.point_retry": ("index", "key", "attempt"),
+    "sweep.point_skipped": ("index", "key"),
+    "sweep.resume": ("source_run", "reused"),
     "sweep.end": ("completed", "failed"),
     # serving
     "serve.stats": ("stats",),
@@ -133,12 +141,14 @@ def validate_event(event: dict) -> dict:
 
 
 def atomic_write_json(path: str, payload: dict) -> None:
-    """Write ``payload`` so ``path`` is either absent or complete."""
-    tmp = f"{path}.tmp{os.getpid()}"
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, path)
+    """Write ``payload`` so ``path`` is either absent or complete.
+
+    Delegates to the shared crash-safe primitive
+    (:func:`repro.utils.serialization.atomic_write`): tmp + fsync +
+    rename + parent-directory fsync, the same dance every durable
+    artifact in the repo uses.
+    """
+    _atomic_write_json(path, payload, sort_keys=True)
 
 
 def git_sha() -> Optional[str]:
@@ -185,6 +195,7 @@ class RunJournal:
         self.events_path = os.path.join(run_dir, "events.jsonl")
         self._lock = threading.Lock()
         self._seq = 0
+        self._sweep_ordinal = 0
         self._fh = open(self.events_path, "a")
         self._closed = False
         self.event("run_start", **manifest)
@@ -245,6 +256,18 @@ class RunJournal:
             self._seq += 1
             return record
 
+    def next_sweep_ordinal(self) -> int:
+        """Position of the next ``sweep_map`` call within this run.
+
+        Sweep-level resume (:mod:`repro.ckpt.resume`) matches the n-th
+        sweep of a resumed run against the n-th sweep of the original,
+        so the ordinal is allocated here, once per ``sweep.start``.
+        """
+        with self._lock:
+            ordinal = self._sweep_ordinal
+            self._sweep_ordinal += 1
+            return ordinal
+
     def metrics_snapshot(self, registry, scope: str = "default") -> dict:
         """Journal a full dump of ``registry`` as a ``metrics`` event."""
         return self.event(
@@ -257,6 +280,10 @@ class RunJournal:
             return
         self.event("run_end", status=status, **summary)
         self._closed = True
+        try:
+            os.fsync(self._fh.fileno())  # make the final events durable
+        except OSError:
+            pass
         self._fh.close()
         atomic_write_json(
             os.path.join(self.run_dir, "summary.json"),

@@ -8,10 +8,11 @@ order — and therefore rounding — of the textbook allocating form.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.nn.parameter import Parameter
 from repro.optim.optimizer import Optimizer
 from repro.tensor.pool import default_pool
@@ -36,6 +37,45 @@ class Adam(Optimizer):
         self._m = [None] * len(self.params)
         self._v = [None] * len(self.params)
         self._t = 0
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Moments as ``m.<i>`` / ``v.<i>`` plus the 0-d step count ``t``.
+
+        The step count drives bias correction, so omitting it would
+        silently change every post-resume update.
+        """
+        state: Dict[str, np.ndarray] = {"t": np.array(self._t, dtype=np.int64)}
+        for i, m in enumerate(self._m):
+            if m is not None:
+                state[f"m.{i}"] = m.copy()
+                state[f"v.{i}"] = self._v[i].copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "t" not in state:
+            raise ConfigError("Adam state is missing the step counter 't'")
+        m = [None] * len(self.params)
+        v = [None] * len(self.params)
+        for key, value in state.items():
+            if key == "t":
+                continue
+            slot = key.split(".", 1)[0]
+            if slot not in ("m", "v"):
+                raise ConfigError(f"unknown Adam state key {key!r}")
+            i = self._slot_index(key, slot)
+            if value.shape != self.params[i].data.shape:
+                raise ConfigError(
+                    f"{key} shape {value.shape} does not match parameter "
+                    f"shape {self.params[i].data.shape}"
+                )
+            (m if slot == "m" else v)[i] = np.array(value, copy=True)
+        for i in range(len(self.params)):
+            if (m[i] is None) != (v[i] is None):
+                raise ConfigError(
+                    f"Adam state for parameter {i} has only one of m/v"
+                )
+        self._m, self._v = m, v
+        self._t = int(state["t"])
 
     def step(self) -> None:
         token = _profiler.op_start()

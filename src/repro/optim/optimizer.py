@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
+
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.nn.parameter import Parameter
@@ -30,3 +32,35 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # checkpointing (see repro.ckpt)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat array mapping of the optimizer's slot state.
+
+        Stateless optimizers return ``{}``.  Keys are
+        ``<slot>.<param_index>`` (parameter order is the construction
+        order, which every caller derives deterministically from the
+        model), plus 0-d arrays for scalar counters.  Values are
+        copies, so later steps never mutate a snapshot.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a snapshot from :meth:`state_dict` (exact arrays)."""
+        if state:
+            raise ConfigError(
+                f"{type(self).__name__} holds no slot state but got keys "
+                f"{sorted(state)}"
+            )
+
+    def _slot_index(self, key: str, slot: str) -> int:
+        """Parse and bounds-check the param index of ``<slot>.<i>``."""
+        suffix = key[len(slot) + 1 :]
+        if not suffix.isdigit() or int(suffix) >= len(self.params):
+            raise ConfigError(
+                f"optimizer state key {key!r} does not name one of "
+                f"{len(self.params)} parameters"
+            )
+        return int(suffix)

@@ -12,10 +12,11 @@ of ``p.data`` is safe because ``state_dict()`` snapshots copies.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.nn.parameter import Parameter
 from repro.optim.optimizer import Optimizer
 from repro.tensor.pool import default_pool
@@ -38,6 +39,28 @@ class SGD(Optimizer):
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity = [None] * len(self.params)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Momentum buffers as ``velocity.<i>`` (lazy slots omitted)."""
+        return {
+            f"velocity.{i}": v.copy()
+            for i, v in enumerate(self._velocity)
+            if v is not None
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        velocity = [None] * len(self.params)
+        for key, value in state.items():
+            if not key.startswith("velocity."):
+                raise ConfigError(f"unknown SGD state key {key!r}")
+            i = self._slot_index(key, "velocity")
+            if value.shape != self.params[i].data.shape:
+                raise ConfigError(
+                    f"velocity.{i} shape {value.shape} does not match "
+                    f"parameter shape {self.params[i].data.shape}"
+                )
+            velocity[i] = np.array(value, copy=True)
+        self._velocity = velocity
 
     def step(self) -> None:
         token = _profiler.op_start()

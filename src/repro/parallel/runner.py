@@ -4,12 +4,22 @@
 task tuples.  ``jobs <= 1`` (the default everywhere) executes in the
 calling process with zero multiprocessing machinery — the results are
 the exact objects the serial code would produce.  ``jobs > 1`` fans the
-tasks out over a ``multiprocessing`` pool; results always come back in
-input order, so callers are oblivious to completion order.
+tasks out over a process pool; results always come back in input
+order, so callers are oblivious to completion order.
 
 Tasks must be deterministic functions of their arguments (every
 stochastic component in this repo takes an explicit seed or generator),
 which is what makes the parallel results bit-identical to serial.
+
+The pooled path is fault tolerant: when a worker process dies (OOM
+kill, segfault, preemption) the pool is rebuilt and the tasks that were
+in flight are retried with exponential backoff, up to ``retries``
+additional attempts per task.  A task that still cannot complete is
+handed to the ``on_lost`` fallback (the sweep engine turns it into an
+ordinary failed point) or, without one, raises
+:class:`~repro.errors.WorkerLostError`.  Ordinary exceptions *raised
+by* the task function are not retried — they are deterministic and
+propagate immediately, exactly as before.
 
 The start method defaults to ``fork`` where available (cheap on Linux;
 the workers re-derive all state from their arguments regardless, so
@@ -22,9 +32,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerLostError
 
 
 def start_method() -> str:
@@ -55,6 +68,19 @@ class SweepRunner:
         Workbench once, instead of per task).  Both must be picklable.
     mp_context:
         Start-method name; defaults to :func:`start_method`.
+    retries:
+        Extra attempts granted to a task whose worker process died
+        (the pool is rebuilt between attempts).  ``0`` disables retry.
+    backoff_s:
+        Base delay before a retry round; doubles per attempt
+        (``backoff_s * 2**(attempt-1)``).
+    on_retry:
+        Called as ``on_retry(index, task, attempt, delay_s)`` before
+        each retried attempt — the sweep engine journals these.
+    on_lost:
+        Called as ``on_lost(index, task)`` to produce a stand-in result
+        for a task whose retries are exhausted; without it the runner
+        raises :class:`~repro.errors.WorkerLostError`.
     """
 
     def __init__(
@@ -63,13 +89,25 @@ class SweepRunner:
         initializer: Optional[Callable] = None,
         initargs: tuple = (),
         mp_context: Optional[str] = None,
+        retries: int = 0,
+        backoff_s: float = 0.5,
+        on_retry: Optional[Callable] = None,
+        on_lost: Optional[Callable] = None,
     ):
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ConfigError(f"backoff_s must be >= 0, got {backoff_s}")
         self.jobs = jobs
         self.initializer = initializer
         self.initargs = initargs
         self.mp_context = mp_context
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.on_retry = on_retry
+        self.on_lost = on_lost
 
     def map(self, fn: Callable, tasks: Sequence) -> List:
         """``[fn(task) for task in tasks]``, possibly across processes.
@@ -85,12 +123,76 @@ class SweepRunner:
             if self.initializer is not None:
                 self.initializer(*self.initargs)
             return [fn(task) for task in tasks]
+        return self._pooled_map(fn, tasks, jobs)
+
+    def _pooled_map(self, fn: Callable, tasks: List, jobs: int) -> List:
         ctx = multiprocessing.get_context(self.mp_context or start_method())
-        with ctx.Pool(
-            processes=jobs,
+        results: List = [None] * len(tasks)
+        #: (task index, attempts so far) still needing a result.
+        pending: List[Tuple[int, int]] = [(i, 0) for i in range(len(tasks))]
+        while pending:
+            broken = self._run_round(fn, tasks, jobs, ctx, pending, results)
+            if not broken:
+                break
+            pending = self._plan_retries(tasks, broken, results)
+        return results
+
+    def _run_round(self, fn, tasks, jobs, ctx, pending, results) -> List:
+        """Submit ``pending`` once; returns tasks lost to worker death."""
+        executor = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            mp_context=ctx,
             initializer=self.initializer,
             initargs=self.initargs,
-        ) as pool:
-            # chunksize=1: grid points are coarse (seconds each); dynamic
-            # dispatch beats pre-chunking when point costs are uneven.
-            return pool.map(fn, tasks, chunksize=1)
+        )
+        broken: List[Tuple[int, int]] = []
+        try:
+            futures = {}
+            try:
+                for index, attempts in pending:
+                    futures[executor.submit(fn, tasks[index])] = (
+                        index,
+                        attempts,
+                    )
+            except BrokenProcessPool:
+                # Pool died mid-submission: everything not yet submitted
+                # is as lost as the in-flight work.
+                submitted = {index for index, _ in futures.values()}
+                broken.extend(
+                    (index, attempts + 1)
+                    for index, attempts in pending
+                    if index not in submitted
+                )
+            for future in as_completed(futures):
+                index, attempts = futures[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    # The culprit is unknowable (every in-flight future
+                    # breaks together), so each broken task gets the
+                    # strike and its own retry budget.
+                    broken.append((index, attempts + 1))
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return broken
+
+    def _plan_retries(self, tasks, broken, results) -> List:
+        """Split broken tasks into a retry round and absorbed losses."""
+        retry = [(i, n) for i, n in broken if n <= self.retries]
+        lost = [(i, n) for i, n in broken if n > self.retries]
+        for index, attempts in lost:
+            if self.on_lost is None:
+                raise WorkerLostError(
+                    f"task {index} lost its worker process {attempts} "
+                    f"time(s); retries ({self.retries}) exhausted"
+                )
+            results[index] = self.on_lost(index, tasks[index])
+        if retry:
+            max_attempt = max(attempts for _, attempts in retry)
+            delay = self.backoff_s * (2 ** (max_attempt - 1))
+            if self.on_retry is not None:
+                for index, attempts in retry:
+                    self.on_retry(index, tasks[index], attempts, delay)
+            if delay > 0:
+                time.sleep(delay)
+        return retry

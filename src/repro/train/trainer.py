@@ -16,16 +16,36 @@ also feeds ``--profile-ops``) and, when a run journal is active, emits
 one ``train.epoch`` event (loss, validation accuracy, LR, wall time,
 batch count) plus a closing ``train.fit`` event — the journal is the
 durable form of :class:`TrainResult.history`.
+
+Fault tolerance (see :mod:`repro.ckpt` and ``docs/fault_tolerance.md``):
+pass ``checkpoint_path`` to :meth:`Trainer.fit` and every epoch
+boundary atomically persists the full training state — weights,
+optimizer slots, best-epoch snapshot, early-stop counters, epoch
+history, and every RNG stream the remaining epochs depend on.  A run
+killed at any boundary and re-invoked with ``resume=True`` produces
+final weights and history bit-identical to an uninterrupted run.  A
+pending SIGINT/SIGTERM (:func:`repro.ckpt.interrupt_requested`) is
+honored at the boundary: final checkpoint, ``run.interrupted`` journal
+event, then :class:`~repro.errors.RunInterrupted`.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.ckpt.checkpoint import (
+    TrainCheckpoint,
+    capture_rng_states,
+    load_checkpoint,
+    restore_rng_states,
+    save_checkpoint,
+)
+from repro.ckpt.signals import interrupt_requested
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import ArrayDataset
-from repro.errors import ConfigError
+from repro.errors import CheckpointError, ConfigError, RunInterrupted
 from repro.nn.module import Module
 from repro.obs.journal import journal_event
 from repro.obs.metrics import default_registry
@@ -35,6 +55,7 @@ from repro.tensor import functional as F
 from repro.tensor.tensor import Tensor
 from repro.train.evaluate import evaluate_accuracy
 from repro.utils.rng import new_rng
+from repro.utils.serialization import normalize_npz_path
 
 
 @dataclass(frozen=True)
@@ -57,12 +78,34 @@ class TrainConfig:
     #: Optional batch transform (see :mod:`repro.data.transforms`)
     #: applied to training images each epoch.
     augment: Optional[Callable] = None
+    #: Called with the epoch index after each epoch's bookkeeping (and
+    #: checkpoint write, when enabled).  This is the controlled crash /
+    #: instrumentation point the fault-tolerance tests rely on.
+    on_epoch_end: Optional[Callable[[int], None]] = None
 
     def __post_init__(self):
         if self.epochs < 1:
             raise ConfigError("epochs must be >= 1")
         if self.patience < 1:
             raise ConfigError("patience must be >= 1")
+
+    def fingerprint(self) -> Dict[str, object]:
+        """The resume-compatibility fields, as stored in checkpoints.
+
+        Resuming under different hyperparameters cannot reproduce the
+        uninterrupted run, so :meth:`Trainer.fit` refuses a checkpoint
+        whose fingerprint disagrees.
+        """
+        return {
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "patience": self.patience,
+            "shuffle_seed": self.shuffle_seed,
+            "augmented": self.augment is not None,
+        }
 
 
 @dataclass
@@ -94,11 +137,19 @@ class Trainer:
         model: Module,
         train_data: ArrayDataset,
         val_data: ArrayDataset,
+        checkpoint_path: Optional[str] = None,
+        resume: bool = False,
     ) -> TrainResult:
         """Train ``model``; restore and report the best-epoch weights.
 
         The model is left holding its best-validation-accuracy weights
         (the paper reports "the maximum validation accuracy").
+
+        With ``checkpoint_path`` set, every epoch boundary atomically
+        writes a :class:`~repro.ckpt.TrainCheckpoint` there; with
+        ``resume=True`` as well, an existing checkpoint is loaded and
+        training continues from the epoch after it (a missing file
+        simply starts from scratch, so the flag is safe on first runs).
         """
         cfg = self.config
         if cfg.augment is not None:
@@ -126,11 +177,41 @@ class Trainer:
             momentum=cfg.momentum,
             weight_decay=cfg.weight_decay,
         )
+        if checkpoint_path is not None:
+            checkpoint_path = normalize_npz_path(
+                checkpoint_path, caller="Trainer.fit"
+            )
         result = TrainResult(best_accuracy=-1.0, best_epoch=-1)
         best_state = None
         epochs_since_best = 0
+        start_epoch = 0
+        if resume:
+            if checkpoint_path is None:
+                raise ConfigError(
+                    "Trainer.fit(resume=True) requires checkpoint_path"
+                )
+            if os.path.exists(checkpoint_path):
+                ckpt = load_checkpoint(checkpoint_path)
+                self._check_compatible(ckpt, checkpoint_path)
+                model.load_state_dict(ckpt.model_state)
+                optimizer.load_state_dict(ckpt.optimizer_state)
+                restore_rng_states(ckpt.rng_states, model, loader)
+                result.history = [dict(entry) for entry in ckpt.history]
+                result.best_accuracy = ckpt.best_accuracy
+                result.best_epoch = ckpt.best_epoch
+                result.stopped_early = ckpt.stopped_early
+                best_state = ckpt.best_state
+                epochs_since_best = ckpt.epochs_since_best
+                start_epoch = ckpt.epoch + 1
+                journal_event(
+                    "train.resume", epoch=ckpt.epoch, checkpoint=checkpoint_path
+                )
+                self._log(
+                    f"resumed epoch {ckpt.epoch} from {checkpoint_path}"
+                )
         registry = default_registry()
-        for epoch in range(cfg.epochs):
+        epochs = range(start_epoch, 0 if result.stopped_early else cfg.epochs)
+        for epoch in epochs:
             loss, batches, epoch_seconds = self._run_epoch(
                 model, loader, optimizer
             )
@@ -164,7 +245,49 @@ class Trainer:
                     self._log(
                         f"stopping: no improvement for {cfg.patience} epochs"
                     )
-                    break
+            # --- epoch boundary: persist, then honor pending signals ---
+            if checkpoint_path is not None:
+                save_checkpoint(
+                    checkpoint_path,
+                    TrainCheckpoint(
+                        epoch=epoch,
+                        model_state=model.state_dict(),
+                        optimizer_state=optimizer.state_dict(),
+                        best_state=best_state,
+                        best_accuracy=float(result.best_accuracy),
+                        best_epoch=result.best_epoch,
+                        epochs_since_best=epochs_since_best,
+                        history=result.history,
+                        rng_states=capture_rng_states(model, loader),
+                        train_config=cfg.fingerprint(),
+                        stopped_early=result.stopped_early,
+                    ),
+                )
+                journal_event(
+                    "train.checkpoint", epoch=epoch, path=checkpoint_path
+                )
+            if cfg.on_epoch_end is not None:
+                cfg.on_epoch_end(epoch)
+            drain_signal = interrupt_requested()
+            if drain_signal is not None:
+                journal_event(
+                    "run.interrupted",
+                    signal=drain_signal,
+                    phase="train",
+                    epoch=epoch,
+                )
+                self._log(f"{drain_signal}: drained after epoch {epoch}")
+                raise RunInterrupted(
+                    f"training drained after epoch {epoch} on {drain_signal}"
+                    + (
+                        f"; resume from {checkpoint_path}"
+                        if checkpoint_path is not None
+                        else ""
+                    ),
+                    signal_name=drain_signal,
+                )
+            if result.stopped_early:
+                break
         if best_state is not None:
             model.load_state_dict(best_state)
         journal_event(
@@ -175,6 +298,22 @@ class Trainer:
             stopped_early=result.stopped_early,
         )
         return result
+
+    def _check_compatible(self, ckpt, path: str) -> None:
+        """Refuse to resume a checkpoint written under other hyperparams."""
+        recorded = ckpt.train_config
+        current = self.config.fingerprint()
+        if recorded != current:
+            changed = sorted(
+                name
+                for name in set(recorded) | set(current)
+                if recorded.get(name) != current.get(name)
+            )
+            raise CheckpointError(
+                f"checkpoint {path} was written with different training "
+                f"hyperparameters (changed: {changed}); resuming would "
+                "not reproduce the uninterrupted run"
+            )
 
     def _run_epoch(
         self, model: Module, loader: DataLoader, optimizer: SGD

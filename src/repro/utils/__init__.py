@@ -1,7 +1,22 @@
-"""Shared utilities: deterministic RNG, checkpoints, text tables."""
+"""Shared utilities: deterministic RNG, atomic I/O, text tables."""
 
 from repro.utils.rng import new_rng, spawn_rngs
-from repro.utils.serialization import save_state, load_state
+from repro.utils.serialization import (
+    atomic_write,
+    atomic_write_json,
+    load_state,
+    normalize_npz_path,
+    save_state,
+)
 from repro.utils.tabulate import format_table
 
-__all__ = ["new_rng", "spawn_rngs", "save_state", "load_state", "format_table"]
+__all__ = [
+    "atomic_write",
+    "atomic_write_json",
+    "format_table",
+    "load_state",
+    "new_rng",
+    "normalize_npz_path",
+    "save_state",
+    "spawn_rngs",
+]

@@ -1,22 +1,134 @@
-"""Checkpoint I/O for module state dicts (npz on disk)."""
+"""Crash-safe file I/O: atomic writes and state-dict checkpoints (npz).
+
+Every durable artifact in the repo — workbench cache entries, journal
+manifests and summaries, training checkpoints, sweep point results —
+is written through :func:`atomic_write`, the one tmp/fsync/rename
+primitive, so a file on disk is either absent or complete even across
+power loss:
+
+1. the payload is written to ``<path>.tmp<pid>`` (pid-unique, so two
+   processes racing on the same artifact cannot corrupt each other),
+2. the file is flushed and ``fsync``\\ ed (data reaches the device, not
+   just the page cache),
+3. ``os.replace`` atomically installs it at ``path``,
+4. the parent directory is ``fsync``\\ ed so the rename itself is
+   durable — without this a power loss can leave a zero-length
+   "complete" file that poisons every later reader.
+"""
 
 from __future__ import annotations
 
+import contextlib
+import json
 import os
-from typing import Dict
+from typing import Dict, Iterator
 
 import numpy as np
 
+from repro.errors import ConfigError
+
+
+def fsync_dir(path: str) -> None:
+    """Flush a directory's metadata (new entries / renames) to disk.
+
+    A no-op on platforms where directories cannot be opened for fsync
+    (e.g. Windows); durability there falls back to the OS's defaults.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_write(path: str, mode: str = "w") -> Iterator:
+    """Yield a file handle whose contents appear at ``path`` atomically.
+
+    The handle writes to a pid-unique temporary in the same directory;
+    on clean exit the data is fsynced, renamed over ``path``, and the
+    parent directory fsynced (see the module docstring).  On error the
+    temporary is removed and ``path`` is untouched.  Parent directories
+    are created as needed.
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ConfigError(
+            f"atomic_write requires a write-only mode, got {mode!r}"
+        )
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp{os.getpid()}"
+    fh = open(tmp, mode)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+    except BaseException:
+        fh.close()
+        with contextlib.suppress(OSError):
+            os.remove(tmp)
+        raise
+    fh.close()
+    os.replace(tmp, path)
+    fsync_dir(parent)
+
+
+def atomic_write_json(path: str, payload: dict, **dump_kwargs) -> None:
+    """Atomically write ``payload`` as JSON (see :func:`atomic_write`)."""
+    dump_kwargs.setdefault("indent", 2)
+    with atomic_write(path, "w") as fh:
+        json.dump(payload, fh, **dump_kwargs)
+        fh.write("\n")
+
+
+def normalize_npz_path(path: str, caller: str = "save_state") -> str:
+    """Resolve the ``.npz`` suffix ``np.savez`` would silently append.
+
+    Without this, ``save_state("ckpt")`` writes ``ckpt.npz`` while
+    ``load_state("ckpt")`` looks for ``ckpt`` — a guaranteed
+    ``FileNotFoundError``.  Suffix-less paths are normalized to
+    ``<path>.npz`` in both directions; a conflicting extension (e.g.
+    ``.json``) raises :class:`~repro.errors.ConfigError` instead of
+    producing a surprise ``<path>.json.npz`` file.  The repo's own
+    ``.ckpt`` checkpoint suffix is a stem, not a conflict: it
+    normalizes to ``<path>.ckpt.npz``.
+    """
+    if path.endswith(".npz"):
+        return path
+    base = os.path.basename(path)
+    root, ext = os.path.splitext(base)
+    # A dotted *directory* or a dotfile is not an extension conflict,
+    # and neither is our own checkpoint suffix.
+    if ext == ".ckpt":
+        return path + ".npz"
+    if ext and root:
+        raise ConfigError(
+            f"{caller} path {path!r} has extension {ext!r}; checkpoint "
+            "archives are .npz (pass a .npz or suffix-less path)"
+        )
+    return path + ".npz"
+
 
 def save_state(path: str, state: Dict[str, np.ndarray]) -> None:
-    """Write a state dict to ``path`` (npz).  Creates parent dirs."""
-    parent = os.path.dirname(os.path.abspath(path))
-    os.makedirs(parent, exist_ok=True)
+    """Atomically write a state dict to ``path`` (npz).
+
+    Creates parent dirs; the write is crash-safe (tmp + fsync + rename
+    + dir fsync), so concurrent readers — e.g. sweep workers sharing a
+    cache directory — never observe a partial archive.
+    """
+    path = normalize_npz_path(path, caller="save_state")
     # npz keys cannot contain '/', but '.' is fine; store as-is.
-    np.savez(path, **state)
+    with atomic_write(path, "wb") as fh:
+        np.savez(fh, **state)
 
 
 def load_state(path: str) -> Dict[str, np.ndarray]:
     """Read a state dict written by :func:`save_state`."""
+    path = normalize_npz_path(path, caller="load_state")
     with np.load(path) as archive:
         return {key: archive[key] for key in archive.files}

@@ -1,0 +1,160 @@
+"""Graceful SIGINT/SIGTERM drain: flag, boundary polling, Trainer drain."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    clear_interrupt,
+    graceful_shutdown,
+    install_handlers,
+    interrupt_requested,
+    load_checkpoint,
+    uninstall_handlers,
+)
+from repro.errors import RunInterrupted
+from repro.models import FP32Factory
+from repro.models.simple import SimpleCNN
+from repro.obs.journal import end_run, read_events, start_run
+from repro.train import TrainConfig, Trainer
+
+
+@pytest.fixture(autouse=True)
+def _pristine_signal_state():
+    clear_interrupt()
+    yield
+    uninstall_handlers()
+    clear_interrupt()
+    end_run()
+
+
+def _self_signal(signum=signal.SIGTERM):
+    os.kill(os.getpid(), signum)
+
+
+class TestHandlers:
+    def test_signal_sets_flag_instead_of_raising(self):
+        with graceful_shutdown():
+            _self_signal(signal.SIGTERM)
+            assert interrupt_requested() == "SIGTERM"
+
+    def test_sigint_also_drains(self):
+        with graceful_shutdown():
+            _self_signal(signal.SIGINT)
+            assert interrupt_requested() == "SIGINT"
+
+    def test_second_signal_escalates_to_keyboard_interrupt(self):
+        with graceful_shutdown():
+            _self_signal()
+            with pytest.raises(KeyboardInterrupt):
+                _self_signal()
+
+    def test_context_exit_restores_previous_handlers(self):
+        before = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        with graceful_shutdown():
+            assert signal.getsignal(signal.SIGTERM) is not before[1]
+        after = (
+            signal.getsignal(signal.SIGINT),
+            signal.getsignal(signal.SIGTERM),
+        )
+        assert after == before
+
+    def test_context_clears_pending_flag_on_exit(self):
+        with graceful_shutdown():
+            _self_signal()
+        assert interrupt_requested() is None
+
+    def test_install_is_idempotent(self):
+        assert install_handlers()
+        assert install_handlers()
+        uninstall_handlers()
+
+    def test_install_refused_off_main_thread(self):
+        import threading
+
+        outcome = {}
+
+        def worker():
+            outcome["installed"] = install_handlers()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert outcome["installed"] is False
+
+
+class TestTrainerDrain:
+    def test_sigterm_drains_at_epoch_boundary(self, tiny_data, tmp_path):
+        ckpt = str(tmp_path / "train.ckpt")
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(4,))
+        config = TrainConfig(
+            epochs=6, batch_size=16, lr=0.05, patience=7, shuffle_seed=3,
+            on_epoch_end=lambda epoch: _self_signal() if epoch == 1 else None,
+        )
+        start_run(results_dir=str(tmp_path), run_id="drained")
+        with graceful_shutdown():
+            with pytest.raises(RunInterrupted) as excinfo:
+                Trainer(config).fit(
+                    model, tiny_data.train, tiny_data.val,
+                    checkpoint_path=ckpt,
+                )
+        end_run(status="interrupted")
+
+        assert excinfo.value.signal_name == "SIGTERM"
+        assert "resume" in str(excinfo.value)
+        # The final checkpoint covers the epoch that was just finished.
+        assert load_checkpoint(ckpt).epoch == 1
+        events = read_events("drained", str(tmp_path))
+        (interrupted,) = [
+            e for e in events if e["event"] == "run.interrupted"
+        ]
+        assert interrupted["signal"] == "SIGTERM"
+        assert interrupted["phase"] == "train"
+        assert interrupted["epoch"] == 1
+        # Exactly two epochs ran before the drain took effect.
+        assert sum(e["event"] == "train.epoch" for e in events) == 2
+
+    def test_drained_training_resumes_bit_identically(
+        self, tiny_data, tmp_path
+    ):
+        ckpt = str(tmp_path / "train.ckpt")
+        kwargs = dict(
+            epochs=4, batch_size=16, lr=0.05, patience=5, shuffle_seed=3
+        )
+        model = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(4,))
+        with graceful_shutdown():
+            with pytest.raises(RunInterrupted):
+                Trainer(
+                    TrainConfig(
+                        on_epoch_end=(
+                            lambda epoch: _self_signal() if epoch == 0 else None
+                        ),
+                        **kwargs,
+                    )
+                ).fit(
+                    model, tiny_data.train, tiny_data.val,
+                    checkpoint_path=ckpt,
+                )
+        resumed_model = SimpleCNN(
+            FP32Factory(seed=1), num_classes=4, widths=(4,)
+        )
+        result = Trainer(TrainConfig(**kwargs)).fit(
+            resumed_model, tiny_data.train, tiny_data.val,
+            checkpoint_path=ckpt, resume=True,
+        )
+        reference = SimpleCNN(FP32Factory(seed=1), num_classes=4, widths=(4,))
+        expected = Trainer(TrainConfig(**kwargs)).fit(
+            reference, tiny_data.train, tiny_data.val
+        )
+        assert result.history == expected.history
+        for name, value in reference.state_dict().items():
+            np.testing.assert_array_equal(
+                resumed_model.state_dict()[name], value
+            )

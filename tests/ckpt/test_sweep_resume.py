@@ -1,0 +1,222 @@
+"""Sweep-level resume: --resume replays the journal, re-runs only gaps."""
+
+from __future__ import annotations
+
+import os
+from types import SimpleNamespace
+
+import pytest
+
+from repro.ckpt import graceful_shutdown, load_sweep_results
+from repro.errors import RunInterrupted, SweepError
+from repro.obs.journal import end_run, read_events, start_run
+from repro.parallel.scheduler import SweepPoint
+from repro.parallel.sweep import sweep_map
+
+
+class FakeBench:
+    def __init__(self, results_dir, resume_run=None, jobs=1):
+        self.config = SimpleNamespace(results_dir=str(results_dir))
+        self.jobs = jobs
+        self.resume_run = resume_run
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_run():
+    end_run()
+    yield
+    end_run()
+
+
+def _points(values):
+    return [SweepPoint(key=v, args=(v,)) for v in values]
+
+
+def _traced(bench, value):
+    """10*value, appending one line per execution to calls.log."""
+    with open(os.path.join(bench.config.results_dir, "calls.log"), "a") as fh:
+        fh.write(f"{value}\n")
+    return 10 * value
+
+
+def _calls(results_dir):
+    path = os.path.join(str(results_dir), "calls.log")
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        return [int(line) for line in fh.read().split()]
+
+
+def _flaky_until_marker(bench, value):
+    """Fails on value 3 until <results_dir>/fixed exists."""
+    if value == 3 and not os.path.exists(
+        os.path.join(bench.config.results_dir, "fixed")
+    ):
+        raise ValueError("transient failure at 3")
+    return _traced(bench, value)
+
+
+class TestResume:
+    def test_only_failed_points_rerun(self, tmp_path):
+        bench = FakeBench(tmp_path)
+        start_run(results_dir=str(tmp_path), run_id="first")
+        with pytest.raises(SweepError):
+            sweep_map(bench, _flaky_until_marker, _points([1, 2, 3, 4]))
+        end_run(status="failed")
+        assert _calls(tmp_path) == [1, 2, 4]
+
+        open(tmp_path / "fixed", "w").close()
+        resumed = FakeBench(tmp_path, resume_run="first")
+        start_run(results_dir=str(tmp_path), run_id="second")
+        results = sweep_map(
+            resumed, _flaky_until_marker, _points([1, 2, 3, 4])
+        )
+        end_run()
+        assert results == [10, 20, 30, 40]
+        # Points 1, 2, 4 were *not* re-executed.
+        assert _calls(tmp_path) == [1, 2, 4, 3]
+
+        events = read_events("second", str(tmp_path), validate=True)
+        by_type = {}
+        for event in events:
+            by_type.setdefault(event["event"], []).append(event)
+        (resume,) = by_type["sweep.resume"]
+        assert resume["source_run"] == "first"
+        assert resume["reused"] == 3
+        skipped = {e["index"] for e in by_type["sweep.point_skipped"]}
+        assert skipped == {0, 1, 3}
+        assert [e["index"] for e in by_type["sweep.point_done"]] == [2]
+
+    def test_resume_of_a_resumed_run_chains(self, tmp_path):
+        bench = FakeBench(tmp_path)
+        start_run(results_dir=str(tmp_path), run_id="r1")
+        with pytest.raises(SweepError):
+            sweep_map(bench, _flaky_until_marker, _points([1, 2, 3]))
+        end_run(status="failed")
+
+        # Second run still fails on 3, but banks its skips.
+        start_run(results_dir=str(tmp_path), run_id="r2")
+        with pytest.raises(SweepError):
+            sweep_map(
+                FakeBench(tmp_path, resume_run="r1"),
+                _flaky_until_marker,
+                _points([1, 2, 3]),
+            )
+        end_run(status="failed")
+
+        open(tmp_path / "fixed", "w").close()
+        start_run(results_dir=str(tmp_path), run_id="r3")
+        results = sweep_map(
+            FakeBench(tmp_path, resume_run="r2"),
+            _flaky_until_marker,
+            _points([1, 2, 3]),
+        )
+        end_run()
+        assert results == [10, 20, 30]
+        assert _calls(tmp_path) == [1, 2, 3]  # each point ran exactly once
+
+    def test_changed_grid_reruns_mismatched_points(self, tmp_path):
+        start_run(results_dir=str(tmp_path), run_id="old")
+        sweep_map(FakeBench(tmp_path), _traced, _points([1, 2]))
+        end_run()
+        assert _calls(tmp_path) == [1, 2]
+
+        # Same length, different key at index 1: only index 0 reusable.
+        start_run(results_dir=str(tmp_path), run_id="new")
+        results = sweep_map(
+            FakeBench(tmp_path, resume_run="old"), _traced, _points([1, 5])
+        )
+        end_run()
+        assert results == [10, 50]
+        assert _calls(tmp_path) == [1, 2, 5]
+
+    def test_resume_past_journaled_sweeps_runs_fresh(self, tmp_path):
+        # A run drained during training (or an earlier experiment of
+        # ``all``) journals fewer sweeps than the resumed command will
+        # execute; the extra sweeps have nothing to reuse and run fresh.
+        start_run(results_dir=str(tmp_path), run_id="one-sweep")
+        sweep_map(FakeBench(tmp_path), _traced, _points([1]))
+        end_run()
+        assert load_sweep_results("one-sweep", str(tmp_path), ordinal=1) == {}
+
+        start_run(results_dir=str(tmp_path), run_id="after")
+        bench = FakeBench(tmp_path, resume_run="one-sweep")
+        first = sweep_map(bench, _traced, _points([1]))
+        second = sweep_map(bench, _traced, _points([2, 3]))
+        end_run()
+        assert first == [10]
+        assert second == [20, 30]
+        assert _calls(tmp_path) == [1, 2, 3]  # sweep #1 ran fully
+
+    def test_multiple_sweeps_resume_by_ordinal(self, tmp_path):
+        start_run(results_dir=str(tmp_path), run_id="multi")
+        sweep_map(FakeBench(tmp_path), _traced, _points([1, 2]))
+        with pytest.raises(SweepError):
+            sweep_map(
+                FakeBench(tmp_path), _flaky_until_marker, _points([3, 4])
+            )
+        end_run(status="failed")
+        assert _calls(tmp_path) == [1, 2, 4]
+
+        open(tmp_path / "fixed", "w").close()
+        resumed = FakeBench(tmp_path, resume_run="multi")
+        start_run(results_dir=str(tmp_path), run_id="again")
+        first = sweep_map(resumed, _traced, _points([1, 2]))
+        second = sweep_map(resumed, _flaky_until_marker, _points([3, 4]))
+        end_run()
+        assert first == [10, 20]
+        assert second == [30, 40]
+        # Only the failed point of the second sweep re-executed.
+        assert _calls(tmp_path) == [1, 2, 4, 3]
+
+    def test_values_survive_pickling_round_trip(self, tmp_path):
+        start_run(results_dir=str(tmp_path), run_id="vals")
+        sweep_map(FakeBench(tmp_path), _traced, _points([7]))
+        end_run()
+        stored = load_sweep_results("vals", str(tmp_path), ordinal=0)
+        assert stored == {0: (7, 70)}
+
+
+def _drain_on_two(bench, value):
+    result = _traced(bench, value)
+    if value == 2:
+        os.kill(os.getpid(), __import__("signal").SIGTERM)
+    return result
+
+
+class TestDrain:
+    def test_serial_drain_keeps_completed_points(self, tmp_path):
+        bench = FakeBench(tmp_path)
+        start_run(results_dir=str(tmp_path), run_id="drained")
+        with graceful_shutdown():
+            with pytest.raises(RunInterrupted) as excinfo:
+                sweep_map(bench, _drain_on_two, _points([1, 2, 3, 4]))
+        end_run(status="interrupted")
+        assert excinfo.value.signal_name == "SIGTERM"
+        assert _calls(tmp_path) == [1, 2]  # 3 and 4 never started
+
+        events = read_events("drained", str(tmp_path), validate=True)
+        (interrupted,) = [
+            e for e in events if e["event"] == "run.interrupted"
+        ]
+        assert interrupted["phase"] == "sweep"
+        assert interrupted["completed"] == 2
+
+    def test_drained_sweep_resumes_to_full_results(self, tmp_path):
+        start_run(results_dir=str(tmp_path), run_id="drained")
+        with graceful_shutdown():
+            with pytest.raises(RunInterrupted):
+                sweep_map(
+                    FakeBench(tmp_path), _drain_on_two, _points([1, 2, 3])
+                )
+        end_run(status="interrupted")
+
+        start_run(results_dir=str(tmp_path), run_id="finish")
+        results = sweep_map(
+            FakeBench(tmp_path, resume_run="drained"),
+            _traced,
+            _points([1, 2, 3]),
+        )
+        end_run()
+        assert results == [10, 20, 30]
+        assert _calls(tmp_path) == [1, 2, 3]

@@ -1,0 +1,63 @@
+"""Crash-injection helpers shared by the ckpt and obs test suites.
+
+Simulated crashes (closing a file handle, raising from a callback)
+exercise the recovery code but not the actual failure mode.  These
+helpers run a snippet in a real child interpreter that kills itself
+with ``SIGKILL`` at a controlled point — no atexit hooks, no buffered
+flushes, no ``finally`` blocks — which is what a genuine OOM kill or
+preemption looks like to the files left on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+
+#: Snippet a child pastes at its crash point: die as abruptly as the
+#: kernel would kill it.
+SELF_KILL = "os.kill(os.getpid(), signal.SIGKILL)"
+
+_SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+_PRELUDE = "import os, signal\n"
+
+
+def run_child(
+    code: str, cwd: str, timeout: float = 120.0
+) -> subprocess.CompletedProcess:
+    """Run ``code`` in a fresh interpreter with ``repro`` importable.
+
+    ``os`` and ``signal`` are pre-imported so snippets can use
+    :data:`SELF_KILL` without boilerplate.  Output is captured for
+    assertion messages; the child runs in ``cwd`` (use ``tmp_path``).
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-c", _PRELUDE + code],
+        cwd=str(cwd),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def assert_killed(proc: subprocess.CompletedProcess) -> None:
+    """Assert the child died to SIGKILL (did not exit on its own)."""
+    assert proc.returncode == -signal.SIGKILL, (
+        f"child expected to die on SIGKILL, exited {proc.returncode}\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+
+
+def assert_clean_exit(proc: subprocess.CompletedProcess) -> None:
+    """Assert the child exited 0, with its output on failure."""
+    assert proc.returncode == 0, (
+        f"child expected to exit 0, got {proc.returncode}\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )

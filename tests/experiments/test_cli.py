@@ -80,6 +80,105 @@ class TestRun:
             main(["run", "fig99"])
 
 
+class TestFaultToleranceFlags:
+    def _capture_bench(self, monkeypatch):
+        from repro.experiments import cli as cli_mod
+
+        seen = {}
+
+        def fake_run_experiment(name, bench):
+            seen["bench"] = bench
+
+            class Result:
+                def table(self):
+                    return "fake table"
+
+                def save(self, results_dir):
+                    return results_dir
+
+            return Result()
+
+        monkeypatch.setattr(cli_mod, "run_experiment", fake_run_experiment)
+        return seen
+
+    def test_retry_flags_reach_the_workbench(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        seen = self._capture_bench(monkeypatch)
+        assert (
+            main(
+                [
+                    "run", "fig7", "--profile", "quick",
+                    "--results-dir", str(tmp_path / "results"),
+                    "--resume", "someoldrun",
+                    "--retries", "5",
+                    "--retry-backoff", "0.25",
+                ]
+            )
+            == 0
+        )
+        bench = seen["bench"]
+        assert bench.resume_run == "someoldrun"
+        assert bench.retries == 5
+        assert bench.retry_backoff == 0.25
+
+    def test_default_leaves_sweep_engine_defaults(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        seen = self._capture_bench(monkeypatch)
+        assert (
+            main(
+                [
+                    "run", "fig7", "--profile", "quick",
+                    "--results-dir", str(tmp_path / "results"),
+                ]
+            )
+            == 0
+        )
+        bench = seen["bench"]
+        assert bench.resume_run is None
+        # Unset flags leave the attributes absent so sweep_map's own
+        # defaults (DEFAULT_RETRIES / DEFAULT_BACKOFF_S) apply.
+        assert not hasattr(bench, "retries")
+        assert not hasattr(bench, "retry_backoff")
+
+    def test_interrupted_run_exits_130_with_resume_hint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.errors import RunInterrupted
+        from repro.experiments import cli as cli_mod
+
+        def fake_run_experiment(name, bench):
+            raise RunInterrupted(
+                "training drained after epoch 2 on SIGTERM",
+                signal_name="SIGTERM",
+            )
+
+        monkeypatch.setattr(cli_mod, "run_experiment", fake_run_experiment)
+        results = str(tmp_path / "results")
+        code = main(
+            [
+                "run", "fig7", "--profile", "quick",
+                "--results-dir", results,
+                "--run-id", "drained-run",
+            ]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted: training drained" in err
+        assert "resume with: --resume drained-run" in err
+        summary = json.load(
+            open(
+                os.path.join(
+                    results, "runs", "drained-run", "summary.json"
+                )
+            )
+        )
+        assert summary["status"] == "interrupted"
+
+
 class TestExport:
     def test_export_smoke(self, tmp_path, capsys, monkeypatch):
         """run fig7 (no training) then export its record to CSV."""

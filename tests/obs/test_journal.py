@@ -142,6 +142,12 @@ class TestValidation:
             "serve.stats": {"stats": {"requests": 0}},
             "bench.artifact": {"name": "fp32", "source": "cache"},
             "note": {"message": "hello"},
+            "train.checkpoint": {"epoch": 1, "path": "m.ckpt.npz"},
+            "train.resume": {"epoch": 2, "checkpoint": "m.ckpt.npz"},
+            "run.interrupted": {"signal": "SIGTERM"},
+            "sweep.point_retry": {"index": 0, "key": 4.0, "attempt": 1},
+            "sweep.point_skipped": {"index": 0, "key": 4.0},
+            "sweep.resume": {"source_run": "r0", "reused": 2},
         }
         assert set(payloads) | {"run_start"} == set(EVENT_SCHEMAS)
         for event_type, payload in payloads.items():
@@ -197,6 +203,27 @@ class TestCrashSafety:
         atomic_write_json(path, {"a": 1})
         assert json.load(open(path)) == {"a": 1}
         assert os.listdir(tmp_path) == ["out.json"]
+
+    def test_sigkilled_writer_leaves_a_readable_journal(self, tmp_path):
+        """A real SIGKILL mid-append (not a simulated close) leaves at
+        worst one torn line, which validation-mode reads skip."""
+        from tests import crashkit
+
+        child = """
+from repro.obs.journal import RunJournal
+
+journal = RunJournal.start(results_dir=".", run_id="killed", seed=0)
+journal.event("note", message="first")
+journal.event("note", message="second")
+journal._fh.write('{{"event": "note", "mess')  # mid-append...
+journal._fh.flush()
+{kill}
+""".format(kill=crashkit.SELF_KILL)
+        proc = crashkit.run_child(child, cwd=tmp_path)
+        crashkit.assert_killed(proc)
+        events = read_events("killed", str(tmp_path), validate=True)
+        assert [e["event"] for e in events] == ["run_start", "note", "note"]
+        assert [e.get("message") for e in events[1:]] == ["first", "second"]
 
 
 class TestToJsonable:

@@ -1,0 +1,122 @@
+"""Optimizer slot-state snapshots: the checkpoint/resume contract.
+
+A snapshot taken after step ``k``, restored into a *fresh* optimizer
+over a restored parameter vector, must continue bit-identically to the
+optimizer that never stopped — momentum velocity for SGD, both moments
+plus the bias-correction step count for Adam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import Parameter
+from repro.optim import SGD, Adam
+
+
+def _grad_for(p, target):
+    return p.data - target
+
+
+def _run(optimizer, p, target, steps):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        p.grad = _grad_for(p, target)
+        optimizer.step()
+
+
+def _make(optimizer_cls, **kwargs):
+    p = Parameter(np.array([5.0, -3.0], np.float32))
+    return p, optimizer_cls([p], **kwargs)
+
+
+TARGET = np.array([1.0, 2.0], np.float32)
+
+
+@pytest.mark.parametrize(
+    "optimizer_cls,kwargs",
+    [
+        (SGD, dict(lr=0.1, momentum=0.9)),
+        (SGD, dict(lr=0.1, momentum=0.9, nesterov=True)),
+        (SGD, dict(lr=0.1, momentum=0.9, weight_decay=1e-3)),
+        (Adam, dict(lr=0.1)),
+        (Adam, dict(lr=0.1, weight_decay=1e-3)),
+    ],
+)
+def test_snapshot_resume_is_bit_identical(optimizer_cls, kwargs):
+    p, opt = _make(optimizer_cls, **kwargs)
+    _run(opt, p, TARGET, steps=7)
+    params_snapshot = p.data.copy()
+    state_snapshot = opt.state_dict()
+    _run(opt, p, TARGET, steps=5)
+    expected = p.data.copy()
+
+    fresh_p = Parameter(params_snapshot.copy())
+    fresh_opt = optimizer_cls([fresh_p], **kwargs)
+    fresh_opt.load_state_dict(state_snapshot)
+    _run(fresh_opt, fresh_p, TARGET, steps=5)
+    np.testing.assert_array_equal(fresh_p.data, expected)
+
+
+def test_snapshot_is_a_copy_not_a_view():
+    p, opt = _make(SGD, lr=0.1, momentum=0.9)
+    _run(opt, p, TARGET, steps=2)
+    state = opt.state_dict()
+    before = {k: v.copy() for k, v in state.items()}
+    _run(opt, p, TARGET, steps=3)
+    for key, value in state.items():
+        np.testing.assert_array_equal(value, before[key])
+
+
+def test_adam_step_count_round_trips():
+    p, opt = _make(Adam, lr=0.1)
+    _run(opt, p, TARGET, steps=4)
+    state = opt.state_dict()
+    assert int(state["t"]) == 4
+    fresh_p = Parameter(p.data.copy())
+    fresh = Adam([fresh_p], lr=0.1)
+    fresh.load_state_dict(state)
+    assert fresh._t == 4
+
+
+def test_adam_without_step_count_rejected():
+    p, opt = _make(Adam, lr=0.1)
+    with pytest.raises(ConfigError, match="t"):
+        opt.load_state_dict({"m.0": np.zeros(2), "v.0": np.zeros(2)})
+
+
+def test_sgd_fresh_optimizer_state_is_empty_until_stepped():
+    p, opt = _make(SGD, lr=0.1, momentum=0.9)
+    assert opt.state_dict() == {}
+    _run(opt, p, TARGET, steps=1)
+    assert set(opt.state_dict()) == {"velocity.0"}
+
+
+def test_sgd_unknown_key_rejected():
+    p, opt = _make(SGD, lr=0.1, momentum=0.9)
+    with pytest.raises(ConfigError):
+        opt.load_state_dict({"momentum.0": np.zeros(2)})
+
+
+def test_sgd_out_of_range_slot_rejected():
+    p, opt = _make(SGD, lr=0.1, momentum=0.9)
+    with pytest.raises(ConfigError):
+        opt.load_state_dict({"velocity.5": np.zeros(2)})
+
+
+def test_sgd_shape_mismatch_rejected():
+    p, opt = _make(SGD, lr=0.1, momentum=0.9)
+    with pytest.raises(ConfigError, match="shape"):
+        opt.load_state_dict({"velocity.0": np.zeros(7)})
+
+
+def test_stateless_base_rejects_nonempty_state():
+    from repro.optim.optimizer import Optimizer
+
+    p = Parameter(np.zeros(2, np.float32))
+    opt = Optimizer([p], lr=0.1)
+    opt.load_state_dict({})  # fine
+    with pytest.raises(ConfigError):
+        opt.load_state_dict({"velocity.0": np.zeros(2)})

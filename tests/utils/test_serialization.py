@@ -1,0 +1,112 @@
+"""Atomic write semantics and npz path normalization."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.serialization import (
+    atomic_write,
+    atomic_write_json,
+    load_state,
+    normalize_npz_path,
+    save_state,
+)
+
+
+class TestNormalizeNpzPath:
+    def test_suffixless_gains_npz(self):
+        assert normalize_npz_path("cache/model") == "cache/model.npz"
+
+    def test_npz_passes_through(self):
+        assert normalize_npz_path("cache/model.npz") == "cache/model.npz"
+
+    def test_ckpt_suffix_is_a_stem(self):
+        assert normalize_npz_path("m.ckpt") == "m.ckpt.npz"
+
+    def test_conflicting_extension_rejected(self):
+        with pytest.raises(ConfigError, match=r"\.json"):
+            normalize_npz_path("cache/model.json")
+
+    def test_caller_named_in_error(self):
+        with pytest.raises(ConfigError, match="load_state"):
+            normalize_npz_path("x.txt", caller="load_state")
+
+    def test_dotted_directory_is_not_an_extension(self):
+        assert (
+            normalize_npz_path(".cache/v1.2/model")
+            == ".cache/v1.2/model.npz"
+        )
+
+    def test_dotfile_is_not_an_extension(self):
+        assert normalize_npz_path(".hidden") == ".hidden.npz"
+
+    def test_save_and_load_agree_on_suffixless_paths(self, tmp_path):
+        """The original bug: save wrote ckpt.npz, load looked for ckpt."""
+        base = str(tmp_path / "ckpt")
+        save_state(base, {"w": np.arange(3.0)})
+        assert os.path.exists(base + ".npz")
+        loaded = load_state(base)
+        np.testing.assert_array_equal(loaded["w"], np.arange(3.0))
+
+
+class TestAtomicWrite:
+    def test_success_installs_content(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as fh:
+            fh.write("payload")
+        assert open(path).read() == "payload"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "out.txt")
+        with atomic_write(path) as fh:
+            fh.write("x")
+        assert open(path).read() == "x"
+
+    def test_error_leaves_target_untouched(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        with atomic_write(path) as fh:
+            fh.write("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("partial garbage")
+                raise RuntimeError("writer died")
+        assert open(path).read() == "original"
+        assert os.listdir(tmp_path) == ["out.txt"]  # tmp cleaned up
+
+    def test_error_on_fresh_path_leaves_nothing(self, tmp_path):
+        path = str(tmp_path / "never.txt")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                raise RuntimeError
+        assert os.listdir(tmp_path) == []
+
+    def test_read_modes_rejected(self, tmp_path):
+        for mode in ("r", "a", "w+", "rb"):
+            with pytest.raises(ConfigError, match="write-only"):
+                with atomic_write(str(tmp_path / "x"), mode):
+                    pass
+
+    def test_binary_mode(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        with atomic_write(path, "wb") as fh:
+            fh.write(b"\x00\x01")
+        assert open(path, "rb").read() == b"\x00\x01"
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "meta.json")
+        atomic_write_json(path, {"epoch": 3, "acc": 0.5})
+        assert json.load(open(path)) == {"epoch": 3, "acc": 0.5}
+        assert os.listdir(tmp_path) == ["meta.json"]
+
+    def test_dump_kwargs_forwarded(self, tmp_path):
+        path = str(tmp_path / "meta.json")
+        atomic_write_json(path, {"b": 1, "a": 2}, sort_keys=True)
+        assert open(path).read().index('"a"') < open(path).read().index('"b"')
