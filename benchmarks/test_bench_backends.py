@@ -1,0 +1,108 @@
+"""Benchmark: reference backend vs the fast blocked-GEMM backend.
+
+Both backends execute the same realized tape; the reference backend
+replays the interpreter's exact float sequence (bit-identical), while
+the fast backend folds BN into the conv weights and runs
+shift-and-GEMM convolutions over cache-blocked NHWC panels — trading
+bit-identity (it stays within the tolerance gate in
+``tests/compile/test_backends.py``) for throughput.  The win
+concentrates at larger batches where the conv GEMMs dominate; at batch
+1 the tapes are bookkeeping-bound and the gap narrows.  Grouped as
+`backends` so the pairs appear side by side in the report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compile import compile_model
+from repro.models import DoReFaFactory, resnet_small
+from repro.quant import QuantConfig
+from repro.tensor.pool import default_pool
+
+
+def _input(batch):
+    return (
+        np.random.default_rng(0)
+        .standard_normal((batch, 3, 16, 16))
+        .astype(np.float32)
+    )
+
+
+def _quant_model():
+    model = resnet_small(DoReFaFactory(QuantConfig(8, 8), seed=0), num_classes=10)
+    model.eval()
+    return model
+
+
+def _step(compiled, x, pool):
+    pool.release(compiled.run(x))
+
+
+@pytest.mark.benchmark(group="backends")
+def test_reference_quant_b1(benchmark):
+    compiled = compile_model(_quant_model(), backend="reference")
+    x = _input(1)
+    pool = default_pool()
+    benchmark(lambda: _step(compiled, x, pool))
+
+
+@pytest.mark.benchmark(group="backends")
+def test_fast_quant_b1(benchmark):
+    compiled = compile_model(_quant_model(), backend="fast")
+    x = _input(1)
+    pool = default_pool()
+    benchmark(lambda: _step(compiled, x, pool))
+
+
+@pytest.mark.benchmark(group="backends")
+def test_reference_quant_b32(benchmark):
+    compiled = compile_model(_quant_model(), backend="reference")
+    x = _input(32)
+    pool = default_pool()
+    benchmark(lambda: _step(compiled, x, pool))
+
+
+@pytest.mark.benchmark(group="backends")
+def test_fast_quant_b32(benchmark):
+    compiled = compile_model(_quant_model(), backend="fast")
+    x = _input(32)
+    pool = default_pool()
+    benchmark(lambda: _step(compiled, x, pool))
+
+
+def test_fast_at_least_1_3x_at_batch_32():
+    """The fast backend is >= 1.3x the reference backend at batch 32.
+
+    Min-of-N wall times for both backends on the same quantized model
+    and input; the minimum is the least-noisy point estimate on a
+    shared box.  Batch 32 is where the conv GEMMs dominate and the
+    fast backend's BN folding + shift-and-GEMM pay off; batch 1 is
+    recorded in BENCH_backends.json rather than asserted.
+    """
+    from time import perf_counter
+
+    model = _quant_model()
+    reference = compile_model(model, backend="reference")
+    fast = compile_model(model, backend="fast")
+    x = _input(32)
+    pool = default_pool()
+
+    # Warm both tapes (pool population, plan build).
+    _step(reference, x, pool)
+    _step(fast, x, pool)
+
+    def _min_time(fn, rounds=30):
+        best = float("inf")
+        for _ in range(rounds):
+            start = perf_counter()
+            fn()
+            best = min(best, perf_counter() - start)
+        return best
+
+    ref = _min_time(lambda: _step(reference, x, pool))
+    fst = _min_time(lambda: _step(fast, x, pool))
+    speedup = ref / fst
+    assert speedup >= 1.3, (
+        f"fast batch-32 speedup {speedup:.2f}x "
+        f"(reference {ref * 1e3:.3f} ms, fast {fst * 1e3:.3f} ms)"
+    )

@@ -1,0 +1,140 @@
+"""Pluggable execution backends for the compiled inference path.
+
+A :class:`Backend` turns fused IR ops
+(:class:`~repro.compile.schedule.FusedOp`) into executable steps for
+the shared runtime (:mod:`repro.compile.runtime`).  Backends register
+themselves in a process-global registry; the scheduler resolves a
+*chain* of backends per realization and offers every op to each
+backend in turn, so a specialised backend only implements the ops it
+accelerates and declines the rest by returning ``None``.
+
+Two backends ship in-tree:
+
+- ``"reference"`` (:mod:`~repro.compile.backends.reference`) — lowers
+  every op to the fused numpy kernels that are bit-identical to the
+  interpreted forward pass.  It terminates every chain.
+- ``"fast"`` (:mod:`~repro.compile.backends.fast`) — cache-blocked,
+  optionally thread-parallel GEMM kernels with batch norm folded into
+  the weights and single-pass activations.  Numerically equivalent but
+  not bit-identical; gated by the tolerance parity suite
+  (``tests/compile/test_backends.py``).
+
+``"auto"`` is an alias that resolves to the best available chain
+(currently ``fast`` → ``reference``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.errors import CompileError
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_chain",
+]
+
+
+class Backend:
+    """One execution backend: fused IR ops in, runtime steps out.
+
+    Subclasses set ``name`` and implement :meth:`lower` (and usually
+    :meth:`lower_act`).  Backends are stateless singletons — the
+    registry instantiates each class once and hands the instance to
+    every realization.
+    """
+
+    #: Registry key; also the value of ``CompiledModel.backend``.
+    name: str = ""
+
+    def lower(self, op):
+        """An executable step for ``op``, or ``None`` to decline.
+
+        Declining hands the op to the next backend in the chain (the
+        reference backend never declines).  Steps expose
+        ``run(x, ctx) -> ndarray`` plus an ``op`` profiler label.
+        """
+        raise NotImplementedError
+
+    def lower_act(self, act):
+        """An in-place applier for ``act`` (``apply(dst, pool)``), or None.
+
+        Used for residual-block final activations and standalone MLP
+        activations, where the applier runs outside any fused kernel.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: Dict[str, Type[Backend]] = {}
+_INSTANCES: Dict[str, Backend] = {}
+_LOCK = threading.Lock()
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator: register ``cls`` under ``cls.name``.
+
+    Re-registering a name replaces the previous backend (and drops its
+    cached instance) — deliberate, so tests can shadow a backend and
+    restore it.
+    """
+    if not cls.name:
+        raise CompileError(f"backend {cls.__name__} has no name")
+    with _LOCK:
+        _REGISTRY[cls.name] = cls
+        _INSTANCES.pop(cls.name, None)
+    return cls
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names, sorted (plus the ``"auto"`` alias)."""
+    with _LOCK:
+        return tuple(sorted(_REGISTRY)) + ("auto",)
+
+
+def get_backend(name: str) -> Backend:
+    """The singleton instance of the backend registered as ``name``."""
+    with _LOCK:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            known = ", ".join(sorted(_REGISTRY) + ["auto"])
+            raise CompileError(
+                f"unknown backend {name!r} (known: {known})"
+            )
+        instance = _INSTANCES.get(name)
+        if instance is None or type(instance) is not cls:
+            instance = _INSTANCES[name] = cls()
+        return instance
+
+
+def resolve_chain(name: Optional[str]) -> List[Backend]:
+    """The backend chain for ``name`` (None = the process default).
+
+    ``"reference"`` resolves to itself; any other backend resolves to
+    ``[backend, reference]`` so per-op fallback is always total;
+    ``"auto"`` picks the fastest registered chain (currently
+    ``fast`` → ``reference``).
+    """
+    if name is None:
+        from repro.compile import default_backend
+
+        name = default_backend()
+    if name == "auto":
+        name = "fast" if "fast" in _REGISTRY else "reference"
+    backend = get_backend(name)
+    if name == "reference":
+        return [backend]
+    return [backend, get_backend("reference")]
+
+
+# Import for the registration side effect: both in-tree backends are
+# always available (pure numpy; the fast backend degrades gracefully
+# when optional accelerators like numba are absent).
+from repro.compile.backends import fast as _fast  # noqa: E402,F401
+from repro.compile.backends import reference as _reference  # noqa: E402,F401

@@ -1,0 +1,78 @@
+"""The bit-identical numpy reference backend.
+
+Lowers every fused IR op to the kernels in
+:mod:`repro.compile.kernels`, which replay the interpreter's exact
+float operation sequence (see the bit-identity contract documented
+there).  This backend terminates every backend chain: it never
+declines an op, so realization succeeds whenever lowering did, and any
+op a fast backend declines still executes bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compile.backends import Backend, register_backend
+from repro.compile.ir import ActSpec
+from repro.compile.kernels import (
+    ActStep,
+    BNApply,
+    ClipApply,
+    FlattenStep,
+    FusedConvStep,
+    FusedLinearStep,
+    GlobalPoolStep,
+    InputQuantStep,
+    ModuleFallbackStep,
+    QuantClipApply,
+    ReLUApply,
+)
+from repro.errors import CompileError
+
+__all__ = ["ReferenceBackend"]
+
+
+@register_backend
+class ReferenceBackend(Backend):
+    """Fused numpy kernels, bit-identical to the interpreter."""
+
+    name = "reference"
+
+    def lower(self, op):
+        kind = op.kind
+        if kind == "conv":
+            return FusedConvStep(
+                op.w_mat,
+                op.bias,
+                op.kernel,
+                op.stride,
+                op.padding,
+                op.probes,
+                op.injector,
+                BNApply(op.bn) if op.bn is not None else None,
+                self.lower_act(op.act),
+            )
+        if kind == "linear":
+            return FusedLinearStep(op.w, op.bias, op.probes, op.injector)
+        if kind == "act":
+            return ActStep(self.lower_act(op.act))
+        if kind == "input_quant":
+            return InputQuantStep(op.module)
+        if kind == "module":
+            return ModuleFallbackStep(op.module)
+        if kind == "flatten":
+            return FlattenStep()
+        if kind == "global_pool":
+            return GlobalPoolStep()
+        raise CompileError(f"reference backend: unknown fused op {op!r}")
+
+    def lower_act(self, act: Optional[ActSpec]):
+        if act is None:
+            return None
+        if act.kind == "relu":
+            return ReLUApply()
+        if act.kind == "clip":
+            return ClipApply(act.ceiling)
+        if act.kind == "quant_clip":
+            return QuantClipApply(act.bx, act.ceiling)
+        raise CompileError(f"reference backend: unknown activation {act!r}")

@@ -1,19 +1,26 @@
-"""Lowering: walk a trained model, emit the fused kernel list.
+"""Lowering: walk a trained model, record the lazy IR graph.
 
-``compile_model`` understands the three architectures the repo builds
+:func:`lower_model` understands the three architectures the repo builds
 (:class:`~repro.models.resnet.ResNet`,
 :class:`~repro.models.simple.SimpleCNN`,
 :class:`~repro.models.simple.MLP`) across all four hardware variants
 (fp32 / quant / ams / ams_eval): the factory-produced compute units are
-``Sequential(conv-or-linear, *probes, [injector])`` and the compiler
-peels them apart, fusing each convolution with its batch norm and
-activation into one :class:`~repro.compile.kernels.FusedConvStep`.
+``Sequential(conv-or-linear, *probes, [injector])`` and the lowering
+peels them apart into fine-grained :class:`~repro.compile.ir.Node`
+records — ``conv``, ``probe``, ``noise``, ``bn``, ``act`` — in the
+exact order the interpreter would execute them (noise nodes make order
+part of the numerical contract).
 
 Weights are DoReFa-quantized exactly once here (under ``no_grad``, via
 the layer's own ``quantized_weight`` so the eval-mode memo cache warms
-too).  Anything the compiler does not recognize raises
-:class:`~repro.errors.CompileError`; callers that want a silent
-fallback to the interpreter use :func:`repro.compile.maybe_compiled`.
+too).  Nothing executes at lowering time; fusion and kernel selection
+happen later, in :mod:`repro.compile.schedule`.  Anything the lowering
+does not recognize raises :class:`~repro.errors.CompileError`; callers
+that want a silent fallback to the interpreter use
+:func:`repro.compile.maybe_compiled`.
+
+:func:`compile_model` is the one-call convenience that lowers and then
+realizes through :func:`repro.compile.schedule.realize`.
 """
 
 from __future__ import annotations
@@ -23,22 +30,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from repro.ams.injection import AMSErrorInjector
-from repro.compile.kernels import (
-    ActStep,
-    BNApply,
-    ClipApply,
-    CompiledModel,
-    FlattenStep,
-    FusedConvStep,
-    FusedLinearStep,
-    GlobalPoolStep,
-    InputQuantStep,
-    ModuleFallbackStep,
-    QuantClipApply,
-    ReLUApply,
-    ResidualBlockStep,
-    run_steps,  # noqa: F401  (re-exported for tests/debugging)
-)
+from repro.compile.ir import ActSpec, Graph
 from repro.errors import CompileError
 from repro.models.resnet import BasicBlock, Bottleneck, ResNet, _Downsample
 from repro.models.simple import MLP, SimpleCNN
@@ -56,7 +48,6 @@ from repro.quant.qmodules import (
     QuantLinear,
 )
 from repro.tensor.tensor import no_grad
-from repro.train.hooks import Probe
 
 _ACT_TYPES = (ReLU, ClippedReLU, QuantClippedReLU, Identity)
 
@@ -67,21 +58,23 @@ def _pair(value: Union[int, Tuple[int, int]]) -> Tuple[int, int]:
     return (int(value[0]), int(value[1]))
 
 
-def _lower_act(module: Optional[Module]):
-    """An in-place applier replaying ``module``'s activation, or None."""
+def _act_spec(module: Optional[Module]) -> Optional[ActSpec]:
+    """The :class:`ActSpec` replaying ``module``'s activation, or None."""
     if module is None or isinstance(module, Identity):
         return None
     if isinstance(module, QuantClippedReLU):
-        return QuantClipApply(module.bx, module.ceiling)
+        return ActSpec("quant_clip", ceiling=module.ceiling, bx=module.bx)
     if isinstance(module, ClippedReLU):
-        return ClipApply(module.ceiling)
+        return ActSpec("clip", ceiling=module.ceiling)
     if isinstance(module, ReLU):
-        return ReLUApply()
-    raise CompileError(f"no fused kernel for activation {module!r}")
+        return ActSpec("relu")
+    raise CompileError(f"no lowering for activation {module!r}")
 
 
-def _parse_unit(unit: Module, leaf_type) -> Tuple[Module, List[Probe], Optional[AMSErrorInjector]]:
+def _parse_unit(unit: Module, leaf_type) -> Tuple[Module, List, Optional[AMSErrorInjector]]:
     """Split a factory compute unit into (layer, probes, injector)."""
+    from repro.train.hooks import Probe
+
     if not isinstance(unit, Sequential):
         raise CompileError(
             f"expected a Sequential compute unit, got {type(unit).__name__}"
@@ -117,54 +110,62 @@ def _linear_weight(layer: Linear) -> np.ndarray:
     return layer.weight.data
 
 
-def _conv_step(
-    unit: Module, bn: Optional[BatchNorm2d], act: Optional[Module]
-) -> FusedConvStep:
+def _record_conv(
+    graph: Graph, unit: Module, bn: Optional[BatchNorm2d], act: Optional[Module]
+) -> None:
+    """Record conv -> probes -> noise -> bn -> act, interpreter order."""
     conv, probes, injector = _parse_unit(unit, Conv2d)
     if bn is not None and not isinstance(bn, BatchNorm2d):
         raise CompileError(f"cannot fuse {type(bn).__name__} after a conv")
-    w_mat = _conv_weight(conv).reshape(conv.out_channels, -1)
-    return FusedConvStep(
-        w_mat,
-        conv.bias,
-        conv.kernel_size,
-        _pair(conv.stride),
-        _pair(conv.padding),
-        probes,
-        injector,
-        BNApply(bn) if bn is not None else None,
-        _lower_act(act),
+    graph.add(
+        "conv",
+        w_mat=_conv_weight(conv).reshape(conv.out_channels, -1),
+        bias=conv.bias,
+        kernel=conv.kernel_size,
+        stride=_pair(conv.stride),
+        padding=_pair(conv.padding),
     )
+    for probe in probes:
+        graph.add("probe", probe=probe)
+    if injector is not None:
+        graph.add("noise", injector=injector)
+    if bn is not None:
+        graph.add("bn", bn=bn)
+    spec = _act_spec(act)
+    if spec is not None:
+        graph.add("act", act=spec)
 
 
-def _linear_step(unit: Module) -> FusedLinearStep:
+def _record_linear(graph: Graph, unit: Module) -> None:
     layer, probes, injector = _parse_unit(unit, Linear)
-    return FusedLinearStep(_linear_weight(layer), layer.bias, probes, injector)
+    graph.add("linear", w=_linear_weight(layer), bias=layer.bias)
+    for probe in probes:
+        graph.add("probe", probe=probe)
+    if injector is not None:
+        graph.add("noise", injector=injector)
 
 
-def _lower_adapter(adapter: Module) -> List:
+def _record_adapter(graph: Graph, adapter: Module) -> None:
     if isinstance(adapter, InputQuantizer):
-        return [InputQuantStep(adapter)]
-    if isinstance(adapter, Identity):
-        return []
-    raise CompileError(
-        f"no fused kernel for input adapter {type(adapter).__name__}"
-    )
+        graph.add("input_quant", module=adapter)
+    elif isinstance(adapter, Identity):
+        pass
+    else:
+        raise CompileError(
+            f"no lowering for input adapter {type(adapter).__name__}"
+        )
 
 
-def _lower_block(block: Module) -> ResidualBlockStep:
+def _record_block(graph: Graph, block: Module) -> None:
+    main = Graph()
     if isinstance(block, BasicBlock):
-        main = [
-            _conv_step(block.conv1, block.bn1, block.act1),
-            _conv_step(block.conv2, block.bn2, None),
-        ]
+        _record_conv(main, block.conv1, block.bn1, block.act1)
+        _record_conv(main, block.conv2, block.bn2, None)
         final_act = block.act2
     elif isinstance(block, Bottleneck):
-        main = [
-            _conv_step(block.conv1, block.bn1, block.act1),
-            _conv_step(block.conv2, block.bn2, block.act2),
-            _conv_step(block.conv3, block.bn3, None),
-        ]
+        _record_conv(main, block.conv1, block.bn1, block.act1)
+        _record_conv(main, block.conv2, block.bn2, block.act2)
+        _record_conv(main, block.conv3, block.bn3, None)
         final_act = block.act3
     else:
         raise CompileError(f"unknown residual block {type(block).__name__}")
@@ -174,33 +175,39 @@ def _lower_block(block: Module) -> ResidualBlockStep:
             raise CompileError(
                 f"unknown downsample {type(block.downsample).__name__}"
             )
-        downsample = [
-            _conv_step(block.downsample.conv, block.downsample.bn, None)
-        ]
-    return ResidualBlockStep(main, downsample, _lower_act(final_act))
+        downsample = Graph()
+        _record_conv(
+            downsample, block.downsample.conv, block.downsample.bn, None
+        )
+    graph.add(
+        "residual", main=main, downsample=downsample, act=_act_spec(final_act)
+    )
 
 
-def _lower_head(pool: Module, fc: Module) -> List:
+def _record_head(graph: Graph, pool: Module, fc: Module) -> None:
     """The shared GAP -> flatten -> classifier tail of the conv nets."""
     if not isinstance(pool, GlobalAvgPool2d):
-        raise CompileError(f"no fused kernel for pool {type(pool).__name__}")
+        raise CompileError(f"no lowering for pool {type(pool).__name__}")
     # Flatten after global pooling is an identity reshape of (N, C).
-    return [GlobalPoolStep(), _linear_step(fc)]
+    graph.add("global_pool")
+    _record_linear(graph, fc)
 
 
-def _lower_resnet(model: ResNet) -> List:
-    steps = _lower_adapter(model.input_adapter)
-    steps.append(_conv_step(model.stem_conv, model.stem_bn, model.stem_act))
+def _lower_resnet(model: ResNet) -> Graph:
+    graph = Graph()
+    _record_adapter(graph, model.input_adapter)
+    _record_conv(graph, model.stem_conv, model.stem_bn, model.stem_act)
     if model.stem_pool is not None:
-        steps.append(ModuleFallbackStep(model.stem_pool))
+        graph.add("module", module=model.stem_pool)
     for block in model.blocks:
-        steps.append(_lower_block(block))
-    steps += _lower_head(model.pool, model.fc)
-    return steps
+        _record_block(graph, block)
+    _record_head(graph, model.pool, model.fc)
+    return graph
 
 
-def _lower_simple_cnn(model: SimpleCNN) -> List:
-    steps = _lower_adapter(model.input_adapter)
+def _lower_simple_cnn(model: SimpleCNN) -> Graph:
+    graph = Graph()
+    _record_adapter(graph, model.input_adapter)
     children = list(model.features)
     i = 0
     while i < len(children):
@@ -217,60 +224,71 @@ def _lower_simple_cnn(model: SimpleCNN) -> List:
             if j < len(children) and isinstance(children[j], _ACT_TYPES):
                 act = children[j]
                 j += 1
-            steps.append(_conv_step(child, bn, act))
+            _record_conv(graph, child, bn, act)
             i = j
         elif isinstance(child, (MaxPool2d, AvgPool2d)):
-            steps.append(ModuleFallbackStep(child))
+            graph.add("module", module=child)
             i += 1
         elif isinstance(child, (Dropout, Identity)):
             i += 1  # identity in eval mode
         else:
             raise CompileError(
-                f"no fused kernel for feature layer {type(child).__name__}"
+                f"no lowering for feature layer {type(child).__name__}"
             )
-    steps += _lower_head(model.pool, model.fc)
-    return steps
+    _record_head(graph, model.pool, model.fc)
+    return graph
 
 
-def _lower_mlp(model: MLP) -> List:
-    steps: List = [FlattenStep()]
+def _lower_mlp(model: MLP) -> Graph:
+    graph = Graph()
+    graph.add("flatten")
     for child in model.hidden:
         if isinstance(child, Sequential):
-            steps.append(_linear_step(child))
+            _record_linear(graph, child)
         elif isinstance(child, _ACT_TYPES):
-            act = _lower_act(child)
-            if act is not None:
-                steps.append(ActStep(act))
+            spec = _act_spec(child)
+            if spec is not None:
+                graph.add("act", act=spec)
         elif isinstance(child, Dropout):
             continue  # identity in eval mode
         else:
             raise CompileError(
-                f"no fused kernel for hidden layer {type(child).__name__}"
+                f"no lowering for hidden layer {type(child).__name__}"
             )
-    steps.append(_linear_step(model.fc))
-    return steps
+    _record_linear(graph, model.fc)
+    return graph
 
 
-def compile_model(model: Module) -> CompiledModel:
-    """Lower ``model`` to a :class:`CompiledModel` of fused kernels.
+def lower_model(model: Module) -> Graph:
+    """Record ``model``'s eval-mode forward pass as an IR :class:`Graph`.
 
     The model is put in eval mode first — compiled semantics are
     inference semantics (batch-norm running statistics, eval-time
     injection policies).  Raises :class:`~repro.errors.CompileError`
-    for architectures or layers without a fused lowering.
+    for architectures or layers without a lowering.
     """
     model.eval()
-    from repro.compile import model_fingerprint
-
     with no_grad():
         if isinstance(model, ResNet):
-            steps = _lower_resnet(model)
-        elif isinstance(model, SimpleCNN):
-            steps = _lower_simple_cnn(model)
-        elif isinstance(model, MLP):
-            steps = _lower_mlp(model)
-        else:
-            raise CompileError(
-                f"no lowering for architecture {type(model).__name__}"
-            )
-    return CompiledModel(steps, model_fingerprint(model))
+            return _lower_resnet(model)
+        if isinstance(model, SimpleCNN):
+            return _lower_simple_cnn(model)
+        if isinstance(model, MLP):
+            return _lower_mlp(model)
+    raise CompileError(f"no lowering for architecture {type(model).__name__}")
+
+
+def compile_model(model: Module, backend: Optional[str] = None):
+    """Lower ``model`` and realize it as a :class:`CompiledModel`.
+
+    ``backend`` selects the execution backend (``"reference"``,
+    ``"fast"``, ``"auto"``; default: the process-wide default, normally
+    the bit-identical reference backend).  Raises
+    :class:`~repro.errors.CompileError` for architectures or layers
+    without a lowering.
+    """
+    from repro.compile import model_fingerprint
+    from repro.compile.schedule import realize
+
+    graph = lower_model(model)
+    return realize(graph, backend=backend, fingerprint=model_fingerprint(model))

@@ -23,7 +23,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.tensor.im2col import conv_output_size
+from repro.tensor.im2col import conv_output_size, pad_nchw
 from repro.tensor.pool import BufferPool
 from repro.utils import profiler as _profiler
 
@@ -91,18 +91,8 @@ class Im2colPlan:
         """
         token = _profiler.op_start()
         n = x.shape[0]
-        ph, pw = self.padding
-        if ph or pw:
-            pad_buf = pool.get(
-                (n, self.channels, self.height + 2 * ph, self.width + 2 * pw),
-                x.dtype,
-            )
-            pad_buf.fill(0)
-            pad_buf[:, :, ph : ph + self.height, pw : pw + self.width] = x
-            src = pad_buf
-        else:
-            pad_buf = None
-            src = x
+        pad_buf = pad_nchw(x, self.padding, pool)
+        src = x if pad_buf is None else pad_buf
         cols = pool.get((n * self.out_h * self.out_w, self.patch_len), x.dtype)
         src.reshape(n, -1).take(
             self.index,

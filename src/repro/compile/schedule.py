@@ -1,0 +1,268 @@
+"""Scheduler: fuse the recorded IR and realize it through a backend.
+
+The lowering pass (:mod:`repro.compile.compiler`) records fine-grained
+:class:`~repro.compile.ir.Node` objects; this module turns them into an
+executable :class:`~repro.compile.runtime.CompiledModel` in two stages:
+
+1. **Fusion** (:func:`fuse_graph`): adjacent nodes that every backend
+   wants to see together are merged into :class:`FusedOp` records —
+   ``conv [probe*] [noise] [bn] [act]`` becomes one ``conv`` FusedOp,
+   ``linear [probe*] [noise]`` one ``linear`` FusedOp.  The pattern is
+   exactly the interpreter's execution order, so fusion never reorders
+   a noise draw.
+2. **Realization** (:func:`realize`): each FusedOp is offered to the
+   selected :class:`~repro.compile.backends.Backend` chain; the first
+   backend that returns a step wins.  The bit-identical reference
+   backend terminates every chain and accepts every op, so per-op
+   fallback is total — a fast backend only ever has to accelerate the
+   ops it is good at.  Residual blocks are control flow, not compute:
+   the scheduler recurses into their branch subgraphs and emits a
+   backend-independent :class:`~repro.compile.runtime.ResidualStep`.
+
+Per-realize telemetry lands in the default metric registry:
+``compile.realize_seconds`` histogram and ``compile.steps_realized``
+counters labeled by the backend that supplied each step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.compile.ir import ActSpec, Graph, Node
+from repro.compile.runtime import CompiledModel, ResidualStep
+from repro.errors import CompileError
+
+__all__ = [
+    "FusedOp",
+    "fuse_graph",
+    "realize",
+]
+
+#: FusedOp kinds the backends dispatch on.
+FUSED_KINDS = (
+    "input_quant",
+    "conv",
+    "linear",
+    "act",
+    "flatten",
+    "global_pool",
+    "module",
+)
+
+
+class FusedOp:
+    """One schedulable unit of compute after fusion.
+
+    ``kind`` is one of :data:`FUSED_KINDS`; ``attrs`` carries the
+    merged attributes of the fused nodes (a ``conv`` FusedOp holds
+    ``w_mat / bias / kernel / stride / padding / probes / injector /
+    bn / act``).  Backends receive FusedOps and return executable
+    steps — they never see raw IR nodes.
+    """
+
+    __slots__ = ("kind", "attrs")
+
+    def __init__(self, kind: str, **attrs: Any):
+        if kind not in FUSED_KINDS:
+            raise CompileError(f"unknown fused-op kind {kind!r}")
+        self.kind = kind
+        self.attrs: Dict[str, Any] = attrs
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.attrs[name]
+        except KeyError:
+            raise AttributeError(
+                f"{self.kind} fused op has no attribute {name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"FusedOp({self.kind})"
+
+
+#: A scheduled tape entry: either a FusedOp or a residual-block record
+#: ``("residual", main_tape, downsample_tape_or_None, act_spec)``.
+_ResidualEntry = Tuple[str, List, Optional[List], Optional[ActSpec]]
+
+
+def _fuse_conv(nodes: Sequence[Node], start: int) -> Tuple[FusedOp, int]:
+    """Absorb ``probe* noise? bn? act?`` following the conv at ``start``."""
+    conv = nodes[start]
+    probes: List = []
+    injector = None
+    bn = None
+    act = None
+    i = start + 1
+    while i < len(nodes) and nodes[i].kind == "probe":
+        probes.append(nodes[i].attrs["probe"])
+        i += 1
+    if i < len(nodes) and nodes[i].kind == "noise":
+        injector = nodes[i].attrs["injector"]
+        i += 1
+    if i < len(nodes) and nodes[i].kind == "bn":
+        bn = nodes[i].attrs["bn"]
+        i += 1
+    if i < len(nodes) and nodes[i].kind == "act":
+        act = nodes[i].attrs["act"]
+        i += 1
+    return (
+        FusedOp(
+            "conv",
+            w_mat=conv.attrs["w_mat"],
+            bias=conv.attrs["bias"],
+            kernel=conv.attrs["kernel"],
+            stride=conv.attrs["stride"],
+            padding=conv.attrs["padding"],
+            probes=probes,
+            injector=injector,
+            bn=bn,
+            act=act,
+        ),
+        i,
+    )
+
+
+def _fuse_linear(nodes: Sequence[Node], start: int) -> Tuple[FusedOp, int]:
+    """Absorb ``probe* noise?`` following the linear at ``start``."""
+    linear = nodes[start]
+    probes: List = []
+    injector = None
+    i = start + 1
+    while i < len(nodes) and nodes[i].kind == "probe":
+        probes.append(nodes[i].attrs["probe"])
+        i += 1
+    if i < len(nodes) and nodes[i].kind == "noise":
+        injector = nodes[i].attrs["injector"]
+        i += 1
+    return (
+        FusedOp(
+            "linear",
+            w=linear.attrs["w"],
+            bias=linear.attrs["bias"],
+            probes=probes,
+            injector=injector,
+        ),
+        i,
+    )
+
+
+def fuse_graph(graph: Graph) -> List:
+    """Merge adjacent IR nodes into the fused tape the backends execute.
+
+    Returns a list of :class:`FusedOp` entries, with residual blocks
+    represented as ``("residual", main, downsample, act)`` tuples whose
+    branch tapes were fused recursively.  A ``bn``/``act``/``probe``/
+    ``noise`` node with no preceding conv or linear to fuse into is a
+    :class:`~repro.errors.CompileError` — the lowering never records
+    one, so hitting it means the IR was hand-built wrong.
+    """
+    fused: List = []
+    nodes = graph.nodes
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        if node.kind == "conv":
+            op, i = _fuse_conv(nodes, i)
+            fused.append(op)
+        elif node.kind == "linear":
+            op, i = _fuse_linear(nodes, i)
+            fused.append(op)
+        elif node.kind == "act":
+            fused.append(FusedOp("act", act=node.attrs["act"]))
+            i += 1
+        elif node.kind == "residual":
+            main = fuse_graph(node.attrs["main"])
+            down = node.attrs.get("downsample")
+            fused.append(
+                (
+                    "residual",
+                    main,
+                    fuse_graph(down) if down is not None else None,
+                    node.attrs.get("act"),
+                )
+            )
+            i += 1
+        elif node.kind in ("input_quant", "module"):
+            fused.append(FusedOp(node.kind, module=node.attrs["module"]))
+            i += 1
+        elif node.kind in ("flatten", "global_pool"):
+            fused.append(FusedOp(node.kind))
+            i += 1
+        else:
+            raise CompileError(
+                f"cannot schedule a dangling {node.kind!r} node "
+                "(no preceding conv/linear to fuse it into)"
+            )
+    return fused
+
+
+def _lower_op(op: FusedOp, chain, counters) -> Any:
+    """First backend in ``chain`` that can lower ``op`` wins."""
+    for backend in chain:
+        step = backend.lower(op)
+        if step is not None:
+            counters[backend.name] = counters.get(backend.name, 0) + 1
+            return step
+    raise CompileError(
+        f"no backend in {[b.name for b in chain]} lowered {op!r}"
+    )
+
+
+def _lower_act(act: Optional[ActSpec], chain) -> Any:
+    if act is None:
+        return None
+    for backend in chain:
+        applier = backend.lower_act(act)
+        if applier is not None:
+            return applier
+    raise CompileError(f"no backend lowered activation {act!r}")
+
+
+def _lower_tape(tape: List, chain, counters) -> List:
+    steps: List = []
+    for entry in tape:
+        if isinstance(entry, FusedOp):
+            steps.append(_lower_op(entry, chain, counters))
+        else:
+            _, main, down, act = entry
+            steps.append(
+                ResidualStep(
+                    _lower_tape(main, chain, counters),
+                    _lower_tape(down, chain, counters)
+                    if down is not None
+                    else None,
+                    _lower_act(act, chain),
+                )
+            )
+    return steps
+
+
+def realize(
+    graph: Graph,
+    backend: Optional[str] = None,
+    fingerprint=None,
+) -> CompiledModel:
+    """Fuse ``graph`` and lower it through the ``backend`` chain.
+
+    ``backend`` is a registered backend name (``"reference"``,
+    ``"fast"``) or the ``"auto"`` alias; ``None`` uses the process-wide
+    default (:func:`repro.compile.default_backend`).  Every chain ends
+    in the reference backend, so realization succeeds whenever lowering
+    did — unsupported ops simply execute bit-identically.
+    """
+    from repro.compile.backends import resolve_chain
+    from repro.obs.metrics import default_registry
+    from repro.obs.trace import span
+
+    chain = resolve_chain(backend)
+    counters: Dict[str, int] = {}
+    with span("compile.realize") as realize_span:
+        tape = fuse_graph(graph)
+        steps = _lower_tape(tape, chain, counters)
+    registry = default_registry()
+    registry.histogram(
+        "compile.realize_seconds", backend=chain[0].name
+    ).observe(realize_span.duration_s)
+    for name, count in counters.items():
+        registry.counter("compile.steps_realized", backend=name).inc(count)
+    return CompiledModel(steps, fingerprint, backend=chain[0].name)

@@ -95,6 +95,13 @@ class InferenceEngine:
         through it.  Predictions are bit-identical either way —
         including per-request AMS noise — so this is purely a speed
         knob; pass ``False`` to force the interpreted forward.
+    backend:
+        Compiled execution backend for this engine (``"reference"`` /
+        ``"fast"`` / ``"auto"``); ``None`` uses the process-wide
+        :func:`repro.compile.default_backend`.  The reference backend
+        keeps the bit-identity guarantee above; the fast backend trades
+        it for speed within a documented tolerance
+        (:data:`repro.compile.backends.fast.PARITY_ATOL`).
     """
 
     def __init__(
@@ -107,6 +114,7 @@ class InferenceEngine:
         max_wait_ms: float = 2.0,
         workers: int = 1,
         compile_models: bool = True,
+        backend: Optional[str] = None,
     ):
         if max_models < 1:
             raise ConfigError(f"max_models must be >= 1, got {max_models}")
@@ -123,6 +131,15 @@ class InferenceEngine:
         self.max_wait_ms = max_wait_ms
         self.workers = workers
         self.compile_models = compile_models
+        if backend is not None:
+            from repro.compile import available_backends
+
+            if backend not in available_backends():
+                raise ConfigError(
+                    f"unknown backend {backend!r} "
+                    f"(known: {', '.join(available_backends())})"
+                )
+        self.backend = backend
         self._queue: "queue.Queue[_Request]" = queue.Queue()
         self._models: "OrderedDict[ModelSpec, Tuple[object, threading.Lock]]" = (
             OrderedDict()
@@ -269,7 +286,7 @@ class InferenceEngine:
             # compiled executor is cached on the model itself.
             from repro.compile import maybe_compiled
 
-            maybe_compiled(model)
+            maybe_compiled(model, backend=self.backend)
         with self._models_lock:
             if spec not in self._models:
                 self._models[spec] = (model, threading.Lock())
@@ -372,7 +389,7 @@ class InferenceEngine:
                 if self.compile_models:
                     from repro.compile import maybe_compiled
 
-                    compiled = maybe_compiled(model)
+                    compiled = maybe_compiled(model, backend=self.backend)
                     if compiled is not None:
                         registry.counter("serve.batches_compiled").inc()
                         # predict() copies out of the pooled buffer.

@@ -36,6 +36,25 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
+def pad_nchw(x: np.ndarray, padding: Tuple[int, int], pool) -> np.ndarray:
+    """Zero-pad an NCHW batch spatially into a pooled buffer.
+
+    Returns ``None`` when ``padding`` is ``(0, 0)`` — callers keep using
+    ``x`` directly and skip the release.  Otherwise the returned buffer
+    comes from ``pool`` and the caller owns releasing it.  Shared by the
+    interpreted :func:`im2col`, the compiled gather plans and the fast
+    backend's blocked convolution, so all three pad identically.
+    """
+    ph, pw = padding
+    if not (ph or pw):
+        return None
+    n, c, h, w = x.shape
+    pad_buf = pool.get((n, c, h + 2 * ph, w + 2 * pw), x.dtype)
+    pad_buf.fill(0)
+    pad_buf[:, :, ph : ph + h, pw : pw + w] = x
+    return pad_buf
+
+
 def im2col(
     x: np.ndarray,
     kernel: Tuple[int, int],
@@ -61,35 +80,34 @@ def im2col(
     out_h = conv_output_size(h, kh, sh, ph)
     out_w = conv_output_size(w, kw, sw, pw)
 
-    pad_buf = None
-    if ph or pw:
-        pad_buf = pool.get((n, c, h + 2 * ph, w + 2 * pw), x.dtype)
-        pad_buf.fill(0)
-        pad_buf[:, :, ph : ph + h, pw : pw + w] = x
-        x = pad_buf
+    with pool.scope() as scratch:
+        pad_buf = pad_nchw(x, (ph, pw), scratch)
+        if pad_buf is not None:
+            x = pad_buf
 
-    # Strided view: (N, C, out_h, out_w, kh, kw)
-    strides = (
-        x.strides[0],
-        x.strides[1],
-        x.strides[2] * sh,
-        x.strides[3] * sw,
-        x.strides[2],
-        x.strides[3],
-    )
-    patches = np.lib.stride_tricks.as_strided(
-        x, shape=(n, c, out_h, out_w, kh, kw), strides=strides, writeable=False
-    )
-    # Single copy: gather (N, out_h, out_w, C, kh, kw) straight into the
-    # pooled output buffer (previously transpose().reshape() materialised
-    # the rows and ascontiguousarray risked a second copy).
-    cols = pool.get((n * out_h * out_w, c * kh * kw), x.dtype)
-    np.copyto(
-        cols.reshape(n, out_h, out_w, c, kh, kw),
-        patches.transpose(0, 2, 3, 1, 4, 5),
-    )
-    if pad_buf is not None:
-        pool.release(pad_buf)
+        # Strided view: (N, C, out_h, out_w, kh, kw)
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2] * sh,
+            x.strides[3] * sw,
+            x.strides[2],
+            x.strides[3],
+        )
+        patches = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, c, out_h, out_w, kh, kw),
+            strides=strides,
+            writeable=False,
+        )
+        # Single copy: gather (N, out_h, out_w, C, kh, kw) straight into
+        # the pooled output buffer (the returned cols come from the pool
+        # itself, not the scratch scope, so they outlive this block).
+        cols = pool.get((n * out_h * out_w, c * kh * kw), x.dtype)
+        np.copyto(
+            cols.reshape(n, out_h, out_w, c, kh, kw),
+            patches.transpose(0, 2, 3, 1, 4, 5),
+        )
     _profiler.op_end(token, "im2col")
     return cols
 

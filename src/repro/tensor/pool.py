@@ -164,6 +164,48 @@ class BufferPool:
         finally:
             self.enabled = previous
 
+    @contextlib.contextmanager
+    def scope(self):
+        """A :class:`PoolScope` that releases its buffers on exit.
+
+        For scratch whose lifetime is one lexical block: every buffer
+        drawn through the scope's ``get``/``zeros`` goes back to the
+        pool when the block exits — including on exceptions, which a
+        manual get/release pair silently leaks to the garbage
+        collector.  Buffers meant to outlive the block (results) are
+        drawn from the pool itself as usual.
+        """
+        scope = PoolScope(self)
+        try:
+            yield scope
+        finally:
+            scope.release_all()
+
+
+class PoolScope:
+    """Scoped facade over a :class:`BufferPool` (see ``pool.scope()``)."""
+
+    __slots__ = ("pool", "_held")
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._held: List[np.ndarray] = []
+
+    def get(self, shape, dtype=np.float32) -> np.ndarray:
+        buf = self.pool.get(shape, dtype)
+        self._held.append(buf)
+        return buf
+
+    def zeros(self, shape, dtype=np.float32) -> np.ndarray:
+        buf = self.pool.zeros(shape, dtype)
+        self._held.append(buf)
+        return buf
+
+    def release_all(self) -> None:
+        held, self._held = self._held, []
+        for buf in reversed(held):
+            self.pool.release(buf)
+
 
 #: Process-global pool used by the conv/noise/optimizer hot paths.
 _DEFAULT = BufferPool()

@@ -98,6 +98,47 @@ class TestCompiledCacheInvalidation:
             assert maybe_compiled(model) is None
         assert maybe_compiled(model) is not None
 
+    def test_load_state_dict_recompiles_in_serve_lru(self, compile_bench):
+        """A model hot in the engine's LRU recompiles after new weights.
+
+        The engine compiles at cache-load time and never evicts a spec
+        it keeps serving — so the *only* thing standing between a
+        ``load_state_dict`` (checkpoint swap, hot reload) and stale
+        predictions is the Parameter.version fingerprint.
+        """
+        from repro.serve import InferenceEngine
+
+        engine = InferenceEngine(compile_bench, max_models=2)
+        spec = ModelSpec("fp32").resolved(compile_bench.config)
+        images = compile_bench.data.val.images[:4]
+
+        first = engine.classify_direct(spec, images)
+        model, _lock = engine._model_entry(spec)  # bound in the LRU now
+        compiled = maybe_compiled(model)
+        assert compiled is not None
+        assert maybe_compiled(model) is compiled  # hot: fingerprint hit
+
+        # Swap in visibly different weights through load_state_dict —
+        # the public checkpoint-restore path, which bumps every
+        # Parameter.version.
+        state = model.state_dict()
+        fc_key = next(k for k in state if k.endswith("fc.0.weight"))
+        state[fc_key] = state[fc_key] * np.float32(-1.0)
+        before = model_fingerprint(model)
+        model.load_state_dict(state)
+        model.eval()
+        assert model_fingerprint(model) != before
+
+        second = engine.classify_direct(spec, images)
+        recompiled = maybe_compiled(model)
+        assert recompiled is not None and recompiled is not compiled
+        # The served logits must track the new weights, not the old tape.
+        with disabled():
+            expected = engine.classify_direct(spec, images)
+        for served, fresh, old in zip(second, expected, first):
+            assert np.array_equal(served.logits, fresh.logits)
+            assert not np.array_equal(served.logits, old.logits)
+
 
 class TestNoGradFastPath:
     def test_result_skips_graph_bookkeeping(self):

@@ -171,3 +171,77 @@ class TestRecorded:
         )
         assert code == 0
         assert "no matching benches" in capsys.readouterr().out
+
+
+def _write_recorded_host(path, medians, host):
+    with open(path, "w") as fh:
+        json.dump({"median_seconds": medians, "host": host}, fh)
+    return str(path)
+
+
+class TestHostMismatch:
+    """Recorded medians from a different core count warn, never fail."""
+
+    def test_recorded_host_round_trip(self, tmp_path):
+        path = _write_recorded_host(
+            tmp_path / "rec.json", {"test_a": 1.0}, {"cpus": 4}
+        )
+        assert bench_compare.recorded_host(path) == {"cpus": 4}
+
+    def test_recorded_host_missing_is_empty(self, tmp_path):
+        path = _write_recorded(tmp_path / "rec.json", {"test_a": 1.0})
+        assert bench_compare.recorded_host(path) == {}
+
+    def test_same_cpus_is_comparable(self):
+        assert bench_compare.host_mismatch({"cpus": os.cpu_count()}) == ""
+
+    def test_no_cpus_field_is_comparable(self):
+        # Legacy records without a host block must not dodge the gate.
+        assert bench_compare.host_mismatch({}) == ""
+        assert bench_compare.host_mismatch({"machine": "x86_64"}) == ""
+
+    def test_different_cpus_names_both_hosts(self):
+        recorded_cpus = os.cpu_count() + 63
+        message = bench_compare.host_mismatch(
+            {"cpus": recorded_cpus, "machine": "bigbox"}
+        )
+        assert "bigbox" in message
+        assert str(recorded_cpus) in message
+        assert str(os.cpu_count()) in message
+
+    def test_mismatch_downgrades_regression_to_warning(
+        self, tmp_path, capsys
+    ):
+        baseline = _write(tmp_path / "base.json", {"x.py::test_a": 1.0})
+        current = _write(tmp_path / "cur.json", {"x.py::test_a": 1.0})
+        recorded = _write_recorded_host(
+            tmp_path / "rec.json",
+            {"test_a": 0.5},  # current is 2x slower -> regression
+            {"cpus": os.cpu_count() + 7, "machine": "bigbox"},
+        )
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--recorded", recorded]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HOST MISMATCH" in out
+        assert "WARNING" in out
+        assert "REGRESSED" not in out
+
+    def test_matching_host_still_fails(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"x.py::test_a": 1.0})
+        current = _write(tmp_path / "cur.json", {"x.py::test_a": 1.0})
+        recorded = _write_recorded_host(
+            tmp_path / "rec.json",
+            {"test_a": 0.5},
+            {"cpus": os.cpu_count()},
+        )
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--recorded", recorded]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED test_a" in out
+        assert "HOST MISMATCH" not in out

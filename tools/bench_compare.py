@@ -19,11 +19,17 @@ baseline in the same change.  Speedups beyond the threshold are flagged
 as a hint to refresh the baseline with ``--update``.
 
 Hand-recorded medians (``BENCH_serve.json``, ``BENCH_parallel_sweep
-.json``, ``BENCH_compiled.json``) are diffed too: their
-``median_seconds`` entries are matched against the current run by
-bare test name and gated by the same
-threshold.  ``--update`` never rewrites them — re-record by hand (see
-docs/performance.md for the multicore caveat).
+.json``, ``BENCH_compiled.json``, ``BENCH_backends.json``) are diffed
+too: their ``median_seconds`` entries are matched against the current
+run by bare test name and gated by the same threshold.  ``--update``
+never rewrites them — re-record by hand (see docs/performance.md for
+the multicore caveat).
+
+Recorded files carry the ``host`` they were measured on.  When the
+recorded ``host.cpus`` differs from this machine's CPU count, absolute
+medians are not comparable (thread counts, BLAS parallelism and batch
+overlap all change), so regressions beyond the threshold are
+*downgraded to warnings* naming both hosts instead of failing the run.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ DEFAULT_RECORDED = (
     os.path.join(REPO_ROOT, "BENCH_serve.json"),
     os.path.join(REPO_ROOT, "BENCH_parallel_sweep.json"),
     os.path.join(REPO_ROOT, "BENCH_compiled.json"),
+    os.path.join(REPO_ROOT, "BENCH_backends.json"),
 )
 
 
@@ -83,6 +90,36 @@ def load_recorded_medians(path: str) -> dict:
     with open(path) as fh:
         payload = json.load(fh)
     return dict(payload.get("median_seconds", {}))
+
+
+def recorded_host(path: str) -> dict:
+    """The ``host`` block of a hand-recorded file (may be empty)."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    host = payload.get("host")
+    return dict(host) if isinstance(host, dict) else {}
+
+
+def host_mismatch(host: dict) -> str:
+    """A human-readable mismatch description, or "" when comparable.
+
+    Only ``cpus`` gates comparability: a different core count changes
+    the absolute medians (thread pools, BLAS parallelism, batch
+    overlap), while e.g. a different hostname alone does not.  Records
+    without a ``cpus`` field are treated as comparable — failing open
+    here would let every legacy record dodge the gate.
+    """
+    recorded_cpus = host.get("cpus")
+    if recorded_cpus is None:
+        return ""
+    current_cpus = os.cpu_count()
+    if int(recorded_cpus) == current_cpus:
+        return ""
+    recorded_name = host.get("machine") or host.get("hostname") or "recorded"
+    return (
+        f"recorded on {recorded_name} with {recorded_cpus} cpus, "
+        f"running on {os.uname().nodename} with {current_cpus} cpus"
+    )
 
 
 def bare_medians(medians: dict) -> dict:
@@ -220,18 +257,25 @@ def main(argv=None) -> int:
             {name: bare[name] for name in shared},
             args.threshold,
         )
+        mismatch = host_mismatch(recorded_host(path))
         print(f"\n{label}: {len(shared)} recorded benches compared")
+        if mismatch and reg:
+            # Absolute medians from a different core count are not
+            # comparable — report, but do not fail the run on them.
+            print(f"HOST MISMATCH: {mismatch}; regressions are warnings")
         for name, old, new, ratio in imp:
             print(
                 f"FASTER    {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
                 f"({ratio:.2f}x) — consider re-recording {label}"
             )
         for name, old, new, ratio in reg:
+            verdict = "WARNING  " if mismatch else "REGRESSED"
             print(
-                f"REGRESSED {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
+                f"{verdict} {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
                 f"({ratio:.2f}x > 1.{int(args.threshold * 100):02d}x budget)"
             )
-        recorded_regressions += len(reg)
+        if not mismatch:
+            recorded_regressions += len(reg)
 
     return 1 if (regressions or recorded_regressions) else 0
 
