@@ -11,9 +11,13 @@ Modules:
 
 - :mod:`repro.ams.vmac` — the error math of Eqs. 1-2 and the precision
   bookkeeping of Fig. 2.
-- :mod:`repro.ams.injection` — the lumped network-level injector used
-  by the paper's main experiments (Gaussian error at the accumulated
-  convolution output, forward pass only).
+- :mod:`repro.ams.models` — the pluggable error-model interface and
+  registry, plus the network-level injector that hosts a model at each
+  accumulated convolution output (forward pass only).  The paper's
+  lumped Gaussian is the ``"lumped_gaussian"`` reference model.
+- :mod:`repro.ams.zoo` — the built-in error-model zoo: per-VMAC
+  injection, multiplication partitioning, ADC reference scaling,
+  state-dependent magnitude noise and tile-correlated noise.
 - :mod:`repro.ams.tiled` — Section-4 refinement: split the convolution
   into VMAC-sized units and quantize each partial sum separately.
 - :mod:`repro.ams.recycling` — Section-4 extension: first-order
@@ -32,7 +36,19 @@ from repro.ams.vmac import (
     equivalent_enob,
     PrecisionBreakdown,
 )
-from repro.ams.injection import AMSErrorInjector, InjectionPolicy
+from repro.ams.models import (
+    AMSErrorInjector,
+    ErrorModel,
+    ErrorModelContext,
+    InjectionPolicy,
+    LumpedGaussian,
+    NoiseStreams,
+    get_model,
+    list_models,
+    make_injector,
+    register_model,
+)
+from repro.ams import zoo  # noqa: F401  (registers the built-in models)
 from repro.ams.tiled import tiled_vmac_dot, TiledVMACConv2d, tile_quantized_convs
 from repro.ams.recycling import recycle_quantize, plain_quantize, recycling_error_reduction
 from repro.ams.partitioning import PartitionScheme, partitioned_error_std, partitioned_energy
@@ -62,7 +78,15 @@ __all__ = [
     "equivalent_enob",
     "PrecisionBreakdown",
     "AMSErrorInjector",
+    "ErrorModel",
+    "ErrorModelContext",
     "InjectionPolicy",
+    "LumpedGaussian",
+    "NoiseStreams",
+    "get_model",
+    "list_models",
+    "make_injector",
+    "register_model",
     "tiled_vmac_dot",
     "TiledVMACConv2d",
     "tile_quantized_convs",

@@ -33,7 +33,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.ams.injection import AMSErrorInjector
+from repro.ams.models import AMSErrorInjector
 from repro.ams.vmac import VMACConfig, total_error_std
 from repro.energy.adc import adc_energy
 from repro.errors import ConfigError
@@ -232,10 +232,9 @@ def set_layer_enobs(model: Module, enobs: Sequence[float]) -> int:
         )
     for injector, enob in zip(injectors, enobs):
         old = injector.config
-        injector.config = VMACConfig(
-            enob=float(enob), nmult=old.nmult, bw=old.bw, bx=old.bx
-        )
-        injector.error_std = total_error_std(
-            float(enob), old.nmult, injector.ntot
+        injector.set_config(
+            VMACConfig(
+                enob=float(enob), nmult=old.nmult, bw=old.bw, bx=old.bx
+            )
         )
     return len(injectors)

@@ -1,174 +1,38 @@
-"""Network-level lumped AMS error injection (paper Section 2, Fig. 3).
+"""Deprecated import path: the injector moved to :mod:`repro.ams.models`.
 
-The paper lumps the error of all VMACs contributing to one output
-activation "to the output of the digital summation of multiple VMAC cell
-outputs" and injects a Gaussian sample there, during the forward pass
-only.  :class:`AMSErrorInjector` is a module placed immediately after a
-(quantized) convolution or linear layer, before batch norm.
+The lumped network-level injector used to be the only error model, so
+it lived alone in this module.  The error-model registry redesign
+re-homed :class:`~repro.ams.models.AMSErrorInjector` (now a host for
+any registered :class:`~repro.ams.models.ErrorModel`) and
+:class:`~repro.ams.models.InjectionPolicy` next to the registry.
 
-Two behaviours from the paper are encoded in :class:`InjectionPolicy`:
-
-- error is always injected at evaluation time (to model the hardware);
-- injecting error into the *last* layer during training destroys
-  learning, so the paper leaves the last layer error-free while
-  training ("all other layers still have injected error during
-  training").
+Importing them from here still works but warns once per process
+(:func:`repro.obs.deprecation.warn_once`); new code should import from
+:mod:`repro.ams.models` — or just :mod:`repro.ams` — and construct
+injectors via :func:`repro.ams.models.make_injector`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from repro.obs.deprecation import warn_once
 
-import numpy as np
+#: Symbols this module used to define, now living in repro.ams.models.
+_MOVED = ("AMSErrorInjector", "InjectionPolicy")
 
-from repro.ams.vmac import VMACConfig, total_error_std
-from repro.errors import ConfigError
-from repro.nn.module import Module
-from repro.tensor.functional import add_forward_noise
-from repro.tensor.pool import default_pool
-from repro.tensor.tensor import Tensor
-from repro.utils import profiler as _profiler
+__all__ = list(_MOVED)
 
 
-@dataclass(frozen=True)
-class InjectionPolicy:
-    """When the injector adds error.
-
-    Attributes
-    ----------
-    in_training:
-        Inject during training forward passes.  Retraining with AMS
-        error in the loop sets this True everywhere except the last
-        layer (the paper's workaround).
-    in_eval:
-        Inject during evaluation.  Always True when modeling hardware;
-        set False to measure the error-free quantized baseline.
-    """
-
-    in_training: bool = True
-    in_eval: bool = True
-
-    @staticmethod
-    def eval_only() -> "InjectionPolicy":
-        """Error at evaluation time only (paper Figs. 4-5, dashed series)."""
-        return InjectionPolicy(in_training=False, in_eval=True)
-
-    @staticmethod
-    def disabled() -> "InjectionPolicy":
-        return InjectionPolicy(in_training=False, in_eval=False)
-
-
-class AMSErrorInjector(Module):
-    """Additive Gaussian AMS error at an accumulated dot-product output.
-
-    Parameters
-    ----------
-    config:
-        VMAC parameters (ENOB, Nmult).
-    ntot:
-        Multiplications per output activation of the preceding layer
-        (``C_in * kh * kw`` for conv, ``in_features`` for linear).
-    policy:
-        When to inject (training / eval).
-    rng:
-        Noise generator; pass a spawned child generator per layer so
-        runs are reproducible.
-
-    Notes
-    -----
-    The error is sampled i.i.d. per output element per forward pass and
-    added via a forward-only primitive, so the backward pass is exactly
-    that of the noiseless graph (paper: "We inject this error during
-    only the forward pass, leaving the backward pass untouched").
-    """
-
-    def __init__(
-        self,
-        config: VMACConfig,
-        ntot: int,
-        policy: InjectionPolicy = InjectionPolicy(),
-        rng: Optional[np.random.Generator] = None,
-    ):
-        super().__init__()
-        if ntot < 1:
-            raise ConfigError(f"ntot must be >= 1, got {ntot}")
-        self.config = config
-        self.ntot = ntot
-        self.policy = policy
-        self.rng = rng or np.random.default_rng()
-        self.row_rngs: Optional[List[np.random.Generator]] = None
-        self.error_std = total_error_std(config.enob, config.nmult, ntot)
-
-    @property
-    def active(self) -> bool:
-        """Whether the current mode (train/eval) injects error."""
-        return self.policy.in_training if self.training else self.policy.in_eval
-
-    def set_row_rngs(
-        self, rngs: Optional[Sequence[np.random.Generator]]
-    ) -> None:
-        """Attach one noise generator per batch row (or ``None`` to clear).
-
-        With row generators attached, the forward pass draws each
-        sample's noise from its own stream, so a sample's error depends
-        only on its generator — never on which other requests were
-        coalesced into the same batch.  This is what lets the serving
-        engine's dynamic micro-batcher stay reproducible per request at
-        any concurrency (see :mod:`repro.serve.engine`).
-        """
-        self.row_rngs = list(rngs) if rngs is not None else None
-
-    def sample_noise(self, shape, dtype, pool=None) -> np.ndarray:
-        """Draw one batch of error samples into a pooled buffer.
-
-        The caller owns the returned buffer and must release it back to
-        ``pool`` (default: the process pool).  This is the single
-        RNG-consuming path shared by the interpreted forward and the
-        compiled executor, which is what keeps their noise streams
-        bit-identical.
-        """
-        if pool is None:
-            pool = default_pool()
-        # Draw into a pooled float64 buffer and scale in place; this is
-        # bit-identical to ``rng.normal(0.0, std, size=shape)`` (the
-        # same ziggurat draws, then loc + scale * z with loc = 0).
-        draw = pool.get(shape, np.float64)
-        if self.row_rngs is not None:
-            if len(self.row_rngs) != shape[0]:
-                raise ConfigError(
-                    f"{len(self.row_rngs)} row generators for a batch "
-                    f"of {shape[0]}"
-                )
-            for row, row_rng in zip(draw, self.row_rngs):
-                row_rng.standard_normal(out=row)
-        else:
-            self.rng.standard_normal(out=draw)
-        draw *= self.error_std
-        if np.dtype(dtype) == np.float64:
-            return draw
-        # Pooled equivalent of ``.astype(dtype)``.
-        noise = pool.get(shape, dtype)
-        np.copyto(noise, draw, casting="unsafe")
-        pool.release(draw)
-        return noise
-
-    def forward(self, x: Tensor) -> Tensor:
-        if not self.active or self.error_std == 0.0:
-            return x
-        token = _profiler.op_start()
-        pool = default_pool()
-        noise = self.sample_noise(x.shape, x.dtype)
-        out = add_forward_noise(x, noise)
-        # add_forward_noise stores x + noise in a fresh array; the
-        # sample buffer itself is not referenced by the graph.
-        pool.release(noise)
-        _profiler.op_end(token, "ams.inject")
-        return out
-
-    def __repr__(self) -> str:
-        return (
-            f"AMSErrorInjector(enob={self.config.enob}, "
-            f"nmult={self.config.nmult}, ntot={self.ntot}, "
-            f"std={self.error_std:.3e}, policy={self.policy})"
+def __getattr__(name: str):
+    if name in _MOVED:
+        warn_once(
+            f"repro.ams.injection.{name}",
+            f"importing {name} from repro.ams.injection is deprecated; "
+            "it moved to repro.ams.models (also re-exported by "
+            "repro.ams)",
         )
+        from repro.ams import models
+
+        return getattr(models, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -31,6 +31,7 @@ from repro.nn.module import Module
 from repro.quant.qmodules import QuantConv2d, QuantLinear
 from repro.tensor.functional import add_forward_noise
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import new_rng, seed_sequence
 
 
 @dataclass(frozen=True)
@@ -100,7 +101,7 @@ def apply_device_variation(model: Module, variation: DeviceVariation) -> int:
     (re-applying would wrap twice).  Returns the number of layers
     affected.
     """
-    rng = np.random.default_rng(variation.seed)
+    rng = new_rng(variation.seed)
     affected = 0
     for module in list(model.modules()):
         for name, child in list(module._modules.items()):
@@ -136,7 +137,7 @@ def population_accuracy(
     """
     if devices < 1:
         raise ConfigError("need at least one device")
-    seq = np.random.SeedSequence(variation.seed)
+    seq = seed_sequence(variation.seed)
     results = []
     for child in seq.spawn(devices):
         chip_seed = int(child.generate_state(1)[0])

@@ -23,6 +23,7 @@ from repro.quant.qmodules import QuantConv2d
 from repro.tensor.im2col import conv_output_size, im2col
 from repro.tensor.functional import add_forward_noise
 from repro.tensor.tensor import Tensor
+from repro.utils.rng import entropy_rng, new_rng, seed_sequence
 
 
 def quantize_to_adc(
@@ -44,7 +45,7 @@ def quantize_to_adc(
     x = values
     if thermal_fraction > 0.0:
         if rng is None:
-            rng = np.random.default_rng()
+            rng = entropy_rng()
         thermal_std = np.sqrt(thermal_fraction) * lsb / np.sqrt(12.0)
         x = x + rng.normal(0.0, thermal_std, size=x.shape)
     quantized = np.round(x / lsb) * lsb
@@ -127,7 +128,7 @@ class TiledVMACConv2d(Module):
         self.conv = conv
         self.config = config
         self.thermal_fraction = thermal_fraction
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng or entropy_rng()
         self.recycle = recycle
 
     def forward(self, x: Tensor) -> Tensor:
@@ -180,12 +181,12 @@ def tile_quantized_convs(
     weights).  Returns the number of convolutions tiled.  Apply to a
     trained DoReFa model to evaluate it under the per-VMAC error model.
     """
-    seq = np.random.SeedSequence(seed)
+    seq = seed_sequence(seed)
     tiled = 0
     for module in list(model.modules()):
         for name, child in list(module._modules.items()):
             if isinstance(child, QuantConv2d):
-                rng = np.random.default_rng(seq.spawn(1)[0])
+                rng = new_rng(seq.spawn(1)[0])
                 setattr(
                     module,
                     name,

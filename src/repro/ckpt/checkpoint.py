@@ -180,20 +180,41 @@ def load_checkpoint(path: str) -> TrainCheckpoint:
 def capture_rng_states(model, loader=None) -> Dict[str, dict]:
     """Snapshot every generator the rest of training will draw from.
 
-    Walks ``model.named_modules()`` for ``rng`` attributes that are
-    ``numpy`` generators (the AMS error injectors advance theirs on
-    every training forward pass) and includes the dataloader's shuffle
-    generator under ``"loader"``.  The states are plain dicts of ints
+    Walks ``model.named_modules()`` for generator state: modules
+    exposing ``rng_streams()`` (the AMS error injectors, which may own
+    extra per-model streams on top of their main one) contribute every
+    stream — the main one under the legacy ``module:<name>`` key so old
+    checkpoints stay loadable, extras under ``module:<name>:<stream>``
+    — and plain ``rng`` attributes that are ``numpy`` generators
+    contribute one state each.  The dataloader's shuffle generator is
+    included under ``"loader"``.  The states are plain dicts of ints
     and strings, JSON-serializable bit-exactly.
     """
     states: Dict[str, dict] = {}
     if loader is not None:
         states["loader"] = loader.rng_state()
+    for name, gen in _model_streams(model).items():
+        states[name] = gen.bit_generator.state
+    return states
+
+
+def _model_streams(model) -> Dict[str, "np.random.Generator"]:
+    """Every checkpointable generator in ``model``, by checkpoint key."""
+    streams: Dict[str, np.random.Generator] = {}
     for name, module in model.named_modules():
+        collect = getattr(module, "rng_streams", None)
+        if callable(collect):
+            for stream, gen in collect().items():
+                key = (
+                    f"module:{name}" if stream == ""
+                    else f"module:{name}:{stream}"
+                )
+                streams[key] = gen
+            continue
         gen = getattr(module, "rng", None)
         if isinstance(gen, np.random.Generator):
-            states[f"module:{name}"] = gen.bit_generator.state
-    return states
+            streams[f"module:{name}"] = gen
+    return streams
 
 
 def restore_rng_states(states: Dict[str, dict], model, loader=None) -> None:
@@ -203,20 +224,16 @@ def restore_rng_states(states: Dict[str, dict], model, loader=None) -> None:
     names a generator the rebuilt model does not have — resuming a
     different architecture cannot be bit-identical.
     """
-    modules = {
-        f"module:{name}": module
-        for name, module in model.named_modules()
-        if isinstance(getattr(module, "rng", None), np.random.Generator)
-    }
+    streams = _model_streams(model)
     for name, state in states.items():
         if name == "loader":
             if loader is not None:
                 loader.set_rng_state(state)
             continue
-        if name not in modules:
+        if name not in streams:
             raise CheckpointError(
                 f"checkpoint records RNG state for {name!r} but the "
                 "rebuilt model has no such generator; the architecture "
                 "does not match the checkpoint"
             )
-        modules[name].rng.bit_generator.state = state
+        streams[name].bit_generator.state = state

@@ -213,23 +213,31 @@ def maybe_compiled(
     if cached is not None and cached[0] == fingerprint:
         registry.counter("compile.cache_hit").inc()
         if cached[1] is None:
-            _note_fallback(registry, "compile_error", warn=False)
+            # Replay the original failure's reason so e.g. an
+            # un-compilable error model keeps its "error_model" label
+            # on every request, not just the first.
+            _note_fallback(registry, cached[2], warn=False)
         return cached[1]
     if cached is not None:
         registry.counter("compile.recompiled").inc()
+    reason = None
     with span("compile.model") as compile_span:
         try:
             compiled = compile_model(model, backend=backend_name)
-        except CompileError:
+        except CompileError as exc:
             compiled = None
+            # CompileErrors raised for a declared cause (an error model
+            # that cannot be fused) carry a reason attribute; anything
+            # else is a generic lowering failure.
+            reason = getattr(exc, "reason", "compile_error")
     registry.histogram("compile.seconds").observe(compile_span.duration_s)
     if compiled is None:
         registry.counter("compile.compile_failed").inc()
-        _note_fallback(registry, "compile_error", warn=True)
+        _note_fallback(registry, reason, warn=True)
     else:
         registry.counter("compile.models_compiled").inc()
     if cache is None:
         cache = {}
         object.__setattr__(model, "_compiled_cache", cache)
-    cache[backend_name] = (fingerprint, compiled)
+    cache[backend_name] = (fingerprint, compiled, reason)
     return compiled

@@ -174,6 +174,14 @@ class FastQuantClipApply:
         dst *= self.inv_scale
 
 
+def _data_dependent(injector) -> bool:
+    """Whether ``injector`` hosts a model that reads the pre-activation."""
+    if injector is None:
+        return False
+    model = getattr(injector, "model", None)
+    return bool(model is not None and model.data_dependent)
+
+
 def _lower_act_applier(act: Optional[ActSpec]):
     if act is None:
         return None
@@ -435,7 +443,11 @@ class FastBackend(Backend):
     name = "fast"
 
     def lower(self, op):
-        if op.kind == "conv" and not op.probes:
+        if (
+            op.kind == "conv"
+            and not op.probes
+            and not _data_dependent(op.injector)
+        ):
             return FastConvStep(
                 op.w_mat,
                 op.bias,
@@ -446,9 +458,12 @@ class FastBackend(Backend):
                 op.bn,
                 op.act,
             )
-        # Probed convs need the unfolded pre-BN activation; linear,
-        # pooling and input-quant ops have nothing left to accelerate.
-        # Declining routes them to the reference backend per op.
+        # Probed convs need the unfolded pre-BN activation, and
+        # data-dependent error models need the pre-activation this
+        # backend never materialises (noise is pre-drawn by shape
+        # before the GEMM); linear, pooling and input-quant ops have
+        # nothing left to accelerate.  Declining routes them to the
+        # reference backend per op.
         return None
 
     def lower_act(self, act):

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.ams.injection import AMSErrorInjector
+from repro.ams.models import AMSErrorInjector
 from repro.compile.ir import ActSpec, Graph
 from repro.errors import CompileError
 from repro.models.resnet import BasicBlock, Bottleneck, ResNet, _Downsample
@@ -95,6 +95,16 @@ def _parse_unit(unit: Module, leaf_type) -> Tuple[Module, List, Optional[AMSErro
             raise CompileError(
                 f"unexpected module {type(child).__name__} in compute unit"
             )
+    if injector is not None and not injector.model.compiled_safe:
+        # Declared un-compilable error model: the run must fall back to
+        # the interpreter *visibly* — maybe_compiled reads the reason
+        # attribute and labels the fallback metric/warning with it.
+        exc = CompileError(
+            f"error model {injector.model.name!r} declares "
+            "compiled_safe=False; the compiled executor cannot host it"
+        )
+        exc.reason = "error_model"
+        raise exc
     return children[0], probes, injector
 
 

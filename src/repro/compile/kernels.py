@@ -30,9 +30,11 @@ IEEE arithmetic is identical in and out of place):
 - global average pooling is ``sum * float32(1/count)``, matching
   ``Tensor.mean``, not ``np.mean``;
 - AMS noise is drawn through the injector's own
-  :meth:`~repro.ams.injection.AMSErrorInjector.sample_noise`, reading
+  :meth:`~repro.ams.models.AMSErrorInjector.sample_noise`, reading
   its live ``rng`` / ``row_rngs`` state, so per-request noise streams
-  match the interpreted serving path draw for draw.
+  match the interpreted serving path draw for draw; the pre-activation
+  is passed through so data-dependent error models see exactly the
+  values the interpreter hands them.
 
 Residual-block control flow (main path before downsample, preserving
 the sequential noise-draw order) is backend-independent and lives in
@@ -213,7 +215,7 @@ class FusedConvStep:
         dst = pool.get(view.shape, view.dtype)
         inj = self.injector
         if inj is not None and inj.active and inj.error_std != 0.0:
-            noise = inj.sample_noise(view.shape, view.dtype, pool)
+            noise = inj.sample_noise(view.shape, view.dtype, pool, pre=view)
             np.add(view, noise, out=dst)
             pool.release(noise)
             if self.bn is not None:
@@ -250,7 +252,7 @@ class FusedLinearStep:
             probe.observe(out)
         inj = self.injector
         if inj is not None and inj.active and inj.error_std != 0.0:
-            noise = inj.sample_noise(out.shape, out.dtype, pool)
+            noise = inj.sample_noise(out.shape, out.dtype, pool, pre=out)
             out += noise
             pool.release(noise)
         ctx.release(x)

@@ -33,7 +33,7 @@ from repro.ams.allocation import (
     uniform_energy,
     uniform_variance,
 )
-from repro.ams.injection import AMSErrorInjector
+from repro.ams.models import AMSErrorInjector
 from repro.energy.network import profile_network
 from repro.errors import ConfigError
 from repro.experiments.common import ExperimentResult, Workbench

@@ -7,6 +7,7 @@ Examples::
     python -m repro.experiments run fig8 --profile quick --seed 7
     python -m repro.experiments all --profile quick
     python -m repro.experiments serve --spec ams:e5.5:n8 --requests 256
+    python -m repro.experiments errmodels
     python -m repro.experiments obs list
     python -m repro.experiments obs summary <run_id>
     python -m repro.experiments obs diff <runA> <runB>
@@ -45,6 +46,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser(
+        "errmodels",
+        help="list registered AMS error models (see docs/error_models.md)",
+    )
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -277,6 +283,31 @@ def _handle_cache(action: str, cache_dir: str) -> int:
     return 0
 
 
+def _handle_errmodels() -> int:
+    """Print every registered error model with params and declarations."""
+    from repro.ams.models import get_model, list_models, model_params
+
+    for name in list_models():
+        model = get_model(name)
+        params = ", ".join(
+            f"{key}={getattr(model, key)!r}"
+            if hasattr(model, key)
+            else key
+            for key in model_params(type(model))
+        )
+        flags = []
+        if model.data_dependent:
+            flags.append("data-dependent")
+        if not model.compiled_safe:
+            flags.append("interpreter-only")
+        if model.extra_streams:
+            flags.append("streams=" + ",".join(model.extra_streams))
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{name:18s} {model.describe()}{suffix}")
+        print(f"{'':18s} params: {params or '(none)'}")
+    return 0
+
+
 def _handle_obs(args) -> int:
     """Render recorded run journals (list / tail / summary / diff)."""
     from repro.errors import ReproError
@@ -464,6 +495,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             print(f"{name:12s} {doc}")
         return 0
+    if args.command == "errmodels":
+        return _handle_errmodels()
     if args.command == "cache":
         return _handle_cache(args.action, args.cache_dir)
     if args.command == "obs":

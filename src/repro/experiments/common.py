@@ -203,6 +203,8 @@ class Workbench:
                 noise_seed=noise_seed,
                 inject_last_in_training=spec.inject_last_in_training,
                 with_probes=with_probes,
+                error_model=spec.error_model or "lumped_gaussian",
+                error_model_params=dict(spec.error_model_params),
             )
         return self._finish(
             resnet_small(factory, num_classes=cfg.num_classes)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import dataclass, fields, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -49,6 +49,14 @@ class ExperimentConfig:
         regime here (eval-only loss of a few percent).
     fig6_enobs:
         AMS noise levels for the activation-mean analysis (paper: 9-12).
+    error_model:
+        Default AMS error model for specs that do not name one
+        (``None`` = the paper's ``"lumped_gaussian"``).  Validated
+        against the :mod:`repro.ams.models` registry fail-fast, with a
+        did-you-mean on unknown names.
+    error_model_params:
+        Parameters for ``error_model``; accepts a mapping, stored as a
+        sorted tuple of ``(key, value)`` pairs.
     cache_dir, results_dir:
         Artifact locations.
     """
@@ -75,6 +83,8 @@ class ExperimentConfig:
     enob_sweep: Tuple[float, ...] = (4.0, 4.5, 5.0, 5.5, 6.0, 6.5, 7.0, 8.0)
     table2_enob: float = 5.5
     fig6_enobs: Tuple[float, ...] = (4.5, 5.0, 5.5, 6.0)
+    error_model: Optional[str] = None
+    error_model_params: Tuple[Tuple[str, object], ...] = ()
     # io
     cache_dir: str = ".cache/experiments"
     results_dir: str = "results"
@@ -86,6 +96,20 @@ class ExperimentConfig:
             )
         if self.eval_passes < 1:
             raise ConfigError("eval_passes must be >= 1")
+        params = self.error_model_params
+        items = params.items() if hasattr(params, "items") else params
+        canonical = tuple(
+            sorted((str(key), value) for key, value in items)
+        )
+        object.__setattr__(self, "error_model_params", canonical)
+        if self.error_model_params and self.error_model is None:
+            raise ConfigError(
+                "error_model_params requires an explicit error_model"
+            )
+        if self.error_model is not None:
+            from repro.ams.models import get_model
+
+            get_model(self.error_model, dict(self.error_model_params))
 
     def cache_key_prefix(self) -> str:
         """Stable prefix identifying the (profile, seed, data) regime."""

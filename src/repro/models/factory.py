@@ -27,9 +27,11 @@ Paper-mandated special cases handled here:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from repro.ams.injection import AMSErrorInjector, InjectionPolicy
+from repro.ams.models import InjectionPolicy, make_injector
 from repro.ams.vmac import VMACConfig
 from repro.nn.activation import Identity, ReLU
 from repro.nn.container import Sequential
@@ -197,6 +199,12 @@ class AMSFactory(DoReFaFactory):
     with_probes:
         Insert a :class:`~repro.train.hooks.Probe` at each injection
         point for the Fig. 6 activation-mean analysis.
+    error_model:
+        Registered error-model name each injector hosts (see
+        :func:`repro.ams.models.list_models`); default is the paper's
+        ``"lumped_gaussian"``.
+    error_model_params:
+        Model-specific parameters, validated by the registry.
     """
 
     def __init__(
@@ -207,10 +215,14 @@ class AMSFactory(DoReFaFactory):
         noise_seed: int = 999,
         inject_last_in_training: bool = False,
         with_probes: bool = False,
+        error_model: str = "lumped_gaussian",
+        error_model_params: Optional[dict] = None,
     ):
         super().__init__(quant, seed, with_probes=with_probes)
         self.vmac = vmac
         self.inject_last_in_training = inject_last_in_training
+        self.error_model = error_model
+        self.error_model_params = dict(error_model_params or {})
         self._noise_seq = np.random.SeedSequence(noise_seed)
 
     def _next_noise_rng(self) -> np.random.Generator:
@@ -229,11 +241,13 @@ class AMSFactory(DoReFaFactory):
             in_channels, out_channels, kernel_size, stride, padding, role
         )
         ntot = in_channels * kernel_size * kernel_size
-        injector = AMSErrorInjector(
+        injector = make_injector(
             self.vmac,
             ntot=ntot,
             policy=InjectionPolicy(in_training=True, in_eval=True),
             rng=self._next_noise_rng(),
+            model=self.error_model,
+            model_params=self.error_model_params,
         )
         return Sequential(*list(wrapped), injector)
 
@@ -242,16 +256,24 @@ class AMSFactory(DoReFaFactory):
         policy = InjectionPolicy(
             in_training=self.inject_last_in_training, in_eval=True
         )
-        injector = AMSErrorInjector(
+        injector = make_injector(
             self.vmac,
             ntot=in_features,
             policy=policy,
             rng=self._next_noise_rng(),
+            model=self.error_model,
+            model_params=self.error_model_params,
         )
         return Sequential(*list(wrapped), injector)
 
     def describe(self) -> str:
+        model_tag = (
+            ""
+            if self.error_model == "lumped_gaussian"
+            and not self.error_model_params
+            else f", model={self.error_model}"
+        )
         return (
             f"ams(bw={self.quant.bw}, bx={self.quant.bx}, "
-            f"enob={self.vmac.enob}, nmult={self.vmac.nmult})"
+            f"enob={self.vmac.enob}, nmult={self.vmac.nmult}{model_tag})"
         )

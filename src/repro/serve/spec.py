@@ -62,6 +62,16 @@ class ModelSpec:
     inject_last_in_training:
         Reproduce the paper's "inject into the last layer while
         training" ablation (``ams`` only).
+    error_model:
+        Registered AMS error-model name (AMS variants only; see
+        :func:`repro.ams.models.list_models`).  ``None`` means "the
+        experiment config's default" and normalizes to the paper's
+        ``"lumped_gaussian"`` at build time, keeping legacy cache
+        names — and therefore existing artifacts — unchanged.
+    error_model_params:
+        Model-specific parameters; accepts a mapping, canonicalized to
+        a sorted tuple of ``(key, value)`` pairs so equal specs hash
+        equally.  Validated against the model's signature fail-fast.
     """
 
     variant: str
@@ -71,6 +81,8 @@ class ModelSpec:
     bx: int = 8
     freeze: Tuple[str, ...] = field(default=())
     inject_last_in_training: bool = False
+    error_model: Optional[str] = None
+    error_model_params: Tuple[Tuple[str, object], ...] = field(default=())
 
     def __post_init__(self):
         if self.variant not in VARIANTS:
@@ -115,13 +127,51 @@ class ModelSpec:
                 "variant 'fp32' is unquantized; leave bw/bx at their "
                 "defaults"
             )
+        # Canonicalize the params mapping so equal specs hash equally,
+        # then fail fast on unknown models / parameter keys / values.
+        params = self.error_model_params
+        items = params.items() if hasattr(params, "items") else params
+        canonical = tuple(
+            sorted((str(key), value) for key, value in items)
+        )
+        object.__setattr__(self, "error_model_params", canonical)
+        if self.variant not in _AMS_VARIANTS:
+            if self.error_model is not None or self.error_model_params:
+                raise ConfigError(
+                    "error_model applies only to AMS variants, not "
+                    f"{self.variant!r}"
+                )
+        elif self.error_model_params and self.error_model is None:
+            raise ConfigError(
+                "error_model_params requires an explicit error_model"
+            )
+        elif self.error_model is not None:
+            from repro.ams.models import get_model
+
+            get_model(self.error_model, dict(self.error_model_params))
 
     # ------------------------------------------------------------------
     def resolved(self, config) -> "ModelSpec":
-        """This spec with ``nmult`` defaulted from ``config.nmult``."""
-        if self.variant in _AMS_VARIANTS and self.nmult is None:
-            return replace(self, nmult=config.nmult)
-        return self
+        """This spec with AMS defaults filled in from ``config``.
+
+        Fills ``nmult`` from ``config.nmult`` and, when the spec names
+        no error model, ``error_model``/``error_model_params`` from the
+        config's defaults (both ``None``/empty means the build falls
+        back to ``"lumped_gaussian"``).
+        """
+        if self.variant not in _AMS_VARIANTS:
+            return self
+        updates: dict = {}
+        if self.nmult is None:
+            updates["nmult"] = config.nmult
+        if self.error_model is None:
+            config_model = getattr(config, "error_model", None)
+            if config_model is not None:
+                updates["error_model"] = config_model
+                updates["error_model_params"] = getattr(
+                    config, "error_model_params", ()
+                )
+        return replace(self, **updates) if updates else self
 
     def baseline(self) -> Optional["ModelSpec"]:
         """The spec this variant's training starts from (None for fp32)."""
@@ -151,8 +201,25 @@ class ModelSpec:
         last_tag = "-lastinj" if self.inject_last_in_training else ""
         return (
             f"ams-e{self.enob}-n{self.nmult}-bw{self.bw}-bx{self.bx}"
-            f"-f{freeze_tag}{last_tag}"
+            f"-f{freeze_tag}{last_tag}{self._model_tag()}"
         )
+
+    def _model_tag(self) -> str:
+        """Cache-name suffix for non-default error models.
+
+        Empty for ``None`` *and* for a plain ``"lumped_gaussian"`` —
+        legacy AMS specs normalize to the lumped model with their cache
+        lineage unchanged, so pre-registry artifacts still hit.
+        """
+        if self.error_model is None or (
+            self.error_model == "lumped_gaussian"
+            and not self.error_model_params
+        ):
+            return ""
+        params = "".join(
+            f"-p{key}={value}" for key, value in self.error_model_params
+        )
+        return f"-m{self.error_model}{params}"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -160,8 +227,11 @@ class ModelSpec:
         """Parse the CLI spec syntax, e.g. ``ams:e5.5:n8``.
 
         Grammar: ``variant[:e<enob>][:n<nmult>][:bw<bits>][:bx<bits>]
-        [:f<layer>]...[:lastinj]``.  ``f`` tokens accumulate into
-        ``freeze``; everything else sets the matching field.
+        [:f<layer>]...[:lastinj][:m<model>][:p<key>=<value>]...``.
+        ``f`` tokens accumulate into ``freeze``; ``m`` names an error
+        model and ``p`` tokens accumulate its parameters (values parse
+        as int, then float, then ``true``/``false``, else string);
+        everything else sets the matching field.
         """
         parts = [p for p in text.strip().split(":") if p]
         if not parts:
@@ -169,6 +239,7 @@ class ModelSpec:
         variant, tokens = parts[0], parts[1:]
         kwargs: dict = {}
         freeze = []
+        params = []
         for token in tokens:
             try:
                 if token == "lastinj":
@@ -181,13 +252,18 @@ class ModelSpec:
                     kwargs["enob"] = float(token[1:])
                 elif token.startswith("n"):
                     kwargs["nmult"] = int(token[1:])
+                elif token.startswith("m") and len(token) > 1:
+                    kwargs["error_model"] = token[1:]
+                elif token.startswith("p") and "=" in token:
+                    key, _, raw = token[1:].partition("=")
+                    params.append((key, _parse_param_value(raw)))
                 elif token.startswith("f") and len(token) > 1:
                     freeze.append(token[1:])
                 else:
                     raise ConfigError(
                         f"unknown spec token {token!r} in {text!r}; "
                         "expected e<enob>, n<nmult>, bw<bits>, bx<bits>, "
-                        "f<layer> or lastinj"
+                        "f<layer>, m<model>, p<key>=<value> or lastinj"
                     )
             except ValueError:
                 raise ConfigError(
@@ -195,6 +271,8 @@ class ModelSpec:
                 ) from None
         if freeze:
             kwargs["freeze"] = tuple(freeze)
+        if params:
+            kwargs["error_model_params"] = tuple(params)
         return cls(variant, **kwargs)
 
     def token(self) -> str:
@@ -210,10 +288,28 @@ class ModelSpec:
         parts.extend(f"f{layer}" for layer in self.freeze)
         if self.inject_last_in_training:
             parts.append("lastinj")
+        if self.error_model is not None:
+            parts.append(f"m{self.error_model}")
+        parts.extend(
+            f"p{key}={str(value).lower() if isinstance(value, bool) else value}"
+            for key, value in self.error_model_params
+        )
         return ":".join(parts)
 
     def __str__(self) -> str:
         return self.token()
+
+
+def _parse_param_value(raw: str):
+    """Parse a ``p<key>=<value>`` token value: int, float, bool, or str."""
+    for caster in (int, float):
+        try:
+            return caster(raw)
+        except ValueError:
+            pass
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
 
 
 def _did_you_mean(value: str, options: Sequence[str]) -> str:

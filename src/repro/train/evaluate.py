@@ -107,13 +107,13 @@ class EvalStats:
 
 
 def ams_injectors(model: Module) -> List:
-    """Every :class:`~repro.ams.injection.AMSErrorInjector` in ``model``.
+    """Every :class:`~repro.ams.models.AMSErrorInjector` in ``model``.
 
     Returned in module order, which is the order all reseeding helpers
     (and the serving engine's per-request noise streams) key their
     spawned child generators by.
     """
-    from repro.ams.injection import AMSErrorInjector
+    from repro.ams.models import AMSErrorInjector
 
     return [m for m in model.modules() if isinstance(m, AMSErrorInjector)]
 
@@ -145,13 +145,16 @@ def reseed_noise(model: Module, seed: int, index: int) -> int:
     Each injector gets an independent child stream of the point's seed
     sequence, keyed only by its position in module order — so the noise
     drawn afterwards depends on ``(seed, index)`` alone, never on which
-    process or in what order the pass runs.  Returns the injector count.
+    process or in what order the pass runs.  Injectors hosting error
+    models with extra declared streams reseed those too (spawned from
+    the same child, so models without extras reproduce the historical
+    streams bit for bit).  Returns the injector count.
     """
     injectors = ams_injectors(model)
     if injectors:
         children = point_seed_sequence(seed, index).spawn(len(injectors))
         for injector, child in zip(injectors, children):
-            injector.rng = np.random.default_rng(child)
+            injector.reseed(child)
     return len(injectors)
 
 

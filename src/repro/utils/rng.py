@@ -8,14 +8,32 @@ generators so a single experiment seed reproduces an entire run.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Union
 
 import numpy as np
 
 
-def new_rng(seed: int) -> np.random.Generator:
-    """A fresh PCG64 generator for ``seed``."""
+def new_rng(
+    seed: Union[int, np.random.SeedSequence]
+) -> np.random.Generator:
+    """A fresh PCG64 generator for ``seed`` (an int or a SeedSequence)."""
     return np.random.default_rng(seed)
+
+
+def entropy_rng() -> np.random.Generator:
+    """A generator seeded from OS entropy (non-reproducible paths only).
+
+    The single sanctioned way to get an unseeded stream in seeded
+    subsystems — ``tools/errmodel_lint.py`` forbids bare ``np.random``
+    calls under ``repro/ams/``, so explicitly-unseeded defaults route
+    through here and stay greppable.
+    """
+    return np.random.default_rng()
+
+
+def seed_sequence(seed: int) -> np.random.SeedSequence:
+    """The ``SeedSequence`` for ``seed`` (spawn children for substreams)."""
+    return np.random.SeedSequence(seed)
 
 
 def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:

@@ -1,0 +1,301 @@
+"""The error-model determinism grid: every registered model, every path.
+
+For each model in the registry: interpreter vs compiled-reference
+bit-identity, fast-backend parity (or exact equality via its per-op
+decline of data-dependent models), serve-engine per-request determinism
+at 1 vs 4 workers, checkpoint capture/restore of every declared RNG
+stream, and trainer kill/resume bit-identity for the model with extra
+streams.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.compile as rc
+from repro.ams.models import get_model, list_models
+from repro.ckpt import capture_rng_states, restore_rng_states
+from repro.compile import compile_model, maybe_compiled
+from repro.compile.backends.fast import PARITY_ATOL
+from repro.experiments.common import Workbench
+from repro.experiments.config import make_config
+from repro.models import AMSFactory
+from repro.models.simple import SimpleCNN
+from repro.obs.metrics import default_registry
+from repro.serve import InferenceEngine, ModelSpec
+from repro.tensor.tensor import Tensor, no_grad
+from repro.train import TrainConfig, Trainer
+from repro.train.evaluate import ams_injectors, reseed_noise
+
+#: (model name, params) — every registered model with micro-scale
+#: parameters where the defaults would degenerate (tile_size=2 so the
+#: 4-channel test model spans multiple tiles).
+GRID = [
+    ("lumped_gaussian", {}),
+    ("per_vmac", {}),
+    ("partitioned", {"nw": 2, "nx": 2}),
+    ("reference_scaled", {"alpha": 0.5}),
+    ("state_dependent", {"floor": 0.5, "slope": 1.0}),
+    ("tile_correlated", {"tile_size": 2, "rho": 0.5}),
+]
+
+GRID_IDS = [name for name, _ in GRID]
+
+
+def test_grid_covers_the_whole_registry():
+    assert sorted(dict(GRID)) == list_models()
+
+
+@pytest.fixture(scope="module")
+def grid_config(tmp_path_factory):
+    root = tmp_path_factory.mktemp("errgrid")
+    config = make_config(profile="quick", seed=77)
+    return replace(
+        config,
+        num_classes=4,
+        image_size=8,
+        train_per_class=24,
+        val_per_class=10,
+        pretrain_epochs=3,
+        retrain_epochs=2,
+        batch_size=32,
+        patience=2,
+        eval_passes=2,
+        cache_dir=str(root / "cache"),
+        results_dir=str(root / "results"),
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_bench(grid_config):
+    return Workbench(grid_config)
+
+
+@pytest.fixture(scope="module")
+def batch(grid_bench):
+    return grid_bench.data.val.images[:8]
+
+
+def _spec(name, params):
+    return ModelSpec(
+        "ams_eval",
+        enob=4.0,
+        error_model=name,
+        error_model_params=params,
+    )
+
+
+def _build(bench, name, params):
+    spec = _spec(name, params).resolved(bench.config)
+    model = bench.build(spec)
+    model.eval()
+    return model
+
+
+def _interpreted(model, images):
+    model.eval()
+    with no_grad():
+        return np.array(model(Tensor(images)).data, copy=True)
+
+
+def _fast_conv_steps(compiled):
+    """Every fast-backend conv step in the tape (recursing residuals)."""
+    from repro.compile.backends.fast import FastConvStep
+
+    found = []
+    stack = list(compiled.steps)
+    while stack:
+        step = stack.pop()
+        if isinstance(step, FastConvStep):
+            found.append(step)
+        for branch in ("main", "downsample"):
+            sub = getattr(step, branch, None)
+            if sub:
+                stack.extend(sub)
+    return found
+
+
+class TestCompiledPaths:
+    @pytest.mark.parametrize("name,params", GRID, ids=GRID_IDS)
+    def test_reference_backend_is_bit_identical(
+        self, grid_bench, batch, name, params
+    ):
+        model = _build(grid_bench, name, params)
+        reseed_noise(model, 7, 0)
+        expected = _interpreted(model, batch)
+        compiled = compile_model(model, backend="reference")
+        reseed_noise(model, 7, 0)
+        actual = compiled.predict(batch)
+        assert actual.dtype == expected.dtype
+        assert np.array_equal(expected, actual)
+
+    @pytest.mark.parametrize("name,params", GRID, ids=GRID_IDS)
+    def test_fast_backend_parity_or_clean_decline(
+        self, grid_bench, batch, name, params
+    ):
+        model = _build(grid_bench, name, params)
+        reseed_noise(model, 7, 0)
+        expected = _interpreted(model, batch)
+        compiled = compile_model(model, backend="fast")
+        if get_model(name, params).data_dependent:
+            # The fast backend must cleanly decline every conv hosting
+            # a data-dependent model (it pre-draws noise by shape and
+            # cannot supply the pre-activation); the ops fall back to
+            # the reference kernels per op instead of crashing.
+            assert not _fast_conv_steps(compiled)
+        reseed_noise(model, 7, 0)
+        actual = compiled.predict(batch)
+        max_err = float(np.abs(expected - actual).max())
+        assert max_err <= PARITY_ATOL
+        assert np.array_equal(
+            expected.argmax(axis=1), actual.argmax(axis=1)
+        )
+
+
+class TestServeDeterminism:
+    @pytest.mark.parametrize("name,params", GRID, ids=GRID_IDS)
+    def test_worker_count_invariance_and_replay(
+        self, grid_bench, name, params
+    ):
+        spec = _spec(name, params)
+        images = grid_bench.data.val.images[:12]
+        runs = []
+        for workers in (1, 4):
+            engine = InferenceEngine(
+                grid_bench, max_batch=4, max_wait_ms=5.0, workers=workers
+            )
+            engine.warm(spec)
+            with engine:
+                runs.append(
+                    sorted(
+                        engine.classify(spec, images),
+                        key=lambda p: p.request_id,
+                    )
+                )
+        for a, b in zip(*runs):
+            np.testing.assert_array_equal(a.logits, b.logits)
+            assert a.label == b.label
+
+    def test_request_id_keys_the_noise(self, grid_bench):
+        spec = _spec("tile_correlated", {"tile_size": 2, "rho": 0.5})
+        image = grid_bench.data.val.images[0]
+        engine = InferenceEngine(grid_bench, workers=1)
+        engine.warm(spec)
+        with engine:
+            a = engine.classify_direct(spec, [image], request_ids=[0])[0]
+            b = engine.classify_direct(spec, [image], request_ids=[1])[0]
+            again = engine.classify_direct(spec, [image], request_ids=[0])[0]
+        assert not np.array_equal(a.logits, b.logits)
+        np.testing.assert_array_equal(a.logits, again.logits)
+
+
+class TestCheckpointStreams:
+    @pytest.mark.parametrize("name,params", GRID, ids=GRID_IDS)
+    def test_capture_restore_round_trips_noise(
+        self, grid_bench, batch, name, params
+    ):
+        model = _build(grid_bench, name, params)
+        reseed_noise(model, 21, 0)
+        states = capture_rng_states(model)
+        first = _interpreted(model, batch)
+        # The draw advanced the streams: a second pass differs ...
+        assert not np.array_equal(first, _interpreted(model, batch))
+        # ... until the captured states are restored.
+        restore_rng_states(states, model)
+        np.testing.assert_array_equal(first, _interpreted(model, batch))
+
+    def test_extra_streams_get_their_own_keys(self, grid_bench):
+        model = _build(
+            grid_bench, "tile_correlated", {"tile_size": 2, "rho": 0.5}
+        )
+        states = capture_rng_states(model)
+        tile_keys = [key for key in states if key.endswith(":tile")]
+        assert len(tile_keys) == len(ams_injectors(model))
+        for key in tile_keys:
+            # The main stream keeps the legacy module:<name> key.
+            assert key[: -len(":tile")] in states
+
+
+class TestTrainerResume:
+    """Kill/resume stays bit-identical with extra per-model streams."""
+
+    class _Kill(Exception):
+        pass
+
+    def _factory(self):
+        return AMSFactory(
+            seed=1,
+            noise_seed=7,
+            error_model="tile_correlated",
+            error_model_params={"tile_size": 2, "rho": 0.5},
+        )
+
+    def _config(self, **overrides):
+        defaults = dict(
+            epochs=3, batch_size=16, lr=0.05, patience=4, shuffle_seed=3
+        )
+        defaults.update(overrides)
+        return TrainConfig(**defaults)
+
+    def test_kill_then_resume_bit_identical(self, tiny_data, tmp_path):
+        baseline = SimpleCNN(self._factory(), num_classes=4, widths=(4,))
+        expected = Trainer(self._config()).fit(
+            baseline, tiny_data.train, tiny_data.val
+        )
+
+        ckpt = str(tmp_path / "train.ckpt")
+
+        def _crash(epoch):
+            if epoch == 1:
+                raise self._Kill
+
+        killed = SimpleCNN(self._factory(), num_classes=4, widths=(4,))
+        with pytest.raises(self._Kill):
+            Trainer(self._config(on_epoch_end=_crash)).fit(
+                killed, tiny_data.train, tiny_data.val, checkpoint_path=ckpt
+            )
+
+        resumed = SimpleCNN(self._factory(), num_classes=4, widths=(4,))
+        result = Trainer(self._config()).fit(
+            resumed,
+            tiny_data.train,
+            tiny_data.val,
+            checkpoint_path=ckpt,
+            resume=True,
+        )
+        assert result.history == expected.history
+        final = resumed.state_dict()
+        for key, value in baseline.state_dict().items():
+            np.testing.assert_array_equal(value, final[key])
+
+
+class TestUnfusableFallback:
+    """compiled_safe=False falls back loudly: metric + one warning."""
+
+    class Unfusable:
+        name = "unfusable_test_model"
+        data_dependent = False
+        compiled_safe = False
+        extra_streams = ()
+
+    def test_fallback_reason_and_warn_once(self, grid_bench, batch):
+        model = _build(grid_bench, "lumped_gaussian", {})
+        for injector in ams_injectors(model):
+            injector.model = self.Unfusable()
+        rc.reset_fallback_warnings()
+        counter = default_registry().counter(
+            "compile.interpreter_fallback", reason="error_model"
+        )
+        before = counter.value
+        with pytest.warns(RuntimeWarning, match="compiled inference"):
+            assert maybe_compiled(model) is None
+        assert counter.value == before + 1
+        # The cached failure replays the reason without re-warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert maybe_compiled(model) is None
+        assert counter.value == before + 2

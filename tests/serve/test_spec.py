@@ -80,6 +80,106 @@ class TestCacheNames:
         assert spec.nmult == serve_config.nmult
 
 
+class TestErrorModelField:
+    def test_unknown_model_did_you_mean(self):
+        with pytest.raises(ConfigError, match="did you mean 'per_vmac'"):
+            ModelSpec("ams", enob=5.0, error_model="per_vmacc")
+
+    def test_unknown_param_fails_fast(self):
+        with pytest.raises(ConfigError, match="did you mean 'tile_size'"):
+            ModelSpec(
+                "ams",
+                enob=5.0,
+                error_model="tile_correlated",
+                error_model_params={"tile_sizes": 4},
+            )
+
+    def test_bad_param_value_fails_fast(self):
+        with pytest.raises(ConfigError, match="alpha must be in"):
+            ModelSpec(
+                "ams_eval",
+                enob=5.0,
+                error_model="reference_scaled",
+                error_model_params={"alpha": 2.0},
+            )
+
+    def test_non_ams_variant_rejects_model(self):
+        with pytest.raises(ConfigError, match="AMS variants"):
+            ModelSpec("quant", error_model="lumped_gaussian")
+
+    def test_params_require_model(self):
+        with pytest.raises(ConfigError, match="explicit error_model"):
+            ModelSpec("ams", enob=5.0, error_model_params={"rho": 0.5})
+
+    def test_params_accept_mapping_and_canonicalize(self):
+        a = ModelSpec(
+            "ams",
+            enob=5.0,
+            error_model="tile_correlated",
+            error_model_params={"tile_size": 4, "rho": 0.25},
+        )
+        b = ModelSpec(
+            "ams",
+            enob=5.0,
+            error_model="tile_correlated",
+            error_model_params=(("rho", 0.25), ("tile_size", 4)),
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_params_mapping_stays_hashable(self):
+        spec = ModelSpec("ams", enob=5.0, error_model_params={})
+        assert spec.error_model_params == ()
+        hash(spec)
+
+    def test_lumped_keeps_legacy_cache_name(self):
+        legacy = ModelSpec("ams", enob=5.5, nmult=8)
+        lumped = ModelSpec(
+            "ams", enob=5.5, nmult=8, error_model="lumped_gaussian"
+        )
+        assert lumped.cache_name() == legacy.cache_name()
+
+    def test_non_default_model_extends_cache_name(self):
+        spec = ModelSpec(
+            "ams",
+            enob=5.5,
+            nmult=8,
+            error_model="tile_correlated",
+            error_model_params={"tile_size": 4},
+        )
+        assert spec.cache_name() == (
+            "ams-e5.5-n8-bw8-bx8-fnone-mtile_correlated-ptile_size=4"
+        )
+
+    def test_parse_and_token_round_trip(self):
+        for text in (
+            "ams:e5.5:n8:mper_vmac",
+            "ams_eval:e4.0:mtile_correlated:ptile_size=4:prho=0.25",
+            "ams:e5.0:mstate_dependent:pfloor=0.5:pslope=2.0",
+        ):
+            spec = ModelSpec.parse(text)
+            assert ModelSpec.parse(spec.token()) == spec
+
+    def test_parse_param_types(self):
+        spec = ModelSpec.parse(
+            "ams:e5.0:mtile_correlated:ptile_size=4:prho=0.5"
+        )
+        assert spec.error_model_params == (("rho", 0.5), ("tile_size", 4))
+
+    def test_resolved_fills_config_default_model(self, serve_config):
+        class WithModel:
+            nmult = serve_config.nmult
+            error_model = "per_vmac"
+            error_model_params = ()
+
+        spec = ModelSpec("ams", enob=5.0).resolved(WithModel)
+        assert spec.error_model == "per_vmac"
+        explicit = ModelSpec(
+            "ams", enob=5.0, error_model="lumped_gaussian"
+        ).resolved(WithModel)
+        assert explicit.error_model == "lumped_gaussian"
+
+
 class TestBaseline:
     def test_chain(self):
         ams = ModelSpec("ams", enob=5.0, bw=6, bx=6)

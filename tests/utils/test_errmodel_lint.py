@@ -1,0 +1,130 @@
+"""The error-model RNG linter: AST-accurate, and repro/ams stays clean."""
+
+import importlib.util
+import os
+import textwrap
+
+_SPEC = importlib.util.spec_from_file_location(
+    "errmodel_lint",
+    os.path.join(
+        os.path.dirname(__file__), "..", "..", "tools", "errmodel_lint.py"
+    ),
+)
+errmodel_lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(errmodel_lint)
+
+AMS_ROOT = os.path.abspath(
+    os.path.join(
+        os.path.dirname(__file__), "..", "..", "src", "repro", "ams"
+    )
+)
+
+
+class TestFindRngCalls:
+    def test_catches_default_rng_call(self):
+        source = "rng = np.random.default_rng()\n"
+        assert errmodel_lint.find_rng_calls(source, "<t>") == [
+            (1, "rng = np.random.default_rng()")
+        ]
+
+    def test_catches_seed_sequence_call(self):
+        source = "seq = np.random.SeedSequence(seed)\n"
+        assert [
+            line for line, _ in errmodel_lint.find_rng_calls(source, "<t>")
+        ] == [1]
+
+    def test_catches_full_numpy_spelling(self):
+        source = "rng = numpy.random.default_rng(7)\n"
+        assert [
+            line for line, _ in errmodel_lint.find_rng_calls(source, "<t>")
+        ] == [1]
+
+    def test_ignores_generator_annotations(self):
+        source = textwrap.dedent(
+            """
+            def f(rng: np.random.Generator) -> np.random.Generator:
+                return rng
+            """
+        )
+        assert errmodel_lint.find_rng_calls(source, "<t>") == []
+
+    def test_ignores_docstring_mentions(self):
+        source = textwrap.dedent(
+            '''
+            def f():
+                """Never call np.random.default_rng() in models.
+
+                Example::
+
+                    rng = np.random.default_rng()
+                """
+                return 1
+            '''
+        )
+        assert errmodel_lint.find_rng_calls(source, "<t>") == []
+
+    def test_ignores_sanctioned_helpers(self):
+        source = (
+            "from repro.utils.rng import entropy_rng, new_rng\n"
+            "rng = entropy_rng()\n"
+            "child = new_rng(seq)\n"
+        )
+        assert errmodel_lint.find_rng_calls(source, "<t>") == []
+
+
+class TestLintTree:
+    def _tree(self, tmp_path, files):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source)
+        return str(tmp_path)
+
+    def test_reports_violations_with_relative_paths(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {
+                "zoo.py": "rng = np.random.default_rng()\n",
+                "vmac.py": "x = 1\n",
+            },
+        )
+        assert errmodel_lint.lint_tree(root) == [
+            "zoo.py:1: rng = np.random.default_rng()"
+        ]
+
+    def test_host_module_is_allowed(self, tmp_path):
+        root = self._tree(
+            tmp_path,
+            {"models.py": "seq = np.random.SeedSequence(entropy)\n"},
+        )
+        assert errmodel_lint.lint_tree(root) == []
+
+    def test_non_python_files_are_skipped(self, tmp_path):
+        root = self._tree(
+            tmp_path, {"notes.txt": "np.random.default_rng()\n"}
+        )
+        assert errmodel_lint.lint_tree(root) == []
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        (clean / "a.py").write_text("x = 1\n")
+        assert errmodel_lint.main(["--root", str(clean)]) == 0
+        assert "no bare" in capsys.readouterr().out
+
+        dirty = tmp_path / "dirty"
+        dirty.mkdir()
+        (dirty / "b.py").write_text("rng = np.random.default_rng()\n")
+        assert errmodel_lint.main(["--root", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "b.py:1" in out
+        assert "NoiseStreams" in out
+
+
+class TestRepoTreeIsClean:
+    def test_ams_package_draws_through_noise_streams(self):
+        """Tier-1 gate: all AMS randomness flows through the injector."""
+        violations = errmodel_lint.lint_tree(AMS_ROOT)
+        assert violations == [], "\n".join(violations)
