@@ -99,6 +99,20 @@ class WorkerLostError(ReproError):
     """
 
 
+class ReplicaError(ReproError):
+    """A serving-cluster replica failed while executing a command.
+
+    Carries the worker-side exception type and traceback text so the
+    front door can report the real failure without re-raising an
+    arbitrary unpicklable exception across the process boundary.
+    """
+
+    def __init__(self, message: str, worker_traceback: str = ""):
+        super().__init__(message)
+        #: The worker process's formatted traceback, for logs.
+        self.worker_traceback = worker_traceback
+
+
 class JournalError(ReproError):
     """A run journal is corrupt beyond the tolerated torn final line.
 

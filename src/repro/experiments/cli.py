@@ -88,6 +88,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="batch-executor threads in the engine",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="replica processes for the multi-process cluster; omit to "
+        "serve in-process (the thread-pool service)",
+    )
+    serve.add_argument(
+        "--shard-by",
+        default="none",
+        help="cluster request routing: 'none' (least-loaded) or 'model' "
+        "(pin each spec to one replica); needs --workers",
+    )
+    serve.add_argument(
         "--max-batch", type=int, default=16, help="micro-batch size cap"
     )
     serve.add_argument(
@@ -392,6 +405,33 @@ def _journaled(args, config, argv: List[str], body) -> int:
 
 def _handle_serve(args, argv: List[str]) -> int:
     """Drive the batched inference service end to end from the CLI."""
+    # Fail fast on cluster flags before any training or journaling.
+    from repro.serve.cluster import SHARD_POLICIES
+
+    if args.shard_by not in SHARD_POLICIES:
+        import difflib
+
+        close = difflib.get_close_matches(args.shard_by, SHARD_POLICIES, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        print(
+            f"error: unknown --shard-by {args.shard_by!r}; options: "
+            f"{', '.join(SHARD_POLICIES)}{hint}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers is None and args.shard_by != "none":
+        print(
+            "error: --shard-by needs the multi-process cluster; "
+            "add --workers N",
+            file=sys.stderr,
+        )
+        return 2
     config = make_config(
         profile=args.profile, seed=args.seed, results_dir=args.results_dir
     )
@@ -409,6 +449,8 @@ def _serve_body(args, config) -> int:
     fallback = (
         ModelSpec.parse(args.fallback_spec) if args.fallback_spec else None
     )
+    if args.workers is not None:
+        return _serve_cluster_body(args, config, bench, spec, fallback)
     engine = InferenceEngine(
         bench,
         max_batch=args.max_batch,
@@ -473,6 +515,78 @@ def _serve_body(args, config) -> int:
         f"batch sizes: min {min(batch_sizes)}, "
         f"mean {np.mean(batch_sizes):.2f}, max {max(batch_sizes)}"
     )
+    return 0
+
+
+def _serve_cluster_body(args, config, bench, spec, fallback) -> int:
+    """Serve through the multi-process cluster and its async front door.
+
+    Interrupt contract matches sweeps: the first SIGINT/SIGTERM drains
+    — outstanding requests finish, replicas stop cleanly, the journal
+    records what was served — and the run exits 130 with a resume hint.
+    """
+    from repro.ckpt import interrupt_requested
+    from repro.errors import RunInterrupted
+    from repro.obs.journal import current_journal, journal_event
+    from repro.obs.result import EvalResult
+    from repro.serve import ClusterService, ServeCluster
+
+    print(
+        f"starting cluster: {args.workers} replica processes, "
+        f"shard_by={args.shard_by}"
+    )
+    images = bench.data.val.images
+    labels = bench.data.val.labels
+    count = args.requests
+    interrupted = False
+    with ServeCluster(
+        bench, workers=args.workers, shard_by=args.shard_by
+    ) as cluster:
+        print(f"warming {spec}" + (f" (fallback {fallback})" if fallback else ""))
+        cluster.warm(spec, *([fallback] if fallback else []))
+        with ClusterService(
+            cluster,
+            queue_size=args.queue_size,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1e3,
+            timeout_s=args.timeout_s,
+            fallback_spec=fallback,
+        ) as service:
+            start = time.time()
+            futures = []
+            for i in range(count):
+                if interrupt_requested():
+                    interrupted = True
+                    break
+                futures.append(
+                    service.submit(spec, images[i % len(images)], i)
+                )
+            predictions = [f.result(timeout=args.timeout_s) for f in futures]
+            elapsed = time.time() - start
+        cluster.flush_worker_stats()
+        stats = cluster.stats()
+        journal_event("serve.stats", stats=stats.snapshot())
+        journal = current_journal()
+        if journal is not None:
+            journal.metrics_snapshot(stats.registry, scope="serve")
+        print(stats.report())
+    served = len(predictions)
+    if served:
+        result = EvalResult.from_predictions(
+            predictions,
+            [labels[i % len(labels)] for i in range(served)],
+            wall_time_s=elapsed,
+            noise_seed=args.seed,
+        )
+        journal_event("note", message=f"serve eval result: {result!r}")
+        print(
+            f"\nserved {served} requests in {elapsed:.2f}s "
+            f"({served / elapsed:.1f} req/s), accuracy {result:.4f}"
+        )
+    if interrupted:
+        raise RunInterrupted(
+            f"serve drained after {served}/{count} requests"
+        )
     return 0
 
 

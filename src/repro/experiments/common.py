@@ -168,6 +168,7 @@ class Workbench:
         *,
         with_probes: bool = False,
         noise_tag: str = "",
+        calibrate: bool = True,
     ) -> ResNet:
         """Construct the untrained, input-calibrated network for ``spec``.
 
@@ -176,7 +177,10 @@ class Workbench:
         stay interchangeable).  ``noise_tag`` labels the AMS noise
         stream of custom eval-time studies; ``ams_eval`` defaults to
         the historical ``"evalonly"`` tag so existing results
-        reproduce bit for bit.
+        reproduce bit for bit.  ``calibrate=False`` skips the
+        input-quantizer data calibration — for processes (serving
+        replicas) that receive the calibration constant out of band
+        and must not pay for materializing the training split.
         """
         spec = spec.resolved(self.config)
         cfg = self.config
@@ -206,9 +210,8 @@ class Workbench:
                 error_model=spec.error_model or "lumped_gaussian",
                 error_model_params=dict(spec.error_model_params),
             )
-        return self._finish(
-            resnet_small(factory, num_classes=cfg.num_classes)
-        )
+        model = resnet_small(factory, num_classes=cfg.num_classes)
+        return self._finish(model) if calibrate else model
 
     # ------------------------------------------------------------------
     # cached training

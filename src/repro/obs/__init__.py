@@ -50,6 +50,7 @@ from repro.obs.metrics import (
     default_registry,
     gauge,
     histogram,
+    parse_metric_key,
 )
 from repro.obs.result import EvalResult
 from repro.obs.summary import diff_runs, summarize_run, tail_run
@@ -76,6 +77,7 @@ __all__ = [
     "journal_event",
     "list_runs",
     "read_events",
+    "parse_metric_key",
     "span",
     "start_run",
     "summarize_run",

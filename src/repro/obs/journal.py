@@ -72,6 +72,8 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "sweep.end": ("completed", "failed"),
     # serving
     "serve.stats": ("stats",),
+    "serve.replica": ("replica", "action"),
+    "serve.shared": ("spec", "bytes", "path"),
     # workbench artifacts
     "bench.artifact": ("name", "source"),
     # freeform annotation

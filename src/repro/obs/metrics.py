@@ -50,6 +50,23 @@ def _label_suffix(items: LabelItems) -> str:
     return "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
 
 
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a flat snapshot key ``name{a=b,c=d}`` into ``(name, labels)``.
+
+    The inverse of the ``snapshot()`` key format; ``obs summary`` and
+    :meth:`MetricRegistry.merge_snapshot` both round-trip through it.
+    """
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for item in rest.rstrip("}").split(","):
+        if item:
+            label, _, value = item.partition("=")
+            labels[label] = value
+    return name, labels
+
+
 class Counter:
     """A monotonically increasing count of events."""
 
@@ -151,6 +168,32 @@ class Histogram:
             self._sum += value
             self._count += 1
 
+    def merge(self, snapshot: dict) -> None:
+        """Add another histogram's ``snapshot()`` into this one.
+
+        The whole application happens under this histogram's lock, so a
+        concurrent :meth:`snapshot` can never observe bucket counts
+        without the matching ``sum``/``count`` — the torn-histogram
+        hazard cluster workers publishing into a shared registry would
+        otherwise hit.
+        """
+        if tuple(snapshot.get("buckets", ())) != self.buckets:
+            raise ConfigError(
+                f"histogram {self.name} bucket mismatch: "
+                f"{self.buckets} vs {tuple(snapshot.get('buckets', ()))}"
+            )
+        counts = snapshot["counts"]
+        if len(counts) != len(self._counts):
+            raise ConfigError(
+                f"histogram {self.name} expects {len(self._counts)} "
+                f"bucket counts, got {len(counts)}"
+            )
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += int(c)
+            self._sum += float(snapshot["sum"])
+            self._count += int(snapshot["count"])
+
     @property
     def count(self) -> int:
         return self._count
@@ -161,7 +204,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     def counts(self) -> List[int]:
         with self._lock:
@@ -191,7 +235,9 @@ class MetricRegistry:
     """
 
     def __init__(self):
-        self._lock = threading.Lock()
+        # Reentrant: merge_snapshot holds it across get-or-create calls
+        # so a whole remote snapshot lands atomically.
+        self._lock = threading.RLock()
         self._metrics: Dict[Tuple[str, LabelItems], object] = {}
         self._kinds: Dict[str, str] = {}
 
@@ -284,17 +330,67 @@ class MetricRegistry:
         ``{buckets, counts, sum, count}`` dicts.  The flat string keys
         (``name{label=value,...}``) round-trip through the run journal
         unambiguously because label items are sorted.
+
+        The registry lock is held for the whole dump, so a snapshot is
+        *consistent across metrics*: updates applied atomically under
+        the same lock (:meth:`merge_snapshot`) are either fully visible
+        or not at all — a reader can never see, say, a batch's request
+        counter without its latency histogram entries.
         """
-        with self._lock:
-            items = list(self._metrics.items())
-            kinds = dict(self._kinds)
         out = {"counters": {}, "gauges": {}, "histograms": {}}
         section = {"counter": "counters", "gauge": "gauges",
                    "histogram": "histograms"}
-        for (name, labels), metric in sorted(items, key=lambda kv: kv[0]):
-            key = name + _label_suffix(labels)
-            out[section[kinds[name]]][key] = metric.snapshot()
+        with self._lock:
+            items = list(self._metrics.items())
+            kinds = dict(self._kinds)
+            for (name, labels), metric in sorted(
+                items, key=lambda kv: kv[0]
+            ):
+                key = name + _label_suffix(labels)
+                out[section[kinds[name]]][key] = metric.snapshot()
         return out
+
+    def drain(self) -> dict:
+        """Snapshot and reset every metric in one atomic step.
+
+        Cluster worker processes flush their local registry with this
+        and ship the snapshot to the parent, which applies it via
+        :meth:`merge_snapshot`; draining (rather than re-sending
+        cumulative values) makes the merge a plain addition.
+        """
+        with self._lock:
+            snap = self.snapshot()
+            self._metrics.clear()
+            self._kinds.clear()
+        return snap
+
+    def merge_snapshot(self, snapshot: dict, **labels) -> None:
+        """Apply another registry's :meth:`snapshot` into this one.
+
+        Counter values add, gauge values overwrite, histograms merge
+        bucket-wise (:meth:`Histogram.merge`).  ``labels`` are appended
+        to every child — the cluster passes ``replica="3"`` so one
+        parent registry holds the per-replica breakdown.  The whole
+        merge happens under the registry lock, paired with the
+        lock-holding :meth:`snapshot`: concurrent readers see all of a
+        worker's flush or none of it, never a torn histogram or a
+        request count without its batch count.
+        """
+        with self._lock:
+            for key, value in snapshot.get("counters", {}).items():
+                name, child_labels = parse_metric_key(key)
+                child_labels.update({k: str(v) for k, v in labels.items()})
+                self.counter(name, **child_labels).inc(int(value))
+            for key, value in snapshot.get("gauges", {}).items():
+                name, child_labels = parse_metric_key(key)
+                child_labels.update({k: str(v) for k, v in labels.items()})
+                self.gauge(name, **child_labels).set(value)
+            for key, value in snapshot.get("histograms", {}).items():
+                name, child_labels = parse_metric_key(key)
+                child_labels.update({k: str(v) for k, v in labels.items()})
+                self.histogram(
+                    name, buckets=value.get("buckets"), **child_labels
+                ).merge(value)
 
     def report(self) -> str:
         """Human-readable table of every counter and gauge + histograms."""

@@ -17,20 +17,8 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.journal import list_runs, read_events, resolve_run_dir
+from repro.obs.metrics import parse_metric_key
 from repro.utils.tabulate import format_table
-
-
-def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
-    """Split ``name{a=b,c=d}`` into ``(name, labels)``."""
-    if "{" not in key:
-        return key, {}
-    name, _, rest = key.partition("{")
-    labels = {}
-    for item in rest.rstrip("}").split(","):
-        if item:
-            label, _, value = item.partition("=")
-            labels[label] = value
-    return name, labels
 
 
 def events_of(events: List[dict], event_type: str) -> List[dict]:
@@ -103,6 +91,29 @@ def serve_batch_hist(events: List[dict]) -> Dict[str, Dict[int, int]]:
         key: {int(size): count for size, count in spec["batch_hist"].items()}
         for key, spec in specs.items()
     }
+
+
+def serve_replica_rows(events: List[dict]) -> List[List[object]]:
+    """One row per cluster replica from the last ``serve.stats`` event.
+
+    ``[replica, batches, requests, mean batch, p50 ms, p99 ms]``;
+    empty when the run served in-process (no ``replicas`` section).
+    """
+    stats_events = events_of(events, "serve.stats")
+    if not stats_events:
+        return []
+    replicas = stats_events[-1]["stats"].get("replicas", {})
+    return [
+        [
+            rep,
+            data["batches"],
+            data["requests"],
+            round(data["mean_batch"], 2),
+            round(data["p50_ms"], 2),
+            round(data["p99_ms"], 2),
+        ]
+        for rep, data in sorted(replicas.items(), key=lambda kv: int(kv[0]))
+    ]
 
 
 def train_rows(events: List[dict]) -> List[List[object]]:
@@ -227,6 +238,17 @@ def summarize_run(run: str, results_dir: str = "results") -> str:
                 ["batch size", "batches"],
                 [[size, hist[size]] for size in sorted(hist)],
                 title=f"serve batch-size histogram: {spec}",
+            )
+        )
+
+    replicas = serve_replica_rows(events)
+    if replicas:
+        parts.append(
+            format_table(
+                ["replica", "batches", "requests", "mean batch",
+                 "p50 ms", "p99 ms"],
+                replicas,
+                title="serve cluster replicas (from serve.stats)",
             )
         )
 

@@ -8,26 +8,49 @@ The serving stack, bottom to top:
 - :class:`InferenceEngine` — LRU model cache + dynamic micro-batcher
   with per-request deterministic AMS noise streams;
 - :class:`InferenceService` — bounded thread-pool front end with
-  deadlines, backpressure and graceful degradation.
+  deadlines, backpressure and graceful degradation (single process);
+- :class:`ServeCluster` + :class:`FrontDoor` — the multi-process
+  deployment: N replica processes binding one mmap-published weight
+  store (:mod:`repro.serve.shared`), fronted by an asyncio admission/
+  batching layer with load shedding and rolling restarts;
+  :class:`ClusterService` is the blocking facade over both.
+
+Per-request determinism holds across the whole stack: the same
+``(spec, seed, request_id, image)`` yields bit-identical logits from
+the in-process engine and from a cluster at any replica count, because
+every path runs the one shared forward primitive
+(:func:`repro.serve.executor.forward_with_request_noise`).
 
 Command line::
 
     python -m repro.experiments serve --spec ams:e5.5:n8 --requests 256
+    python -m repro.experiments serve --spec ams:e5.5:n8 --workers 4
 
 See ``docs/serving.md`` for the architecture and the knobs.
 """
 
+from repro.serve.cluster import SHARD_POLICIES, ClusterService, ServeCluster
 from repro.serve.engine import InferenceEngine, Prediction
+from repro.serve.frontdoor import FrontDoor
 from repro.serve.service import InferenceService
+from repro.serve.shared import SharedWeights, bind_shared, publish_weights
 from repro.serve.spec import VARIANTS, ModelSpec
-from repro.serve.stats import EngineStats, EngineStatsView
+from repro.serve.stats import ClusterStatsView, EngineStats, EngineStatsView
 
 __all__ = [
     "ModelSpec",
     "VARIANTS",
+    "SHARD_POLICIES",
     "InferenceEngine",
     "InferenceService",
+    "ServeCluster",
+    "ClusterService",
+    "FrontDoor",
     "Prediction",
     "EngineStats",
     "EngineStatsView",
+    "ClusterStatsView",
+    "SharedWeights",
+    "bind_shared",
+    "publish_weights",
 ]

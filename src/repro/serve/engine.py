@@ -39,11 +39,9 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.obs.trace import span
+from repro.serve.executor import forward_with_request_noise
 from repro.serve.spec import ModelSpec
 from repro.serve.stats import EngineStatsView
-from repro.train.evaluate import ams_injectors, predict_logits
-from repro.utils.rng import point_seed_sequence
 
 
 @dataclass
@@ -367,42 +365,14 @@ class InferenceEngine:
     def _forward(
         self, model, images: np.ndarray, request_ids: List[int]
     ) -> np.ndarray:
-        injectors = ams_injectors(model)
-        registry = self._stats.registry
-        with span("serve.batch"):
-            if injectors:
-                # Row r of every injector draws from a child stream of
-                # request r's seed sequence, keyed by injector order —
-                # the same (seed, index) convention reseed_noise uses.
-                per_request = [
-                    point_seed_sequence(self.seed, rid).spawn(len(injectors))
-                    for rid in request_ids
-                ]
-                for j, injector in enumerate(injectors):
-                    injector.set_row_rngs(
-                        [
-                            np.random.default_rng(children[j])
-                            for children in per_request
-                        ]
-                    )
-            try:
-                if self.compile_models:
-                    from repro.compile import maybe_compiled
-
-                    compiled = maybe_compiled(model, backend=self.backend)
-                    if compiled is not None:
-                        registry.counter("serve.batches_compiled").inc()
-                        # predict() copies out of the pooled buffer.
-                        return compiled.predict(images)
-                    registry.counter("serve.batches_interpreted").inc()
-                    return np.array(predict_logits(model, images), copy=True)
-                # Engine-level opt-out must hold even when compilation
-                # is globally enabled: predict_logits would compile.
-                from repro.compile import disabled
-
-                registry.counter("serve.batches_interpreted").inc()
-                with disabled():
-                    return np.array(predict_logits(model, images), copy=True)
-            finally:
-                for injector in injectors:
-                    injector.set_row_rngs(None)
+        # The per-request noise-row contract lives in the shared
+        # executor so the cluster workers run the identical code path.
+        return forward_with_request_noise(
+            model,
+            images,
+            request_ids,
+            self.seed,
+            registry=self._stats.registry,
+            compile_models=self.compile_models,
+            backend=self.backend,
+        )

@@ -199,6 +199,107 @@ class EngineStatsView:
         )
 
 
+class ClusterStatsView(EngineStatsView):
+    """Cluster-wide telemetry: the engine view plus per-replica detail.
+
+    The front door records request-level metrics through the inherited
+    :meth:`record_batch`; the cluster adds one row per replica —
+    batches dispatched, requests served, in-flight depth, exact
+    p50/p99 from a per-replica latency reservoir — and merges worker
+    registry flushes (queue depth, compiled/interpreted counters)
+    under a ``replica`` label via
+    :meth:`~repro.obs.MetricRegistry.merge_snapshot`, which pairs with
+    the lock-holding registry snapshot so readers never observe a torn
+    flush.
+    """
+
+    def record_replica_batch(
+        self, replica: int, size: int, latency_s: float
+    ) -> None:
+        """Record one batch executed by ``replica`` (dispatch→reply)."""
+        registry = self.registry
+        rep = str(replica)
+        registry.counter("serve.replica_batches", replica=rep).inc()
+        registry.counter("serve.replica_requests", replica=rep).inc(size)
+        registry.histogram(
+            "serve.replica_latency_ms",
+            buckets=LATENCY_MS_BUCKETS,
+            replica=rep,
+        ).observe(1e3 * latency_s)
+        with self._lock:
+            samples = self._latencies.setdefault(f"replica:{rep}", [])
+            samples.append(latency_s)
+            overflow = len(samples) - MAX_LATENCY_SAMPLES
+            if overflow > 0:
+                del samples[:overflow]
+
+    def merge_worker(self, replica: int, snapshot: dict) -> None:
+        """Fold one worker's registry flush in under its replica label."""
+        self.registry.merge_snapshot(snapshot, replica=str(replica))
+
+    def replica_ids(self) -> List[str]:
+        ids = {
+            dict(labels).get("replica")
+            for labels in self.registry.children("serve.replica_batches")
+        }
+        ids.discard(None)
+        return sorted(ids, key=int)
+
+    def replica_snapshot(self) -> Dict[str, dict]:
+        """Per-replica summary: ``{replica: {batches, requests, ...}}``."""
+        registry = self.registry
+        out: Dict[str, dict] = {}
+        for rep in self.replica_ids():
+            batches = registry.counter(
+                "serve.replica_batches", replica=rep
+            ).value
+            requests = registry.counter(
+                "serve.replica_requests", replica=rep
+            ).value
+            out[rep] = {
+                "batches": batches,
+                "requests": requests,
+                "mean_batch": requests / batches if batches else 0.0,
+                "inflight": registry.gauge(
+                    "serve.replica_inflight", replica=rep
+                ).value,
+                "p50_ms": self.percentile_ms(f"replica:{rep}", 50),
+                "p99_ms": self.percentile_ms(f"replica:{rep}", 99),
+            }
+        return out
+
+    def snapshot(self) -> dict:
+        """Engine-shaped snapshot plus a ``replicas`` section."""
+        snap = super().snapshot()
+        snap["replicas"] = self.replica_snapshot()
+        return snap
+
+    def report(self) -> str:
+        from repro.utils.tabulate import format_table
+
+        text = super().report()
+        replicas = self.replica_snapshot()
+        if not replicas:
+            return text
+        rows = [
+            [
+                rep,
+                data["batches"],
+                data["requests"],
+                round(data["mean_batch"], 2),
+                round(data["p50_ms"], 2),
+                round(data["p99_ms"], 2),
+            ]
+            for rep, data in replicas.items()
+        ]
+        return text + "\n\n" + format_table(
+            ["replica", "batches", "requests", "mean batch", "p50 ms",
+             "p99 ms"],
+            rows,
+            title="cluster replicas",
+        )
+
+
 class EngineStats(EngineStatsView):
     """Deprecated: construct :class:`EngineStatsView` instead.
 

@@ -247,3 +247,72 @@ class TestServe:
         assert "served 32 requests" in out
         assert "req/s" in out
         assert "batch sizes:" in out
+
+    def test_serve_cluster_smoke(self, tmp_path, capsys, monkeypatch):
+        """CLI serve through the multi-process cluster (--workers)."""
+        from repro.experiments import cli as cli_mod
+        from repro.experiments.config import make_config
+
+        micro = make_config(
+            profile="quick",
+            seed=7,
+            num_classes=4,
+            image_size=8,
+            train_per_class=24,
+            val_per_class=10,
+            pretrain_epochs=2,
+            retrain_epochs=1,
+            batch_size=32,
+            patience=1,
+            eval_passes=1,
+            cache_dir=str(tmp_path / "cache"),
+            results_dir=str(tmp_path / "results"),
+        )
+        monkeypatch.setattr(cli_mod, "make_config", lambda **kw: micro)
+        assert (
+            main(
+                [
+                    "serve",
+                    "--spec",
+                    "fp32",
+                    "--requests",
+                    "16",
+                    "--max-batch",
+                    "8",
+                    "--workers",
+                    "2",
+                    "--profile",
+                    "quick",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "starting cluster: 2 replica processes" in out
+        assert "served 16 requests" in out
+        assert "cluster stats" in out or "serving stats" in out
+
+
+class TestServeClusterFlags:
+    """Cluster flags fail fast — before any training or journaling."""
+
+    def test_unknown_shard_by_suggests_close_match(self, capsys):
+        assert main(["serve", "--workers", "2", "--shard-by", "modle"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown --shard-by 'modle'" in err
+        assert "did you mean 'model'?" in err
+
+    def test_unknown_shard_by_without_close_match(self, capsys):
+        assert main(["serve", "--workers", "2", "--shard-by", "zzz"]) == 2
+        err = capsys.readouterr().err
+        assert "options: none, model" in err
+
+    def test_shard_by_requires_workers(self, capsys):
+        assert main(["serve", "--shard-by", "model"]) == 2
+        err = capsys.readouterr().err
+        assert "add --workers N" in err
+
+    def test_workers_floor(self, capsys):
+        assert main(["serve", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers must be >= 1" in err

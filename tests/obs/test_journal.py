@@ -140,6 +140,10 @@ class TestValidation:
             },
             "sweep.end": {"completed": 2, "failed": 1},
             "serve.stats": {"stats": {"requests": 0}},
+            "serve.replica": {"replica": 0, "action": "warmed"},
+            "serve.shared": {
+                "spec": "fp32", "bytes": 1024, "path": "w.weights.bin",
+            },
             "bench.artifact": {"name": "fp32", "source": "cache"},
             "note": {"message": "hello"},
             "train.checkpoint": {"epoch": 1, "path": "m.ckpt.npz"},

@@ -1,0 +1,213 @@
+"""Torn-snapshot stress: concurrent worker publication into one registry.
+
+The serving cluster has N worker processes each draining a private
+:class:`~repro.obs.metrics.MetricRegistry` and shipping the snapshot to
+the parent, which applies it with :meth:`MetricRegistry.merge_snapshot`
+while other threads read :meth:`MetricRegistry.snapshot` for reports.
+Both hold the registry lock for their whole critical section, so a
+reader must never observe a *torn* flush:
+
+- a histogram whose bucket counts do not sum to its ``count``, or
+  whose ``sum`` disagrees with what those observations imply;
+- a worker's batch counter without the matching histogram entries
+  (cross-metric consistency inside one merged flush).
+
+These tests hammer that contract from many threads; any tear is a
+hard failure, not a flake, because every invariant is exact.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricRegistry
+
+#: Every observation is exactly this value, so ``sum == count`` holds
+#: exactly in floating point and tears are detectable without slack.
+OBSERVED = 1.0
+
+BUCKETS = (0.5, 2.0)
+
+
+def _worker_flush(batches: int) -> dict:
+    """One cluster worker's drained registry: counter + histogram."""
+    local = MetricRegistry()
+    local.counter("serve.worker_batches").inc(batches)
+    hist = local.histogram("serve.worker_batch_ms", buckets=BUCKETS)
+    for _ in range(batches):
+        hist.observe(OBSERVED)
+    return local.drain()
+
+
+class TestMergeSnapshotAtomicity:
+    def test_readers_never_see_a_torn_flush(self):
+        """Concurrent merges + snapshots: every read is internally exact.
+
+        4 publisher threads each apply 50 flushes of 3 batches under a
+        per-publisher replica label while 3 reader threads snapshot in
+        a tight loop.  Each observed snapshot must show, per replica,
+        bucket counts summing to ``count``, ``sum == count`` (every
+        observation is 1.0), and the batch counter equal to the
+        histogram count — the counter and histogram land in the same
+        ``merge_snapshot`` call, so seeing one without the other is a
+        torn flush.
+        """
+        parent = MetricRegistry()
+        publishers = 4
+        flushes = 50
+        batches = 3
+        stop = threading.Event()
+        violations = []
+
+        def publish(replica: int):
+            for _ in range(flushes):
+                parent.merge_snapshot(
+                    _worker_flush(batches), replica=str(replica)
+                )
+
+        def read():
+            while not stop.is_set():
+                snap = parent.snapshot()
+                hists = snap["histograms"]
+                counters = snap["counters"]
+                for key, value in hists.items():
+                    if sum(value["counts"]) != value["count"]:
+                        violations.append(
+                            f"{key}: counts {value['counts']} do not "
+                            f"sum to count {value['count']}"
+                        )
+                    if value["sum"] != value["count"] * OBSERVED:
+                        violations.append(
+                            f"{key}: sum {value['sum']} inconsistent "
+                            f"with count {value['count']}"
+                        )
+                for rep in range(publishers):
+                    c = counters.get(
+                        f"serve.worker_batches{{replica={rep}}}"
+                    )
+                    h = hists.get(
+                        f"serve.worker_batch_ms{{replica={rep}}}"
+                    )
+                    if (c is None) != (h is None):
+                        violations.append(
+                            f"replica {rep}: counter/histogram "
+                            "published separately"
+                        )
+                    elif c is not None and c != h["count"]:
+                        violations.append(
+                            f"replica {rep}: counter {c} != "
+                            f"histogram count {h['count']}"
+                        )
+
+        readers = [threading.Thread(target=read) for _ in range(3)]
+        writers = [
+            threading.Thread(target=publish, args=(i,))
+            for i in range(publishers)
+        ]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+
+        assert not violations, violations[:5]
+        final = parent.snapshot()
+        expected = flushes * batches
+        for rep in range(publishers):
+            key = f"{{replica={rep}}}"
+            assert final["counters"][f"serve.worker_batches{key}"] == expected
+            hist = final["histograms"][f"serve.worker_batch_ms{key}"]
+            assert hist["count"] == expected
+            assert sum(hist["counts"]) == expected
+            assert hist["sum"] == pytest.approx(expected * OBSERVED)
+
+    def test_drain_is_atomic_against_writers(self):
+        """Repeated drains while writers observe lose no observations."""
+        registry = MetricRegistry()
+        parent = MetricRegistry()
+        per_thread = 400
+        threads = 4
+        done = threading.Event()
+
+        def write():
+            for _ in range(per_thread):
+                registry.counter("serve.worker_batches").inc()
+                registry.histogram(
+                    "serve.worker_batch_ms", buckets=BUCKETS
+                ).observe(OBSERVED)
+
+        def drain_loop():
+            while not done.is_set():
+                parent.merge_snapshot(registry.drain(), replica="0")
+            parent.merge_snapshot(registry.drain(), replica="0")
+
+        writers = [threading.Thread(target=write) for _ in range(threads)]
+        drainer = threading.Thread(target=drain_loop)
+        drainer.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        done.set()
+        drainer.join()
+
+        total = per_thread * threads
+        snap = parent.snapshot()
+        assert (
+            snap["counters"]["serve.worker_batches{replica=0}"] == total
+        )
+        hist = snap["histograms"]["serve.worker_batch_ms{replica=0}"]
+        assert hist["count"] == total
+        assert sum(hist["counts"]) == total
+
+
+class TestHistogramMerge:
+    def test_merge_concurrent_with_observe_stays_consistent(self):
+        """Interleaved ``merge`` and ``observe`` never tear one histogram."""
+        target = Histogram("serve.worker_batch_ms", buckets=BUCKETS)
+        rounds = 300
+        incoming = {
+            "buckets": list(BUCKETS),
+            "counts": [2, 0, 0],
+            "sum": 2 * OBSERVED,
+            "count": 2,
+        }
+        stop = threading.Event()
+        violations = []
+
+        def merger():
+            for _ in range(rounds):
+                target.merge(dict(incoming))
+
+        def observer():
+            for _ in range(rounds):
+                target.observe(OBSERVED)
+
+        def checker():
+            while not stop.is_set():
+                snap = target.snapshot()
+                if sum(snap["counts"]) != snap["count"]:
+                    violations.append(snap)
+                if snap["sum"] != snap["count"] * OBSERVED:
+                    violations.append(snap)
+
+        pool = [
+            threading.Thread(target=merger),
+            threading.Thread(target=observer),
+            threading.Thread(target=checker),
+        ]
+        for t in pool[:2]:
+            t.start()
+        pool[2].start()
+        for t in pool[:2]:
+            t.join()
+        stop.set()
+        pool[2].join()
+
+        assert not violations, violations[:3]
+        assert target.count == rounds * 3  # 2 merged + 1 observed per round
+        assert sum(target.counts()) == target.count

@@ -173,6 +173,57 @@ class TestRecorded:
         assert "no matching benches" in capsys.readouterr().out
 
 
+class TestRecordedBudget:
+    """A recorded file's own ``budget`` overrides the CLI threshold."""
+
+    def test_recorded_budget_round_trip(self, tmp_path):
+        path = tmp_path / "rec.json"
+        path.write_text(
+            json.dumps({"median_seconds": {"test_a": 1.0}, "budget": 0.75})
+        )
+        assert bench_compare.recorded_budget(str(path)) == 0.75
+
+    def test_missing_budget_is_none(self, tmp_path):
+        path = _write_recorded(tmp_path / "rec.json", {"test_a": 1.0})
+        assert bench_compare.recorded_budget(path) is None
+
+    def test_budget_absorbs_noise_beyond_threshold(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"x.py::test_a": 1.0})
+        current = _write(tmp_path / "cur.json", {"x.py::test_a": 1.0})
+        recorded = tmp_path / "rec.json"
+        # 1.0 vs recorded 0.6 is a 1.67x slowdown: past the default
+        # 1.20x threshold, inside the file's declared 1.75x budget.
+        recorded.write_text(
+            json.dumps({"median_seconds": {"test_a": 0.6}, "budget": 0.75})
+        )
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--recorded", str(recorded)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "file budget 1.75x" in out
+        assert "REGRESSED" not in out
+
+    def test_regression_beyond_file_budget_still_fails(
+        self, tmp_path, capsys
+    ):
+        baseline = _write(tmp_path / "base.json", {"x.py::test_a": 1.0})
+        current = _write(tmp_path / "cur.json", {"x.py::test_a": 1.0})
+        recorded = tmp_path / "rec.json"
+        recorded.write_text(
+            json.dumps({"median_seconds": {"test_a": 0.5}, "budget": 0.75})
+        )
+        code = bench_compare.main(
+            ["--baseline", baseline, "--current", current,
+             "--recorded", str(recorded)]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED test_a" in out
+        assert "1.75x budget" in out
+
+
 def _write_recorded_host(path, medians, host):
     with open(path, "w") as fh:
         json.dump({"median_seconds": medians, "host": host}, fh)

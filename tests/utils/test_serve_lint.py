@@ -1,0 +1,121 @@
+"""The async-front-door blocking-call linter (tier-1 gate)."""
+
+import importlib.util
+import os
+import textwrap
+
+_SPEC = importlib.util.spec_from_file_location(
+    "serve_lint",
+    os.path.join(
+        os.path.dirname(__file__), "..", "..", "tools", "serve_lint.py"
+    ),
+)
+serve_lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(serve_lint)
+
+
+def _reasons(source):
+    return [reason for _line, reason in serve_lint.find_blocking(source, "<t>")]
+
+
+class TestFindBlocking:
+    def test_catches_time_sleep(self):
+        assert _reasons("import time\ntime.sleep(1)\n") == [
+            "blocking call time.sleep()"
+        ]
+
+    def test_catches_bare_sleep_and_open(self):
+        source = "sleep(1)\nfh = open('x')\n"
+        assert _reasons(source) == [
+            "blocking call sleep()",
+            "blocking call open()",
+        ]
+
+    def test_catches_socket_and_subprocess(self):
+        source = textwrap.dedent(
+            """
+            import socket, subprocess
+            s = socket.socket()
+            subprocess.run(["ls"])
+            """
+        )
+        reasons = _reasons(source)
+        assert "blocking call socket.socket()" in reasons
+        assert "blocking call subprocess.run()" in reasons
+
+    def test_catches_non_awaited_result_and_recv(self):
+        source = textwrap.dedent(
+            """
+            def f(future, conn):
+                x = future.result()
+                y = conn.recv()
+                return x, y
+            """
+        )
+        reasons = _reasons(source)
+        assert any(".result()" in r for r in reasons)
+        assert any(".recv()" in r for r in reasons)
+
+    def test_awaited_calls_are_exempt(self):
+        # await semaphore.acquire() / await queue.join() are asyncio
+        # primitives yielding to the loop — the whole point of the
+        # AST check over a grep.
+        source = textwrap.dedent(
+            """
+            async def f(sem, queue):
+                await sem.acquire()
+                await queue.join()
+            """
+        )
+        assert _reasons(source) == []
+
+    def test_sync_queue_construction_is_flagged(self):
+        source = "import queue\nq = queue.Queue()\n"
+        assert _reasons(source) == [
+            "synchronous primitive queue.Queue() — use the asyncio "
+            "equivalent"
+        ]
+
+    def test_asyncio_queue_is_fine(self):
+        source = textwrap.dedent(
+            """
+            import asyncio
+            async def f():
+                q = asyncio.Queue()
+                item = await q.get()
+                return item
+            """
+        )
+        assert _reasons(source) == []
+
+    def test_wrap_future_bridge_is_fine(self):
+        source = textwrap.dedent(
+            """
+            import asyncio
+            async def f(future):
+                return await asyncio.wrap_future(future)
+            """
+        )
+        assert _reasons(source) == []
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("import asyncio\nasync def f():\n    pass\n")
+        assert serve_lint.main(["--path", str(clean)]) == 0
+        assert "no blocking calls" in capsys.readouterr().out
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\ntime.sleep(1)\n")
+        assert serve_lint.main(["--path", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:2" in out
+        assert "time.sleep" in out
+
+
+class TestFrontDoorIsClean:
+    def test_frontdoor_has_no_blocking_calls(self):
+        """Tier-1 gate: the async front door never blocks the loop."""
+        violations = serve_lint.lint_file(serve_lint.DEFAULT_PATH)
+        assert violations == [], "\n".join(violations)

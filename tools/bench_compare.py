@@ -21,7 +21,11 @@ as a hint to refresh the baseline with ``--update``.
 Hand-recorded medians (``BENCH_serve.json``, ``BENCH_parallel_sweep
 .json``, ``BENCH_compiled.json``, ``BENCH_backends.json``) are diffed
 too: their ``median_seconds`` entries are matched against the current
-run by bare test name and gated by the same threshold.  ``--update``
+run by bare test name and gated by the same threshold.  A recorded
+file may carry its own ``budget`` (fractional slowdown tolerated,
+e.g. ``0.75`` for 1.75x) sized to the measured run-to-run noise of
+what it times — sub-100ms multi-process benches on a contended host
+need more headroom than second-scale single-process ones.  ``--update``
 never rewrites them — re-record by hand (see docs/performance.md for
 the multicore caveat).
 
@@ -98,6 +102,14 @@ def recorded_host(path: str) -> dict:
         payload = json.load(fh)
     host = payload.get("host")
     return dict(host) if isinstance(host, dict) else {}
+
+
+def recorded_budget(path: str):
+    """The file's own ``budget`` (fractional slowdown), or ``None``."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    budget = payload.get("budget")
+    return float(budget) if budget is not None else None
 
 
 def host_mismatch(host: dict) -> str:
@@ -252,13 +264,22 @@ def main(argv=None) -> int:
         if not shared:
             print(f"\n{label}: no matching benches in this run, skipped")
             continue
+        budget = recorded_budget(path)
+        threshold = budget if budget is not None else args.threshold
         reg, imp, _, _ = compare(
             {name: recorded[name] for name in shared},
             {name: bare[name] for name in shared},
-            args.threshold,
+            threshold,
         )
         mismatch = host_mismatch(recorded_host(path))
-        print(f"\n{label}: {len(shared)} recorded benches compared")
+        budget_note = (
+            f" (file budget {1.0 + threshold:.2f}x)"
+            if budget is not None else ""
+        )
+        print(
+            f"\n{label}: {len(shared)} recorded benches "
+            f"compared{budget_note}"
+        )
         if mismatch and reg:
             # Absolute medians from a different core count are not
             # comparable — report, but do not fail the run on them.
@@ -272,7 +293,7 @@ def main(argv=None) -> int:
             verdict = "WARNING  " if mismatch else "REGRESSED"
             print(
                 f"{verdict} {name}: {old * 1e3:.3f} -> {new * 1e3:.3f} ms "
-                f"({ratio:.2f}x > 1.{int(args.threshold * 100):02d}x budget)"
+                f"({ratio:.2f}x > {1.0 + threshold:.2f}x budget)"
             )
         if not mismatch:
             recorded_regressions += len(reg)

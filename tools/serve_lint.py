@@ -1,0 +1,178 @@
+"""Blocking-call linter for the async serving front door.
+
+``repro/serve/frontdoor.py`` runs on an asyncio event loop; one stray
+synchronous wait — a sleep, a blocking socket recv, a
+``Future.result()`` — stalls every lane's batching at once.  This tool
+walks the front-door module's AST and fails on any call that can block
+the loop:
+
+- ``time.sleep`` / bare ``sleep`` (use ``await asyncio.sleep``);
+- synchronous file I/O: ``open`` (use a worker thread, or keep file
+  work out of the front door entirely);
+- socket-level blocking: ``socket.socket``, ``.recv``, ``.accept``,
+  ``.connect``, ``.sendall`` (use asyncio transports);
+- blocking future/queue waits: ``.result``, ``.join``, ``.acquire``
+  on non-awaited calls, and ``queue.Queue`` (use ``asyncio.Queue``;
+  ``asyncio.wrap_future`` is the only sanctioned bridge to
+  ``concurrent.futures``);
+- ``subprocess.run`` / ``os.system`` / ``.wait``.
+
+The check is AST-based, not a grep: ``await member.acquire()`` is an
+*async* acquire and passes; ``slot.acquire()`` outside an ``await``
+fails.  Awaited calls are exempt by construction — anything behind
+``await`` yields to the loop.
+
+Usage::
+
+    python tools/serve_lint.py                  # exit 1 on violations
+    python tools/serve_lint.py --path <module>  # lint another module
+
+``tests/utils/test_serve_lint.py`` runs this as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import List, Optional, Tuple
+
+#: Plain-name calls that block the loop (module-level functions).
+BANNED_NAMES = ("sleep", "open", "system")
+
+#: ``module.func`` calls that block the loop.
+BANNED_QUALIFIED = (
+    ("time", "sleep"),
+    ("os", "system"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_output"),
+    ("socket", "socket"),
+    ("socket", "create_connection"),
+)
+
+#: Method names that block on whatever object they hang off — unless
+#: the call is awaited (an async primitive's method of the same name).
+BANNED_METHODS = (
+    "result",
+    "recv",
+    "accept",
+    "connect",
+    "sendall",
+    "acquire",
+    "join",
+    "wait",
+)
+
+#: Constructions of synchronous queues/locks inside the front door.
+BANNED_CONSTRUCTORS = (
+    ("queue", "Queue"),
+    ("threading", "Lock"),
+    ("threading", "Condition"),
+    ("threading", "Event"),
+)
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..",
+    "src",
+    "repro",
+    "serve",
+    "frontdoor.py",
+)
+
+
+def _qualified(func: ast.AST) -> Optional[Tuple[str, str]]:
+    """``("module", "attr")`` for a ``module.attr`` call target."""
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return (func.value.id, func.attr)
+    return None
+
+
+def _awaited_calls(tree: ast.AST) -> set:
+    """The set of Call nodes that appear directly under ``await``."""
+    awaited = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+            awaited.add(id(node.value))
+    return awaited
+
+
+def find_blocking(source: str, filename: str) -> List[Tuple[int, str]]:
+    """``(line, reason)`` for every loop-blocking call in ``source``."""
+    tree = ast.parse(source, filename=filename)
+    awaited = _awaited_calls(tree)
+    found: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in BANNED_NAMES:
+            found.append(
+                (node.lineno, f"blocking call {func.id}()")
+            )
+            continue
+        pair = _qualified(func)
+        if pair in BANNED_QUALIFIED:
+            found.append(
+                (node.lineno, f"blocking call {pair[0]}.{pair[1]}()")
+            )
+            continue
+        if pair in BANNED_CONSTRUCTORS:
+            found.append(
+                (
+                    node.lineno,
+                    f"synchronous primitive {pair[0]}.{pair[1]}() — use "
+                    "the asyncio equivalent",
+                )
+            )
+            continue
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in BANNED_METHODS
+            and id(node) not in awaited
+        ):
+            # asyncio.wrap_future(...) is the sanctioned bridge; its
+            # receiver is awaited, and the inner call is not a method.
+            found.append(
+                (
+                    node.lineno,
+                    f"non-awaited .{func.attr}() may block the event loop",
+                )
+            )
+    return sorted(found)
+
+
+def lint_file(path: str) -> List[str]:
+    """Violation messages for one module."""
+    with open(path) as fh:
+        source = fh.read()
+    rel = os.path.basename(path)
+    return [
+        f"{rel}:{lineno}: {reason}"
+        for lineno, reason in find_blocking(source, path)
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--path",
+        default=DEFAULT_PATH,
+        help="module to lint (default: the serving front door)",
+    )
+    args = parser.parse_args(argv)
+    path = os.path.abspath(args.path)
+    violations = lint_file(path)
+    if violations:
+        print(f"blocking calls in async module {path}:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"no blocking calls in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
