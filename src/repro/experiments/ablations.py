@@ -43,7 +43,7 @@ def _sample_layer(bench: Workbench):
     Gives the data-dependent inputs the Vref / tiled studies need:
     activation patches in [0, 1] and DoReFa weights in [-1, 1].
     """
-    model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    model, _ = bench.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True)
     model.eval()
     images = bench.data.val.images[:64]
     from repro.tensor.tensor import Tensor, no_grad
@@ -78,11 +78,15 @@ def run(bench: Workbench) -> ExperimentResult:
     )
     extras["tiled_rms_ratio"] = actual_rms / predicted
 
-    model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    model, _ = bench.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True)
     base_acc = bench.stats(model).mean
-    lumped, _ = bench.model(ModelSpec("ams_eval", enob=enob))
+    lumped, _ = bench.registry.get(
+        ModelSpec("ams_eval", enob=enob), fresh=True
+    )
     lumped_acc = bench.stats(lumped).mean
-    tiled_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    tiled_model, _ = bench.registry.get(
+        ModelSpec("quant", bw=8, bx=8), fresh=True
+    )
     tile_quantized_convs(
         tiled_model, VMACConfig(enob=enob, nmult=nmult), seed=cfg.seed
     )
@@ -148,9 +152,12 @@ def run(bench: Workbench) -> ExperimentResult:
     # Paper: "injecting AMS error into the last layer while training led
     # to a loss of the network's ability to learn, and this workaround
     # provides a working solution."
-    normal, meta_normal = bench.model(ModelSpec("ams", enob=enob))
-    injected, meta_injected = bench.model(
-        ModelSpec("ams", enob=enob, inject_last_in_training=True)
+    normal, meta_normal = bench.registry.get(
+        ModelSpec("ams", enob=enob), fresh=True
+    )
+    injected, meta_injected = bench.registry.get(
+        ModelSpec("ams", enob=enob, inject_last_in_training=True),
+        fresh=True,
     )
     rows.append(
         [

@@ -44,10 +44,12 @@ EXPERIMENT_ID = "alloc"
 TITLE = "Per-layer ENOB allocation vs uniform (equal noise budget)"
 
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
+    "fp32": Artifact(
+        "fp32", lambda b: b.registry.get(ModelSpec("fp32"), fresh=True)
+    ),
     "quant-8-8": Artifact(
         "quant-8-8",
-        lambda b: b.model(ModelSpec("quant", bw=8, bx=8)),
+        lambda b: b.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True),
         deps=("fp32",),
     ),
 }
@@ -55,7 +57,7 @@ ARTIFACTS = {
 
 def _layer_budgets(bench: Workbench) -> List[LayerBudget]:
     """Profiles of the experiment network's compute layers."""
-    model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    model, _ = bench.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True)
     cfg = bench.config
     shape = (1, 3, cfg.image_size, cfg.image_size)
     return [
@@ -66,7 +68,7 @@ def _layer_budgets(bench: Workbench) -> List[LayerBudget]:
 
 def _measure(bench: Workbench, layers, enobs: Dict[str, float]) -> float:
     """Accuracy of the quantized net with per-layer ENOB injection."""
-    quant, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    quant, _ = bench.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True)
     model = bench.build(
         ModelSpec("ams", enob=bench.config.table2_enob), noise_tag="alloc"
     )
@@ -83,7 +85,7 @@ def _sens_point(
     bench: Workbench, index: int, probe_enob: float, n_layers: int
 ) -> float:
     """Accuracy with noise injected into layer ``index`` only."""
-    quant, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    quant, _ = bench.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True)
     model = bench.build(
         ModelSpec("ams", enob=probe_enob), noise_tag=f"sens{index}"
     )
@@ -109,7 +111,9 @@ def _empirical_sensitivities(
     The per-layer probes are independent, so they fan out through
     :func:`~repro.parallel.sweep_map` when ``bench.jobs > 1``.
     """
-    base = bench.stats(bench.model(ModelSpec("ams_eval", enob=16.0))[0]).mean
+    base = bench.stats(
+        bench.registry.get(ModelSpec("ams_eval", enob=16.0), fresh=True)[0]
+    ).mean
     points = [
         SweepPoint(
             key=layer.name,
@@ -168,7 +172,7 @@ def run(bench: Workbench) -> ExperimentResult:
         )
 
     uniform_acc = bench.stats(
-        bench.model(ModelSpec("ams_eval", enob=enob))[0]
+        bench.registry.get(ModelSpec("ams_eval", enob=enob), fresh=True)[0]
     ).mean
     naive_acc = _measure(bench, layers, naive)
     pa_acc = _measure(bench, layers, per_activation)

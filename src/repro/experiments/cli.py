@@ -7,6 +7,8 @@ Examples::
     python -m repro.experiments run fig8 --profile quick --seed 7
     python -m repro.experiments all --profile quick
     python -m repro.experiments serve --spec ams:e5.5:n8 --requests 256
+    python -m repro.experiments registry list
+    python -m repro.experiments registry evict --spec quant:bw8:bx8
     python -m repro.experiments errmodels
     python -m repro.experiments obs list
     python -m repro.experiments obs summary <run_id>
@@ -20,13 +22,13 @@ summary); the ``obs`` subcommands render those journals afterwards.
 from __future__ import annotations
 
 import argparse
-import re
 import sys
 import time
 from typing import List, Optional
 
 from repro.experiments.common import Workbench
 from repro.experiments.config import make_config
+from repro.registry.layout import DEFAULT_CACHE_DIR
 from repro.experiments.registry import (
     DEFAULT_ORDER,
     EXPERIMENTS,
@@ -59,9 +61,41 @@ def _build_parser() -> argparse.ArgumentParser:
     everything = sub.add_parser("all", help="run every experiment in order")
     _add_common(everything)
 
-    cache = sub.add_parser("cache", help="inspect or clear trained-model caches")
+    cache = sub.add_parser(
+        "cache", help="deprecated alias of 'registry list' / 'registry evict'"
+    )
     cache.add_argument("action", choices=("list", "clear"))
-    cache.add_argument("--cache-dir", default=".cache/experiments")
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+
+    registry_cmd = sub.add_parser(
+        "registry",
+        help="manage the model-artifact registry "
+        "(list|evict|warm|stats; see docs/registry.md)",
+    )
+    registry_cmd.add_argument(
+        "action",
+        nargs="?",
+        help="list (cold-tier artifacts), evict (--name/--spec/--all), "
+        "warm (--spec), or stats",
+    )
+    registry_cmd.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    registry_cmd.add_argument(
+        "--name",
+        default=None,
+        help="artifact stem (file name without .npz/.json) to evict",
+    )
+    registry_cmd.add_argument(
+        "--spec",
+        default=None,
+        help="model spec (e.g. ams:e5.5:n8) to evict or warm",
+    )
+    registry_cmd.add_argument(
+        "--all",
+        action="store_true",
+        dest="evict_all",
+        help="evict every cold-tier artifact",
+    )
+    _add_common(registry_cmd)
 
     export = sub.add_parser(
         "export", help="flatten results/<id>.json records into CSV files"
@@ -251,49 +285,170 @@ def _run_one(
     print(f"[{name}] done in {elapsed:.1f}s -> {path}\n")
 
 
-#: Leftovers of a crashed worker's atomic write: real cache entries are
-#: ``<name>.npz`` / ``<name>.json`` / ``<name>.ckpt.npz``; a process
-#: that died mid-save leaves ``<name>.<ext>.tmp<pid>`` behind (or, from
-#: builds predating the shared atomic_write helper,
-#: ``<name>.tmp<pid>.<ext>``).
-_STALE_TMP = re.compile(r"(\.tmp\d+\.(npz|json)|\.(npz|json)\.tmp\d+)$")
+#: Recognized ``registry`` actions (sorted; did-you-mean on a miss).
+_REGISTRY_ACTIONS = ("evict", "list", "stats", "warm")
 
 
 def _handle_cache(action: str, cache_dir: str) -> int:
+    """Deprecated ``cache list|clear`` alias over the registry CLI.
+
+    Same artifacts, but eviction now goes through
+    :func:`repro.registry.layout.evict_artifacts` — which never
+    deletes a **live** temporary, so ``cache clear`` racing a worker
+    mid-publication can no longer tear the worker's atomic write.
+    """
+    from repro.obs.deprecation import warn_once
+
+    warn_once(
+        "cli.cache",
+        "'cache list|clear' is deprecated; use 'registry list' / "
+        "'registry evict --all' — same artifacts, race-safe eviction",
+    )
+    if action == "list":
+        return _registry_list(cache_dir)
+    return _registry_evict(cache_dir, everything=True)
+
+
+def _registry_list(cache_dir: str) -> int:
+    """Print the cold tier: complete artifacts plus tmp-file health."""
     import os
+
+    from repro.registry.layout import scan_artifacts
 
     if not os.path.isdir(cache_dir):
         print(f"no cache at {cache_dir}")
         return 0
-    names = os.listdir(cache_dir)
-    stale = sorted(name for name in names if _STALE_TMP.search(name))
-    entries = sorted(
-        name
-        for name in names
-        if name.endswith(".npz") and not _STALE_TMP.search(name)
+    entries, stale, live = scan_artifacts(cache_dir)
+    if not entries:
+        print(f"cache at {cache_dir} is empty")
+    for entry in entries:
+        print(f"{entry.size_bytes // 1024:6d} KB  {entry.name}")
+    if stale:
+        print(
+            f"({len(stale)} stale tmp file(s) from crashed workers; "
+            "'registry evict' removes them)"
+        )
+    if live:
+        print(
+            f"({len(live)} live tmp file(s): writers still publishing, "
+            "left alone)"
+        )
+    return 0
+
+
+def _registry_stats(cache_dir: str) -> int:
+    """Cold-tier totals (the warm tier is per-process, see stats())."""
+    from repro.registry.layout import scan_artifacts
+
+    entries, stale, live = scan_artifacts(cache_dir)
+    total_kb = sum(entry.size_bytes for entry in entries) // 1024
+    print(
+        f"cold tier at {cache_dir}: {len(entries)} artifact(s), "
+        f"{total_kb} KB"
     )
-    if action == "list":
-        if not entries:
-            print(f"cache at {cache_dir} is empty")
-        for name in entries:
-            size_kb = os.path.getsize(os.path.join(cache_dir, name)) // 1024
-            print(f"{size_kb:6d} KB  {name}")
-        if stale:
-            print(
-                f"({len(stale)} stale tmp file(s) from crashed workers; "
-                "'cache clear' removes them)"
-            )
-        return 0
-    removed = 0
-    for name in names:
-        if name.endswith((".npz", ".json")) or _STALE_TMP.search(name):
-            os.remove(os.path.join(cache_dir, name))
-            removed += 1
+    print(f"stale tmp files: {len(stale)}; live tmp files: {len(live)}")
+    return 0
+
+
+def _registry_evict(
+    cache_dir: str, names=None, everything: bool = False
+) -> int:
+    """Evict cold artifacts; stale tmps are swept, live tmps kept."""
+    from repro.registry.layout import evict_artifacts, scan_artifacts
+
+    _entries, stale, _live = scan_artifacts(cache_dir)
+    removed, live_kept = evict_artifacts(
+        cache_dir, names=names, everything=everything
+    )
     print(
         f"removed {removed} cache files from {cache_dir}"
         + (f" (including {len(stale)} stale tmp)" if stale else "")
     )
+    if live_kept:
+        print(
+            f"kept {len(live_kept)} live tmp file(s) "
+            "(writers still publishing)"
+        )
     return 0
+
+
+def _registry_warm_body(args, config, spec) -> int:
+    """Train-or-load ``spec`` and admit it to this run's warm tier."""
+    bench = Workbench(config, jobs=args.jobs)
+    registry = bench.registry
+    registry.warm(spec)
+    stats = registry.stats()
+    print(f"warmed {spec.resolved(config).token()}")
+    print(f"warm tier now: {', '.join(stats['warm'])}")
+    return 0
+
+
+def _handle_registry(args, argv: List[str]) -> int:
+    """Dispatch ``registry list|evict|warm|stats`` (exit 2 on misuse)."""
+    import difflib
+
+    action = args.action
+    if action not in _REGISTRY_ACTIONS:
+        close = difflib.get_close_matches(
+            action or "", _REGISTRY_ACTIONS, n=1
+        )
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
+        print(
+            f"error: unknown registry action {action!r}; options: "
+            f"{', '.join(_REGISTRY_ACTIONS)}{hint}",
+            file=sys.stderr,
+        )
+        return 2
+    if action == "list":
+        return _registry_list(args.cache_dir)
+    if action == "stats":
+        return _registry_stats(args.cache_dir)
+
+    from repro.errors import ReproError
+    from repro.serve.spec import ModelSpec
+
+    if action == "evict":
+        chosen = sum(
+            1 for flag in (args.name, args.spec, args.evict_all) if flag
+        )
+        if chosen != 1:
+            print(
+                "error: registry evict needs exactly one of "
+                "--name, --spec, or --all",
+                file=sys.stderr,
+            )
+            return 2
+        if args.evict_all:
+            return _registry_evict(args.cache_dir, everything=True)
+        if args.name:
+            return _registry_evict(args.cache_dir, names=[args.name])
+        try:
+            config = make_config(profile=args.profile, seed=args.seed)
+            spec = ModelSpec.parse(args.spec).resolved(config)
+            stem = f"{config.cache_key_prefix()}-{spec.cache_name()}"
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return _registry_evict(args.cache_dir, names=[stem])
+    # warm: journaled like run/serve — the promote events and tier
+    # metrics land in the run journal for obs summary.
+    if not args.spec:
+        print("error: registry warm needs --spec", file=sys.stderr)
+        return 2
+    try:
+        spec = ModelSpec.parse(args.spec)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = make_config(
+        profile=args.profile,
+        seed=args.seed,
+        results_dir=args.results_dir,
+        cache_dir=args.cache_dir,
+    )
+    return _journaled(
+        args, config, argv, lambda: _registry_warm_body(args, config, spec)
+    )
 
 
 def _handle_errmodels() -> int:
@@ -613,6 +768,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _handle_errmodels()
     if args.command == "cache":
         return _handle_cache(args.action, args.cache_dir)
+    if args.command == "registry":
+        return _handle_registry(args, cli_argv)
     if args.command == "obs":
         return _handle_obs(args)
     if args.command == "serve":

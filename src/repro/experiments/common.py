@@ -132,6 +132,24 @@ class Workbench:
             self.retry_backoff = retry_backoff
         self._data: Optional[SynthImageNet] = None
         self._accuracy_cache: Dict[str, dict] = {}
+        self._registry = None
+
+    # ------------------------------------------------------------------
+    # model acquisition (the registry owns all tiers)
+    # ------------------------------------------------------------------
+    @property
+    def registry(self):
+        """This workbench's :class:`repro.registry.ModelRegistry`.
+
+        The single model-acquisition entry point:
+        ``bench.registry.get(spec, fresh=True)`` replaces the
+        deprecated ``bench.model(spec)`` bit for bit.
+        """
+        if self._registry is None:
+            from repro.registry import ModelRegistry
+
+            self._registry = ModelRegistry(self)
+        return self._registry
 
     # ------------------------------------------------------------------
     # data
@@ -217,10 +235,11 @@ class Workbench:
     # cached training
     # ------------------------------------------------------------------
     def _cache_base(self, name: str) -> str:
-        os.makedirs(self.config.cache_dir, exist_ok=True)
-        return os.path.join(
-            self.config.cache_dir, f"{self.config.cache_key_prefix()}-{name}"
-        )
+        # The registry layout is the single home for cache paths
+        # (tools/registry_lint.py forbids building them anywhere else).
+        from repro.registry.layout import artifact_base
+
+        return artifact_base(self.config, name)
 
     def _train_cached(
         self,
@@ -308,14 +327,28 @@ class Workbench:
         )
 
     # ------------------------------------------------------------------
-    # the shared artifacts: one entry point, keyed by ModelSpec
+    # the shared artifacts: train-or-load, keyed by ModelSpec
     # ------------------------------------------------------------------
     def model(self, spec: ModelSpec) -> Tuple[ResNet, dict]:
+        """Deprecated: use ``registry.get(spec, fresh=True)``.
+
+        The registry (:mod:`repro.registry`) is now the single model-
+        acquisition entry point; this shim forwards to it — same cache
+        artifacts, same training recursion, bit-identical models —
+        and warns once per process.
+        """
+        _warn_deprecated(
+            "model", "Workbench.registry.get(spec, fresh=True)"
+        )
+        return self.registry.get(spec, fresh=True)
+
+    def _train_or_load(self, spec: ModelSpec) -> Tuple[ResNet, dict]:
         """Train-or-load the artifact named by ``spec``.
 
-        The single public build/train/load entry point.  Cache file
-        names are exactly those of the pre-spec keyword methods, so
-        adopting the spec API never retrains an existing artifact.
+        The registry's cold-tier/miss backend (reach it through
+        :meth:`registry`).  Cache file names are exactly those of the
+        pre-spec keyword methods, so adopting the spec API never
+        retrains an existing artifact.
 
         - ``fp32``: pretrained from scratch.
         - ``quant``: DoReFa-retrained from ``fp32`` with a doubled
@@ -337,7 +370,7 @@ class Workbench:
                 self._pretrain_config(),
             )
         if spec.variant == "quant":
-            fp32, _ = self.model(spec.baseline())
+            fp32, _ = self._train_or_load(spec.baseline())
             retrain = self._retrain_config()
             retrain = dc_replace(retrain, epochs=retrain.epochs * 2)
             return self._train_cached(
@@ -347,7 +380,7 @@ class Workbench:
                 init_state=fp32.state_dict(),
             )
         if spec.variant == "ams":
-            quant, _ = self.model(spec.baseline())
+            quant, _ = self._train_or_load(spec.baseline())
             return self._train_cached(
                 spec.cache_name(),
                 lambda: self.build(spec),
@@ -355,7 +388,7 @@ class Workbench:
                 init_state=quant.state_dict(),
                 freeze=spec.freeze,
             )
-        quant, quant_meta = self.model(spec.baseline())
+        quant, quant_meta = self._train_or_load(spec.baseline())
         model = self.build(spec)
         model.load_state_dict(quant.state_dict())
         return model, dict(quant_meta, eval_only=True)
@@ -398,16 +431,21 @@ class Workbench:
         return self.build(spec, with_probes=with_probes, noise_tag=noise_tag)
 
     def fp32_model(self) -> Tuple[ResNet, dict]:
-        """Deprecated: use ``model(ModelSpec('fp32'))``."""
-        _warn_deprecated("fp32_model", "Workbench.model(ModelSpec('fp32'))")
-        return self.model(ModelSpec("fp32"))
+        """Deprecated: use ``registry.get(ModelSpec('fp32'))``."""
+        _warn_deprecated(
+            "fp32_model", "Workbench.registry.get(ModelSpec('fp32'))"
+        )
+        return self.registry.get(ModelSpec("fp32"), fresh=True)
 
     def quantized_model(self, bw: int, bx: int) -> Tuple[ResNet, dict]:
-        """Deprecated: use ``model(ModelSpec('quant', bw=.., bx=..))``."""
+        """Deprecated: use ``registry.get(ModelSpec('quant', ...))``."""
         _warn_deprecated(
-            "quantized_model", "Workbench.model(ModelSpec('quant', ...))"
+            "quantized_model",
+            "Workbench.registry.get(ModelSpec('quant', ...))",
         )
-        return self.model(ModelSpec("quant", bw=bw, bx=bx))
+        return self.registry.get(
+            ModelSpec("quant", bw=bw, bx=bx), fresh=True
+        )
 
     def ams_retrained(
         self,
@@ -418,11 +456,11 @@ class Workbench:
         freeze: Sequence[str] = (),
         inject_last_in_training: bool = False,
     ) -> Tuple[ResNet, dict]:
-        """Deprecated: use ``model(ModelSpec('ams', ...))``."""
+        """Deprecated: use ``registry.get(ModelSpec('ams', ...))``."""
         _warn_deprecated(
-            "ams_retrained", "Workbench.model(ModelSpec('ams', ...))"
+            "ams_retrained", "Workbench.registry.get(ModelSpec('ams', ...))"
         )
-        return self.model(
+        return self.registry.get(
             ModelSpec(
                 "ams",
                 enob=enob,
@@ -431,18 +469,21 @@ class Workbench:
                 bx=bx,
                 freeze=tuple(freeze),
                 inject_last_in_training=inject_last_in_training,
-            )
+            ),
+            fresh=True,
         )
 
     def ams_eval_only(
         self, enob: float, nmult: Optional[int] = None, bw: int = 8, bx: int = 8
     ) -> ResNet:
-        """Deprecated: use ``model(ModelSpec('ams_eval', ...))``."""
+        """Deprecated: use ``registry.get(ModelSpec('ams_eval', ...))``."""
         _warn_deprecated(
-            "ams_eval_only", "Workbench.model(ModelSpec('ams_eval', ...))"
+            "ams_eval_only",
+            "Workbench.registry.get(ModelSpec('ams_eval', ...))",
         )
-        model, _ = self.model(
-            ModelSpec("ams_eval", enob=enob, nmult=nmult, bw=bw, bx=bx)
+        model, _ = self.registry.get(
+            ModelSpec("ams_eval", enob=enob, nmult=nmult, bw=bw, bx=bx),
+            fresh=True,
         )
         return model
 
@@ -451,7 +492,7 @@ class Workbench:
     # ------------------------------------------------------------------
     def probed(self, spec: ModelSpec) -> ResNet:
         """The trained artifact for ``spec`` rebuilt with activation probes."""
-        trained, _ = self.model(spec)
+        trained, _ = self.registry.get(spec, fresh=True)
         model = self.build(spec, with_probes=True)
         model.load_state_dict(trained.state_dict())
         return model

@@ -27,10 +27,12 @@ TITLE = "Fig. 4: top-1 accuracy loss vs ENOB (re: 8b quantized, Nmult=8)"
 #: Shared trained models every grid point leans on; built serially in
 #: the parent so sweep workers find a warm disk cache.
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
+    "fp32": Artifact(
+        "fp32", lambda b: b.registry.get(ModelSpec("fp32"), fresh=True)
+    ),
     "quant-8-8": Artifact(
         "quant-8-8",
-        lambda b: b.model(ModelSpec("quant", bw=8, bx=8)),
+        lambda b: b.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True),
         deps=("fp32",),
     ),
 }
@@ -38,16 +40,20 @@ ARTIFACTS = {
 
 def _point(bench: Workbench, enob: float):
     """One ENOB grid point: eval-only and retrained statistics."""
-    eval_only, _ = bench.model(ModelSpec("ams_eval", enob=enob))
+    eval_only, _ = bench.registry.get(
+        ModelSpec("ams_eval", enob=enob), fresh=True
+    )
     eval_stats = bench.stats(eval_only)
-    retrained, _ = bench.model(ModelSpec("ams", enob=enob))
+    retrained, _ = bench.registry.get(ModelSpec("ams", enob=enob), fresh=True)
     retrain_stats = bench.stats(retrained)
     return eval_stats, retrain_stats
 
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    base_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    base_model, _ = bench.registry.get(
+        ModelSpec("quant", bw=8, bx=8), fresh=True
+    )
     base = bench.stats(base_model)
 
     points = [

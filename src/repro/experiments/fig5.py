@@ -19,10 +19,12 @@ EXPERIMENT_ID = "fig5"
 TITLE = "Fig. 5: top-1 accuracy loss vs ENOB (re: 6b quantized, eval only)"
 
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
+    "fp32": Artifact(
+        "fp32", lambda b: b.registry.get(ModelSpec("fp32"), fresh=True)
+    ),
     "quant-6-6": Artifact(
         "quant-6-6",
-        lambda b: b.model(ModelSpec("quant", bw=6, bx=6)),
+        lambda b: b.registry.get(ModelSpec("quant", bw=6, bx=6), fresh=True),
         deps=("fp32",),
     ),
 }
@@ -30,13 +32,17 @@ ARTIFACTS = {
 
 def _point(bench: Workbench, enob: float):
     """One eval-only grid point at 6b precision."""
-    model, _ = bench.model(ModelSpec("ams_eval", enob=enob, bw=6, bx=6))
+    model, _ = bench.registry.get(
+        ModelSpec("ams_eval", enob=enob, bw=6, bx=6), fresh=True
+    )
     return bench.stats(model)
 
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    base_model, _ = bench.model(ModelSpec("quant", bw=6, bx=6))
+    base_model, _ = bench.registry.get(
+        ModelSpec("quant", bw=6, bx=6), fresh=True
+    )
     base = bench.stats(base_model)
 
     points = [

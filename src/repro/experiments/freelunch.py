@@ -38,7 +38,9 @@ ENSEMBLE_SIZES = (2, 4, 8)
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
     enob = cfg.table2_enob
-    base_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    base_model, _ = bench.registry.get(
+        ModelSpec("quant", bw=8, bx=8), fresh=True
+    )
     base = bench.stats(base_model)
 
     rows = []
@@ -50,11 +52,15 @@ def run(bench: Workbench) -> ExperimentResult:
         rows.append([label, loss, cost, bits])
 
     # Reference 1: plain eval-only (the damage to fix).
-    eval_model, _ = bench.model(ModelSpec("ams_eval", enob=enob))
+    eval_model, _ = bench.registry.get(
+        ModelSpec("ams_eval", enob=enob), fresh=True
+    )
     record("eval only", bench.stats(eval_model).mean, "1x energy", "+0.0b")
 
     # Method 1: BN recalibration (forward passes only).
-    recal_model, _ = bench.model(ModelSpec("ams_eval", enob=enob))
+    recal_model, _ = bench.registry.get(
+        ModelSpec("ams_eval", enob=enob), fresh=True
+    )
     recalibrate_batchnorm(
         recal_model, bench.data.train, batch_size=cfg.batch_size
     )
@@ -90,7 +96,7 @@ def run(bench: Workbench) -> ExperimentResult:
     )
 
     # Reference 2: full retraining with error in the loop (Fig. 4).
-    retrained, _ = bench.model(ModelSpec("ams", enob=enob))
+    retrained, _ = bench.registry.get(ModelSpec("ams", enob=enob), fresh=True)
     record(
         "retrained (paper's method)",
         bench.stats(retrained).mean,

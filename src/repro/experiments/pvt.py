@@ -40,7 +40,7 @@ DEVICES = 5
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    quant, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    quant, _ = bench.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True)
     baseline = evaluate_accuracy(quant, bench.data.val, cfg.batch_size)
 
     rows = []

@@ -41,9 +41,11 @@ def run(bench: Workbench) -> ExperimentResult:
     accuracies = {}
     for label, bw, bx in CONFIGS:
         if bw is None:
-            model, meta = bench.model(ModelSpec("fp32"))
+            model, meta = bench.registry.get(ModelSpec("fp32"), fresh=True)
         else:
-            model, meta = bench.model(ModelSpec("quant", bw=bw, bx=bx))
+            model, meta = bench.registry.get(
+                ModelSpec("quant", bw=bw, bx=bx), fresh=True
+            )
         stats = bench.stats(model)
         accuracies[label] = stats.mean
         rows.append([label, stats.mean, stats.std, meta["best_epoch"]])

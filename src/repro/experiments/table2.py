@@ -35,10 +35,12 @@ FREEZE_ROWS = (
 )
 
 ARTIFACTS = {
-    "fp32": Artifact("fp32", lambda b: b.model(ModelSpec("fp32"))),
+    "fp32": Artifact(
+        "fp32", lambda b: b.registry.get(ModelSpec("fp32"), fresh=True)
+    ),
     "quant-8-8": Artifact(
         "quant-8-8",
-        lambda b: b.model(ModelSpec("quant", bw=8, bx=8)),
+        lambda b: b.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True),
         deps=("fp32",),
     ),
 }
@@ -46,17 +48,20 @@ ARTIFACTS = {
 
 def _point(bench: Workbench, freeze):
     """One freeze-group row: retrain with ``freeze`` and evaluate."""
-    model, _ = bench.model(
+    model, _ = bench.registry.get(
         ModelSpec(
             "ams", enob=bench.config.table2_enob, freeze=tuple(freeze)
-        )
+        ),
+        fresh=True,
     )
     return bench.stats(model)
 
 
 def run(bench: Workbench) -> ExperimentResult:
     cfg = bench.config
-    base_model, _ = bench.model(ModelSpec("quant", bw=8, bx=8))
+    base_model, _ = bench.registry.get(
+        ModelSpec("quant", bw=8, bx=8), fresh=True
+    )
     base = bench.stats(base_model)
 
     points = [

@@ -74,6 +74,9 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "serve.stats": ("stats",),
     "serve.replica": ("replica", "action"),
     "serve.shared": ("spec", "bytes", "path"),
+    # model registry tiers (see repro.registry / docs/registry.md)
+    "registry.tier": ("spec", "action", "tier"),
+    "registry.warmup": ("spec", "status"),
     # workbench artifacts
     "bench.artifact": ("name", "source"),
     # freeform annotation

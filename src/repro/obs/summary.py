@@ -116,6 +116,32 @@ def serve_replica_rows(events: List[dict]) -> List[List[object]]:
     ]
 
 
+def registry_tier_rows(events: List[dict]) -> List[List[object]]:
+    """``[metric key, value]`` for every ``registry.*`` counter/gauge.
+
+    Taken from the run's final ``metrics`` snapshot, so the rows
+    reconstruct the registry's tier traffic (hits, misses, promotions,
+    evictions, warm occupancy) from the journal alone.
+    """
+    metrics = last_metrics(events)
+    if not metrics:
+        return []
+    rows: List[List[object]] = []
+    for section in ("counters", "gauges"):
+        for key, value in metrics.get(section, {}).items():
+            if key.startswith("registry."):
+                rows.append([key, value])
+    return sorted(rows)
+
+
+def registry_warmup_rows(events: List[dict]) -> List[List[object]]:
+    """``[spec, status]`` per ``registry.warmup`` lifecycle event."""
+    return [
+        [event["spec"], event["status"]]
+        for event in events_of(events, "registry.warmup")
+    ]
+
+
 def train_rows(events: List[dict]) -> List[List[object]]:
     return [
         [e["epoch"], e["train_loss"], e["val_accuracy"], e["lr"],
@@ -249,6 +275,26 @@ def summarize_run(run: str, results_dir: str = "results") -> str:
                  "p50 ms", "p99 ms"],
                 replicas,
                 title="serve cluster replicas (from serve.stats)",
+            )
+        )
+
+    tiers = registry_tier_rows(events)
+    if tiers:
+        parts.append(
+            format_table(
+                ["metric", "value"],
+                tiers,
+                title="model registry tiers (from the final metrics)",
+            )
+        )
+
+    warmups = registry_warmup_rows(events)
+    if warmups:
+        parts.append(
+            format_table(
+                ["spec", "status"],
+                warmups,
+                title="background warm-ups (from registry.warmup events)",
             )
         )
 

@@ -1,0 +1,208 @@
+"""On-disk layout of the model-artifact registry (the cold tier).
+
+Every trained artifact lives in one flat cache directory as an atomic
+pair — ``<prefix>-<cache_name>.npz`` (state dict) plus the matching
+``.json`` (training metadata) — with a transient ``.ckpt.npz`` beside
+it while training is in flight.  ``<prefix>`` is
+``ExperimentConfig.cache_key_prefix()`` (profile, seed, data shape),
+``<cache_name>`` is :meth:`repro.serve.spec.ModelSpec.cache_name` — the
+content address the registry is keyed by.
+
+This module is the **single home** for cache-directory path
+construction: ``tools/registry_lint.py`` (tier-1) rejects any other
+module under ``repro`` that touches ``config.cache_dir`` or spells the
+default cache path, so tier bookkeeping can trust that every artifact
+on disk went through these helpers — and through the crash-safe
+:func:`repro.utils.atomic_write` protocol they build on.
+
+Crashed writers leave pid-unique temporaries behind
+(``<file>.tmp<pid>``).  :func:`scan_artifacts` classifies those as
+*stale* only when the owning pid is gone; a temporary whose writer is
+still alive is **live** and must never be deleted — removing it would
+crash the writer's ``os.replace`` mid-publication, which is exactly
+the torn-artifact race the registry exists to prevent.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: The conventional cache directory (``ExperimentConfig.cache_dir``'s
+#: default).  CLI parsers take it from here so the literal path is
+#: spelled exactly once outside the config dataclass.
+DEFAULT_CACHE_DIR = ".cache/experiments"
+
+#: Leftovers of a crashed worker's atomic write: real cache entries are
+#: ``<name>.npz`` / ``<name>.json`` / ``<name>.ckpt.npz``; a process
+#: that died mid-save leaves ``<name>.<ext>.tmp<pid>`` behind (or, from
+#: builds predating the shared atomic_write helper,
+#: ``<name>.tmp<pid>.<ext>``).
+STALE_TMP = re.compile(r"(\.tmp(\d+)\.(npz|json)|\.(npz|json)\.tmp(\d+))$")
+
+
+@dataclass(frozen=True)
+class ArtifactPaths:
+    """The file triple of one cold-tier artifact."""
+
+    base: str
+    state: str  # <base>.npz — the trained state dict
+    meta: str  # <base>.json — training metadata
+    ckpt: str  # <base>.ckpt.npz — transient per-epoch checkpoint
+
+
+def artifact_base(config, name: str) -> str:
+    """``<cache_dir>/<prefix>-<name>``, creating the cache directory.
+
+    ``config`` is anything with ``cache_dir`` and
+    ``cache_key_prefix()`` — normally an
+    :class:`~repro.experiments.config.ExperimentConfig`.
+    """
+    os.makedirs(config.cache_dir, exist_ok=True)
+    return os.path.join(
+        config.cache_dir, f"{config.cache_key_prefix()}-{name}"
+    )
+
+
+def artifact_paths(config, name: str) -> ArtifactPaths:
+    """The state/meta/checkpoint paths of the artifact named ``name``."""
+    base = artifact_base(config, name)
+    return ArtifactPaths(
+        base=base,
+        state=base + ".npz",
+        meta=base + ".json",
+        ckpt=base + ".ckpt.npz",
+    )
+
+
+def artifact_exists(config, name: str) -> bool:
+    """Whether a complete (state + meta) artifact is on disk."""
+    paths = artifact_paths(config, name)
+    return os.path.exists(paths.state) and os.path.exists(paths.meta)
+
+
+# ----------------------------------------------------------------------
+# cache-directory scans (the CLI's view; no config object required)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One complete ``.npz`` entry found by :func:`scan_artifacts`."""
+
+    name: str  # file name, e.g. quick-s77-...-fp32.npz
+    path: str
+    size_bytes: int
+
+
+def _tmp_pid(name: str) -> Optional[int]:
+    """The writer pid encoded in a temporary's file name, else None."""
+    match = STALE_TMP.search(name)
+    if match is None:
+        return None
+    pid = match.group(2) or match.group(5)
+    return int(pid) if pid else None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness check for ``pid`` (True when unsure)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def scan_artifacts(
+    cache_dir: str,
+) -> Tuple[List[ArtifactEntry], List[str], List[str]]:
+    """Classify a cache directory: ``(entries, stale_tmps, live_tmps)``.
+
+    ``entries`` are complete ``.npz`` artifacts; ``stale_tmps`` are
+    temporaries whose writer process is gone (safe to delete);
+    ``live_tmps`` are temporaries a running writer still owns — an
+    eviction in progress must leave them alone.
+    """
+    if not os.path.isdir(cache_dir):
+        return [], [], []
+    entries: List[ArtifactEntry] = []
+    stale: List[str] = []
+    live: List[str] = []
+    for name in sorted(os.listdir(cache_dir)):
+        pid = _tmp_pid(name)
+        if pid is not None:
+            (live if _pid_alive(pid) else stale).append(name)
+            continue
+        if name.endswith(".npz"):
+            path = os.path.join(cache_dir, name)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue  # raced with a concurrent eviction
+            entries.append(
+                ArtifactEntry(name=name, path=path, size_bytes=size)
+            )
+    return entries, stale, live
+
+
+def evict_artifacts(
+    cache_dir: str,
+    names: Optional[List[str]] = None,
+    everything: bool = False,
+) -> Tuple[int, List[str]]:
+    """Delete cold artifacts; returns ``(removed count, live tmps kept)``.
+
+    ``names`` selects artifact *stems* (the file name without its
+    ``.npz`` / ``.json`` suffix) or exact file names; ``everything``
+    removes all complete entries.  Stale temporaries (dead writer pid)
+    are always swept; **live** temporaries are never touched, so an
+    eviction racing a worker mid-publication cannot tear the worker's
+    atomic write.  Missing files are skipped silently — a concurrent
+    eviction already won.
+    """
+    if not os.path.isdir(cache_dir):
+        return 0, []
+    wanted = set(names or ())
+    removed = 0
+    live_kept: List[str] = []
+    for name in sorted(os.listdir(cache_dir)):
+        pid = _tmp_pid(name)
+        if pid is not None:
+            if _pid_alive(pid):
+                live_kept.append(name)
+                continue
+            target = True  # stale temporary: always sweep
+        elif name.endswith((".npz", ".json")):
+            stem = name
+            for suffix in (".ckpt.npz", ".npz", ".json"):
+                if stem.endswith(suffix):
+                    stem = stem[: -len(suffix)]
+                    break
+            target = everything or name in wanted or stem in wanted
+        else:
+            target = False
+        if not target:
+            continue
+        try:
+            os.remove(os.path.join(cache_dir, name))
+            removed += 1
+        except FileNotFoundError:
+            continue
+        except OSError:
+            continue
+    return removed, live_kept
+
+
+__all__ = [
+    "ArtifactEntry",
+    "ArtifactPaths",
+    "DEFAULT_CACHE_DIR",
+    "STALE_TMP",
+    "artifact_base",
+    "artifact_exists",
+    "artifact_paths",
+    "evict_artifacts",
+    "scan_artifacts",
+]

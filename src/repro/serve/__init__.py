@@ -3,10 +3,10 @@
 The serving stack, bottom to top:
 
 - :class:`ModelSpec` — the frozen public identity of every model the
-  workbench can build (``Workbench.model(spec)`` is the single
-  build/train/load entry point);
-- :class:`InferenceEngine` — LRU model cache + dynamic micro-batcher
-  with per-request deterministic AMS noise streams;
+  workbench can build (``repro.registry`` resolves it through the
+  tiered model registry, the single acquisition entry point);
+- :class:`InferenceEngine` — registry warm tier + dynamic
+  micro-batcher with per-request deterministic AMS noise streams;
 - :class:`InferenceService` — bounded thread-pool front end with
   deadlines, backpressure and graceful degradation (single process);
 - :class:`ServeCluster` + :class:`FrontDoor` — the multi-process

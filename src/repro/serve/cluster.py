@@ -10,8 +10,11 @@ any replica count, for every registered error model.
 
 Key mechanics:
 
-- **published weights** — the parent train-or-loads each spec once via
-  the workbench, publishes the state dict as one mmap-able blob
+- **published weights** — the parent resolves each spec once through
+  the model registry (:mod:`repro.registry` — warm hit, cold-tier
+  promotion, or a train on a true miss), pins the warm entry for the
+  lifetime of the publication, and publishes the state dict as one
+  mmap-able blob
   (:mod:`repro.serve.shared`), and replicas bind parameter arrays as
   read-only views straight into the mapping.  No per-worker weight
   copy, under any multiprocessing start method.
@@ -60,7 +63,12 @@ from zlib import crc32
 
 import numpy as np
 
-from repro.errors import ConfigError, ReplicaError, WorkerLostError
+from repro.errors import (
+    ConfigError,
+    ReplicaError,
+    ServiceTimeoutError,
+    WorkerLostError,
+)
 from repro.obs.journal import journal_event
 from repro.obs.metrics import MetricRegistry
 from repro.parallel.runner import start_method
@@ -366,7 +374,7 @@ class ServeCluster:
     Parameters
     ----------
     workbench:
-        Anything with ``.config`` and ``.model(spec)`` — normally a
+        Anything with ``.config`` and a train-or-load path — normally a
         :class:`repro.experiments.common.Workbench`.  Only the parent
         touches training and the dataset; replicas receive the config
         and the published weight blobs.
@@ -384,6 +392,15 @@ class ServeCluster:
     share_dir:
         Directory for the published weight blobs (default: a fresh
         temp dir, removed on :meth:`stop`).
+    registry:
+        The :class:`repro.registry.ModelRegistry` the parent acquires
+        models through (default: a private one over ``workbench``
+        reporting into the cluster's metric registry).  Published specs
+        are **pinned** warm entries: registry eviction demotes them to
+        the evictable tier instead of dropping them, so the mmap blobs
+        replicas hold stay backed until :meth:`stop` unpins.
+    tenant:
+        The registry tenant this cluster's acquisitions are charged to.
     """
 
     def __init__(
@@ -396,6 +413,8 @@ class ServeCluster:
         compile_models: bool = True,
         backend: Optional[str] = None,
         share_dir: Optional[str] = None,
+        registry=None,
+        tenant: str = "default",
     ):
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -432,6 +451,17 @@ class ServeCluster:
         self._stats = ClusterStatsView()
         self._lock = threading.Lock()
         self._started = False
+        self.tenant = tenant
+        if registry is None:
+            from repro.registry import ModelRegistry
+
+            registry = ModelRegistry(
+                workbench, metrics=self._stats.registry
+            )
+        self.registry = registry
+        #: token -> in-flight background warm-up (deduplication).
+        self._warmups: Dict[str, Future] = {}
+        self._warmup_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -484,6 +514,8 @@ class ServeCluster:
             shutil.rmtree(self.share_dir, ignore_errors=True)
             self.share_dir = None
         self._started = False
+        for token in list(self._published):
+            self.registry.unpin(ModelSpec.parse(token), tenant=self.tenant)
         self._published.clear()
 
     def __enter__(self) -> "ServeCluster":
@@ -499,11 +531,14 @@ class ServeCluster:
         return spec.resolved(self.workbench.config)
 
     def warm(self, *specs: ModelSpec) -> "ServeCluster":
-        """Train-or-load, publish, and bind ``specs`` on every replica.
+        """Acquire, publish, and bind ``specs`` on every replica.
 
-        The parent pays the train-or-load and the single publication
-        write; each eligible replica binds the mapping zero-copy and
-        compiles.  Idempotent per spec.
+        The parent resolves each spec through the model registry (warm
+        hit, cold promotion, or a train on a true miss), pins the warm
+        entry so registry eviction cannot drop it while replicas hold
+        the mmap, and pays the single publication write; each eligible
+        replica binds the mapping zero-copy and compiles.  Idempotent
+        per spec.
         """
         if not self._started:
             raise ConfigError("cluster is not started; call start() first")
@@ -512,7 +547,7 @@ class ServeCluster:
             token = spec.token()
             if token in self._published:
                 continue
-            model, _meta = self.workbench.model(spec)
+            model, _meta = self.registry.get(spec, tenant=self.tenant)
             blob = os.path.join(
                 self.share_dir, f"{spec.cache_name()}.weights.bin"
             )
@@ -524,6 +559,7 @@ class ServeCluster:
                 ),
             }
             self._published[token] = entry
+            self.registry.pin(spec, tenant=self.tenant)
             journal_event(
                 "serve.shared",
                 spec=token,
@@ -548,6 +584,71 @@ class ServeCluster:
     def published_specs(self) -> List[str]:
         """Tokens of every spec published to the cluster so far."""
         return sorted(self._published)
+
+    def is_warm(self, token: str) -> bool:
+        """Whether ``token`` is published (replicas can serve it now)."""
+        return token in self._published
+
+    def warm_async(
+        self,
+        spec: ModelSpec,
+        deadline_s: Optional[float] = None,
+    ) -> Future:
+        """Background :meth:`warm` — the front door's miss path.
+
+        Returns a future resolving to the spec token once the spec is
+        published and bound on every eligible replica.  Warm-ups are
+        deduplicated per token, so a request racing its own warm-up
+        joins the in-flight one instead of training twice.
+        ``deadline_s`` bounds how long a warm-up may take end to end;
+        a late one journals ``registry.warmup`` ``status="expired"``
+        and fails with :class:`~repro.errors.ServiceTimeoutError`.
+        The journal carries the full started/done lifecycle, so ``obs
+        summary`` reconstructs background warm-ups from events alone.
+        """
+        spec = self.resolve(spec)
+        token = spec.token()
+        with self._warmup_lock:
+            pending = self._warmups.get(token)
+            if pending is not None:
+                return pending
+            future: Future = Future()
+            self._warmups[token] = future
+        deadline = None if deadline_s is None else monotonic() + deadline_s
+        journal_event("registry.warmup", spec=token, status="started")
+        self._stats.registry.counter("registry.warmup_started").inc()
+
+        def _run() -> None:
+            try:
+                self.warm(spec)
+                if deadline is not None and monotonic() > deadline:
+                    journal_event(
+                        "registry.warmup", spec=token, status="expired"
+                    )
+                    raise ServiceTimeoutError(
+                        f"warm-up of {token!r} finished after its "
+                        f"{deadline_s}s deadline"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - ship to waiter
+                if not isinstance(exc, ServiceTimeoutError):
+                    journal_event(
+                        "registry.warmup",
+                        spec=token,
+                        status="failed",
+                        error=str(exc),
+                    )
+                future.set_exception(exc)
+            else:
+                journal_event("registry.warmup", spec=token, status="done")
+                future.set_result(token)
+            finally:
+                with self._warmup_lock:
+                    self._warmups.pop(token, None)
+
+        threading.Thread(
+            target=_run, name=f"serve-warmup-{token}", daemon=True
+        ).start()
+        return future
 
     # ------------------------------------------------------------------
     # routing + execution

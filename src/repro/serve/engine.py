@@ -3,9 +3,12 @@
 The engine answers classify requests at high throughput by doing three
 things the offline experiment harness never needed:
 
-- an **LRU model cache** keyed by :class:`~repro.serve.spec.ModelSpec`,
-  so the working set of hot models stays built while cold specs are
-  evicted (``Workbench.model`` still train-or-loads misses from disk);
+- a **warm model pool**: the engine's models live in a
+  :class:`repro.registry.ModelRegistry` warm tier (LRU, capacity
+  ``max_models``), so the working set of hot models stays built while
+  cold specs are demoted; a miss promotes from the on-disk cold tier
+  (or trains, on a true miss) through the same registry path every
+  other consumer uses;
 - a **dynamic micro-batcher**: worker threads coalesce queued requests
   for the same spec up to ``max_batch`` or ``max_wait_ms``, then run
   one forward pass per batch;
@@ -30,7 +33,6 @@ from __future__ import annotations
 
 import queue
 import threading
-from collections import OrderedDict
 from concurrent.futures import Future
 from dataclasses import dataclass
 from time import monotonic, perf_counter
@@ -72,14 +74,15 @@ class InferenceEngine:
     Parameters
     ----------
     workbench:
-        Anything with ``.config`` and ``.model(spec)`` — normally a
+        Anything with ``.config`` and a train-or-load path — normally a
         :class:`repro.experiments.common.Workbench`.
     seed:
         Root of the per-request noise streams (default: the workbench
         config's seed).  Predictions are a pure function of
         ``(spec, seed, request_id, image)``.
     max_models:
-        LRU capacity of the in-memory model cache.
+        Warm-tier LRU capacity of the engine's model registry
+        (ignored when an explicit ``registry`` is supplied).
     max_batch, max_wait_ms:
         Micro-batcher knobs: a batch closes when it reaches
         ``max_batch`` requests or the oldest request has waited
@@ -100,6 +103,10 @@ class InferenceEngine:
         keeps the bit-identity guarantee above; the fast backend trades
         it for speed within a documented tolerance
         (:data:`repro.compile.backends.fast.PARITY_ATOL`).
+    registry:
+        Share an existing :class:`repro.registry.ModelRegistry` (e.g.
+        a cluster's) instead of building a private one; the registry's
+        own capacity/compile knobs then apply.
     """
 
     def __init__(
@@ -113,6 +120,7 @@ class InferenceEngine:
         workers: int = 1,
         compile_models: bool = True,
         backend: Optional[str] = None,
+        registry=None,
     ):
         if max_models < 1:
             raise ConfigError(f"max_models must be >= 1, got {max_models}")
@@ -139,11 +147,18 @@ class InferenceEngine:
                 )
         self.backend = backend
         self._queue: "queue.Queue[_Request]" = queue.Queue()
-        self._models: "OrderedDict[ModelSpec, Tuple[object, threading.Lock]]" = (
-            OrderedDict()
-        )
-        self._models_lock = threading.Lock()
         self._stats = EngineStatsView()
+        if registry is None:
+            from repro.registry import ModelRegistry
+
+            registry = ModelRegistry(
+                workbench,
+                warm_max_entries=max_models,
+                metrics=self._stats.registry,
+                compile_models=compile_models,
+                backend=backend,
+            )
+        self.registry = registry
         self._queue_depth = self._stats.registry.gauge("serve.queue_depth")
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
@@ -251,7 +266,7 @@ class InferenceEngine:
         return self._execute(batch, degraded=degraded)
 
     def warm(self, *specs: ModelSpec) -> "InferenceEngine":
-        """Load (train-or-load) ``specs`` into the model cache now."""
+        """Promote ``specs`` into the registry's warm tier now."""
         for spec in specs:
             self._model_entry(spec.resolved(self.workbench.config))
         return self
@@ -261,37 +276,18 @@ class InferenceEngine:
         return self._stats
 
     def cached_specs(self) -> List[ModelSpec]:
-        """Model-cache contents, least recently used first."""
-        with self._models_lock:
-            return list(self._models)
+        """Warm-tier contents, least recently used first."""
+        return self.registry.warm_specs()
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _model_entry(self, spec: ModelSpec) -> Tuple[object, threading.Lock]:
-        with self._models_lock:
-            entry = self._models.get(spec)
-            if entry is not None:
-                self._models.move_to_end(spec)
-                return entry
-        # Build outside the cache lock: a cold spec may train for
-        # seconds and must not block serving of already-hot specs.
-        # Concurrent builders of the same spec are safe — the cache on
-        # disk is write-then-rename — and the duplicate is discarded.
-        model, _meta = self.workbench.model(spec)
-        if self.compile_models:
-            # Compile once at cache-load time, off the hot path; the
-            # compiled executor is cached on the model itself.
-            from repro.compile import maybe_compiled
-
-            maybe_compiled(model, backend=self.backend)
-        with self._models_lock:
-            if spec not in self._models:
-                self._models[spec] = (model, threading.Lock())
-            self._models.move_to_end(spec)
-            while len(self._models) > self.max_models:
-                self._models.popitem(last=False)
-            return self._models[spec]
+        # The registry owns the tiers: warm hit, cold promotion, or a
+        # train on a true miss — with the LRU/quota bookkeeping and
+        # compile-at-admission the old private cache did by hand.
+        entry = self.registry.entry(spec)
+        return entry.model, entry.lock
 
     def _worker(self) -> None:
         while not self._stop.is_set():

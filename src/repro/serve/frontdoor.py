@@ -19,7 +19,14 @@ mirrors the thread-pool :class:`~repro.serve.service.InferenceService`:
 - **backpressure** — a per-spec semaphore bounds batches in flight to
   2x the eligible replica count, so a slow replica backs traffic up
   into the bounded queue (where shedding happens) rather than growing
-  an unbounded dispatch backlog.
+  an unbounded dispatch backlog;
+- **warm-on-miss** — a request for a spec the cluster has not
+  published yet never blocks the door behind a train-or-load: it
+  triggers the cluster's background ``warm_async`` (journaled
+  ``registry.warmup``, deduplicated per spec) and is immediately
+  degraded to ``fallback_spec`` when that is already warm, or shed
+  with a retry hint (``registry.warmup_triggered``).  A retry after
+  the warm-up lands is served from the registry's warm tier.
 
 This module is **strictly non-blocking**: every wait is an ``await``.
 ``tools/serve_lint.py`` (tier-1) rejects any blocking call — sleeps,
@@ -102,6 +109,9 @@ class FrontDoor:
         registry = cluster.stats().registry
         self._shed = registry.counter("serve.requests_shed")
         self._fallbacks = registry.counter("serve.requests_fallback")
+        self._warmups_triggered = registry.counter(
+            "registry.warmup_triggered"
+        )
         self._deadline_missed = registry.counter("serve.deadline_missed")
         self._door_depth = registry.gauge("serve.frontdoor_depth")
         self._queues: Dict[str, asyncio.Queue] = {}
@@ -121,12 +131,17 @@ class FrontDoor:
 
         A saturated queue either degrades to ``fallback_spec`` or
         raises :class:`~repro.errors.ServiceOverloadError` immediately
-        — admission never waits.
+        — admission never waits.  Nor does a cold spec: a request for
+        an unpublished model starts the cluster's background warm-up
+        and is degraded or shed right away (retry once warm).
         """
         if self._draining:
             raise ServiceOverloadError("front door is draining")
         spec = self.cluster.resolve(spec)
         token = spec.token()
+        warm_probe = getattr(self.cluster, "is_warm", None)
+        if warm_probe is not None and not warm_probe(token):
+            return await self._handle_cold(spec, token, image, request_id)
         queue = self._ensure_lane(token)
         item = _Pending(
             spec=spec,
@@ -292,6 +307,40 @@ class FrontDoor:
                     f"{self.timeout_s}s deadline {where}"
                 )
             )
+
+    async def _handle_cold(
+        self, spec: ModelSpec, token: str, image, request_id: int
+    ) -> "asyncio.Future[Prediction]":
+        """Admission path for a spec no replica can serve yet.
+
+        Kicks off (or joins) the cluster's deduplicated background
+        warm-up, then degrades to ``fallback_spec`` when that is
+        already warm — otherwise sheds with a retry hint.  Either way
+        the event loop never waits on the train-or-load.
+        """
+        self._warmups_triggered.inc()
+        self.cluster.warm_async(spec)
+        fallback_warm = (
+            self.fallback_spec is not None
+            and self.cluster.is_warm(
+                self.cluster.resolve(self.fallback_spec).token()
+            )
+        )
+        if fallback_warm:
+            self._fallbacks.inc()
+            item = _Pending(
+                spec=spec,
+                image=np.asarray(image, dtype=np.float32),
+                request_id=int(request_id),
+                future=asyncio.get_running_loop().create_future(),
+                deadline=monotonic() + self.timeout_s,
+            )
+            return await self._degrade(item)
+        self._shed.inc()
+        raise ServiceOverloadError(
+            f"model {token!r} is not warm; background warm-up started — "
+            "retry shortly (or configure a warm fallback_spec)"
+        )
 
     async def _degrade(self, item: _Pending) -> "asyncio.Future[Prediction]":
         """Serve a shed request from the fallback spec, degraded."""

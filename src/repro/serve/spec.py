@@ -1,12 +1,12 @@
 """The stable public model identity: :class:`ModelSpec`.
 
 Every trained artifact the workbench can produce is named by one frozen,
-hashable spec.  The spec is the single currency of the public API:
-``Workbench.model(spec)`` trains-or-loads it, ``Workbench.build(spec)``
-constructs it untrained, the serving engine keys its LRU model cache by
-it, and ``cache_name()`` reproduces the exact on-disk cache file names
-the pre-spec keyword methods used — so adopting the spec API never
-retrains an existing cached artifact.
+hashable spec.  The spec is the single currency of the public API: the
+model registry (:mod:`repro.registry`) trains-or-loads by it,
+``Workbench.build(spec)`` constructs it untrained, the registry's warm
+tier is keyed by it, and ``cache_name()`` reproduces the exact on-disk
+cache file names the pre-spec keyword methods used — so adopting the
+spec API never retrains an existing cached artifact.
 
 Variants
 --------

@@ -56,7 +56,7 @@ def _eval_noise_seed(bench, noise_seed):
     """Module-level sweep point fn: evaluate the quant model once."""
     from repro.train import evaluate_accuracy
 
-    model, _meta = bench.model(SPEC)
+    model, _meta = bench.registry.get(SPEC, fresh=True)
     return evaluate_accuracy(model, bench.data.val, noise_seed=noise_seed)
 
 
@@ -199,6 +199,37 @@ class TestServeHistogramReproduction:
                 metrics["counters"][f"serve.requests_executed{{spec={key}}}"]
                 == live["requests"]
             )
+
+
+class TestRegistryTierReproduction:
+    def test_tier_traffic_reconstructs_from_the_journal(
+        self, recorded_run
+    ):
+        """The engine's registry tier counters survive the round trip:
+        the sweep trained the artifact (fresh path), so ``warm(SPEC)``
+        inside the run is a cold hit plus a promotion."""
+        from repro.obs.summary import registry_tier_rows
+
+        events = read_events(recorded_run["run_dir"], validate=True)
+        rows = dict(
+            (key, value) for key, value in registry_tier_rows(events)
+        )
+        assert rows["registry.tier_hit{tenant=default,tier=cold}"] == 1
+        assert rows["registry.tier_promote{tenant=default}"] == 1
+        assert rows["registry.warm_entries{tenant=default}"] == 1
+        promotes = [
+            e
+            for e in events
+            if e["event"] == "registry.tier" and e["action"] == "promote"
+        ]
+        assert [e["spec"] for e in promotes] == [SPEC.token()]
+
+    def test_summary_renders_the_tier_section(self, recorded_run):
+        summary = summarize_run(
+            recorded_run["run_dir"], recorded_run["results_dir"]
+        )
+        assert "model registry tiers" in summary
+        assert "registry.tier_promote{tenant=default}" in summary
 
 
 class TestServeSpans:

@@ -145,6 +145,10 @@ class TestValidation:
                 "spec": "fp32", "bytes": 1024, "path": "w.weights.bin",
             },
             "bench.artifact": {"name": "fp32", "source": "cache"},
+            "registry.tier": {
+                "spec": "fp32", "action": "promote", "tier": "warm",
+            },
+            "registry.warmup": {"spec": "fp32", "status": "started"},
             "note": {"message": "hello"},
             "train.checkpoint": {"epoch": 1, "path": "m.ckpt.npz"},
             "train.resume": {"epoch": 2, "checkpoint": "m.ckpt.npz"},

@@ -1,0 +1,48 @@
+"""Fixtures for the model-registry tests: a micro workbench.
+
+One session-scoped workbench at microscopic scale (mirroring
+``tests/serve/conftest.py``) with its own temp-dir cache, so the
+bit-identity tests train each artifact exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import Workbench
+from repro.experiments.config import make_config
+
+
+@pytest.fixture(scope="session")
+def registry_config(tmp_path_factory):
+    root = tmp_path_factory.mktemp("registry")
+    config = make_config(profile="quick", seed=91)
+    return replace(
+        config,
+        num_classes=4,
+        image_size=8,
+        train_per_class=24,
+        val_per_class=10,
+        pretrain_epochs=3,
+        retrain_epochs=2,
+        batch_size=32,
+        patience=2,
+        eval_passes=2,
+        enob_sweep=(4.0,),
+        table2_enob=4.0,
+        fig6_enobs=(4.0,),
+        cache_dir=str(root / "cache"),
+        results_dir=str(root / "results"),
+    )
+
+
+@pytest.fixture(scope="session")
+def registry_bench(registry_config):
+    return Workbench(registry_config)
+
+
+@pytest.fixture(scope="session")
+def val_images(registry_bench):
+    return registry_bench.data.val.images

@@ -1,0 +1,87 @@
+"""Registry-resolved models are bit-identical to the legacy path.
+
+The acceptance bar for the registry redesign: for every variant — and
+for a data-dependent zoo error model — the logits of a model acquired
+through :meth:`ModelRegistry.get` (warm tier or ``fresh=True``) match
+the legacy ``Workbench`` train-or-load path bit for bit, under the
+same per-request noise contract serving uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricRegistry
+from repro.serve.executor import forward_with_request_noise
+from repro.serve.spec import ModelSpec
+
+#: Non-contiguous ids: noise must key on the id, not batch position.
+REQUEST_IDS = [3, 11, 4, 17]
+
+#: All four variants plus a data-dependent zoo model (reads
+#: pre-activations, so its noise depends on the data path staying
+#: identical end to end).
+SPEC_TOKENS = [
+    "fp32",
+    "quant:bw8:bx8",
+    "ams:e4.0",
+    "ams_eval:e4.0",
+    "ams_eval:e4.0:mstate_dependent",
+]
+
+
+def _logits(model, images, seed):
+    return forward_with_request_noise(
+        model,
+        images,
+        REQUEST_IDS,
+        seed,
+        registry=MetricRegistry(),
+        compile_models=False,
+        backend=None,
+    )
+
+
+@pytest.mark.parametrize("token", SPEC_TOKENS)
+def test_registry_matches_legacy_train_or_load(
+    token, registry_bench, val_images
+):
+    spec = ModelSpec.parse(token)
+    seed = registry_bench.config.seed
+    images = val_images[: len(REQUEST_IDS)]
+
+    legacy_model, legacy_meta = registry_bench._train_or_load(spec)
+    expected = _logits(legacy_model, images, seed)
+
+    warm_model, warm_meta = registry_bench.registry.get(spec)
+    np.testing.assert_array_equal(_logits(warm_model, images, seed), expected)
+
+    fresh_model, fresh_meta = registry_bench.registry.get(spec, fresh=True)
+    assert fresh_model is not warm_model
+    np.testing.assert_array_equal(
+        _logits(fresh_model, images, seed), expected
+    )
+
+    for meta in (warm_meta, fresh_meta):
+        assert meta.keys() == legacy_meta.keys()
+        assert meta.get("best_accuracy") == legacy_meta.get("best_accuracy")
+
+
+def test_deprecated_workbench_model_matches_registry(registry_bench):
+    """The warn-once shim serves the same artifact, bit for bit."""
+    spec = ModelSpec("quant", bw=8, bx=8)
+    with pytest.deprecated_call():
+        import repro.experiments.common as common
+
+        common._DEPRECATION_WARNED.discard("model")
+        shim_model, shim_meta = registry_bench.model(spec)
+    registry_model, registry_meta = registry_bench.registry.get(
+        spec, fresh=True
+    )
+    for key in shim_model.state_dict():
+        np.testing.assert_array_equal(
+            shim_model.state_dict()[key],
+            registry_model.state_dict()[key],
+        )
+    assert shim_meta["best_accuracy"] == registry_meta["best_accuracy"]

@@ -118,7 +118,7 @@ class TestModelLevelBinding:
         """A calibration-skipping rebuild bound to the published blob
         produces the same logits as the trained source model."""
         spec = AMS_SPEC.resolved(serve_bench.config)
-        model, _ = serve_bench.model(spec)
+        model, _ = serve_bench.registry.get(spec, fresh=True)
         model.eval()
         shared = publish_weights(
             model.state_dict(), str(tmp_path / "m.bin")

@@ -115,12 +115,14 @@ class TestDeprecationShims:
         assert sum("build_quantized" in m for m in messages) == 1
 
     def test_shim_and_spec_api_share_artifacts(self, micro_bench):
-        """The shim trains; the spec API must load, not retrain."""
+        """The shim trains; the registry API must load, not retrain."""
         from repro.serve import ModelSpec
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             legacy_model, legacy_meta = micro_bench.fp32_model()
-        spec_model, spec_meta = micro_bench.model(ModelSpec("fp32"))
+        spec_model, spec_meta = micro_bench.registry.get(
+            ModelSpec("fp32"), fresh=True
+        )
         assert spec_meta["best_accuracy"] == legacy_meta["best_accuracy"]
         assert spec_meta["name"] == "fp32"

@@ -1,0 +1,109 @@
+"""The cache-path linter (tier-1 gate for the model registry)."""
+
+import importlib.util
+import os
+import textwrap
+
+_SPEC = importlib.util.spec_from_file_location(
+    "registry_lint",
+    os.path.join(
+        os.path.dirname(__file__), "..", "..", "tools", "registry_lint.py"
+    ),
+)
+registry_lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(registry_lint)
+
+
+def _reasons(source):
+    return [
+        reason
+        for _line, reason in registry_lint.find_cache_paths(source, "<t>")
+    ]
+
+
+class TestFindCachePaths:
+    def test_catches_config_cache_dir(self):
+        source = textwrap.dedent(
+            """
+            import os
+
+            def base(config, name):
+                return os.path.join(config.cache_dir, name)
+            """
+        )
+        reasons = _reasons(source)
+        assert len(reasons) == 1
+        assert ".cache_dir" in reasons[0]
+
+    def test_catches_self_config_cache_dir(self):
+        source = "path = self.config.cache_dir\n"
+        assert len(_reasons(source)) == 1
+
+    def test_catches_default_literal(self):
+        source = 'CACHE = ".cache/experiments"\n'
+        reasons = _reasons(source)
+        assert len(reasons) == 1
+        assert "DEFAULT_CACHE_DIR" in reasons[0]
+
+    def test_args_cache_dir_is_sanctioned(self):
+        """The CLI forwards --cache-dir into the layout helpers."""
+        source = textwrap.dedent(
+            """
+            def handle(args):
+                return scan(args.cache_dir)
+            """
+        )
+        assert _reasons(source) == []
+
+    def test_keyword_and_bare_names_pass(self):
+        source = textwrap.dedent(
+            """
+            def helper(cache_dir):
+                return replace(config, cache_dir=cache_dir)
+            """
+        )
+        assert _reasons(source) == []
+
+
+class TestLintTree:
+    def test_violation_in_tree_is_reported(self, tmp_path):
+        pkg = tmp_path / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("p = config.cache_dir\n")
+        violations = registry_lint.lint_tree(str(tmp_path / "repro"))
+        assert len(violations) == 1
+        assert "bad.py:1" in violations[0]
+
+    def test_exempt_files_are_skipped(self, tmp_path):
+        layout = tmp_path / "repro" / "registry"
+        layout.mkdir(parents=True)
+        (layout / "layout.py").write_text(
+            'BASE = config.cache_dir\nD = ".cache/experiments"\n'
+        )
+        config = tmp_path / "repro" / "experiments"
+        config.mkdir(parents=True)
+        (config / "config.py").write_text(
+            'cache_dir: str = ".cache/experiments"\n'
+        )
+        assert registry_lint.lint_tree(str(tmp_path / "repro")) == []
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_violations(self):
+        """The shipped tree builds every cache path via repro.registry."""
+        root = os.path.join(
+            os.path.dirname(__file__), "..", "..", "src", "repro"
+        )
+        assert registry_lint.lint_tree(os.path.abspath(root)) == []
+
+    def test_main_exits_zero_on_clean_tree(self, capsys):
+        assert registry_lint.main([]) == 0
+        out = capsys.readouterr().out
+        assert "no cache-path construction" in out
+
+    def test_main_exits_one_on_violation(self, tmp_path, capsys):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = cfg.cache_dir\n")
+        assert registry_lint.main(["--root", str(pkg)]) == 1
+        assert ".cache_dir" in capsys.readouterr().out

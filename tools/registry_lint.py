@@ -1,0 +1,136 @@
+"""Cache-path linter: all artifact paths go through ``repro.registry``.
+
+The model registry's tier bookkeeping (and its race-safe eviction —
+live writer temporaries must never be deleted) is only sound if every
+artifact in the cache directory was written and named through
+:mod:`repro.registry.layout`.  A module that builds its own
+``config.cache_dir`` paths or spells the default cache directory
+bypasses that single home and silently reintroduces the torn-write
+races the registry exists to prevent.
+
+This tool walks every module under ``src/repro`` and fails on:
+
+- any ``<expr>.cache_dir`` attribute access (reading the configured
+  cache directory to build paths by hand) — except on ``args``, the
+  CLI's parsed namespace, whose ``--cache-dir`` flag is the sanctioned
+  way to *pass* a directory into the layout helpers;
+- the string literal ``".cache/experiments"`` (the default cache
+  path), which must be spelled exactly twice: the
+  ``ExperimentConfig.cache_dir`` dataclass default and
+  ``repro.registry.layout.DEFAULT_CACHE_DIR``.
+
+Exempt by design: everything under ``src/repro/registry/`` (the single
+home) and ``src/repro/experiments/config.py`` (the dataclass default).
+
+Usage::
+
+    python tools/registry_lint.py                # exit 1 on violations
+    python tools/registry_lint.py --root <dir>   # lint another tree
+
+``tests/utils/test_registry_lint.py`` runs this as part of tier-1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import List, Optional, Tuple
+
+#: The default cache path; may be spelled only in the exempt files.
+DEFAULT_CACHE_LITERAL = ".cache/experiments"
+
+#: Receiver names whose ``.cache_dir`` attribute is sanctioned: the
+#: CLI's parsed-argument namespace (``args.cache_dir`` forwards the
+#: ``--cache-dir`` flag into the layout helpers).
+ALLOWED_RECEIVERS = ("args",)
+
+#: Path fragments (relative to the lint root) exempt from the check.
+EXEMPT = (
+    os.path.join("repro", "registry") + os.sep,
+    os.path.join("repro", "experiments", "config.py"),
+)
+
+DEFAULT_ROOT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "src", "repro"
+)
+
+
+def find_cache_paths(source: str, filename: str) -> List[Tuple[int, str]]:
+    """``(line, reason)`` for every hand-built cache path in ``source``."""
+    tree = ast.parse(source, filename=filename)
+    found: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "cache_dir":
+            receiver = node.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ALLOWED_RECEIVERS
+            ):
+                continue
+            found.append(
+                (
+                    node.lineno,
+                    "direct .cache_dir access — go through "
+                    "repro.registry.layout (artifact_paths / "
+                    "scan_artifacts / evict_artifacts)",
+                )
+            )
+        elif (
+            isinstance(node, ast.Constant)
+            and node.value == DEFAULT_CACHE_LITERAL
+        ):
+            found.append(
+                (
+                    node.lineno,
+                    f"hard-coded {DEFAULT_CACHE_LITERAL!r} — import "
+                    "repro.registry.layout.DEFAULT_CACHE_DIR",
+                )
+            )
+    return sorted(found)
+
+
+def _exempt(rel_path: str) -> bool:
+    return any(fragment in rel_path for fragment in EXEMPT)
+
+
+def lint_tree(root: str) -> List[str]:
+    """Violation messages for every non-exempt module under ``root``."""
+    violations: List[str] = []
+    for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, os.path.dirname(root))
+            if _exempt(rel):
+                continue
+            with open(path) as fh:
+                source = fh.read()
+            for lineno, reason in find_cache_paths(source, path):
+                violations.append(f"{rel}:{lineno}: {reason}")
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=DEFAULT_ROOT,
+        help="package tree to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    violations = lint_tree(root)
+    if violations:
+        print(f"cache paths built outside repro.registry under {root}:")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(f"no cache-path construction outside repro.registry in {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
