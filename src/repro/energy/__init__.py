@@ -9,6 +9,7 @@ machinery that overlays accuracy-loss and energy level curves over the
 """
 
 from repro.energy.adc import (
+    ADCLibrary,
     adc_energy,
     adc_energy_array,
     schreier_fom,
@@ -28,6 +29,7 @@ from repro.energy.network import (
 )
 
 __all__ = [
+    "ADCLibrary",
     "adc_energy",
     "adc_energy_array",
     "schreier_fom",

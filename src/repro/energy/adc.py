@@ -15,6 +15,7 @@ paper's constants leave a ~4% seam at the knee).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -47,6 +48,81 @@ def adc_energy_array(enob: np.ndarray) -> np.ndarray:
         raise ConfigError("ENOB values must be positive")
     thermal = 10.0 ** (0.1 * (_SLOPE_DB_PER_BIT * enob - _INTERCEPT_DB))
     return np.where(enob <= THERMAL_KNEE_ENOB, FLAT_ENERGY_PJ, thermal)
+
+
+@dataclass(frozen=True)
+class ADCLibrary:
+    """A parameterized Eq. 3 energy bound: flat floor meeting a slope.
+
+    The default instance reproduces the paper's survey bound
+    (:func:`adc_energy`) bit for bit.  A *custom* library moves the
+    knobs — the flat/thermal knee, the flat-region floor, the
+    thermal-branch slope/intercept — so the explorer
+    (:mod:`repro.explore`) can evaluate design spaces whose interesting
+    region is not pinned at the survey's ENOB ~10.5 knee.
+
+    ``reference_scale`` models the paper's Section 4 reference-voltage
+    scaling: an ADC whose reference is scaled to ``alpha`` of the
+    multiplier supply keeps its conversion cost in the flat
+    (architecture-limited) branch, but in the thermal-noise-limited
+    branch the reduced signal swing costs ``1/alpha^2`` in energy to
+    hold the same SNDR (the Schreier-FOM tradeoff).  The matching
+    accuracy-side effect is the registered ``reference_scaled`` error
+    model (:mod:`repro.ams.zoo`).
+    """
+
+    name: str = "survey"
+    knee_enob: float = THERMAL_KNEE_ENOB
+    flat_energy_pj: float = FLAT_ENERGY_PJ
+    slope_db_per_bit: float = _SLOPE_DB_PER_BIT
+    intercept_db: float = _INTERCEPT_DB
+    reference_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.knee_enob <= 0:
+            raise ConfigError(
+                f"knee_enob must be positive, got {self.knee_enob}"
+            )
+        if self.flat_energy_pj <= 0:
+            raise ConfigError(
+                f"flat_energy_pj must be positive, got {self.flat_energy_pj}"
+            )
+        if self.slope_db_per_bit <= 0:
+            raise ConfigError(
+                "slope_db_per_bit must be positive, got "
+                f"{self.slope_db_per_bit}"
+            )
+        if not 0.0 < self.reference_scale <= 1.0:
+            raise ConfigError(
+                "reference_scale must be in (0, 1], got "
+                f"{self.reference_scale}"
+            )
+
+    def energy(self, enob: float) -> float:
+        """Energy per conversion in pJ under this library's bound."""
+        if enob <= 0:
+            raise ConfigError(f"ENOB must be positive, got {enob}")
+        if enob <= self.knee_enob:
+            return self.flat_energy_pj
+        thermal = 10.0 ** (
+            0.1 * (self.slope_db_per_bit * enob - self.intercept_db)
+        )
+        return thermal / (self.reference_scale**2)
+
+    def energy_array(self, enob: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`energy`."""
+        enob = np.asarray(enob, dtype=np.float64)
+        if np.any(enob <= 0):
+            raise ConfigError("ENOB values must be positive")
+        thermal = 10.0 ** (
+            0.1 * (self.slope_db_per_bit * enob - self.intercept_db)
+        ) / (self.reference_scale**2)
+        return np.where(enob <= self.knee_enob, self.flat_energy_pj, thermal)
+
+    @classmethod
+    def survey(cls) -> "ADCLibrary":
+        """The paper's survey bound (the default instance)."""
+        return cls()
 
 
 def sndr_from_enob(enob: float) -> float:

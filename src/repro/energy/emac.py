@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.energy.adc import adc_energy, adc_energy_array
+from repro.energy.adc import ADCLibrary, adc_energy, adc_energy_array
 from repro.errors import ConfigError
 
 
@@ -46,9 +46,16 @@ class EnergyModel:
     multiplier_energy_pj:
         Fixed energy per D-to-A multiplication, in pJ.  Zero reproduces
         the paper's ADC-dominated bound exactly.
+    library:
+        The ADC energy bound amortized over the VMAC width.  The
+        default :class:`~repro.energy.adc.ADCLibrary` is the paper's
+        survey bound, so ``EnergyModel()`` is unchanged bit for bit;
+        the explorer substitutes custom libraries (moved knee, scaled
+        reference) from its spec.
     """
 
     multiplier_energy_pj: float = 0.0
+    library: ADCLibrary = ADCLibrary()
 
     def __post_init__(self):
         if self.multiplier_energy_pj < 0:
@@ -56,10 +63,18 @@ class EnergyModel:
 
     def emac(self, enob: float, nmult: int) -> float:
         """Energy per MAC in pJ under this model."""
-        return emac(enob, nmult) + self.multiplier_energy_pj
+        if nmult < 1:
+            raise ConfigError(f"Nmult must be >= 1, got {nmult}")
+        return self.library.energy(enob) / nmult + self.multiplier_energy_pj
 
     def emac_array(self, enob: np.ndarray, nmult: np.ndarray) -> np.ndarray:
-        return emac_array(enob, nmult) + self.multiplier_energy_pj
+        nmult = np.asarray(nmult, dtype=np.float64)
+        if np.any(nmult < 1):
+            raise ConfigError("Nmult values must be >= 1")
+        return (
+            self.library.energy_array(enob) / nmult
+            + self.multiplier_energy_pj
+        )
 
     @property
     def is_adc_dominated(self) -> bool:

@@ -38,9 +38,14 @@ class AccuracyCurve:
     reference_nmult:
         The Nmult the measurements were taken at (paper: 8).
 
-    Loss is made non-increasing in ENOB (running minimum from high ENOB
-    down) before interpolation, since measurement noise can produce tiny
-    inversions that would break inversion queries.
+    Loss is made non-increasing in ENOB (a running maximum swept from
+    the high-ENOB end toward low ENOB) before interpolation, since
+    measurement noise can produce tiny inversions that would break
+    inversion queries.  Duplicate ENOB values are collapsed to the
+    maximum loss measured at that ENOB — the conservative choice,
+    consistent with the monotone envelope — so the curve is independent
+    of input ordering (``np.interp`` over duplicated x is
+    order-dependent).
     """
 
     enobs: np.ndarray
@@ -52,9 +57,22 @@ class AccuracyCurve:
         losses = np.asarray(self.losses, dtype=np.float64)
         if enobs.shape != losses.shape or enobs.ndim != 1 or enobs.size < 2:
             raise ConfigError("need matching 1-D enob/loss arrays (>= 2 points)")
-        order = np.argsort(enobs)
+        order = np.argsort(enobs, kind="stable")
         enobs = enobs[order]
         losses = losses[order]
+        # Collapse duplicate ENOBs deterministically: keep the worst
+        # (maximum) loss measured at each ENOB, matching the
+        # conservative monotone envelope below.
+        unique_enobs, inverse = np.unique(enobs, return_inverse=True)
+        if unique_enobs.size != enobs.size:
+            collapsed = np.full(unique_enobs.size, -np.inf)
+            np.maximum.at(collapsed, inverse, losses)
+            enobs, losses = unique_enobs, collapsed
+            if enobs.size < 2:
+                raise ConfigError(
+                    "need >= 2 distinct enob values after collapsing "
+                    "duplicates"
+                )
         # Enforce monotone non-increasing loss in ENOB: sweep from the
         # high-ENOB end taking a running max, so each lower-ENOB point
         # is at least as lossy as everything to its right.
@@ -76,6 +94,11 @@ class AccuracyCurve:
     def required_enob(self, max_loss: float) -> float:
         """Smallest reference-Nmult ENOB achieving loss <= ``max_loss``.
 
+        Returns the exact piecewise-linear crossing of the interpolated
+        curve (historically this searched a fixed 2001-point grid and
+        could be off by up to one grid step).  The result satisfies
+        ``loss_at(required_enob(x)) <= x`` exactly.
+
         Raises :class:`~repro.errors.ConfigError` when the curve never
         reaches the target (hardware cannot hit that accuracy in the
         measured range).
@@ -85,11 +108,22 @@ class AccuracyCurve:
                 f"target loss {max_loss} unreachable; best measured is "
                 f"{self.losses[-1]:.4f} at ENOB {self.enobs[-1]}"
             )
-        # loss is non-increasing in enob: binary search on a fine grid.
-        grid = np.linspace(self.enobs[0], self.enobs[-1], 2001)
-        losses = np.interp(grid, self.enobs, self.losses)
-        ok = losses <= max_loss
-        return float(grid[np.argmax(ok)])
+        # Loss is non-increasing in enob, so the first measured point
+        # already at or below the target brackets the crossing.
+        idx = int(np.argmax(self.losses <= max_loss))
+        if idx == 0:
+            return float(self.enobs[0])
+        e_lo, e_hi = self.enobs[idx - 1], self.enobs[idx]
+        l_lo, l_hi = self.losses[idx - 1], self.losses[idx]
+        if l_lo == l_hi:
+            return float(e_hi)
+        crossing = e_lo + (e_hi - e_lo) * (l_lo - max_loss) / (l_lo - l_hi)
+        crossing = float(np.clip(crossing, e_lo, e_hi))
+        # Rounding in the division can land a hair on the lossy side of
+        # the crossing; nudge right until the contract holds.
+        while self.loss_at(crossing) > max_loss:
+            crossing = float(np.nextafter(crossing, e_hi))
+        return crossing
 
 
 @dataclass(frozen=True)
@@ -192,15 +226,15 @@ class TradeoffGrid:
     ) -> float:
         """Max relative E_MAC spread along an iso-loss contour.
 
-        Restricted to thermal-limited cells (ENOB above the knee), the
-        paper predicts this is ~0 (one-to-one energy-accuracy relation).
+        Restricted to thermal-limited cells (ENOB above the energy
+        model's library knee), the paper predicts this is ~0
+        (one-to-one energy-accuracy relation).
         """
-        from repro.energy.adc import THERMAL_KNEE_ENOB
-
+        knee = self.energy_model.library.knee_enob
         cells = [
             c
             for c in self.iso_loss_contour(max_loss, nmults)
-            if c.enob > THERMAL_KNEE_ENOB
+            if c.enob > knee
         ]
         if len(cells) < 2:
             return 0.0

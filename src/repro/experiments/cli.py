@@ -6,6 +6,7 @@ Examples::
     python -m repro.experiments run table1
     python -m repro.experiments run fig8 --profile quick --seed 7
     python -m repro.experiments all --profile quick
+    python -m repro.experiments explore examples/explore_grid.yaml --jobs 4
     python -m repro.experiments serve --spec ams:e5.5:n8 --requests 256
     python -m repro.experiments registry list
     python -m repro.experiments registry evict --spec quant:bw8:bx8
@@ -60,6 +61,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     everything = sub.add_parser("all", help="run every experiment in order")
     _add_common(everything)
+
+    explore = sub.add_parser(
+        "explore",
+        help="search an (ENOB, Nmult) design space from a hardware-knob "
+        "spec file (see docs/explore.md)",
+    )
+    explore.add_argument(
+        "spec_file", help="YAML or JSON exploration spec (examples/)"
+    )
+    explore.add_argument(
+        "--strategy",
+        choices=("cheap-first", "exhaustive"),
+        default=None,
+        help="override the spec's search.strategy",
+    )
+    _add_common(explore)
 
     cache = sub.add_parser(
         "cache", help="deprecated alias of 'registry list' / 'registry evict'"
@@ -558,6 +575,58 @@ def _journaled(args, config, argv: List[str], body) -> int:
     return code
 
 
+def _handle_explore(args, argv: List[str]) -> int:
+    """Run a design-space exploration spec (see docs/explore.md).
+
+    The spec is parsed and validated *before* the run journal opens, so
+    a typo'd knob fails fast with exit 2 and no empty run directory.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.errors import ReproError
+    from repro.explore import load_spec
+
+    try:
+        spec = load_spec(args.spec_file)
+        if args.strategy:
+            spec = dc_replace(spec, strategy=args.strategy)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = make_config(
+        profile=args.profile, seed=args.seed, results_dir=args.results_dir
+    )
+    return _journaled(
+        args, config, argv, lambda: _explore_body(args, config, spec)
+    )
+
+
+def _explore_body(args, config, spec) -> int:
+    from repro.explore import render_explore, run_explore
+    from repro.obs.journal import current_journal, read_events
+
+    bench = Workbench(
+        config,
+        jobs=args.jobs,
+        resume_run=args.resume,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+    )
+    result = run_explore(bench, spec)
+    counts = result.counts
+    print(
+        f"[{spec.name}] {len(result.plans)} points: "
+        f"{counts['evaluated']} evaluated, {counts['pruned']} pruned, "
+        f"{counts['merged']} merged\n"
+    )
+    # Render from the journal, not the in-memory result: the report is
+    # a pure function of the event stream, so what this prints is what
+    # 'obs summary' will reconstruct later, byte for byte.
+    journal = current_journal()
+    print(render_explore(read_events(journal.run_dir, config.results_dir)))
+    return 0
+
+
 def _handle_serve(args, argv: List[str]) -> int:
     """Drive the batched inference service end to end from the CLI."""
     # Fail fast on cluster flags before any training or journaling.
@@ -774,6 +843,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _handle_obs(args)
     if args.command == "serve":
         return _handle_serve(args, cli_argv)
+    if args.command == "explore":
+        return _handle_explore(args, cli_argv)
     if args.command == "export":
         from repro.experiments.export import export_all
 

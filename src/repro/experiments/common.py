@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import json
 import os
-import warnings
 import zlib
 from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
@@ -82,20 +81,21 @@ def _jsonable(value):
     raise TypeError(f"not JSON serializable: {type(value)}")
 
 
-#: Deprecated-method names whose warning already fired this process.
-_DEPRECATION_WARNED: set = set()
-
-
 def _warn_deprecated(name: str, replacement: str) -> None:
-    """Emit the deprecation warning for ``name`` exactly once per process."""
-    if name in _DEPRECATION_WARNED:
-        return
-    _DEPRECATION_WARNED.add(name)
-    warnings.warn(
+    """Emit the deprecation warning for ``name`` exactly once per process.
+
+    Routed through the one :mod:`repro.obs.deprecation` registry so
+    pool workers (which call ``mark_worker_process`` at startup) stay
+    silent instead of each re-warning for shims the parent process
+    already warned about.
+    """
+    from repro.obs.deprecation import warn_once
+
+    warn_once(
+        f"workbench.{name}",
         f"Workbench.{name}() is deprecated; use {replacement} — same "
         "cache artifacts, nothing retrains",
-        DeprecationWarning,
-        stacklevel=3,
+        stacklevel=4,
     )
 
 

@@ -1,0 +1,56 @@
+"""Spec-driven exploration of the (ENOB, Nmult) hardware design space.
+
+The paper's Fig. 8 is a lookup table: a circuit designer names an
+accuracy budget and reads off the cheapest (ENOB, Nmult) point.  This
+package turns that reading into a first-class, resumable service:
+
+- :mod:`repro.explore.schema` — validated YAML/JSON hardware-knob specs
+  (``load_spec`` / ``spec_from_dict`` -> :class:`ExploreSpec`);
+- :mod:`repro.explore.strategy` — deterministic cheap-first search
+  (Eq. 2 canonicalization, analytic and surrogate dominance pruning,
+  quantized Pareto frontier);
+- :mod:`repro.explore.runner` — :func:`run_explore` executes the plan
+  on the :func:`repro.parallel.sweep_map` engine and journals
+  ``explore.*`` events;
+- :mod:`repro.explore.report` — byte-stable report rendering from the
+  run journal alone.
+
+CLI: ``repro explore spec.yaml --jobs 4`` (see ``docs/explore.md``).
+"""
+
+from repro.explore.report import render_explore
+from repro.explore.runner import ExploreResult, run_explore
+from repro.explore.schema import (
+    ExplorePoint,
+    ExploreSpec,
+    load_spec,
+    spec_from_dict,
+)
+from repro.explore.strategy import (
+    FrontierCell,
+    PointPlan,
+    canonicalize,
+    level_curves,
+    pareto_frontier,
+    plan_points,
+    prune_analytic,
+    prune_surrogate,
+)
+
+__all__ = [
+    "ExplorePoint",
+    "ExploreSpec",
+    "ExploreResult",
+    "FrontierCell",
+    "PointPlan",
+    "canonicalize",
+    "level_curves",
+    "load_spec",
+    "pareto_frontier",
+    "plan_points",
+    "prune_analytic",
+    "prune_surrogate",
+    "render_explore",
+    "run_explore",
+    "spec_from_dict",
+]

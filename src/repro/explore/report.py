@@ -1,0 +1,146 @@
+"""Render an exploration's outcome from its run journal.
+
+Everything here is a pure function of the journaled ``explore.*``
+events — nothing recomputes losses or re-runs pruning — so the same
+journal always renders the same bytes.  That property is what lets a
+``--resume`` of an interrupted exploration print a report identical to
+the uninterrupted run's, and what lets ``repro obs summary`` show the
+frontier long after the run finished.
+
+Grid legend (the Fig. 8 reading: rows are Nmult, columns ENOB):
+
+- ``L% / EfJ`` — fully evaluated: measured accuracy loss and E_MAC;
+- ``=``  — merged into an Eq. 2 equivalence class representative;
+- ``x``  — pruned analytically (energy-dominated before any training);
+- ``s``  — pruned by the surrogate stage;
+- ``.``  — not part of the spec's design space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.utils.tabulate import format_table
+
+_STATUS_MARK = {
+    "merged": "=",
+    "pruned_analytic": "x",
+    "pruned_surrogate": "s",
+}
+
+
+def explore_events(events: List[dict]) -> List[dict]:
+    """The ``explore.*`` subset of a journal, in journal order."""
+    return [
+        e for e in events if str(e.get("event", "")).startswith("explore.")
+    ]
+
+
+def _points(events: List[dict]) -> List[dict]:
+    return [e for e in events if e.get("event") == "explore.point"]
+
+
+def _single(events: List[dict], name: str) -> Optional[dict]:
+    for event in events:
+        if event.get("event") == name:
+            return event
+    return None
+
+
+def _cell_text(point: dict) -> str:
+    if point["status"] == "evaluated":
+        return f"{point['loss'] * 100:.2f}% / {point['emac_pj'] * 1000:.0f}fJ"
+    return _STATUS_MARK.get(point["status"], "?")
+
+
+def render_grid(points: List[dict]) -> str:
+    """The Fig. 8-style design-space table (rows Nmult, cols ENOB)."""
+    enobs = sorted({p["enob"] for p in points})
+    nmults = sorted({p["nmult"] for p in points})
+    by_cell: Dict[Tuple[float, int], dict] = {
+        (p["enob"], p["nmult"]): p for p in points
+    }
+    headers = ["Nmult \\ ENOB"] + [f"{e:g}" for e in enobs]
+    rows = []
+    for nmult in nmults:
+        row: List[object] = [nmult]
+        for enob in enobs:
+            point = by_cell.get((enob, nmult))
+            row.append(_cell_text(point) if point is not None else ".")
+        rows.append(row)
+    return format_table(headers, rows, title="Design space (loss / E_MAC)")
+
+
+def render_frontier(frontier: Optional[dict]) -> str:
+    """The journaled Pareto frontier as a table."""
+    cells = frontier["cells"] if frontier else []
+    rows = [
+        [
+            f"{c['enob']:g}",
+            c["nmult"],
+            f"{c['eq_enob']:g}",
+            f"{c['emac_pj'] * 1000:.1f}",
+            f"{c['loss'] * 100:.2f}%",
+        ]
+        for c in cells
+    ]
+    return format_table(
+        ["ENOB", "Nmult", "eq-ENOB", "E_MAC (fJ)", "loss"],
+        rows,
+        title="Pareto frontier (energy vs accuracy loss)",
+    )
+
+
+def render_level_curves(frontier: Optional[dict]) -> str:
+    """Minimum E_MAC per accuracy-loss target (the lookup-table use)."""
+    curves = frontier["level_curves"] if frontier else []
+    rows = []
+    for entry in curves:
+        target = f"<= {entry['target'] * 100:.2f}%"
+        cell = entry["cell"]
+        if cell is None:
+            rows.append([target, "-", "-", "unreachable on this grid"])
+            continue
+        rows.append(
+            [
+                target,
+                f"{cell['enob']:g}",
+                cell["nmult"],
+                f"{cell['emac_pj'] * 1000:.1f} fJ",
+            ]
+        )
+    return format_table(
+        ["loss target", "ENOB", "Nmult", "min E_MAC"],
+        rows,
+        title="Level curves (min energy per loss target)",
+    )
+
+
+def render_explore(events: List[dict]) -> str:
+    """The full report: header, grid, frontier, level curves, legend.
+
+    ``events`` is a journal's event list (:func:`repro.obs.journal.
+    read_events`); non-explore events are ignored.  Raises ``KeyError``
+    only on a journal that has ``explore.point`` events violating the
+    schema — callers should gate on :func:`explore_events` being
+    non-empty.
+    """
+    events = explore_events(events)
+    start = _single(events, "explore.start") or {}
+    end = _single(events, "explore.end") or {}
+    points = _points(events)
+    lines = [
+        f"Exploration '{start.get('name', '?')}' "
+        f"[{start.get('strategy', '?')}]: "
+        f"{len(points)} points -> {end.get('evaluated', '?')} evaluated, "
+        f"{end.get('pruned', '?')} pruned, {end.get('merged', '?')} merged",
+        "",
+        render_grid(points),
+        "legend: = merged into an Eq. 2 class representative, "
+        "x pruned analytically, s pruned by the surrogate",
+        "",
+        render_frontier(_single(events, "explore.frontier")),
+        "",
+        render_level_curves(_single(events, "explore.frontier")),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,372 @@
+"""Execute an exploration spec on a workbench's sweep engine.
+
+:func:`run_explore` turns a validated :class:`~repro.explore.schema.
+ExploreSpec` into at most two :func:`~repro.parallel.sweep_map` calls —
+an optional cheap surrogate sweep over the analytically surviving
+points, then the full-retrain sweep over what the surrogate left — and
+journals the complete outcome as ``explore.*`` events.
+
+Resume contract
+---------------
+Pruning decisions are **never** read back from a journal; planning,
+canonicalization and both prune passes are recomputed in-process, and
+they are pure deterministic functions of the spec (plus the surrogate
+losses, which the sweep engine itself replays from the interrupted
+run's persisted point values).  A ``--resume`` of a drained run with
+the same spec therefore rebuilds the identical plan, reuses every
+finished sweep point, and can never re-admit a pruned point.  The
+``explore.point`` / ``explore.frontier`` events are journaled only
+after all sweeps complete, in deterministic plan order with
+repr-precision floats, so the rendered report of a resumed run is
+byte-identical to what an uninterrupted run would have printed.
+
+Sweep ordinals are positional (see :mod:`repro.ckpt.resume`): for
+``cheap-first`` the surrogate sweep is ordinal 0 and the full sweep
+ordinal 1; for ``exhaustive`` the full sweep is ordinal 0.  Resuming a
+run under a different strategy (or spec) simply fails the per-point key
+check and re-runs — never mixes values up.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.explore.schema import ExploreSpec
+from repro.explore.strategy import (
+    FrontierCell,
+    PointPlan,
+    canonicalize,
+    level_curves,
+    pareto_frontier,
+    plan_points,
+    prune_analytic,
+    prune_surrogate,
+)
+from repro.obs.journal import journal_event
+from repro.parallel import Artifact, SweepPoint, sweep_map
+from repro.serve.spec import ModelSpec
+
+#: Reference Nmult for the Eq. 2 equivalence classes (the paper's
+#: measurement width).  A constant shared by every run so that resumed
+#: and fresh plans agree; the choice only shifts all eq-ENOBs by the
+#: same offset and never changes any ordering.
+REFERENCE_NMULT = 8
+
+#: Shared trained baselines, built serially before any fan-out.
+ARTIFACTS = {
+    "fp32": Artifact(
+        "fp32", lambda b: b.registry.get(ModelSpec("fp32"), fresh=True)
+    ),
+    "quant-8-8": Artifact(
+        "quant-8-8",
+        lambda b: b.registry.get(ModelSpec("quant", bw=8, bx=8), fresh=True),
+        deps=("fp32",),
+    ),
+}
+
+
+def _point_seed(base_seed: int, token: str) -> int:
+    """A stable per-point evaluation seed.
+
+    Derived from the config seed and the point token with crc32 (never
+    Python's randomized ``hash``), so the same point evaluates with the
+    same noise streams in any process, strategy, or resume attempt.
+    """
+    return (int(base_seed) * 2654435761 + zlib.crc32(token.encode())) % (
+        2**31
+    )
+
+
+def _eval_stats(bench, model, token: str):
+    """Order-independent accuracy statistics for one design point.
+
+    ``bench.stats`` draws noise from whatever state each injector
+    currently holds, which differs between a freshly *trained* model
+    and one *loaded* from cache — so a second run over a warm cache
+    would measure different losses.  Seeded per-pass streams make the
+    statistic a pure function of (weights, point), which is what lets
+    cheap-first and exhaustive runs of the same spec agree bit for bit
+    on shared points.
+    """
+    from repro.train.evaluate import repeated_evaluate
+
+    return repeated_evaluate(
+        model,
+        bench.data.val,
+        passes=bench.config.eval_passes,
+        batch_size=bench.config.batch_size,
+        seed=_point_seed(bench.config.seed, token),
+    )
+
+
+def _surrogate_point(
+    bench, enob, nmult, base_mean, error_model, error_model_params
+):
+    """Eval-only surrogate: injected noise on the quantized weights."""
+    model, _ = bench.registry.get(
+        ModelSpec(
+            "ams_eval",
+            enob=enob,
+            nmult=nmult,
+            error_model=error_model,
+            error_model_params=error_model_params,
+        ),
+        fresh=True,
+    )
+    stats = _eval_stats(bench, model, f"e{enob:g}:n{nmult}")
+    return base_mean - stats.mean
+
+
+def _surrogate_train_point(
+    bench, enob, nmult, base_mean, error_model, error_model_params
+):
+    """Short-train surrogate: a truncated retrain on a scratch cache."""
+    model, _ = bench.registry.get(
+        ModelSpec(
+            "ams",
+            enob=enob,
+            nmult=nmult,
+            error_model=error_model,
+            error_model_params=error_model_params,
+        ),
+        fresh=True,
+    )
+    stats = _eval_stats(bench, model, f"e{enob:g}:n{nmult}")
+    return base_mean - stats.mean
+
+
+def _full_point(bench, enob, nmult, error_model, error_model_params):
+    """One full design point: retrained accuracy statistics."""
+    model, _ = bench.registry.get(
+        ModelSpec(
+            "ams",
+            enob=enob,
+            nmult=nmult,
+            error_model=error_model,
+            error_model_params=error_model_params,
+        ),
+        fresh=True,
+    )
+    return _eval_stats(bench, model, f"e{enob:g}:n{nmult}")
+
+
+def _surrogate_bench(bench, spec: ExploreSpec):
+    """A workbench for the surrogate stage.
+
+    ``eval_only`` reuses the caller's bench (nothing trains).
+    ``short_train`` gets a truncated-epochs config on a scratch cache
+    directory: artifact cache names deliberately exclude epoch counts
+    (same knobs, longer training, same artifact), so short-train models
+    must not land in — or poison — the real cache.
+    """
+    if spec.surrogate == "eval_only":
+        return bench
+    from repro.experiments.common import Workbench
+    from repro.registry.layout import scratch_cache_dir
+
+    config = dc_replace(
+        bench.config,
+        retrain_epochs=spec.surrogate_epochs,
+        cache_dir=scratch_cache_dir(bench.config, "explore-surrogate"),
+    )
+    return Workbench(
+        config,
+        jobs=bench.jobs,
+        resume_run=bench.resume_run,
+        retries=getattr(bench, "retries", None),
+        retry_backoff=getattr(bench, "retry_backoff", None),
+    )
+
+
+@dataclass(frozen=True)
+class ExploreResult:
+    """Everything :func:`run_explore` learned about the design space."""
+
+    spec: ExploreSpec
+    plans: Tuple[PointPlan, ...]
+    losses: Dict[str, float]
+    loss_stds: Dict[str, float]
+    frontier: Tuple[FrontierCell, ...]
+    curves: Tuple[Tuple[float, Optional[FrontierCell]], ...]
+    baseline_mean: float
+    baseline_std: float
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {"evaluated": 0, "pruned": 0, "merged": 0}
+        for plan in self.plans:
+            if plan.status == "evaluated":
+                out["evaluated"] += 1
+            elif plan.status == "merged":
+                out["merged"] += 1
+            elif plan.status.startswith("pruned"):
+                out["pruned"] += 1
+        return out
+
+
+def _cell_payload(cell: FrontierCell) -> dict:
+    return {
+        "enob": cell.enob,
+        "nmult": cell.nmult,
+        "eq_enob": cell.eq_enob,
+        "emac_pj": cell.emac_pj,
+        "loss": cell.loss,
+    }
+
+
+def _journal_outcome(
+    spec: ExploreSpec, result: ExploreResult
+) -> None:
+    """Write the ``explore.point``/``frontier``/``end`` events.
+
+    Called once, after every sweep has completed, iterating the plans
+    in their deterministic order — the journal is then a complete,
+    order-stable record that :mod:`repro.explore.report` renders
+    without recomputing anything.
+    """
+    for plan in result.plans:
+        extra = {}
+        if plan.dominated_by is not None:
+            extra["dominated_by"] = plan.dominated_by
+        if plan.surrogate_loss is not None:
+            extra["surrogate_loss"] = plan.surrogate_loss
+        token = plan.token()
+        if token in result.losses:
+            extra["loss"] = result.losses[token]
+            extra["loss_std"] = result.loss_stds[token]
+        journal_event(
+            "explore.point",
+            enob=plan.enob,
+            nmult=plan.nmult,
+            eq_enob=plan.eq_enob,
+            emac_pj=plan.emac_pj,
+            status=plan.status,
+            **extra,
+        )
+    journal_event(
+        "explore.frontier",
+        cells=[_cell_payload(c) for c in result.frontier],
+        level_curves=[
+            {
+                "target": target,
+                "cell": _cell_payload(cell) if cell is not None else None,
+            }
+            for target, cell in result.curves
+        ],
+    )
+    counts = result.counts
+    journal_event(
+        "explore.end",
+        evaluated=counts["evaluated"],
+        pruned=counts["pruned"],
+        merged=counts["merged"],
+        frontier_size=len(result.frontier),
+    )
+
+
+def run_explore(bench, spec: ExploreSpec) -> ExploreResult:
+    """Search ``spec``'s design space on ``bench``'s sweep engine."""
+    plans = canonicalize(plan_points(spec, REFERENCE_NMULT))
+    if spec.strategy == "cheap-first":
+        plans = prune_analytic(plans)
+    journal_event(
+        "explore.start",
+        name=spec.name,
+        points=len(plans),
+        strategy=spec.strategy,
+    )
+
+    base_model, _ = bench.registry.get(
+        ModelSpec("quant", bw=8, bx=8), fresh=True
+    )
+    base = bench.stats(base_model)
+
+    if spec.strategy == "cheap-first":
+        sbench = _surrogate_bench(bench, spec)
+        if sbench is not bench:
+            sbase_model, _ = sbench.registry.get(
+                ModelSpec("quant", bw=8, bx=8), fresh=True
+            )
+            sbase_mean = sbench.stats(sbase_model).mean
+            point_fn = _surrogate_train_point
+        else:
+            sbase_mean = base.mean
+            point_fn = _surrogate_point
+        candidates = [p for p in plans if p.status == "candidate"]
+        points = [
+            SweepPoint(
+                key=f"surrogate:{p.token()}",
+                args=(
+                    p.enob,
+                    p.nmult,
+                    sbase_mean,
+                    spec.error_model,
+                    spec.error_model_params,
+                ),
+                requires=("quant-8-8",),
+            )
+            for p in candidates
+        ]
+        surrogate_losses = dict(
+            zip(
+                (p.token() for p in candidates),
+                (
+                    float(v)
+                    for v in sweep_map(sbench, point_fn, points, dict(ARTIFACTS))
+                ),
+            )
+        )
+        plans = prune_surrogate(
+            plans, surrogate_losses, spec.surrogate_margin
+        )
+
+    survivors = [p for p in plans if p.status == "candidate"]
+    if not survivors:  # pragma: no cover - every prune keeps >= 1 point
+        raise ConfigError("search pruned every point; nothing to evaluate")
+    points = [
+        SweepPoint(
+            key=f"full:{p.token()}",
+            args=(
+                p.enob,
+                p.nmult,
+                spec.error_model,
+                spec.error_model_params,
+            ),
+            requires=("quant-8-8",),
+        )
+        for p in survivors
+    ]
+    stats = sweep_map(bench, _full_point, points, dict(ARTIFACTS))
+
+    losses: Dict[str, float] = {}
+    loss_stds: Dict[str, float] = {}
+    evaluated = {}
+    for plan, stat in zip(survivors, stats):
+        token = plan.token()
+        losses[token] = float(base.mean - stat.mean)
+        loss_stds[token] = float(stat.std)
+        evaluated[token] = True
+    plans = [
+        dc_replace(p, status="evaluated")
+        if p.token() in evaluated
+        else p
+        for p in plans
+    ]
+
+    frontier = pareto_frontier(plans, losses, spec.loss_resolution)
+    curves = level_curves(plans, losses, spec.loss_targets)
+    result = ExploreResult(
+        spec=spec,
+        plans=tuple(plans),
+        losses=losses,
+        loss_stds=loss_stds,
+        frontier=tuple(frontier),
+        curves=tuple(curves),
+        baseline_mean=float(base.mean),
+        baseline_std=float(base.std),
+    )
+    _journal_outcome(spec, result)
+    return result

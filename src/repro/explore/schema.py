@@ -1,0 +1,555 @@
+"""Validated hardware-knob specs for the design-space explorer.
+
+A spec is a YAML or JSON mapping describing the (ENOB, Nmult) design
+space to search and the hardware knobs shared by every point.  Two
+mutually exclusive modes are auto-detected:
+
+**Knob mode** (a ``hardware:`` section) — the industrialized form::
+
+    name: survey-grid
+    hardware:
+      enob: {start: 4.0, stop: 8.0, step: 0.25}   # or an explicit list
+      nmult: [2, 4, 8, 16, 32, 64]
+      adc:
+        library: custom        # survey (paper Eq. 3) | custom
+        knee_enob: 5.5
+        flat_energy_pj: 0.3
+        intercept_db: 38.3
+      reuse_policy: reuse      # reuse | reread
+      error_model: lumped_gaussian
+    search:
+      strategy: cheap-first    # cheap-first | exhaustive
+    loss_targets: [0.01, 0.02, 0.05]
+
+**Legacy point-list mode** (a top-level ``points:`` list) — the shape
+the hand-run experiment scripts used::
+
+    points:
+      - {enob: 5.0, nmult: 8}
+      - {enob: 6.0, nmult: 16}
+
+Mixing the two modes is rejected.  Validation is fail-fast with
+did-you-mean suggestions on unknown keys and enum values, mirroring
+:func:`repro.experiments.config.make_config`; every error is a
+:class:`~repro.errors.ConfigError` raised before any model trains.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.energy.adc import ADCLibrary
+from repro.energy.emac import EnergyModel
+from repro.errors import ConfigError
+
+#: Recognized search strategies.
+STRATEGIES: Tuple[str, ...] = ("cheap-first", "exhaustive")
+
+#: Recognized surrogate kinds for the cheap-first middle stage.
+SURROGATES: Tuple[str, ...] = ("eval_only", "short_train")
+
+#: Recognized ADC reuse policies (see SNIPPETS-style knob specs): with
+#: ``reread`` the DAC inputs are re-read per MAC instead of held, which
+#: costs a fixed per-MAC energy adder.
+REUSE_POLICIES: Tuple[str, ...] = ("reuse", "reread")
+
+#: Recognized ADC libraries.
+ADC_LIBRARIES: Tuple[str, ...] = ("survey", "custom")
+
+_TOP_KEYS = ("name", "hardware", "points", "search", "loss_targets")
+_HARDWARE_KEYS = (
+    "enob",
+    "nmult",
+    "adc",
+    "reference_scaling",
+    "reuse_policy",
+    "multiplier_energy_pj",
+    "reread_energy_pj",
+    "error_model",
+    "error_model_params",
+)
+_ADC_KEYS = (
+    "library",
+    "knee_enob",
+    "flat_energy_pj",
+    "slope_db_per_bit",
+    "intercept_db",
+)
+_ADC_CUSTOM_ONLY = _ADC_KEYS[1:]
+_SEARCH_KEYS = (
+    "strategy",
+    "surrogate",
+    "surrogate_epochs",
+    "surrogate_margin",
+    "loss_resolution",
+    "max_points",
+)
+_RANGE_KEYS = ("start", "stop", "step")
+_POINT_KEYS = ("enob", "nmult")
+
+#: Default cap on expanded grid size (override via ``search.max_points``).
+DEFAULT_MAX_POINTS = 4096
+
+
+def _did_you_mean(value: str, options: Sequence[str]) -> str:
+    close = difflib.get_close_matches(str(value), list(options), n=1)
+    return f" (did you mean {close[0]!r}?)" if close else ""
+
+
+def _check_keys(section: str, data: dict, allowed: Sequence[str]) -> None:
+    if not isinstance(data, dict):
+        raise ConfigError(f"{section} must be a mapping, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        hints = ", ".join(
+            f"{key!r}{_did_you_mean(key, allowed)}" for key in unknown
+        )
+        raise ConfigError(
+            f"unknown {section} key{'s' if len(unknown) > 1 else ''} "
+            f"{hints}; valid keys: {sorted(allowed)}"
+        )
+
+
+def _check_enum(section: str, value, options: Sequence[str]) -> str:
+    if value not in options:
+        raise ConfigError(
+            f"unknown {section} {value!r}; options: "
+            f"{list(options)}{_did_you_mean(value, options)}"
+        )
+    return value
+
+
+def _number(section: str, value) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(
+            f"{section} must be a number, got {value!r}"
+        )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class ExplorePoint:
+    """One raw (ENOB, Nmult) candidate of a spec's design space."""
+
+    enob: float
+    nmult: int
+
+    def __post_init__(self):
+        if self.enob <= 0:
+            raise ConfigError(f"enob must be > 0, got {self.enob}")
+        if self.nmult < 1:
+            raise ConfigError(f"nmult must be >= 1, got {self.nmult}")
+
+    def token(self) -> str:
+        """Stable string identity, e.g. ``e5.5:n8``."""
+        return f"e{self.enob:g}:n{self.nmult}"
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """A fully validated exploration spec (see the module docstring).
+
+    ``points`` is the expanded raw design space in deterministic order
+    (Nmult-major for knob mode, listed order for legacy mode); the
+    search strategy decides which of them are worth a full retrain
+    (:mod:`repro.explore.strategy`).
+    """
+
+    name: str = "explore"
+    mode: str = "knobs"
+    points: Tuple[ExplorePoint, ...] = ()
+    adc: ADCLibrary = ADCLibrary()
+    reuse_policy: str = "reuse"
+    multiplier_energy_pj: float = 0.0
+    error_model: Optional[str] = None
+    error_model_params: Tuple[Tuple[str, object], ...] = ()
+    strategy: str = "cheap-first"
+    surrogate: str = "eval_only"
+    surrogate_epochs: int = 1
+    surrogate_margin: float = 0.02
+    loss_resolution: float = 0.01
+    loss_targets: Tuple[float, ...] = (0.004, 0.01, 0.02)
+
+    def energy_model(self) -> EnergyModel:
+        """The Eq. 3-4 model implied by this spec's hardware knobs."""
+        return EnergyModel(
+            multiplier_energy_pj=self.multiplier_energy_pj,
+            library=self.adc,
+        )
+
+
+def _expand_enobs(section: str, value) -> Tuple[float, ...]:
+    if isinstance(value, dict):
+        _check_keys(section, value, _RANGE_KEYS)
+        missing = [key for key in _RANGE_KEYS if key not in value]
+        if missing:
+            raise ConfigError(f"{section} range missing {missing}")
+        start = _number(f"{section}.start", value["start"])
+        stop = _number(f"{section}.stop", value["stop"])
+        step = _number(f"{section}.step", value["step"])
+        if step <= 0:
+            raise ConfigError(f"{section}.step must be > 0, got {step}")
+        if stop < start:
+            raise ConfigError(
+                f"{section} range has stop {stop} < start {start}"
+            )
+        values: List[float] = []
+        k = 0
+        while True:
+            # round() keeps the grid values exact (4.25, not 4.2500000003)
+            # so point tokens and journal payloads stay readable.
+            point = round(start + k * step, 10)
+            if point > stop + 1e-9:
+                break
+            values.append(point)
+            k += 1
+        return tuple(values)
+    if isinstance(value, (list, tuple)):
+        if not value:
+            raise ConfigError(f"{section} list is empty")
+        return tuple(_number(section, v) for v in value)
+    raise ConfigError(
+        f"{section} must be a list or a {{start, stop, step}} range, "
+        f"got {value!r}"
+    )
+
+
+def _expand_nmults(section: str, value) -> Tuple[int, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ConfigError(f"{section} must be a non-empty list of integers")
+    nmults = []
+    for v in value:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise ConfigError(
+                f"{section} entries must be integers, got {v!r}"
+            )
+        if v < 1:
+            raise ConfigError(f"{section} entries must be >= 1, got {v}")
+        nmults.append(v)
+    return tuple(nmults)
+
+
+def _parse_adc(data: dict) -> ADCLibrary:
+    _check_keys("hardware.adc", data, _ADC_KEYS)
+    library = _check_enum(
+        "hardware.adc.library", data.get("library", "survey"), ADC_LIBRARIES
+    )
+    custom_given = sorted(set(data) & set(_ADC_CUSTOM_ONLY))
+    if library == "survey":
+        if custom_given:
+            raise ConfigError(
+                f"hardware.adc keys {custom_given} apply only to "
+                "library: custom (the survey library is the paper's "
+                "fixed Eq. 3 bound)"
+            )
+        return ADCLibrary()
+    kwargs = {"name": "custom"}
+    for key, attr in (
+        ("knee_enob", "knee_enob"),
+        ("flat_energy_pj", "flat_energy_pj"),
+        ("slope_db_per_bit", "slope_db_per_bit"),
+        ("intercept_db", "intercept_db"),
+    ):
+        if key in data:
+            kwargs[attr] = _number(f"hardware.adc.{key}", data[key])
+    return ADCLibrary(**kwargs)
+
+
+def _parse_error_model(
+    hardware: dict, reference_scaling: float
+) -> Tuple[Optional[str], Tuple[Tuple[str, object], ...]]:
+    """Resolve the error-model knobs, coupling in reference scaling.
+
+    ``reference_scaling: alpha < 1`` is one physical knob with two
+    faces: the ADC reference is scaled (cheaper error per paper
+    Section 4, modeled by the registered ``reference_scaled`` error
+    model) while the thermal-limited conversion pays ``1/alpha^2`` in
+    energy (:class:`~repro.energy.adc.ADCLibrary`).  Naming a
+    *different* error model alongside it would silently decouple the
+    two faces, so that combination is rejected.
+    """
+    model = hardware.get("error_model")
+    params = hardware.get("error_model_params", {})
+    if params and model is None:
+        raise ConfigError(
+            "hardware.error_model_params requires an explicit error_model"
+        )
+    if not isinstance(params, dict):
+        raise ConfigError(
+            "hardware.error_model_params must be a mapping, got "
+            f"{params!r}"
+        )
+    canonical = tuple(sorted((str(k), v) for k, v in params.items()))
+    if reference_scaling < 1.0:
+        if model not in (None, "reference_scaled"):
+            raise ConfigError(
+                "hardware.reference_scaling couples to the "
+                "'reference_scaled' error model; it cannot combine "
+                f"with error_model {model!r}"
+            )
+        given_alpha = dict(canonical).get("alpha")
+        if given_alpha is not None and given_alpha != reference_scaling:
+            raise ConfigError(
+                f"hardware.error_model_params alpha {given_alpha} "
+                f"contradicts reference_scaling {reference_scaling}"
+            )
+        model = "reference_scaled"
+        canonical = (("alpha", reference_scaling),)
+    if model is not None:
+        from repro.ams.models import get_model
+
+        # Fail fast (with the registry's did-you-mean) before training.
+        get_model(str(model), dict(canonical))
+        model = str(model)
+    return model, canonical
+
+
+def _parse_hardware(data: dict) -> dict:
+    _check_keys("hardware", data, _HARDWARE_KEYS)
+    for key in ("enob", "nmult"):
+        if key not in data:
+            raise ConfigError(f"hardware section missing {key!r}")
+    enobs = _expand_enobs("hardware.enob", data["enob"])
+    if any(e <= 0 for e in enobs):
+        raise ConfigError("hardware.enob values must be > 0")
+    nmults = _expand_nmults("hardware.nmult", data["nmult"])
+    if len(set(enobs)) != len(enobs):
+        raise ConfigError("hardware.enob contains duplicates")
+    if len(set(nmults)) != len(nmults):
+        raise ConfigError("hardware.nmult contains duplicates")
+
+    adc = _parse_adc(data.get("adc", {}))
+    reference_scaling = _number(
+        "hardware.reference_scaling", data.get("reference_scaling", 1.0)
+    )
+    if not 0.0 < reference_scaling <= 1.0:
+        raise ConfigError(
+            "hardware.reference_scaling must be in (0, 1], got "
+            f"{reference_scaling}"
+        )
+    if reference_scaling < 1.0:
+        adc = replace(adc, reference_scale=reference_scaling)
+
+    reuse_policy = _check_enum(
+        "hardware.reuse_policy",
+        data.get("reuse_policy", "reuse"),
+        REUSE_POLICIES,
+    )
+    multiplier = _number(
+        "hardware.multiplier_energy_pj",
+        data.get("multiplier_energy_pj", 0.0),
+    )
+    if multiplier < 0:
+        raise ConfigError(
+            f"hardware.multiplier_energy_pj must be >= 0, got {multiplier}"
+        )
+    if "reread_energy_pj" in data and reuse_policy != "reread":
+        raise ConfigError(
+            "hardware.reread_energy_pj applies only with "
+            "reuse_policy: reread"
+        )
+    if reuse_policy == "reread":
+        reread = _number(
+            "hardware.reread_energy_pj", data.get("reread_energy_pj", 0.05)
+        )
+        if reread < 0:
+            raise ConfigError(
+                f"hardware.reread_energy_pj must be >= 0, got {reread}"
+            )
+        multiplier += reread
+
+    error_model, error_model_params = _parse_error_model(
+        data, reference_scaling
+    )
+    return {
+        "enobs": enobs,
+        "nmults": nmults,
+        "adc": adc,
+        "reuse_policy": reuse_policy,
+        "multiplier_energy_pj": multiplier,
+        "error_model": error_model,
+        "error_model_params": error_model_params,
+    }
+
+
+def _parse_points(data) -> Tuple[ExplorePoint, ...]:
+    if not isinstance(data, (list, tuple)) or not data:
+        raise ConfigError(
+            "points must be a non-empty list of {enob, nmult} mappings"
+        )
+    points = []
+    seen = set()
+    for index, entry in enumerate(data):
+        _check_keys(f"points[{index}]", entry, _POINT_KEYS)
+        missing = [key for key in _POINT_KEYS if key not in entry]
+        if missing:
+            raise ConfigError(f"points[{index}] missing {missing}")
+        enob = _number(f"points[{index}].enob", entry["enob"])
+        nmult = entry["nmult"]
+        if isinstance(nmult, bool) or not isinstance(nmult, int):
+            raise ConfigError(
+                f"points[{index}].nmult must be an integer, got {nmult!r}"
+            )
+        point = ExplorePoint(enob=enob, nmult=nmult)
+        if (point.enob, point.nmult) in seen:
+            raise ConfigError(
+                f"points[{index}] duplicates ({point.token()})"
+            )
+        seen.add((point.enob, point.nmult))
+        points.append(point)
+    return tuple(points)
+
+
+def _parse_search(data: dict) -> dict:
+    _check_keys("search", data, _SEARCH_KEYS)
+    strategy = _check_enum(
+        "search.strategy", data.get("strategy", "cheap-first"), STRATEGIES
+    )
+    surrogate = _check_enum(
+        "search.surrogate", data.get("surrogate", "eval_only"), SURROGATES
+    )
+    epochs = data.get("surrogate_epochs", 1)
+    if isinstance(epochs, bool) or not isinstance(epochs, int) or epochs < 1:
+        raise ConfigError(
+            f"search.surrogate_epochs must be an integer >= 1, got {epochs!r}"
+        )
+    if "surrogate_epochs" in data and surrogate != "short_train":
+        raise ConfigError(
+            "search.surrogate_epochs applies only with "
+            "surrogate: short_train"
+        )
+    margin = _number(
+        "search.surrogate_margin", data.get("surrogate_margin", 0.02)
+    )
+    if margin < 0:
+        raise ConfigError(
+            f"search.surrogate_margin must be >= 0, got {margin}"
+        )
+    resolution = _number(
+        "search.loss_resolution", data.get("loss_resolution", 0.01)
+    )
+    if resolution <= 0:
+        raise ConfigError(
+            f"search.loss_resolution must be > 0, got {resolution}"
+        )
+    max_points = data.get("max_points", DEFAULT_MAX_POINTS)
+    if (
+        isinstance(max_points, bool)
+        or not isinstance(max_points, int)
+        or max_points < 1
+    ):
+        raise ConfigError(
+            f"search.max_points must be an integer >= 1, got {max_points!r}"
+        )
+    return {
+        "strategy": strategy,
+        "surrogate": surrogate,
+        "surrogate_epochs": epochs,
+        "surrogate_margin": margin,
+        "loss_resolution": resolution,
+        "max_points": max_points,
+    }
+
+
+def _parse_loss_targets(data) -> Tuple[float, ...]:
+    if not isinstance(data, (list, tuple)) or not data:
+        raise ConfigError("loss_targets must be a non-empty list")
+    targets = tuple(_number("loss_targets", t) for t in data)
+    for t in targets:
+        if not 0.0 < t < 1.0:
+            raise ConfigError(
+                f"loss_targets must be fractions in (0, 1), got {t}"
+            )
+    if list(targets) != sorted(targets):
+        raise ConfigError("loss_targets must be sorted ascending")
+    if len(set(targets)) != len(targets):
+        raise ConfigError("loss_targets contains duplicates")
+    return targets
+
+
+def spec_from_dict(data: dict, name: Optional[str] = None) -> ExploreSpec:
+    """Validate a decoded spec mapping into an :class:`ExploreSpec`.
+
+    Mode is auto-detected: a ``hardware`` section means knob mode, a
+    top-level ``points`` list means legacy mode; both (or neither) is
+    an error.
+    """
+    _check_keys("spec", data, _TOP_KEYS)
+    has_hardware = "hardware" in data
+    has_points = "points" in data
+    if has_hardware and has_points:
+        raise ConfigError(
+            "spec mixes knob mode ('hardware') and legacy point-list "
+            "mode ('points'); pick one"
+        )
+    if not has_hardware and not has_points:
+        raise ConfigError(
+            "spec needs either a 'hardware' section (knob mode) or a "
+            "'points' list (legacy mode)"
+        )
+    spec_name = data.get("name", name or "explore")
+    if not isinstance(spec_name, str) or not spec_name:
+        raise ConfigError(f"name must be a non-empty string, got {spec_name!r}")
+    search = _parse_search(data.get("search", {}))
+    max_points = search.pop("max_points")
+    kwargs: Dict[str, object] = {"name": spec_name, **search}
+    if "loss_targets" in data:
+        kwargs["loss_targets"] = _parse_loss_targets(data["loss_targets"])
+
+    if has_hardware:
+        hardware = _parse_hardware(data["hardware"])
+        enobs, nmults = hardware.pop("enobs"), hardware.pop("nmults")
+        count = len(enobs) * len(nmults)
+        if count > max_points:
+            raise ConfigError(
+                f"spec expands to {count} points, over the "
+                f"search.max_points cap of {max_points}"
+            )
+        # Nmult-major order, matching the Fig. 8 table's row layout.
+        points = tuple(
+            ExplorePoint(enob=e, nmult=n) for n in nmults for e in enobs
+        )
+        return ExploreSpec(mode="knobs", points=points, **hardware, **kwargs)
+
+    points = _parse_points(data["points"])
+    if len(points) > max_points:
+        raise ConfigError(
+            f"spec lists {len(points)} points, over the "
+            f"search.max_points cap of {max_points}"
+        )
+    return ExploreSpec(mode="points", points=points, **kwargs)
+
+
+def load_spec(path: str) -> ExploreSpec:
+    """Load and validate a spec file (YAML or JSON, by extension)."""
+    if not os.path.exists(path):
+        raise ConfigError(f"no spec file at {path}")
+    with open(path) as fh:
+        text = fh.read()
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if path.endswith(".json"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"malformed JSON in {path}: {exc}") from None
+    else:
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - baked into the image
+            raise ConfigError(
+                f"PyYAML is unavailable; rewrite {path} as JSON"
+            ) from None
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ConfigError(f"malformed YAML in {path}: {exc}") from None
+    if not isinstance(data, dict):
+        raise ConfigError(
+            f"spec file {path} must decode to a mapping, got "
+            f"{type(data).__name__}"
+        )
+    return spec_from_dict(data, name=stem)

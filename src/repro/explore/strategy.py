@@ -1,0 +1,299 @@
+"""Cheap-first search over a spec's (ENOB, Nmult) design space.
+
+The explorer never retrains blindly.  Three progressively more
+expensive filters shrink the raw grid before any full AMS retraining
+happens, and every filter is deterministic so a ``--resume`` of an
+interrupted run reconstructs the identical plan in-process:
+
+1. **Eq. 2 canonicalization** (strategy-independent, exact physics):
+   two points with equal equivalent ENOB inject *identically
+   distributed* error, so their retrained accuracy differs only by the
+   RNG stream.  Each equivalence class keeps its minimum-energy member;
+   the rest are ``merged`` into it.
+2. **Analytic dominance** (cheap-first only): using the spec's Eq. 3-4
+   energy model alone, a representative is ``pruned_analytic`` when
+   another representative has at least its equivalent ENOB for at most
+   its energy (one strictly better).  This catches the flat region of
+   the ADC energy curve, where raising ENOB is free.
+3. **Surrogate dominance** (cheap-first only): after a cheap surrogate
+   sweep (eval-only noise injection or a short retrain), a
+   representative is ``pruned_surrogate`` when a no-more-expensive
+   representative beats its surrogate loss by more than
+   ``surrogate_margin``, or when it sits on the accuracy-saturation
+   plateau above the cheapest saturated point.
+
+What survives is ``evaluated`` with a full retrain.  The reported
+Pareto frontier quantizes losses to ``loss_resolution`` bins so that
+cheap-first and exhaustive runs of the same spec report the same
+frontier despite pruning-order differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ams.vmac import equivalent_enob
+from repro.explore.schema import ExplorePoint, ExploreSpec
+
+#: Lifecycle of a planned point.  ``merged``/``pruned_*`` points carry a
+#: ``dominated_by`` token naming the point that made them redundant.
+STATUSES = (
+    "candidate",
+    "merged",
+    "pruned_analytic",
+    "pruned_surrogate",
+    "evaluated",
+)
+
+#: All surrogate and full-eval losses are mapped through the reference
+#: Nmult, so eq-ENOB rounding only needs to absorb float noise from
+#: Eq. 2's log2 — 9 decimals is far below any physical distinction.
+_EQ_DECIMALS = 9
+
+
+@dataclass(frozen=True)
+class PointPlan:
+    """One raw spec point annotated with its search lifecycle."""
+
+    enob: float
+    nmult: int
+    eq_enob: float
+    emac_pj: float
+    status: str = "candidate"
+    dominated_by: Optional[str] = None
+    surrogate_loss: Optional[float] = None
+
+    def token(self) -> str:
+        return f"e{self.enob:g}:n{self.nmult}"
+
+
+def plan_points(
+    spec: ExploreSpec, reference_nmult: int = 8
+) -> List[PointPlan]:
+    """Annotate every raw spec point with eq-ENOB and energy."""
+    model = spec.energy_model()
+    return [
+        PointPlan(
+            enob=p.enob,
+            nmult=p.nmult,
+            eq_enob=round(
+                equivalent_enob(p.enob, p.nmult, reference_nmult),
+                _EQ_DECIMALS,
+            ),
+            emac_pj=model.emac(p.enob, p.nmult),
+        )
+        for p in spec.points
+    ]
+
+
+def canonicalize(plans: List[PointPlan]) -> List[PointPlan]:
+    """Collapse Eq. 2 equivalence classes onto min-energy members.
+
+    Applies to **every** strategy (including exhaustive): members of a
+    class are physically the same design point as far as injected error
+    goes, so retraining more than one member only measures RNG noise.
+    The representative is the minimum-energy member; ties break toward
+    the smaller Nmult (fewer multipliers sharing one ADC), which is
+    deterministic because raw points are unique.
+    """
+    by_class: Dict[float, List[int]] = {}
+    for index, plan in enumerate(plans):
+        by_class.setdefault(plan.eq_enob, []).append(index)
+    out = list(plans)
+    for members in by_class.values():
+        rep = min(
+            members,
+            key=lambda i: (plans[i].emac_pj, plans[i].nmult, plans[i].enob),
+        )
+        for index in members:
+            if index != rep:
+                out[index] = replace(
+                    plans[index],
+                    status="merged",
+                    dominated_by=plans[rep].token(),
+                )
+    return out
+
+
+def prune_analytic(plans: List[PointPlan]) -> List[PointPlan]:
+    """Drop candidates dominated on (eq-ENOB, energy) analytically.
+
+    B dominates A iff ``eq_B >= eq_A`` and ``emac_B <= emac_A`` with at
+    least one strict.  After canonicalization eq-ENOBs are unique among
+    candidates, so "one strict" always holds when both inequalities do.
+    The dominator recorded is the best such B (max eq, then min energy)
+    for a stable ``dominated_by`` token.
+    """
+    out = list(plans)
+    candidates = [i for i, p in enumerate(plans) if p.status == "candidate"]
+    for a in candidates:
+        dominators = [
+            b
+            for b in candidates
+            if b != a
+            and plans[b].eq_enob >= plans[a].eq_enob
+            and plans[b].emac_pj <= plans[a].emac_pj
+            and (
+                plans[b].eq_enob > plans[a].eq_enob
+                or plans[b].emac_pj < plans[a].emac_pj
+            )
+        ]
+        if dominators:
+            best = max(
+                dominators,
+                key=lambda i: (plans[i].eq_enob, -plans[i].emac_pj),
+            )
+            out[a] = replace(
+                plans[a],
+                status="pruned_analytic",
+                dominated_by=plans[best].token(),
+            )
+    return out
+
+
+def prune_surrogate(
+    plans: List[PointPlan],
+    surrogate_losses: Dict[str, float],
+    margin: float,
+) -> List[PointPlan]:
+    """Drop candidates the surrogate shows to be dominated.
+
+    Two rules, both with a safety ``margin`` because the surrogate is
+    only a proxy for the fully retrained loss:
+
+    - *dominance*: A is pruned when some B costs no more energy and its
+      surrogate loss beats A's by more than ``margin``.
+    - *saturation*: among points whose surrogate loss is within
+      ``margin`` of the best observed (the accuracy plateau, where more
+      ENOB buys nothing), only the cheapest survives.
+    """
+    out = list(plans)
+    candidates = [i for i, p in enumerate(plans) if p.status == "candidate"]
+    for i in candidates:
+        out[i] = replace(
+            plans[i], surrogate_loss=surrogate_losses[plans[i].token()]
+        )
+    if not candidates:
+        return out
+
+    def loss(i: int) -> float:
+        return surrogate_losses[plans[i].token()]
+
+    best_loss = min(loss(i) for i in candidates)
+    plateau = [i for i in candidates if loss(i) <= best_loss + margin]
+    keeper = min(
+        plateau, key=lambda i: (plans[i].emac_pj, -plans[i].eq_enob)
+    )
+    for a in candidates:
+        if a in plateau and a != keeper:
+            out[a] = replace(
+                out[a],
+                status="pruned_surrogate",
+                dominated_by=plans[keeper].token(),
+            )
+            continue
+        dominators = [
+            b
+            for b in candidates
+            if b != a
+            and plans[b].emac_pj <= plans[a].emac_pj
+            and loss(b) + margin < loss(a)
+        ]
+        if dominators:
+            best = min(
+                dominators, key=lambda i: (loss(i), plans[i].emac_pj)
+            )
+            out[a] = replace(
+                out[a],
+                status="pruned_surrogate",
+                dominated_by=plans[best].token(),
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class FrontierCell:
+    """One Pareto-frontier entry: an evaluated point and its loss."""
+
+    enob: float
+    nmult: int
+    eq_enob: float
+    emac_pj: float
+    loss: float
+
+    def token(self) -> str:
+        return f"e{self.enob:g}:n{self.nmult}"
+
+
+def pareto_frontier(
+    plans: List[PointPlan],
+    losses: Dict[str, float],
+    resolution: float,
+) -> List[FrontierCell]:
+    """Energy-loss Pareto frontier over the evaluated points.
+
+    Losses are quantized to ``resolution`` bins before comparison so
+    that sub-resolution accuracy noise — e.g. between a cheap-first run
+    and an exhaustive run that retrained extra plateau points — cannot
+    flip frontier membership.  Within a bin the tie-break prefers lower
+    energy, then higher equivalent ENOB.  Returned in ascending-energy
+    order.
+    """
+    cells = [
+        FrontierCell(
+            enob=p.enob,
+            nmult=p.nmult,
+            eq_enob=p.eq_enob,
+            emac_pj=p.emac_pj,
+            loss=losses[p.token()],
+        )
+        for p in plans
+        if p.status == "evaluated"
+    ]
+
+    def qloss(cell: FrontierCell) -> int:
+        return int(round(max(cell.loss, 0.0) / resolution))
+
+    cells.sort(key=lambda c: (c.emac_pj, qloss(c), -c.eq_enob, c.nmult))
+    frontier: List[FrontierCell] = []
+    best_bin: Optional[int] = None
+    for cell in cells:
+        bin_ = qloss(cell)
+        if best_bin is None or bin_ < best_bin:
+            frontier.append(cell)
+            best_bin = bin_
+    return frontier
+
+
+def level_curves(
+    plans: List[PointPlan],
+    losses: Dict[str, float],
+    targets: Sequence[float],
+) -> List[Tuple[float, Optional[FrontierCell]]]:
+    """Per loss target, the cheapest evaluated point meeting it.
+
+    The Fig. 8 reading of the grid: "what is the minimum energy per MAC
+    for accuracy loss below X?".  Targets the measured grid never
+    reaches map to ``None``.
+    """
+    evaluated = [
+        FrontierCell(
+            enob=p.enob,
+            nmult=p.nmult,
+            eq_enob=p.eq_enob,
+            emac_pj=p.emac_pj,
+            loss=losses[p.token()],
+        )
+        for p in plans
+        if p.status == "evaluated"
+    ]
+    out: List[Tuple[float, Optional[FrontierCell]]] = []
+    for target in targets:
+        feasible = [c for c in evaluated if c.loss <= target]
+        if not feasible:
+            out.append((float(target), None))
+            continue
+        best = min(feasible, key=lambda c: (c.emac_pj, -c.eq_enob, c.nmult))
+        out.append((float(target), best))
+    return out

@@ -70,6 +70,11 @@ EVENT_SCHEMAS: Dict[str, Tuple[str, ...]] = {
     "sweep.point_skipped": ("index", "key"),
     "sweep.resume": ("source_run", "reused"),
     "sweep.end": ("completed", "failed"),
+    # design-space exploration (see repro.explore / docs/explore.md)
+    "explore.start": ("name", "points", "strategy"),
+    "explore.point": ("enob", "nmult", "eq_enob", "emac_pj", "status"),
+    "explore.frontier": ("cells", "level_curves"),
+    "explore.end": ("evaluated", "pruned", "merged", "frontier_size"),
     # serving
     "serve.stats": ("stats",),
     "serve.replica": ("replica", "action"),

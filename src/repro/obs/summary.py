@@ -298,6 +298,13 @@ def summarize_run(run: str, results_dir: str = "results") -> str:
             )
         )
 
+    if events_of(events, "explore.start"):
+        # Lazy import: repro.explore imports the sweep/serve stack,
+        # which in turn journals through this package.
+        from repro.explore.report import render_explore
+
+        parts.append(render_explore(events))
+
     metrics = last_metrics(events)
     if metrics is not None:
         parts.append(render_metrics(metrics))

@@ -43,6 +43,7 @@ from repro.registry.layout import (
     artifact_paths,
     evict_artifacts,
     scan_artifacts,
+    scratch_cache_dir,
 )
 from repro.registry.core import ModelRegistry, WarmEntry, model_nbytes
 from repro.serve.spec import ModelSpec
@@ -100,4 +101,5 @@ __all__ = [
     "get",
     "model_nbytes",
     "scan_artifacts",
+    "scratch_cache_dir",
 ]

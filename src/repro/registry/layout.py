@@ -83,6 +83,23 @@ def artifact_exists(config, name: str) -> bool:
     return os.path.exists(paths.state) and os.path.exists(paths.meta)
 
 
+def scratch_cache_dir(config, label: str) -> str:
+    """A namespaced scratch cache *under* the configured cache dir.
+
+    For callers that need a second cache whose artifacts must never
+    collide with the main one — e.g. the explorer's short-train
+    surrogate, whose models share cache names with fully trained ones
+    because :meth:`~repro.experiments.config.ExperimentConfig.
+    cache_key_prefix` deliberately excludes epoch counts.  Keeping the
+    derivation here (the registry's single home for cache paths) is
+    what lets ``tools/registry_lint.py`` ban ad-hoc ``.cache_dir``
+    arithmetic everywhere else.
+    """
+    if not label or os.sep in label or label in (".", ".."):
+        raise ValueError(f"invalid scratch cache label {label!r}")
+    return os.path.join(config.cache_dir, label)
+
+
 # ----------------------------------------------------------------------
 # cache-directory scans (the CLI's view; no config object required)
 # ----------------------------------------------------------------------
@@ -205,4 +222,5 @@ __all__ = [
     "artifact_paths",
     "evict_artifacts",
     "scan_artifacts",
+    "scratch_cache_dir",
 ]

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.energy.adc import (
+    ADCLibrary,
     FLAT_ENERGY_PJ,
     THERMAL_KNEE_ENOB,
     adc_energy,
@@ -76,6 +77,59 @@ class TestFOM:
             schreier_fom(0.0, 10.0)
 
 
+class TestADCLibrary:
+    def test_default_matches_survey_bound_bit_for_bit(self):
+        lib = ADCLibrary()
+        grid = np.array([1.0, 5.0, 10.5, 11.0, 12.0, 16.0])
+        for enob in grid:
+            assert lib.energy(float(enob)) == adc_energy(float(enob))
+        np.testing.assert_array_equal(
+            lib.energy_array(grid), adc_energy_array(grid)
+        )
+        assert ADCLibrary.survey() == lib
+
+    def test_custom_knee_moves_the_flat_region(self):
+        lib = ADCLibrary(name="custom", knee_enob=5.5, intercept_db=38.34)
+        assert lib.energy(5.5) == FLAT_ENERGY_PJ
+        assert lib.energy(5.6) > FLAT_ENERGY_PJ  # thermal already
+        assert adc_energy(5.6) == FLAT_ENERGY_PJ  # survey still flat
+
+    def test_custom_thermal_branch_values(self):
+        lib = ADCLibrary(
+            name="custom",
+            knee_enob=5.5,
+            flat_energy_pj=0.3,
+            intercept_db=38.34,
+        )
+        assert lib.energy(7.0) == pytest.approx(
+            10 ** (0.1 * (6.02 * 7.0 - 38.34))
+        )
+        # Continuity with that intercept: flat meets thermal at the knee.
+        assert lib.energy(5.5 + 1e-9) == pytest.approx(0.3, rel=1e-3)
+
+    def test_reference_scale_costs_inverse_square_in_thermal(self):
+        full = ADCLibrary()
+        scaled = ADCLibrary(reference_scale=0.5)
+        assert scaled.energy(12.0) == pytest.approx(full.energy(12.0) * 4)
+        # Flat branch is architecture-limited: unscaled.
+        assert scaled.energy(5.0) == full.energy(5.0)
+
+    def test_validation(self):
+        for bad in (
+            dict(knee_enob=0),
+            dict(flat_energy_pj=-0.1),
+            dict(slope_db_per_bit=0),
+            dict(reference_scale=0.0),
+            dict(reference_scale=1.5),
+        ):
+            with pytest.raises(ConfigError):
+                ADCLibrary(**bad)
+        with pytest.raises(ConfigError):
+            ADCLibrary().energy(0.0)
+        with pytest.raises(ConfigError):
+            ADCLibrary().energy_array(np.array([1.0, -1.0]))
+
+
 class TestEMAC:
     def test_eq4_amortization(self):
         assert emac(9.0, 16) == pytest.approx(adc_energy(9.0) / 16)
@@ -102,3 +156,17 @@ class TestEMAC:
     def test_energy_model_validation(self):
         with pytest.raises(ConfigError):
             EnergyModel(multiplier_energy_pj=-1.0)
+
+    def test_energy_model_with_custom_library(self):
+        """The explorer path: EnergyModel amortizes whatever library its
+        spec provides; the default stays bit-identical to Eq. 3-4."""
+        lib = ADCLibrary(name="custom", knee_enob=5.5, intercept_db=38.34)
+        model = EnergyModel(library=lib)
+        assert model.emac(7.0, 8) == pytest.approx(lib.energy(7.0) / 8)
+        assert EnergyModel().emac(12.0, 8) == emac(12.0, 8)
+        np.testing.assert_array_equal(
+            EnergyModel().emac_array(
+                np.array([9.0, 12.0]), np.array([8, 8])
+            ),
+            emac_array(np.array([9.0, 12.0]), np.array([8, 8])),
+        )

@@ -67,6 +67,70 @@ class TestAccuracyCurve:
         with pytest.raises(ConfigError):
             AccuracyCurve(enobs=np.array([1.0]), losses=np.array([0.1]))
 
+    def test_duplicates_collapse_to_max_loss(self):
+        """Duplicate ENOBs keep the worst measured loss, regardless of
+        input order (np.interp over duplicated x is order-dependent)."""
+        a = AccuracyCurve(
+            enobs=np.array([9.0, 10.0, 10.0, 11.0]),
+            losses=np.array([0.08, 0.02, 0.05, 0.01]),
+        )
+        b = AccuracyCurve(
+            enobs=np.array([10.0, 11.0, 9.0, 10.0]),
+            losses=np.array([0.05, 0.01, 0.08, 0.02]),
+        )
+        assert a.loss_at(10.0) == pytest.approx(0.05)
+        assert np.array_equal(a.enobs, b.enobs)
+        assert np.array_equal(a.losses, b.losses)
+        assert np.array_equal(a.enobs, np.array([9.0, 10.0, 11.0]))
+
+    def test_duplicated_unsorted_matches_clean_curve(self):
+        """A shuffled, duplicated rendition of the paper-shaped series
+        builds the same curve as the clean sorted one."""
+        clean = paper_like_curve()
+        messy = AccuracyCurve(
+            enobs=np.array([12.0, 9.0, 13.0, 10.0, 9.0, 11.0, 12.0]),
+            losses=np.array([0.004, 0.08, 0.0, 0.03, 0.08, 0.01, 0.004]),
+        )
+        assert np.array_equal(messy.enobs, clean.enobs)
+        assert np.array_equal(messy.losses, clean.losses)
+
+    def test_all_duplicates_rejected(self):
+        with pytest.raises(ConfigError):
+            AccuracyCurve(
+                enobs=np.array([10.0, 10.0, 10.0]),
+                losses=np.array([0.01, 0.02, 0.03]),
+            )
+
+    def test_required_enob_exact_crossing(self):
+        """The returned ENOB is the exact piecewise-linear crossing, not
+        a grid approximation: loss_at(required_enob(x)) == x when the
+        target falls strictly inside a segment."""
+        curve = paper_like_curve()
+        req = curve.required_enob(0.02)
+        assert curve.loss_at(req) == pytest.approx(0.02, abs=1e-12)
+        assert 10.0 < req < 11.0
+
+    @pytest.mark.parametrize(
+        "target", [0.0, 0.001, 0.004, 0.0077, 0.01, 0.02, 0.03, 0.08, 0.5]
+    )
+    def test_required_enob_contract_property(self, target):
+        """For any reachable target, loss_at(required_enob(x)) <= x and
+        nothing measurably smaller also satisfies it."""
+        curve = paper_like_curve()
+        req = curve.required_enob(target)
+        assert curve.loss_at(req) <= target
+        if req > curve.enobs[0]:
+            eps = float(np.nextafter(req, curve.enobs[0]))
+            # One ulp to the left either violates the target or sits on
+            # a flat segment where the crossing snaps to the right edge.
+            assert curve.loss_at(eps) >= curve.loss_at(req)
+
+    def test_required_enob_at_boundary(self):
+        curve = paper_like_curve()
+        assert curve.required_enob(0.08) == pytest.approx(9.0)
+        assert curve.required_enob(0.9) == pytest.approx(9.0)
+        assert curve.required_enob(0.0) == pytest.approx(13.0)
+
 
 class TestTradeoffGrid:
     def test_cell(self):

@@ -1,0 +1,38 @@
+"""Fixtures for explorer tests: a microscopic shared-cache config.
+
+The explorer's end-to-end tests retrain real (tiny) models.  All of
+them share one session-scoped cache directory so each trained artifact
+is built exactly once across the module; correctness does not depend on
+the sharing because every accuracy statistic the explorer reports is
+seeded per point (see ``repro.explore.runner._eval_stats``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import make_config
+
+
+@pytest.fixture(scope="session")
+def explore_cache(tmp_path_factory):
+    return tmp_path_factory.mktemp("explore-cache")
+
+
+@pytest.fixture
+def micro_config(explore_cache, tmp_path):
+    return make_config(
+        profile="quick",
+        seed=11,
+        num_classes=3,
+        image_size=8,
+        train_per_class=12,
+        val_per_class=6,
+        pretrain_epochs=1,
+        retrain_epochs=1,
+        batch_size=16,
+        patience=1,
+        eval_passes=1,
+        cache_dir=str(explore_cache),
+        results_dir=str(tmp_path / "results"),
+    )

@@ -1,0 +1,230 @@
+"""CLI tests for the explore subcommand, including drain + resume.
+
+These drive ``main([...])`` in-process against the bundled >= 100-point
+example spec, with ``make_config`` patched down to the micro config so
+the full pipeline (spec -> journal -> sweeps -> rendered report) runs in
+seconds.
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+import repro.explore.runner as runner_mod
+import repro.parallel.sweep as sweep_mod
+from repro.experiments import cli as cli_mod
+from repro.experiments.cli import main
+from repro.obs.journal import read_events
+
+EXAMPLE_SPEC = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "explore_grid.yaml"
+)
+
+
+@pytest.fixture
+def micro_cli(micro_config, monkeypatch):
+    """Route the CLI's make_config through the micro config."""
+
+    def fake_make_config(profile="full", seed=1234, **overrides):
+        return replace(
+            micro_config, results_dir=overrides.get(
+                "results_dir", micro_config.results_dir
+            )
+        )
+
+    monkeypatch.setattr(cli_mod, "make_config", fake_make_config)
+    return micro_config
+
+
+class TestExploreCLI:
+    def test_spec_error_exits_2_without_a_run_dir(
+        self, micro_cli, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("hardware:\n  enob: [4.0]\n  nmult: [8]\n  nmlt: [4]\n")
+        results = str(tmp_path / "results")
+        code = main(["explore", str(bad), "--results-dir", results])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "nmult" in err
+        # Fail-fast: validation ran before any journal was opened.
+        assert not os.path.exists(os.path.join(results, "runs"))
+
+    def test_example_grid_with_jobs_2(self, micro_cli, tmp_path, capsys):
+        results = str(tmp_path / "results")
+        code = main(
+            [
+                "explore", EXAMPLE_SPEC,
+                "--results-dir", results,
+                "--jobs", "2",
+                "--run-id", "grid-j2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[explore-grid]" in out
+        assert "Pareto frontier" in out
+        assert "minimum-energy design" in out or "<=" in out
+        events = read_events(
+            os.path.join(results, "runs", "grid-j2"), results
+        )
+        end = next(e for e in events if e["event"] == "explore.end")
+        # The acceptance bar again, through the CLI: the surrogate
+        # prunes at least half of what exhaustive would retrain.
+        evaluated, pruned = end["evaluated"], end["pruned"]
+        assert evaluated <= (evaluated + pruned) / 2
+
+    def test_strategy_flag_overrides_the_spec(
+        self, micro_cli, tmp_path, capsys
+    ):
+        spec = tmp_path / "tiny.yaml"
+        spec.write_text(
+            "name: tiny\n"
+            "hardware:\n  enob: [4.0, 6.0]\n  nmult: [8]\n"
+        )
+        results = str(tmp_path / "results")
+        code = main(
+            [
+                "explore", str(spec),
+                "--results-dir", results,
+                "--strategy", "exhaustive",
+            ]
+        )
+        assert code == 0
+        assert "[exhaustive]" in capsys.readouterr().out
+
+    def test_obs_summary_includes_the_explore_section(
+        self, micro_cli, tmp_path, capsys
+    ):
+        spec = tmp_path / "tiny.yaml"
+        spec.write_text(
+            "name: tiny\n"
+            "hardware:\n  enob: [4.0, 6.0]\n  nmult: [8]\n"
+        )
+        results = str(tmp_path / "results")
+        assert (
+            main(
+                [
+                    "explore", str(spec),
+                    "--results-dir", results,
+                    "--run-id", "tiny-run",
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert (
+            main(["obs", "summary", "tiny-run", "--results-dir", results])
+            == 0
+        )
+        summary = capsys.readouterr().out
+        assert "Exploration 'tiny'" in summary
+        # The summary reconstructs the very tables the run printed.
+        frontier_lines = [
+            line for line in first.splitlines() if "Pareto" in line
+        ]
+        for line in frontier_lines:
+            assert line in summary
+
+
+class TestDrainAndResume:
+    def test_sigterm_drains_then_resume_is_byte_identical(
+        self, micro_cli, tmp_path, capsys, monkeypatch
+    ):
+        """The headline fault-tolerance contract: SIGTERM mid-full-sweep
+        exits 130 with a resume hint; --resume reuses every finished
+        point, never re-admits a pruned one, and prints a report that is
+        byte-identical to an uninterrupted run's."""
+        results = str(tmp_path / "results")
+        calls = {"full": 0}
+        real_full = runner_mod._full_point
+
+        def counting_full(bench, *args):
+            calls["full"] += 1
+            return real_full(bench, *args)
+
+        monkeypatch.setattr(runner_mod, "_full_point", counting_full)
+        monkeypatch.setattr(
+            sweep_mod,
+            "interrupt_requested",
+            lambda: "SIGTERM" if calls["full"] >= 1 else None,
+        )
+        code = main(
+            [
+                "explore", EXAMPLE_SPEC,
+                "--results-dir", results,
+                "--run-id", "drained",
+            ]
+        )
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "resume with: --resume drained" in err
+        drained_events = read_events(
+            os.path.join(results, "runs", "drained"), results
+        )
+        done = [
+            e for e in drained_events if e["event"] == "sweep.point_done"
+        ]
+        # The whole surrogate sweep plus exactly one full point landed
+        # on disk before the drain.
+        assert sum(
+            1 for e in done if str(e["key"]).startswith("surrogate:")
+        ) >= 20
+        assert sum(
+            1 for e in done if str(e["key"]).startswith("full:")
+        ) == 1
+
+        # Resume with the interrupt cleared and the real point fn back.
+        monkeypatch.setattr(runner_mod, "_full_point", real_full)
+        monkeypatch.setattr(sweep_mod, "interrupt_requested", lambda: None)
+        code = main(
+            [
+                "explore", EXAMPLE_SPEC,
+                "--results-dir", results,
+                "--resume", "drained",
+                "--run-id", "resumed",
+            ]
+        )
+        assert code == 0
+        resumed_out = capsys.readouterr().out
+
+        # An untouched reference run in a fresh results dir.
+        clean_results = str(tmp_path / "clean-results")
+        code = main(
+            [
+                "explore", EXAMPLE_SPEC,
+                "--results-dir", clean_results,
+                "--run-id", "clean",
+            ]
+        )
+        assert code == 0
+        clean_out = capsys.readouterr().out
+
+        def report_body(text):
+            # Drop the run-id banner; everything below it is the report.
+            lines = text.splitlines()
+            return "\n".join(
+                line for line in lines if not line.startswith("[journal]")
+            )
+
+        assert report_body(resumed_out) == report_body(clean_out)
+
+        # Pruning is recomputed, not replayed: the resumed run reused
+        # finished points and only ever swept surviving candidates.
+        events = read_events(
+            os.path.join(results, "runs", "resumed"), results
+        )
+        assert any(e["event"] == "sweep.point_skipped" for e in events)
+        evaluated_tokens = {
+            f"e{e['enob']:g}:n{e['nmult']}"
+            for e in events
+            if e["event"] == "explore.point" and e["status"] == "evaluated"
+        }
+        full_keys = {
+            str(e["key"])
+            for e in events
+            if e["event"] in ("sweep.point_done", "sweep.point_skipped")
+            and str(e["key"]).startswith("full:")
+        }
+        assert full_keys == {f"full:{t}" for t in evaluated_tokens}

@@ -1,0 +1,136 @@
+"""End-to-end tests for run_explore on a real (micro) workbench."""
+
+import os
+
+import pytest
+
+from repro.experiments.common import Workbench
+from repro.explore import load_spec, run_explore, spec_from_dict
+
+EXAMPLE_SPEC = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "explore_grid.yaml"
+)
+
+
+def small_spec(**search):
+    data = {
+        "name": "small",
+        "hardware": {
+            "enob": [4.0, 5.0, 6.0],
+            "nmult": [8, 32],
+            "adc": {
+                "library": "custom",
+                "knee_enob": 5.5,
+                "intercept_db": 38.34,
+            },
+        },
+    }
+    if search:
+        data["search"] = search
+    return spec_from_dict(data)
+
+
+class TestRunExplore:
+    def test_small_grid_end_to_end(self, micro_config):
+        bench = Workbench(micro_config)
+        result = run_explore(bench, small_spec())
+        counts = result.counts
+        assert counts["evaluated"] >= 1
+        assert counts["evaluated"] + counts["pruned"] + counts["merged"] == (
+            len(result.plans)
+        )
+        # Every evaluated point has a loss; nothing else does.
+        evaluated = {
+            p.token() for p in result.plans if p.status == "evaluated"
+        }
+        assert set(result.losses) == evaluated
+        assert set(result.loss_stds) == evaluated
+        # The frontier and the level curves only cite evaluated points.
+        for cell in result.frontier:
+            assert cell.token() in evaluated
+        for _, cell in result.curves:
+            assert cell is None or cell.token() in evaluated
+
+    def test_repeat_run_is_bit_identical(self, micro_config):
+        bench = Workbench(micro_config)
+        first = run_explore(bench, small_spec())
+        second = run_explore(Workbench(micro_config), small_spec())
+        assert first.losses == second.losses
+        assert first.frontier == second.frontier
+        assert first.curves == second.curves
+
+    def test_cheap_first_matches_exhaustive_on_the_example_grid(
+        self, micro_config
+    ):
+        """The acceptance bar: on the bundled spec the surrogate prunes
+        at least half of the full-retrain points, and the reported
+        frontier and level curves are exactly what exhaustive reports."""
+        spec = load_spec(EXAMPLE_SPEC)
+        assert len(spec.points) >= 100
+        cheap = run_explore(Workbench(micro_config), spec)
+
+        from dataclasses import replace
+
+        exhaustive = run_explore(
+            Workbench(micro_config), replace(spec, strategy="exhaustive")
+        )
+        n_cheap = cheap.counts["evaluated"]
+        n_full = exhaustive.counts["evaluated"]
+        assert n_cheap <= n_full / 2
+        assert [c.token() for c in cheap.frontier] == [
+            c.token() for c in exhaustive.frontier
+        ]
+        assert [
+            (t, c.token() if c else None) for t, c in cheap.curves
+        ] == [(t, c.token() if c else None) for t, c in exhaustive.curves]
+        # Shared evaluated points carry bit-identical losses: the
+        # seeded per-point streams make the measurement independent of
+        # which other points ran (or didn't) around it.
+        shared = set(cheap.losses) & set(exhaustive.losses)
+        assert shared
+        for token in shared:
+            assert cheap.losses[token] == exhaustive.losses[token]
+
+    def test_short_train_surrogate_uses_scratch_cache(self, micro_config):
+        spec = small_spec(surrogate="short_train", surrogate_epochs=1)
+        bench = Workbench(micro_config)
+        result = run_explore(bench, spec)
+        assert result.counts["evaluated"] >= 1
+        scratch = os.path.join(micro_config.cache_dir, "explore-surrogate")
+        assert os.path.isdir(scratch)
+        # Scratch artifacts never leak into the real cache: every ams
+        # file in the real cache dir was trained at full retrain_epochs
+        # (the names match, which is exactly why the directories split).
+        assert any("-ams-" in name for name in os.listdir(scratch))
+
+
+class TestJournaledOutcome:
+    def test_events_round_trip_through_the_report(
+        self, micro_config, tmp_path
+    ):
+        """run_explore under an open journal emits a complete event
+        stream that the renderer turns into the Fig. 8-style tables."""
+        from repro.explore.report import render_explore
+        from repro.obs.journal import end_run, read_events, start_run
+
+        spec = small_spec()
+        journal = start_run(
+            micro_config.results_dir, run_id="journal-trip"
+        )
+        try:
+            result = run_explore(Workbench(micro_config), spec)
+            run_dir = journal.run_dir
+        finally:
+            end_run()
+        events = read_events(run_dir, micro_config.results_dir)
+        kinds = {e["event"] for e in events}
+        assert {"explore.start", "explore.point", "explore.frontier",
+                "explore.end"} <= kinds
+        points = [e for e in events if e["event"] == "explore.point"]
+        assert len(points) == len(result.plans)
+        text = render_explore(events)
+        assert "Exploration 'small'" in text
+        assert "Pareto frontier" in text
+        for cell in result.frontier:
+            assert f"{cell.enob:g}" in text
+            assert str(cell.nmult) in text

@@ -1,0 +1,249 @@
+"""Tests for the exploration-spec schema and its fail-fast validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.explore import ExploreSpec, load_spec, spec_from_dict
+
+
+def knob_spec(**overrides):
+    data = {
+        "name": "t",
+        "hardware": {
+            "enob": [4.0, 5.0, 6.0],
+            "nmult": [4, 8],
+        },
+    }
+    data.update(overrides)
+    return data
+
+
+class TestModeDetection:
+    def test_knob_mode(self):
+        spec = spec_from_dict(knob_spec())
+        assert spec.mode == "knobs"
+        assert len(spec.points) == 6
+        # Nmult-major order, the Fig. 8 row layout.
+        assert [(p.enob, p.nmult) for p in spec.points[:3]] == [
+            (4.0, 4),
+            (5.0, 4),
+            (6.0, 4),
+        ]
+
+    def test_legacy_point_list_mode(self):
+        spec = spec_from_dict(
+            {"points": [{"enob": 5.0, "nmult": 8}, {"enob": 6.0, "nmult": 4}]}
+        )
+        assert spec.mode == "points"
+        assert len(spec.points) == 2
+
+    def test_mixing_modes_rejected(self):
+        data = knob_spec(points=[{"enob": 5.0, "nmult": 8}])
+        with pytest.raises(ConfigError, match="mixes"):
+            spec_from_dict(data)
+
+    def test_neither_mode_rejected(self):
+        with pytest.raises(ConfigError, match="either"):
+            spec_from_dict({"name": "empty"})
+
+    def test_legacy_duplicate_points_rejected(self):
+        with pytest.raises(ConfigError, match="duplicates"):
+            spec_from_dict(
+                {
+                    "points": [
+                        {"enob": 5.0, "nmult": 8},
+                        {"enob": 5.0, "nmult": 8},
+                    ]
+                }
+            )
+
+
+class TestDidYouMean:
+    def test_top_level_typo(self):
+        with pytest.raises(ConfigError, match="did you mean 'hardware'"):
+            spec_from_dict({"hardwear": {}, "points": []})
+
+    def test_hardware_typo(self):
+        data = knob_spec()
+        data["hardware"]["reuse_polcy"] = "reuse"
+        with pytest.raises(ConfigError, match="did you mean 'reuse_policy'"):
+            spec_from_dict(data)
+
+    def test_search_strategy_typo(self):
+        data = knob_spec(search={"strategy": "cheapfirst"})
+        with pytest.raises(ConfigError, match="did you mean 'cheap-first'"):
+            spec_from_dict(data)
+
+    def test_unknown_error_model_uses_registry_suggestions(self):
+        data = knob_spec()
+        data["hardware"]["error_model"] = "lumped_gausian"
+        with pytest.raises(ConfigError, match="lumped_gaussian"):
+            spec_from_dict(data)
+
+
+class TestHardwareKnobs:
+    def test_enob_range_expansion_is_inclusive(self):
+        data = knob_spec()
+        data["hardware"]["enob"] = {"start": 4.0, "stop": 8.0, "step": 0.25}
+        spec = spec_from_dict(data)
+        enobs = sorted({p.enob for p in spec.points})
+        assert len(enobs) == 17
+        assert enobs[0] == 4.0 and enobs[-1] == 8.0
+        assert 4.25 in enobs  # exact grid values, no float dust
+
+    def test_enob_range_validation(self):
+        for bad in (
+            {"start": 4.0, "stop": 8.0},  # missing step
+            {"start": 4.0, "stop": 8.0, "step": -1},
+            {"start": 8.0, "stop": 4.0, "step": 1},
+        ):
+            data = knob_spec()
+            data["hardware"]["enob"] = bad
+            with pytest.raises(ConfigError):
+                spec_from_dict(data)
+
+    def test_duplicate_grid_values_rejected(self):
+        data = knob_spec()
+        data["hardware"]["nmult"] = [8, 8]
+        with pytest.raises(ConfigError, match="duplicates"):
+            spec_from_dict(data)
+
+    def test_custom_adc_library(self):
+        data = knob_spec()
+        data["hardware"]["adc"] = {
+            "library": "custom",
+            "knee_enob": 5.5,
+            "intercept_db": 38.34,
+        }
+        spec = spec_from_dict(data)
+        assert spec.adc.name == "custom"
+        assert spec.adc.knee_enob == 5.5
+
+    def test_survey_library_rejects_custom_knobs(self):
+        data = knob_spec()
+        data["hardware"]["adc"] = {"library": "survey", "knee_enob": 5.5}
+        with pytest.raises(ConfigError, match="custom"):
+            spec_from_dict(data)
+
+    def test_reference_scaling_couples_energy_and_error_model(self):
+        data = knob_spec()
+        data["hardware"]["reference_scaling"] = 0.5
+        spec = spec_from_dict(data)
+        assert spec.adc.reference_scale == 0.5
+        assert spec.error_model == "reference_scaled"
+        assert dict(spec.error_model_params)["alpha"] == 0.5
+        # Energy side: 1/alpha^2 in the thermal branch.
+        assert spec.adc.energy(12.0) == pytest.approx(
+            ExploreSpec().adc.energy(12.0) * 4
+        )
+
+    def test_reference_scaling_conflicts_with_other_error_model(self):
+        data = knob_spec()
+        data["hardware"]["reference_scaling"] = 0.5
+        data["hardware"]["error_model"] = "per_vmac"
+        with pytest.raises(ConfigError, match="reference_scaled"):
+            spec_from_dict(data)
+
+    def test_reread_policy_folds_energy_adder(self):
+        reuse = spec_from_dict(knob_spec())
+        data = knob_spec()
+        data["hardware"]["reuse_policy"] = "reread"
+        reread = spec_from_dict(data)
+        assert reuse.multiplier_energy_pj == 0.0
+        assert reread.multiplier_energy_pj == pytest.approx(0.05)
+        data["hardware"]["reread_energy_pj"] = 0.1
+        assert spec_from_dict(data).multiplier_energy_pj == pytest.approx(0.1)
+
+    def test_reread_energy_requires_reread_policy(self):
+        data = knob_spec()
+        data["hardware"]["reread_energy_pj"] = 0.1
+        with pytest.raises(ConfigError, match="reread"):
+            spec_from_dict(data)
+
+    def test_error_model_params_validated_against_registry(self):
+        data = knob_spec()
+        data["hardware"]["error_model"] = "lumped_gaussian"
+        data["hardware"]["error_model_params"] = {"sigma": 2.0}
+        with pytest.raises(ConfigError):
+            spec_from_dict(data)
+
+
+class TestSearchSection:
+    def test_defaults(self):
+        spec = spec_from_dict(knob_spec())
+        assert spec.strategy == "cheap-first"
+        assert spec.surrogate == "eval_only"
+        assert spec.surrogate_margin == 0.02
+        assert spec.loss_resolution == 0.01
+        assert spec.loss_targets == (0.004, 0.01, 0.02)
+
+    def test_surrogate_epochs_requires_short_train(self):
+        data = knob_spec(search={"surrogate_epochs": 2})
+        with pytest.raises(ConfigError, match="short_train"):
+            spec_from_dict(data)
+        data = knob_spec(
+            search={"surrogate": "short_train", "surrogate_epochs": 2}
+        )
+        assert spec_from_dict(data).surrogate_epochs == 2
+
+    def test_max_points_cap(self):
+        data = knob_spec(search={"max_points": 5})
+        with pytest.raises(ConfigError, match="max_points"):
+            spec_from_dict(data)
+
+    def test_loss_targets_must_ascend_in_unit_interval(self):
+        for bad in ([0.02, 0.01], [0.0], [1.5], [0.01, 0.01]):
+            with pytest.raises(ConfigError):
+                spec_from_dict(knob_spec(loss_targets=bad))
+
+
+class TestLoadSpec:
+    def test_json_by_extension(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(knob_spec()))
+        spec = load_spec(str(path))
+        assert spec.name == "t"
+
+    def test_yaml(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text(
+            "hardware:\n  enob: [4.0, 5.0]\n  nmult: [8]\n"
+        )
+        spec = load_spec(str(path))
+        # Name falls back to the file stem when the spec has none.
+        assert spec.name == "spec"
+        assert len(spec.points) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="no spec file"):
+            load_spec(str(tmp_path / "nope.yaml"))
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError, match="malformed"):
+            load_spec(str(path))
+
+    def test_non_mapping_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError, match="mapping"):
+            load_spec(str(path))
+
+    def test_bundled_example_parses(self):
+        import os
+
+        spec = load_spec(
+            os.path.join(
+                os.path.dirname(__file__),
+                "..",
+                "..",
+                "examples",
+                "explore_grid.yaml",
+            )
+        )
+        assert spec.name == "explore-grid"
+        assert len(spec.points) >= 100
+        assert spec.strategy == "cheap-first"

@@ -1,0 +1,204 @@
+"""Tests for the deterministic cheap-first search strategy."""
+
+import pytest
+
+from repro.explore import spec_from_dict
+from repro.explore.strategy import (
+    canonicalize,
+    level_curves,
+    pareto_frontier,
+    plan_points,
+    prune_analytic,
+    prune_surrogate,
+)
+
+
+def grid_spec(**hardware):
+    data = {
+        "hardware": {
+            "enob": {"start": 4.0, "stop": 8.0, "step": 0.25},
+            "nmult": [2, 4, 8, 16, 32, 64],
+            "adc": {
+                "library": "custom",
+                "knee_enob": 5.5,
+                "intercept_db": 38.34,
+            },
+        }
+    }
+    data["hardware"].update(hardware)
+    return spec_from_dict(data)
+
+
+def statuses(plans):
+    out = {}
+    for p in plans:
+        out.setdefault(p.status, []).append(p)
+    return out
+
+
+class TestCanonicalize:
+    def test_eq2_classes_collapse_to_min_energy_member(self):
+        plans = canonicalize(plan_points(grid_spec()))
+        by_status = statuses(plans)
+        # 102 raw points share 27 distinct equivalent ENOBs.
+        assert len(by_status["candidate"]) == 27
+        assert len(by_status["merged"]) == 75
+        eqs = {p.eq_enob for p in by_status["candidate"]}
+        assert len(eqs) == 27
+        for merged in by_status["merged"]:
+            rep = next(
+                p
+                for p in by_status["candidate"]
+                if p.token() == merged.dominated_by
+            )
+            assert rep.eq_enob == merged.eq_enob
+            assert rep.emac_pj <= merged.emac_pj
+
+    def test_deterministic_under_repetition(self):
+        spec = grid_spec()
+        a = prune_analytic(canonicalize(plan_points(spec)))
+        b = prune_analytic(canonicalize(plan_points(spec)))
+        assert a == b
+
+
+class TestAnalyticPrune:
+    def test_flat_region_reps_pruned_by_free_enob(self):
+        """In the flat-energy region every rep costs 0.3/64 pJ, so the
+        highest-eq one dominates the rest for free."""
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        by_status = statuses(plans)
+        assert len(by_status["pruned_analytic"]) == 6
+        assert len(by_status["candidate"]) == 21
+        dominator = {p.dominated_by for p in by_status["pruned_analytic"]}
+        assert dominator == {"e5.5:n64"}
+        for pruned in by_status["pruned_analytic"]:
+            assert pruned.eq_enob < 4.0
+
+    def test_never_prunes_the_frontier_head(self):
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cands = [p for p in plans if p.status == "candidate"]
+        cheapest = min(cands, key=lambda p: p.emac_pj)
+        assert cheapest.token() == "e5.5:n64"
+
+
+class TestSurrogatePrune:
+    def test_saturation_plateau_keeps_only_cheapest(self):
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cands = [p for p in plans if p.status == "candidate"]
+        # Synthetic surrogate: loss saturates at 0.01 above eq 5.0.
+        losses = {
+            p.token(): (0.01 if p.eq_enob >= 5.0 else 0.3 - p.eq_enob / 20)
+            for p in cands
+        }
+        pruned = prune_surrogate(plans, losses, margin=0.005)
+        plateau = [p for p in pruned if p.eq_enob >= 5.0 and p.status in
+                   ("candidate", "pruned_surrogate")]
+        survivors = [p for p in plateau if p.status == "candidate"]
+        assert len(survivors) == 1
+        assert survivors[0].emac_pj == min(p.emac_pj for p in plateau)
+
+    def test_dominance_needs_gap_beyond_margin(self):
+        """A cheaper point prunes a pricier one only when its surrogate
+        loss is better by MORE than the margin — near-ties survive to
+        the full evaluation."""
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cands = sorted(
+            (p for p in plans if p.status == "candidate"),
+            key=lambda p: p.emac_pj,
+        )
+        a, b, c = cands[0], cands[1], cands[2]
+        # a (cheapest) beats b by 0.03 — inside the 0.05 margin, so b is
+        # protected; c is the lone plateau member.  With margin 0 the
+        # same losses let a's dominance fire and prune b.
+        losses = {p.token(): 0.9 for p in cands}
+        losses[a.token()] = 0.17
+        losses[b.token()] = 0.20
+        losses[c.token()] = 0.10
+        pruned = prune_surrogate(plans, losses, margin=0.05)
+        status = {p.token(): p.status for p in pruned}
+        assert status[a.token()] == "candidate"
+        assert status[b.token()] == "candidate"
+        assert status[c.token()] == "candidate"
+        hard = prune_surrogate(plans, losses, margin=0.0)
+        hard_status = {p.token(): p.status for p in hard}
+        assert hard_status[a.token()] == "candidate"
+        assert hard_status[b.token()] == "pruned_surrogate"
+        assert hard_status[c.token()] == "candidate"
+
+    def test_records_surrogate_loss_on_candidates(self):
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cands = [p for p in plans if p.status == "candidate"]
+        losses = {p.token(): 0.1 for p in cands}
+        pruned = prune_surrogate(plans, losses, margin=0.01)
+        for p in pruned:
+            if p.status in ("candidate", "pruned_surrogate"):
+                assert p.surrogate_loss == 0.1
+
+
+class TestFrontier:
+    def _evaluated(self, losses):
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        out = []
+        for p in plans:
+            if p.status == "candidate" and p.token() in losses:
+                from dataclasses import replace
+
+                out.append(replace(p, status="evaluated"))
+            else:
+                out.append(p)
+        return out
+
+    def test_quantization_makes_noise_invisible(self):
+        """Two losses within one resolution bin are frontier-equal; the
+        cheaper (then higher-eq) cell wins deterministically."""
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cands = sorted(
+            (p for p in plans if p.status == "candidate"),
+            key=lambda p: p.emac_pj,
+        )[:3]
+        losses = {
+            cands[0].token(): 0.051,
+            cands[1].token(): 0.049,  # same 0.01-bin as 0.051
+            cands[2].token(): 0.012,
+        }
+        evaluated = self._evaluated(losses)
+        frontier = pareto_frontier(evaluated, losses, resolution=0.01)
+        tokens = [c.token() for c in frontier]
+        assert tokens == [cands[0].token(), cands[2].token()]
+
+    def test_negative_losses_clamp_to_zero_bin(self):
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cands = sorted(
+            (p for p in plans if p.status == "candidate"),
+            key=lambda p: p.emac_pj,
+        )[:2]
+        losses = {cands[0].token(): -0.02, cands[1].token(): 0.0}
+        evaluated = self._evaluated(losses)
+        frontier = pareto_frontier(evaluated, losses, resolution=0.01)
+        assert [c.token() for c in frontier] == [cands[0].token()]
+
+    def test_level_curves_pick_min_energy_feasible_cell(self):
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cands = sorted(
+            (p for p in plans if p.status == "candidate"),
+            key=lambda p: p.emac_pj,
+        )[:3]
+        losses = {
+            cands[0].token(): 0.08,
+            cands[1].token(): 0.015,
+            cands[2].token(): 0.001,
+        }
+        evaluated = self._evaluated(losses)
+        curves = level_curves(evaluated, losses, (0.004, 0.02, 0.1))
+        assert curves[0][1].token() == cands[2].token()
+        assert curves[1][1].token() == cands[1].token()
+        assert curves[2][1].token() == cands[0].token()
+
+    def test_unreachable_target_maps_to_none(self):
+        plans = prune_analytic(canonicalize(plan_points(grid_spec())))
+        cand = next(p for p in plans if p.status == "candidate")
+        losses = {cand.token(): 0.5}
+        evaluated = self._evaluated(losses)
+        (target, cell), = level_curves(evaluated, losses, (0.004,))
+        assert target == pytest.approx(0.004)
+        assert cell is None

@@ -156,6 +156,18 @@ class TestValidation:
             "sweep.point_retry": {"index": 0, "key": 4.0, "attempt": 1},
             "sweep.point_skipped": {"index": 0, "key": 4.0},
             "sweep.resume": {"source_run": "r0", "reused": 2},
+            "explore.start": {
+                "name": "grid", "points": 6, "strategy": "cheap-first",
+            },
+            "explore.point": {
+                "enob": 5.0, "nmult": 8, "eq_enob": 5.0,
+                "emac_pj": 0.0375, "status": "evaluated",
+            },
+            "explore.frontier": {"cells": [], "level_curves": []},
+            "explore.end": {
+                "evaluated": 1, "pruned": 2, "merged": 3,
+                "frontier_size": 1,
+            },
         }
         assert set(payloads) | {"run_start"} == set(EVENT_SCHEMAS)
         for event_type, payload in payloads.items():

@@ -72,9 +72,9 @@ def test_deprecated_workbench_model_matches_registry(registry_bench):
     """The warn-once shim serves the same artifact, bit for bit."""
     spec = ModelSpec("quant", bw=8, bx=8)
     with pytest.deprecated_call():
-        import repro.experiments.common as common
+        from repro.obs import deprecation
 
-        common._DEPRECATION_WARNED.discard("model")
+        deprecation.reset("workbench.model")
         shim_model, shim_meta = registry_bench.model(spec)
     registry_model, registry_meta = registry_bench.registry.get(
         spec, fresh=True

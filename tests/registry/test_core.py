@@ -58,6 +58,27 @@ QUANT = ModelSpec("quant", bw=8, bx=8)
 AMS = ModelSpec("ams_eval", enob=4.0)
 
 
+class TestScratchCacheDir:
+    def test_namespaces_under_the_configured_cache(self, bench):
+        import os
+
+        from repro.registry import scratch_cache_dir
+
+        scratch = scratch_cache_dir(bench.config, "explore-surrogate")
+        assert scratch == os.path.join(
+            bench.config.cache_dir, "explore-surrogate"
+        )
+
+    def test_rejects_escaping_labels(self, bench):
+        import os
+
+        from repro.registry import scratch_cache_dir
+
+        for label in ("", ".", "..", f"a{os.sep}b"):
+            with pytest.raises(ValueError):
+                scratch_cache_dir(bench.config, label)
+
+
 class TestValidation:
     def test_zero_capacity_rejected(self, bench):
         with pytest.raises(ConfigError, match="warm_max_entries"):

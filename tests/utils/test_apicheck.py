@@ -100,8 +100,11 @@ class TestDeprecationShims:
         )
         return common_mod.Workbench(config)
 
-    def test_legacy_methods_warn_exactly_once(self, micro_bench, monkeypatch):
-        monkeypatch.setattr(common_mod, "_DEPRECATION_WARNED", set())
+    def test_legacy_methods_warn_exactly_once(self, micro_bench):
+        from repro.obs import deprecation
+
+        deprecation.reset("workbench.build_fp32")
+        deprecation.reset("workbench.build_quantized")
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             micro_bench.build_fp32()

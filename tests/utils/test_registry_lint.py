@@ -64,6 +64,29 @@ class TestFindCachePaths:
         )
         assert _reasons(source) == []
 
+    def test_scratch_derivation_must_go_through_the_registry(self):
+        """The pattern the explorer's surrogate once used: deriving a
+        scratch sub-cache by hand is flagged; routing the same intent
+        through layout.scratch_cache_dir is clean."""
+        by_hand = textwrap.dedent(
+            """
+            import os
+
+            def surrogate_config(bench):
+                return os.path.join(bench.config.cache_dir, "scratch")
+            """
+        )
+        assert len(_reasons(by_hand)) == 1
+        sanctioned = textwrap.dedent(
+            """
+            from repro.registry.layout import scratch_cache_dir
+
+            def surrogate_config(bench):
+                return scratch_cache_dir(bench.config, "scratch")
+            """
+        )
+        assert _reasons(sanctioned) == []
+
 
 class TestLintTree:
     def test_violation_in_tree_is_reported(self, tmp_path):

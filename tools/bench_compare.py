@@ -55,6 +55,7 @@ DEFAULT_RECORDED = (
     os.path.join(REPO_ROOT, "BENCH_parallel_sweep.json"),
     os.path.join(REPO_ROOT, "BENCH_compiled.json"),
     os.path.join(REPO_ROOT, "BENCH_backends.json"),
+    os.path.join(REPO_ROOT, "BENCH_explore.json"),
 )
 
 
